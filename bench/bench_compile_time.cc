@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Supporting performance benchmark (google-benchmark): end-to-end HLS
+ * compile time per ISAX per core — the "design-space exploration"
+ * throughput the paper's automation argument rests on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "driver/longnail.hh"
+
+using namespace longnail;
+using namespace longnail::driver;
+
+namespace {
+
+void
+compileBench(benchmark::State &state, const std::string &isax,
+             const std::string &core)
+{
+    for (auto _ : state) {
+        CompileOptions options;
+        options.coreName = core;
+        CompiledIsax compiled = compileCatalogIsax(isax, options);
+        if (!compiled.ok())
+            state.SkipWithError(compiled.errors.c_str());
+        benchmark::DoNotOptimize(compiled);
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(compileBench, dotp_VexRiscv, "dotp", "VexRiscv");
+BENCHMARK_CAPTURE(compileBench, dotp_ORCA, "dotp", "ORCA");
+BENCHMARK_CAPTURE(compileBench, zol_VexRiscv, "zol", "VexRiscv");
+BENCHMARK_CAPTURE(compileBench, sparkle_Piccolo, "sparkle", "Piccolo");
+BENCHMARK_CAPTURE(compileBench, sqrt_tightly_PicoRV32, "sqrt_tightly",
+                  "PicoRV32");
+BENCHMARK_CAPTURE(compileBench, autoinc_zol_VexRiscv, "autoinc_zol",
+                  "VexRiscv");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Supporting performance benchmark (google-benchmark): the cost of the
+ * exact Fig. 7 ILP scheduler vs. the ASAP baseline, on the real ISAX
+ * scheduling problems and on synthetic DAGs of growing size.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+
+#include "coredsl/sema.hh"
+#include "driver/isax_catalog.hh"
+#include "hir/astlower.hh"
+#include "lil/lil.hh"
+#include "sched/scheduler.hh"
+
+using namespace longnail;
+using namespace longnail::sched;
+
+namespace {
+
+std::unique_ptr<lil::LilModule>
+compileIsax(const std::string &name)
+{
+    const auto *entry = catalog::findIsax(name);
+    DiagnosticEngine diags;
+    coredsl::Sema sema(diags, coredsl::builtinSourceProvider());
+    auto isa = sema.analyze(entry->source, entry->target);
+    auto hir_mod = hir::lowerToHir(*isa, diags);
+    auto lil_mod = lil::lowerToLil(*hir_mod, diags);
+    // Keep the ISA alive by leaking it for the benchmark's lifetime.
+    (void)isa.release();
+    (void)hir_mod.release();
+    return lil_mod;
+}
+
+void
+scheduleIsaxBench(benchmark::State &state, const std::string &isax,
+                  bool use_ilp)
+{
+    auto lil_mod = compileIsax(isax);
+    const lil::LilGraph *graph = lil_mod->graphs.front().get();
+    TechLibrary tech(TimingMode::Uniform);
+    const auto &core = scaiev::Datasheet::forCore("VexRiscv");
+    for (auto _ : state) {
+        BuiltProblem built = buildProblem(*graph, core, tech);
+        computeChainBreakers(built.problem);
+        std::string err = use_ilp ? scheduleOptimal(built.problem)
+                                  : scheduleAsap(built.problem);
+        benchmark::DoNotOptimize(err);
+    }
+    state.SetLabel(std::to_string(
+        buildProblem(*graph, core, tech).problem.numOperations()) +
+        " ops");
+}
+
+/** Random layered DAG scheduling problem. */
+LongnailProblem
+syntheticProblem(unsigned num_ops, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    LongnailProblem p;
+    p.setCycleTime(1.5);
+    for (unsigned i = 0; i < num_ops; ++i) {
+        OperatorType type;
+        type.name = "op" + std::to_string(i);
+        type.outgoingDelay = 0.1 + 0.1 * double(rng() % 4);
+        p.addOperatorType(type);
+        p.addOperation({"op" + std::to_string(i), i, {}, {}});
+        unsigned edges = i == 0 ? 0 : 1 + rng() % 2;
+        for (unsigned e = 0; e < edges && i > 0; ++e)
+            p.addDependence(rng() % i, i);
+    }
+    return p;
+}
+
+void
+BM_IlpSyntheticDag(benchmark::State &state)
+{
+    unsigned n = unsigned(state.range(0));
+    for (auto _ : state) {
+        LongnailProblem p = syntheticProblem(n, 7);
+        computeChainBreakers(p);
+        std::string err = scheduleOptimal(p);
+        benchmark::DoNotOptimize(err);
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(scheduleIsaxBench, dotp_ilp, "dotp", true);
+BENCHMARK_CAPTURE(scheduleIsaxBench, dotp_asap, "dotp", false);
+BENCHMARK_CAPTURE(scheduleIsaxBench, sparkle_ilp, "sparkle", true);
+BENCHMARK_CAPTURE(scheduleIsaxBench, sparkle_asap, "sparkle", false);
+BENCHMARK_CAPTURE(scheduleIsaxBench, sqrt_ilp, "sqrt_tightly", true);
+BENCHMARK_CAPTURE(scheduleIsaxBench, sqrt_asap, "sqrt_tightly", false);
+BENCHMARK(BM_IlpSyntheticDag)->Arg(100)->Arg(400)->Arg(1600);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Regenerates Table 4 of the paper: ASIC area and frequency overheads
+ * of each benchmark ISAX integrated into the four host cores, on the
+ * synthetic 22nm flow (see DESIGN.md for the substitution notes).
+ *
+ * Rows: the eight Table 3 ISAXes, the "sqrt_decoupled without
+ * data-hazard handling" ablation, and the autoinc+zol combination.
+ * Columns: area overhead (%) and frequency delta (%) per core.
+ *
+ * Paper reference values are printed alongside for comparison; we aim
+ * to reproduce the *shape* (which ISAXes are large, where frequency
+ * regresses), not the absolute percentages.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asic/flow.hh"
+#include "driver/longnail.hh"
+
+using namespace longnail;
+using namespace longnail::driver;
+
+namespace {
+
+struct Row
+{
+    std::string label;
+    std::string isax;       ///< catalog name
+    bool hazardHandling = true;
+};
+
+const std::vector<Row> rows = {
+    {"autoinc", "autoinc", true},
+    {"dotprod", "dotp", true},
+    {"ijmp", "ijmp", true},
+    {"sbox", "sbox", true},
+    {"sparkle", "sparkle", true},
+    {"sqrt_tightly", "sqrt_tightly", true},
+    {"sqrt_decoupled", "sqrt_decoupled", true},
+    {"  w/o hazard handling", "sqrt_decoupled", false},
+    {"zol", "zol", true},
+    {"autoinc+zol", "autoinc_zol", true},
+};
+
+/** Paper Table 4 values: {area %, freq %} per core, row-major. */
+const std::map<std::string,
+               std::map<std::string, std::pair<int, int>>> paperValues = {
+    {"autoinc", {{"ORCA", {20, -6}}, {"Piccolo", {3, -9}},
+                 {"PicoRV32", {23, 0}}, {"VexRiscv", {12, 2}}}},
+    {"dotprod", {{"ORCA", {23, -14}}, {"Piccolo", {4, 0}},
+                 {"PicoRV32", {21, -2}}, {"VexRiscv", {21, 2}}}},
+    {"ijmp", {{"ORCA", {2, -3}}, {"Piccolo", {7, 3}},
+              {"PicoRV32", {7, 2}}, {"VexRiscv", {12, 0}}}},
+    {"sbox", {{"ORCA", {7, -2}}, {"Piccolo", {0, 3}},
+              {"PicoRV32", {6, 2}}, {"VexRiscv", {8, -1}}}},
+    {"sparkle", {{"ORCA", {85, -24}}, {"Piccolo", {2, -1}},
+                 {"PicoRV32", {46, 0}}, {"VexRiscv", {45, -2}}}},
+    {"sqrt_tightly", {{"ORCA", {80, -32}}, {"Piccolo", {22, -15}},
+                      {"PicoRV32", {100, -5}}, {"VexRiscv", {43, -8}}}},
+    {"sqrt_decoupled", {{"ORCA", {56, -5}}, {"Piccolo", {10, 3}},
+                        {"PicoRV32", {111, -7}},
+                        {"VexRiscv", {47, 6}}}},
+    {"  w/o hazard handling", {{"ORCA", {46, -6}}, {"Piccolo", {10, 3}},
+                               {"PicoRV32", {96, -2}},
+                               {"VexRiscv", {40, 4}}}},
+    {"zol", {{"ORCA", {7, -2}}, {"Piccolo", {13, 4}},
+             {"PicoRV32", {10, -1}}, {"VexRiscv", {14, -3}}}},
+    {"autoinc+zol", {{"ORCA", {29, -6}}, {"Piccolo", {3, 2}},
+                     {"PicoRV32", {32, -1}}, {"VexRiscv", {16, 5}}}},
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::string> cores = scaiev::Datasheet::knownCores();
+
+    std::printf("Table 4: ASIC area and frequency overheads of ISAXes "
+                "integrated into base cores\n");
+    std::printf("(measured on the synthetic 22nm flow; paper values in "
+                "parentheses)\n\n");
+
+    std::printf("%-22s", "");
+    for (const auto &core : cores)
+        std::printf(" | %-21s", core.c_str());
+    std::printf("\n%-22s", "");
+    for (size_t i = 0; i < cores.size(); ++i)
+        std::printf(" | %10s %10s", "area", "freq");
+    std::printf("\n");
+
+    // Baselines.
+    std::printf("%-22s", "base core");
+    for (const auto &core : cores) {
+        asic::AsicFlow flow(scaiev::Datasheet::forCore(core));
+        asic::SynthesisResult base = flow.synthesizeBase();
+        std::printf(" | %7.0fum2 %7.0fMHz", base.areaUm2, base.fmaxMhz);
+    }
+    std::printf("\n");
+
+    for (const Row &row : rows) {
+        std::printf("%-22s", row.label.c_str());
+        for (const auto &core : cores) {
+            CompileOptions options;
+            options.coreName = core;
+            CompiledIsax compiled = compileCatalogIsax(row.isax, options);
+            if (!compiled.ok()) {
+                std::printf(" | %21s", "compile error");
+                continue;
+            }
+            std::vector<const hwgen::GeneratedModule *> modules;
+            for (const auto &unit : compiled.units)
+                modules.push_back(&unit.module);
+
+            asic::AsicFlow flow(scaiev::Datasheet::forCore(core));
+            asic::FlowOptions fopts;
+            fopts.hazardHandling = row.hazardHandling;
+            asic::SynthesisResult base = flow.synthesizeBase();
+            asic::SynthesisResult ext = flow.synthesizeExtended(
+                row.label + ":" + row.isax, modules, fopts);
+
+            double area = ext.areaOverheadPercent(base);
+            double freq = ext.freqDeltaPercent(base);
+            auto paper = paperValues.at(row.label).at(core);
+            std::printf(" | %+4.0f%%(%+3d) %+4.0f%%(%+3d)", area,
+                        paper.first, freq, paper.second);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nShape checks (see EXPERIMENTS.md): sparkle/sqrt are "
+                "the largest extensions; ORCA regresses on late-stage "
+                "writebacks; decoupled trades area for frequency; "
+                "dropping hazard handling reduces area further.\n");
+    return 0;
+}

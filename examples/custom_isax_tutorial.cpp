@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Domain scenario 3: authoring a brand-new ISAX from scratch — the
+ * paper's accessibility story ("ISAX design accessible to application
+ * domain experts").
+ *
+ * An embedded engineer wants a saturating multiply-accumulate for a
+ * control loop. They write ~20 lines of CoreDSL; Longnail handles the
+ * typing rules, scheduling and hardware generation, and the result
+ * runs unmodified on all four host cores.
+ */
+
+#include <cstdio>
+
+#include "driver/longnail.hh"
+
+using namespace longnail;
+using namespace longnail::driver;
+
+namespace {
+
+/** Saturating 16x16 multiply-accumulate into a custom accumulator. */
+const char *macSource = R"(
+import "RV32I.core_desc"
+
+InstructionSet X_SATMAC extends RV32I {
+    architectural_state {
+        register signed<32> ACC;
+    }
+    instructions {
+        // ACC = saturate(ACC + lo16(rs1) * lo16(rs2)); rd = ACC.
+        satmac {
+            encoding: 7'd1 :: rs2[4:0] :: rs1[4:0] ::
+                      3'b000 :: rd[4:0] :: 7'b1011011;
+            behavior: {
+                signed<16> a = (signed) X[rs1][15:0];
+                signed<16> b = (signed) X[rs2][15:0];
+                signed<34> sum = ACC + a * b;
+                if (sum > 2147483647) {
+                    ACC = 2147483647;
+                } else if (sum < -2147483648) {
+                    ACC = (signed) 32'h80000000;
+                } else {
+                    ACC = (signed<32>) sum;
+                }
+                X[rd] = (unsigned) ACC;
+            }
+        }
+        // Clear the accumulator.
+        satmac_clr {
+            encoding: 12'd0 :: 5'd0 :: 3'b001 :: rd[4:0] :: 7'b1011011;
+            behavior: {
+                ACC = 0;
+                X[rd] = 0;
+            }
+        }
+    }
+}
+)";
+
+} // namespace
+
+int
+main()
+{
+    std::printf("compiling the user-defined saturating MAC ISAX for "
+                "all four host cores...\n\n");
+    for (const std::string &core_name : scaiev::Datasheet::knownCores()) {
+        CompileOptions options;
+        options.coreName = core_name;
+        CompiledIsax compiled = compile(macSource, "X_SATMAC", options);
+        bool relaxed = false;
+        if (!compiled.ok()) {
+            // Custom-register writes have no tightly-coupled fallback
+            // (Sec. 3.2); on a fast core with late operand reads the
+            // MAC chain may not fit its write window. A real project
+            // would relax the target clock -- do the same here.
+            options.cycleTimeNs =
+                2.0 * scaiev::Datasheet::forCore(core_name)
+                          .cycleTimeNs();
+            compiled = compile(macSource, "X_SATMAC", options);
+            relaxed = true;
+            if (!compiled.ok()) {
+                std::fprintf(stderr, "%s: %s\n", core_name.c_str(),
+                             compiled.errors.c_str());
+                return 1;
+            }
+        }
+
+        rvasm::Assembler assembler;
+        registerIsaxMnemonics(assembler, *compiled.isa);
+        rvasm::Program program = assembler.assemble(R"(
+            satmac_clr x0
+            li a0, 1000
+            li a1, 2000
+            satmac a2, a0, a1      # ACC = 2,000,000
+            satmac a3, a0, a1      # ACC = 4,000,000
+            li a0, 32767
+            li a1, 32767
+            satmac a4, a0, a1      # ACC = 4,000,000 + 1,073,676,289
+            satmac a5, a0, a1      # saturates at 2^31 - 1
+            ecall
+        )");
+        if (!program.ok) {
+            std::fprintf(stderr, "asm: %s\n", program.error.c_str());
+            return 1;
+        }
+
+        cores::Core core(scaiev::Datasheet::forCore(core_name));
+        core.attachIsax(compiled.makeBundle());
+        core.loadProgram(program.words, 0);
+        cores::RunStats stats = core.run();
+
+        const CompiledUnit *mac = compiled.findUnit("satmac");
+        std::printf("%-9s: %llu cycles; satmac spans stages %d..%d "
+                    "(%s)%s; a3=%u a5=%u (expected 4000000 / "
+                    "2147483647)\n",
+                    core_name.c_str(),
+                    (unsigned long long)stats.cycles,
+                    mac->module.firstStage, mac->module.lastStage,
+                    scaiev::executionModeName(
+                        mac->module.findPort(scaiev::SubInterface::WrRD)
+                            ->mode),
+                    relaxed ? " [relaxed clock]" : "",
+                    core.reg(13), core.reg(15));
+        if (core.reg(13) != 4000000u || core.reg(15) != 2147483647u) {
+            std::fprintf(stderr, "WRONG RESULT on %s\n",
+                         core_name.c_str());
+            return 1;
+        }
+    }
+    std::printf("\nsame CoreDSL source, four microarchitectures, no "
+                "manual integration work.\n");
+    return 0;
+}

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Abstract syntax tree for CoreDSL (grammar in Fig. 2 of the paper).
+ *
+ * Nodes are tagged with a Kind enumerator and visited via switches;
+ * ownership flows top-down through unique_ptr. Sema decorates
+ * expressions with their CoreDSL type.
+ */
+
+#ifndef LONGNAIL_COREDSL_AST_HH
+#define LONGNAIL_COREDSL_AST_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coredsl/types.hh"
+#include "support/apint.hh"
+#include "support/diagnostics.hh"
+
+namespace longnail {
+namespace coredsl {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** A parsed (unresolved) type: signed/unsigned<widthExpr>, bool, void. */
+struct TypeSpec
+{
+    enum class Base { Signed, Unsigned, Bool, Void };
+
+    Base base = Base::Unsigned;
+    ExprPtr widthExpr; ///< null for bool/void and alias forms
+    unsigned aliasWidth = 0; ///< e.g. 32 for 'int'; 0 if widthExpr is used
+    SourceLoc loc;
+
+    bool isVoid() const { return base == Base::Void; }
+};
+
+// -------------------------------------------------------------------------
+// Expressions
+// -------------------------------------------------------------------------
+
+struct Expr
+{
+    enum class Kind
+    {
+        IntLit,
+        Ref,
+        Index,
+        RangeIndex,
+        Call,
+        Unary,
+        Binary,
+        Assign,
+        Conditional,
+        Cast,
+        Concat,
+    };
+
+    explicit Expr(Kind k, SourceLoc l) : kind(k), loc(l) {}
+    virtual ~Expr() = default;
+
+    Kind kind;
+    SourceLoc loc;
+    /** Filled in by semantic analysis. */
+    Type type;
+};
+
+/** Integer literal, C-style or Verilog-sized. */
+struct IntLitExpr : Expr
+{
+    IntLitExpr(SourceLoc l, ApInt v, bool is_sized, unsigned sized_width)
+        : Expr(Kind::IntLit, l), value(std::move(v)), sized(is_sized),
+          sizedWidth(sized_width)
+    {}
+
+    ApInt value;
+    bool sized;
+    unsigned sizedWidth;
+};
+
+/** Reference to a named entity (variable, state element, parameter). */
+struct RefExpr : Expr
+{
+    RefExpr(SourceLoc l, std::string n)
+        : Expr(Kind::Ref, l), name(std::move(n))
+    {}
+
+    std::string name;
+};
+
+/** base[index]: array-element access or single-bit select. */
+struct IndexExpr : Expr
+{
+    IndexExpr(SourceLoc l, ExprPtr b, ExprPtr i)
+        : Expr(Kind::Index, l), base(std::move(b)), index(std::move(i))
+    {}
+
+    ExprPtr base;
+    ExprPtr index;
+};
+
+/** base[from:to]: bit-range select or multi-element address-space read. */
+struct RangeIndexExpr : Expr
+{
+    RangeIndexExpr(SourceLoc l, ExprPtr b, ExprPtr f, ExprPtr t)
+        : Expr(Kind::RangeIndex, l), base(std::move(b)), from(std::move(f)),
+          to(std::move(t))
+    {}
+
+    ExprPtr base;
+    ExprPtr from; ///< high bound (inclusive)
+    ExprPtr to;   ///< low bound (inclusive)
+};
+
+/** Call of a helper function defined in a 'functions' section. */
+struct CallExpr : Expr
+{
+    CallExpr(SourceLoc l, std::string c, std::vector<ExprPtr> a)
+        : Expr(Kind::Call, l), callee(std::move(c)), args(std::move(a))
+    {}
+
+    std::string callee;
+    std::vector<ExprPtr> args;
+};
+
+struct UnaryExpr : Expr
+{
+    enum class Op { Neg, BitNot, LogicalNot, PreInc, PreDec, PostInc,
+                    PostDec };
+
+    UnaryExpr(SourceLoc l, Op o, ExprPtr e)
+        : Expr(Kind::Unary, l), op(o), operand(std::move(e))
+    {}
+
+    Op op;
+    ExprPtr operand;
+};
+
+struct BinaryExpr : Expr
+{
+    BinaryExpr(SourceLoc l, BinOp o, ExprPtr a, ExprPtr b)
+        : Expr(Kind::Binary, l), op(o), lhs(std::move(a)), rhs(std::move(b))
+    {}
+
+    BinOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+/** Plain or compound assignment. Compound forms wrap (see DESIGN.md). */
+struct AssignExpr : Expr
+{
+    AssignExpr(SourceLoc l, std::optional<BinOp> c, ExprPtr a, ExprPtr b)
+        : Expr(Kind::Assign, l), compoundOp(c), lhs(std::move(a)),
+          rhs(std::move(b))
+    {}
+
+    std::optional<BinOp> compoundOp;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+struct ConditionalExpr : Expr
+{
+    ConditionalExpr(SourceLoc l, ExprPtr c, ExprPtr t, ExprPtr f)
+        : Expr(Kind::Conditional, l), cond(std::move(c)),
+          thenExpr(std::move(t)), elseExpr(std::move(f))
+    {}
+
+    ExprPtr cond;
+    ExprPtr thenExpr;
+    ExprPtr elseExpr;
+};
+
+/**
+ * C-style cast. With an explicit width it may narrow; without one
+ * ((signed)/(unsigned) e) it reinterprets at the operand's width.
+ */
+struct CastExpr : Expr
+{
+    CastExpr(SourceLoc l, TypeSpec t, bool keep_width, ExprPtr e)
+        : Expr(Kind::Cast, l), targetType(std::move(t)),
+          keepOperandWidth(keep_width), operand(std::move(e))
+    {}
+
+    TypeSpec targetType;
+    bool keepOperandWidth;
+    ExprPtr operand;
+};
+
+/** Concatenation a :: b; the left operand supplies the high bits. */
+struct ConcatExpr : Expr
+{
+    ConcatExpr(SourceLoc l, ExprPtr a, ExprPtr b)
+        : Expr(Kind::Concat, l), lhs(std::move(a)), rhs(std::move(b))
+    {}
+
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+// -------------------------------------------------------------------------
+// Statements
+// -------------------------------------------------------------------------
+
+struct Stmt
+{
+    enum class Kind { Block, VarDecl, ExprStmt, If, For, While, Switch,
+                      Break, Return, Spawn };
+
+    explicit Stmt(Kind k, SourceLoc l) : kind(k), loc(l) {}
+    virtual ~Stmt() = default;
+
+    Kind kind;
+    SourceLoc loc;
+};
+
+struct BlockStmt : Stmt
+{
+    explicit BlockStmt(SourceLoc l) : Stmt(Kind::Block, l) {}
+
+    std::vector<StmtPtr> stmts;
+};
+
+/** Local variable declaration inside a behavior or function body. */
+struct VarDeclStmt : Stmt
+{
+    VarDeclStmt(SourceLoc l, TypeSpec t, std::string n, ExprPtr i)
+        : Stmt(Kind::VarDecl, l), type(std::move(t)), name(std::move(n)),
+          init(std::move(i))
+    {}
+
+    TypeSpec type;
+    std::string name;
+    ExprPtr init; ///< may be null
+
+    /** Resolved by sema. */
+    Type resolvedType;
+};
+
+struct ExprStmt : Stmt
+{
+    ExprStmt(SourceLoc l, ExprPtr e) : Stmt(Kind::ExprStmt, l),
+                                       expr(std::move(e))
+    {}
+
+    ExprPtr expr;
+};
+
+struct IfStmt : Stmt
+{
+    IfStmt(SourceLoc l, ExprPtr c, StmtPtr t, StmtPtr e)
+        : Stmt(Kind::If, l), cond(std::move(c)), thenStmt(std::move(t)),
+          elseStmt(std::move(e))
+    {}
+
+    ExprPtr cond;
+    StmtPtr thenStmt;
+    StmtPtr elseStmt; ///< may be null
+};
+
+struct ForStmt : Stmt
+{
+    explicit ForStmt(SourceLoc l) : Stmt(Kind::For, l) {}
+
+    StmtPtr init;  ///< VarDecl or ExprStmt; may be null
+    ExprPtr cond;  ///< may be null (treated as an error by sema)
+    ExprPtr step;  ///< may be null
+    StmtPtr body;
+};
+
+struct ReturnStmt : Stmt
+{
+    ReturnStmt(SourceLoc l, ExprPtr v)
+        : Stmt(Kind::Return, l), value(std::move(v))
+    {}
+
+    ExprPtr value; ///< may be null
+};
+
+/** while-loop; must have a compile-time known trip count. */
+struct WhileStmt : Stmt
+{
+    WhileStmt(SourceLoc l, ExprPtr c, StmtPtr b)
+        : Stmt(Kind::While, l), cond(std::move(c)), body(std::move(b))
+    {}
+
+    ExprPtr cond;
+    StmtPtr body;
+};
+
+/** One arm of a switch statement. */
+struct SwitchCase
+{
+    std::vector<ExprPtr> values; ///< empty for 'default'
+    std::vector<StmtPtr> body;   ///< without the trailing 'break'
+    SourceLoc loc;
+};
+
+/**
+ * C-style switch. Fallthrough is not supported: every non-final case
+ * must end with 'break' (checked by the parser).
+ */
+struct SwitchStmt : Stmt
+{
+    SwitchStmt(SourceLoc l, ExprPtr s)
+        : Stmt(Kind::Switch, l), subject(std::move(s))
+    {}
+
+    ExprPtr subject;
+    std::vector<SwitchCase> cases;
+};
+
+/** 'break' inside a switch arm (consumed by the parser; kept for
+ * diagnostics when it appears elsewhere). */
+struct BreakStmt : Stmt
+{
+    explicit BreakStmt(SourceLoc l) : Stmt(Kind::Break, l) {}
+};
+
+/** Decoupled-execution block (Sec. 2.5). */
+struct SpawnStmt : Stmt
+{
+    SpawnStmt(SourceLoc l, StmtPtr b) : Stmt(Kind::Spawn, l),
+                                        body(std::move(b))
+    {}
+
+    StmtPtr body;
+};
+
+// -------------------------------------------------------------------------
+// Top-level structure
+// -------------------------------------------------------------------------
+
+/** One element of an encoding specifier: a sized literal or a field. */
+struct EncodingElem
+{
+    bool isLiteral = false;
+    // Literal form.
+    ApInt value{1};
+    unsigned literalWidth = 0;
+    // Field form: name[msb:lsb].
+    std::string field;
+    unsigned msb = 0;
+    unsigned lsb = 0;
+    SourceLoc loc;
+
+    unsigned width() const { return isLiteral ? literalWidth
+                                              : msb - lsb + 1; }
+};
+
+struct Instruction
+{
+    std::string name;
+    std::vector<EncodingElem> encoding;
+    StmtPtr behavior;
+    SourceLoc loc;
+};
+
+/** Continuously executing behavior (Sec. 2.5). */
+struct AlwaysBlock
+{
+    std::string name;
+    StmtPtr behavior;
+    SourceLoc loc;
+};
+
+/** Declaration in an architectural_state section. */
+struct StateDecl
+{
+    /**
+     * Storage class per Sec. 2.2: 'register' declares architectural
+     * registers, 'extern' declares address spaces, declarations without
+     * a storage class are parameters.
+     */
+    enum class Storage { Register, Extern, Param };
+
+    Storage storage = Storage::Param;
+    bool isConst = false; ///< constant register, i.e. a ROM
+    TypeSpec type;
+    std::string name;
+    ExprPtr arraySize;            ///< null for scalars
+    ExprPtr init;                 ///< scalar initializer, may be null
+    std::vector<ExprPtr> initList; ///< array initializer list
+    SourceLoc loc;
+};
+
+/** Core-definition parameter assignment: NAME = expr; */
+struct ParamAssign
+{
+    std::string name;
+    ExprPtr value;
+    SourceLoc loc;
+};
+
+struct FunctionParam
+{
+    TypeSpec type;
+    std::string name;
+    SourceLoc loc;
+
+    /** Resolved by sema. */
+    Type resolvedType;
+};
+
+struct FunctionDef
+{
+    TypeSpec returnType;
+    std::string name;
+    std::vector<FunctionParam> params;
+    StmtPtr body;
+    SourceLoc loc;
+
+    /** Resolved by sema; invalid for void functions. */
+    Type resolvedReturnType;
+};
+
+/** InstructionSet or Core definition. */
+struct IsaDef
+{
+    bool isCore = false;
+    std::string name;
+    /** 'extends' parent for instruction sets, 'provides' list for cores. */
+    std::vector<std::string> parents;
+
+    std::vector<StateDecl> state;
+    std::vector<ParamAssign> paramAssigns;
+    std::vector<Instruction> instructions;
+    std::vector<AlwaysBlock> alwaysBlocks;
+    std::vector<FunctionDef> functions;
+    SourceLoc loc;
+};
+
+/** One parsed CoreDSL description file. */
+struct Description
+{
+    std::vector<std::string> imports;
+    std::vector<std::unique_ptr<IsaDef>> defs;
+};
+
+} // namespace coredsl
+} // namespace longnail
+
+#endif // LONGNAIL_COREDSL_AST_HH

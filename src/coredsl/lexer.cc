@@ -1,0 +1,456 @@
+#include "coredsl/lexer.hh"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace longnail {
+namespace coredsl {
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Eof: return "end of input";
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::IntLiteral: return "integer literal";
+      case TokenKind::SizedLiteral: return "sized literal";
+      case TokenKind::StringLiteral: return "string literal";
+      case TokenKind::KwImport: return "'import'";
+      case TokenKind::KwInstructionSet: return "'InstructionSet'";
+      case TokenKind::KwCore: return "'Core'";
+      case TokenKind::KwExtends: return "'extends'";
+      case TokenKind::KwProvides: return "'provides'";
+      case TokenKind::KwArchitecturalState: return "'architectural_state'";
+      case TokenKind::KwInstructions: return "'instructions'";
+      case TokenKind::KwEncoding: return "'encoding'";
+      case TokenKind::KwBehavior: return "'behavior'";
+      case TokenKind::KwAlways: return "'always'";
+      case TokenKind::KwFunctions: return "'functions'";
+      case TokenKind::KwRegister: return "'register'";
+      case TokenKind::KwExtern: return "'extern'";
+      case TokenKind::KwConst: return "'const'";
+      case TokenKind::KwSigned: return "'signed'";
+      case TokenKind::KwUnsigned: return "'unsigned'";
+      case TokenKind::KwBool: return "'bool'";
+      case TokenKind::KwVoid: return "'void'";
+      case TokenKind::KwIf: return "'if'";
+      case TokenKind::KwElse: return "'else'";
+      case TokenKind::KwFor: return "'for'";
+      case TokenKind::KwWhile: return "'while'";
+      case TokenKind::KwSwitch: return "'switch'";
+      case TokenKind::KwCase: return "'case'";
+      case TokenKind::KwDefault: return "'default'";
+      case TokenKind::KwBreak: return "'break'";
+      case TokenKind::KwReturn: return "'return'";
+      case TokenKind::KwSpawn: return "'spawn'";
+      case TokenKind::LBrace: return "'{'";
+      case TokenKind::RBrace: return "'}'";
+      case TokenKind::LParen: return "'('";
+      case TokenKind::RParen: return "')'";
+      case TokenKind::LBracket: return "'['";
+      case TokenKind::RBracket: return "']'";
+      case TokenKind::Semicolon: return "';'";
+      case TokenKind::Comma: return "','";
+      case TokenKind::Colon: return "':'";
+      case TokenKind::ColonColon: return "'::'";
+      case TokenKind::Question: return "'?'";
+      case TokenKind::Plus: return "'+'";
+      case TokenKind::Minus: return "'-'";
+      case TokenKind::Star: return "'*'";
+      case TokenKind::Slash: return "'/'";
+      case TokenKind::Percent: return "'%'";
+      case TokenKind::Shl: return "'<<'";
+      case TokenKind::Shr: return "'>>'";
+      case TokenKind::Less: return "'<'";
+      case TokenKind::Greater: return "'>'";
+      case TokenKind::LessEq: return "'<='";
+      case TokenKind::GreaterEq: return "'>='";
+      case TokenKind::EqEq: return "'=='";
+      case TokenKind::NotEq: return "'!='";
+      case TokenKind::Amp: return "'&'";
+      case TokenKind::Pipe: return "'|'";
+      case TokenKind::Caret: return "'^'";
+      case TokenKind::Tilde: return "'~'";
+      case TokenKind::Not: return "'!'";
+      case TokenKind::AmpAmp: return "'&&'";
+      case TokenKind::PipePipe: return "'||'";
+      case TokenKind::Assign: return "'='";
+      case TokenKind::PlusAssign: return "'+='";
+      case TokenKind::MinusAssign: return "'-='";
+      case TokenKind::StarAssign: return "'*='";
+      case TokenKind::SlashAssign: return "'/='";
+      case TokenKind::PercentAssign: return "'%='";
+      case TokenKind::ShlAssign: return "'<<='";
+      case TokenKind::ShrAssign: return "'>>='";
+      case TokenKind::AmpAssign: return "'&='";
+      case TokenKind::PipeAssign: return "'|='";
+      case TokenKind::CaretAssign: return "'^='";
+      case TokenKind::PlusPlus: return "'++'";
+      case TokenKind::MinusMinus: return "'--'";
+    }
+    return "<unknown>";
+}
+
+namespace {
+
+/** Validate @p digits for @p radix ('_' separators allowed). */
+bool
+digitsValidFor(const std::string &digits, unsigned radix)
+{
+    if (digits.empty())
+        return false;
+    bool any = false;
+    for (char c : digits) {
+        if (c == '_')
+            continue;
+        unsigned value;
+        if (c >= '0' && c <= '9')
+            value = unsigned(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            value = unsigned(c - 'a') + 10;
+        else if (c >= 'A' && c <= 'F')
+            value = unsigned(c - 'A') + 10;
+        else
+            return false;
+        if (value >= radix)
+            return false;
+        any = true;
+    }
+    return any;
+}
+
+const std::unordered_map<std::string, TokenKind> &
+keywordTable()
+{
+    static const std::unordered_map<std::string, TokenKind> table = {
+        {"import", TokenKind::KwImport},
+        {"InstructionSet", TokenKind::KwInstructionSet},
+        {"Core", TokenKind::KwCore},
+        {"extends", TokenKind::KwExtends},
+        {"provides", TokenKind::KwProvides},
+        {"architectural_state", TokenKind::KwArchitecturalState},
+        {"instructions", TokenKind::KwInstructions},
+        {"encoding", TokenKind::KwEncoding},
+        {"behavior", TokenKind::KwBehavior},
+        {"always", TokenKind::KwAlways},
+        {"functions", TokenKind::KwFunctions},
+        {"register", TokenKind::KwRegister},
+        {"extern", TokenKind::KwExtern},
+        {"const", TokenKind::KwConst},
+        {"signed", TokenKind::KwSigned},
+        {"unsigned", TokenKind::KwUnsigned},
+        {"bool", TokenKind::KwBool},
+        {"void", TokenKind::KwVoid},
+        {"if", TokenKind::KwIf},
+        {"else", TokenKind::KwElse},
+        {"for", TokenKind::KwFor},
+        {"while", TokenKind::KwWhile},
+        {"switch", TokenKind::KwSwitch},
+        {"case", TokenKind::KwCase},
+        {"default", TokenKind::KwDefault},
+        {"break", TokenKind::KwBreak},
+        {"return", TokenKind::KwReturn},
+        {"spawn", TokenKind::KwSpawn},
+    };
+    return table;
+}
+
+} // namespace
+
+Lexer::Lexer(std::string source, DiagnosticEngine &diags)
+    : source_(std::move(source)), diags_(diags)
+{
+}
+
+std::vector<Token>
+Lexer::lexAll()
+{
+    std::vector<Token> tokens;
+    while (true) {
+        Token t = next();
+        bool done = t.is(TokenKind::Eof);
+        tokens.push_back(std::move(t));
+        if (done)
+            break;
+    }
+    return tokens;
+}
+
+char
+Lexer::peek(int ahead) const
+{
+    size_t p = pos_ + ahead;
+    return p < source_.size() ? source_[p] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    char c = source_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        column_ = 1;
+    } else {
+        ++column_;
+    }
+    return c;
+}
+
+bool
+Lexer::match(char expected)
+{
+    if (peek() != expected)
+        return false;
+    advance();
+    return true;
+}
+
+void
+Lexer::skipWhitespaceAndComments()
+{
+    while (pos_ < source_.size()) {
+        char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (pos_ < source_.size() && peek() != '\n')
+                advance();
+        } else if (c == '/' && peek(1) == '*') {
+            SourceLoc start = here();
+            advance();
+            advance();
+            while (pos_ < source_.size() &&
+                   !(peek() == '*' && peek(1) == '/'))
+                advance();
+            if (pos_ >= source_.size()) {
+                diags_.error(start, "unterminated block comment");
+                return;
+            }
+            advance();
+            advance();
+        } else {
+            return;
+        }
+    }
+}
+
+Token
+Lexer::makeToken(TokenKind kind, SourceLoc loc)
+{
+    Token t;
+    t.kind = kind;
+    t.loc = loc;
+    return t;
+}
+
+Token
+Lexer::next()
+{
+    skipWhitespaceAndComments();
+    SourceLoc loc = here();
+    if (pos_ >= source_.size())
+        return makeToken(TokenKind::Eof, loc);
+
+    char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c)))
+        return lexNumber();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+        return lexIdentifierOrKeyword();
+    if (c == '"')
+        return lexString();
+
+    advance();
+    switch (c) {
+      case '{': return makeToken(TokenKind::LBrace, loc);
+      case '}': return makeToken(TokenKind::RBrace, loc);
+      case '(': return makeToken(TokenKind::LParen, loc);
+      case ')': return makeToken(TokenKind::RParen, loc);
+      case '[': return makeToken(TokenKind::LBracket, loc);
+      case ']': return makeToken(TokenKind::RBracket, loc);
+      case ';': return makeToken(TokenKind::Semicolon, loc);
+      case ',': return makeToken(TokenKind::Comma, loc);
+      case '?': return makeToken(TokenKind::Question, loc);
+      case '~': return makeToken(TokenKind::Tilde, loc);
+      case ':':
+        return makeToken(match(':') ? TokenKind::ColonColon
+                                    : TokenKind::Colon, loc);
+      case '+':
+        if (match('+'))
+            return makeToken(TokenKind::PlusPlus, loc);
+        return makeToken(match('=') ? TokenKind::PlusAssign
+                                    : TokenKind::Plus, loc);
+      case '-':
+        if (match('-'))
+            return makeToken(TokenKind::MinusMinus, loc);
+        return makeToken(match('=') ? TokenKind::MinusAssign
+                                    : TokenKind::Minus, loc);
+      case '*':
+        return makeToken(match('=') ? TokenKind::StarAssign
+                                    : TokenKind::Star, loc);
+      case '/':
+        return makeToken(match('=') ? TokenKind::SlashAssign
+                                    : TokenKind::Slash, loc);
+      case '%':
+        return makeToken(match('=') ? TokenKind::PercentAssign
+                                    : TokenKind::Percent, loc);
+      case '<':
+        if (match('<'))
+            return makeToken(match('=') ? TokenKind::ShlAssign
+                                        : TokenKind::Shl, loc);
+        return makeToken(match('=') ? TokenKind::LessEq
+                                    : TokenKind::Less, loc);
+      case '>':
+        if (match('>'))
+            return makeToken(match('=') ? TokenKind::ShrAssign
+                                        : TokenKind::Shr, loc);
+        return makeToken(match('=') ? TokenKind::GreaterEq
+                                    : TokenKind::Greater, loc);
+      case '=':
+        return makeToken(match('=') ? TokenKind::EqEq
+                                    : TokenKind::Assign, loc);
+      case '!':
+        return makeToken(match('=') ? TokenKind::NotEq
+                                    : TokenKind::Not, loc);
+      case '&':
+        if (match('&'))
+            return makeToken(TokenKind::AmpAmp, loc);
+        return makeToken(match('=') ? TokenKind::AmpAssign
+                                    : TokenKind::Amp, loc);
+      case '|':
+        if (match('|'))
+            return makeToken(TokenKind::PipePipe, loc);
+        return makeToken(match('=') ? TokenKind::PipeAssign
+                                    : TokenKind::Pipe, loc);
+      case '^':
+        return makeToken(match('=') ? TokenKind::CaretAssign
+                                    : TokenKind::Caret, loc);
+      default:
+        diags_.error(loc, std::string("unexpected character '") + c + "'");
+        return next();
+    }
+}
+
+Token
+Lexer::lexNumber()
+{
+    SourceLoc loc = here();
+    std::string digits;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        digits += advance();
+
+    // Verilog-style sized literal: <width>'<base><digits>.
+    if (peek() == '\'') {
+        advance(); // consume '
+        char base = peek();
+        unsigned radix = 0;
+        switch (base) {
+          case 'd': radix = 10; break;
+          case 'b': radix = 2; break;
+          case 'h': radix = 16; break;
+          case 'o': radix = 8; break;
+          default:
+            diags_.error(here(), "expected literal base (d, b, h or o) "
+                                 "after \"'\"");
+            radix = 10;
+        }
+        if (radix)
+            advance();
+        std::string value_digits;
+        while (std::isalnum(static_cast<unsigned char>(peek())) ||
+               peek() == '_')
+            value_digits += advance();
+
+        Token t = makeToken(TokenKind::SizedLiteral, loc);
+        if (!value_digits.empty() &&
+            !digitsValidFor(value_digits, radix)) {
+            diags_.error(loc, "invalid digits in sized literal");
+            value_digits.clear();
+        }
+        unsigned width = 0;
+        try {
+            width = std::stoul(digits);
+        } catch (const std::exception &) {
+            diags_.error(loc, "invalid literal width '" + digits + "'");
+            width = 1;
+        }
+        if (width == 0) {
+            diags_.error(loc, "literal width must be positive");
+            width = 1;
+        }
+        t.sizedWidth = width;
+        ApInt value = ApInt::fromString(value_digits.empty() ? "0"
+                                                             : value_digits,
+                                        radix);
+        if (value.activeBits() > width) {
+            diags_.error(loc, "literal value does not fit in " +
+                                  std::to_string(width) + " bits");
+            value = value.trunc(width);
+        }
+        t.value = value.zextOrTrunc(width);
+        return t;
+    }
+
+    // C-style literal.
+    unsigned radix = 10;
+    std::string body = digits;
+    if (digits.size() > 1 && digits[0] == '0') {
+        if (digits[1] == 'x' || digits[1] == 'X') {
+            radix = 16;
+            body = digits.substr(2);
+        } else if (digits[1] == 'b' || digits[1] == 'B') {
+            radix = 2;
+            body = digits.substr(2);
+        } else {
+            radix = 8;
+            body = digits.substr(1);
+        }
+    }
+    Token t = makeToken(TokenKind::IntLiteral, loc);
+    if (!body.empty() && !digitsValidFor(body, radix)) {
+        diags_.error(loc, "invalid digits in integer literal");
+        body.clear();
+    }
+    t.value = ApInt::fromString(body.empty() ? "0" : body, radix);
+    return t;
+}
+
+Token
+Lexer::lexIdentifierOrKeyword()
+{
+    SourceLoc loc = here();
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        text += advance();
+
+    auto it = keywordTable().find(text);
+    if (it != keywordTable().end())
+        return makeToken(it->second, loc);
+
+    Token t = makeToken(TokenKind::Identifier, loc);
+    t.text = std::move(text);
+    return t;
+}
+
+Token
+Lexer::lexString()
+{
+    SourceLoc loc = here();
+    advance(); // consume opening quote
+    std::string text;
+    while (pos_ < source_.size() && peek() != '"') {
+        if (peek() == '\\' && pos_ + 1 < source_.size())
+            advance();
+        text += advance();
+    }
+    if (pos_ >= source_.size()) {
+        diags_.error(loc, "unterminated string literal");
+    } else {
+        advance(); // consume closing quote
+    }
+    Token t = makeToken(TokenKind::StringLiteral, loc);
+    t.text = std::move(text);
+    return t;
+}
+
+} // namespace coredsl
+} // namespace longnail

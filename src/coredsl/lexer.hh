@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hand-written lexer for CoreDSL.
+ *
+ * Supports C-style (42, 0xcafe, 0b101, 052) and Verilog-style (6'd42,
+ * 3'b111, 8'hff) integer literals, line and block comments, and the
+ * operator set of Sec. 2.4 of the paper, including '::'.
+ */
+
+#ifndef LONGNAIL_COREDSL_LEXER_HH
+#define LONGNAIL_COREDSL_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "coredsl/token.hh"
+#include "support/diagnostics.hh"
+
+namespace longnail {
+namespace coredsl {
+
+class Lexer
+{
+  public:
+    Lexer(std::string source, DiagnosticEngine &diags);
+
+    /** Lex the whole input; the last token is always Eof. */
+    std::vector<Token> lexAll();
+
+  private:
+    Token next();
+    Token lexNumber();
+    Token lexIdentifierOrKeyword();
+    Token lexString();
+
+    char peek(int ahead = 0) const;
+    char advance();
+    bool match(char expected);
+    void skipWhitespaceAndComments();
+    SourceLoc here() const { return {line_, column_}; }
+    Token makeToken(TokenKind kind, SourceLoc loc);
+
+    std::string source_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+    DiagnosticEngine &diags_;
+};
+
+} // namespace coredsl
+} // namespace longnail
+
+#endif // LONGNAIL_COREDSL_LEXER_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The elaborated CoreDSL model produced by semantic analysis.
+ *
+ * An ElaboratedIsa is the fully resolved view of one InstructionSet or
+ * Core: inheritance flattened, parameters evaluated, types resolved, and
+ * instruction encodings turned into mask/match patterns plus field
+ * layouts. It is the input to the Longnail HIR lowering.
+ */
+
+#ifndef LONGNAIL_COREDSL_MODULE_HH
+#define LONGNAIL_COREDSL_MODULE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coredsl/ast.hh"
+#include "coredsl/types.hh"
+#include "support/apint.hh"
+
+namespace longnail {
+namespace coredsl {
+
+/** A compile-time constant with its CoreDSL type. */
+struct TypedConst
+{
+    ApInt value{1};
+    Type type;
+};
+
+/** A resolved architectural state element. */
+struct StateInfo
+{
+    enum class Kind
+    {
+        Register,     ///< architectural register (scalar or file)
+        AddressSpace, ///< 'extern' declaration, e.g. main memory
+    };
+
+    Kind kind = Kind::Register;
+    std::string name;
+    Type elementType;
+    uint64_t numElements = 1; ///< 1 for scalars
+    bool isConst = false;     ///< constant register file, i.e. a ROM
+    std::vector<ApInt> constValues; ///< ROM contents
+    /**
+     * True for state provided by the host core (the base ISA's X, PC and
+     * MEM); false for ISAX-internal state that SCAIE-V must instantiate.
+     */
+    bool isCoreState = false;
+
+    bool isArray() const { return numElements > 1; }
+    /** Bits needed to index this element, at least 1. */
+    unsigned indexWidth() const;
+};
+
+/** Where field bits land in the instruction word. */
+struct FieldSlice
+{
+    unsigned instrLsb = 0; ///< lowest instruction-word bit of the slice
+    unsigned fieldLsb = 0; ///< lowest field bit of the slice
+    unsigned count = 0;    ///< number of bits
+};
+
+/** An encoding field (e.g. rs1, uimmL) of one instruction. */
+struct FieldInfo
+{
+    unsigned width = 0; ///< total field width (max msb + 1)
+    std::vector<FieldSlice> slices;
+};
+
+/** A resolved instruction. */
+struct InstrInfo
+{
+    const Instruction *ast = nullptr;
+    std::string name;
+    uint32_t mask = 0;  ///< 1-bits where the encoding is a literal
+    uint32_t match = 0; ///< literal bit values under the mask
+    /** 32-char pattern, index 0 = bit 31; '-' marks field bits. */
+    std::string maskString;
+    std::map<std::string, FieldInfo> fields;
+    /** True if declared by the base set (not synthesized into hardware). */
+    bool fromBase = false;
+};
+
+/** A resolved always-block. */
+struct AlwaysInfo
+{
+    const AlwaysBlock *ast = nullptr;
+    std::string name;
+    bool fromBase = false;
+};
+
+/** A resolved helper function. */
+struct FunctionInfo
+{
+    const FunctionDef *ast = nullptr;
+    std::string name;
+    Type returnType; ///< invalid (width 0) for void
+    std::vector<Type> paramTypes;
+};
+
+/** Fully elaborated view of one InstructionSet or Core. */
+struct ElaboratedIsa
+{
+    std::string name;
+    std::vector<StateInfo> state;
+    std::vector<InstrInfo> instructions;
+    std::vector<AlwaysInfo> alwaysBlocks;
+    std::vector<FunctionInfo> functions;
+    std::map<std::string, TypedConst> parameters;
+
+    /** Keeps the decorated ASTs alive. */
+    std::vector<std::unique_ptr<Description>> ownedAsts;
+
+    const StateInfo *findState(const std::string &name) const;
+    const FunctionInfo *findFunction(const std::string &name) const;
+    const InstrInfo *findInstruction(const std::string &name) const;
+};
+
+} // namespace coredsl
+} // namespace longnail
+
+#endif // LONGNAIL_COREDSL_MODULE_HH

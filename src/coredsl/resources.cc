@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Descriptions bundled with Longnail: the RV32I base instruction set
+ * referenced by every ISAX via 'import "RV32I.core_desc"'.
+ *
+ * The base set declares the core-provided architectural state (the
+ * standard register field X, the program counter PC, and the
+ * byte-addressable main memory MEM) and the ADDI instruction used as the
+ * paper's running example (Figs. 5/6/9).
+ */
+
+#include "coredsl/sema.hh"
+
+namespace longnail {
+namespace coredsl {
+
+namespace {
+
+const char *rv32iCoreDesc = R"(
+InstructionSet RV32I {
+    architectural_state {
+        unsigned<32> XLEN = 32;
+        // Standard RISC-V register field with 32 elements.
+        register unsigned<32> X[32];
+        register unsigned<32> PC;
+        // Byte-addressable standard address space.
+        extern unsigned<8> MEM[4294967296];
+    }
+    instructions {
+        ADDI {
+            encoding: imm[11:0] :: rs1[4:0] :: 3'b000 :: rd[4:0]
+                      :: 7'b0010011;
+            behavior: {
+                X[rd] = (unsigned<32>)(X[rs1] + (signed)imm[11:0]);
+            }
+        }
+    }
+}
+)";
+
+} // namespace
+
+SourceProvider
+builtinSourceProvider()
+{
+    return [](const std::string &name) -> std::optional<std::string> {
+        if (name == "RV32I.core_desc")
+            return std::string(rv32iCoreDesc);
+        return std::nullopt;
+    };
+}
+
+} // namespace coredsl
+} // namespace longnail

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Token definitions for the CoreDSL lexer.
+ */
+
+#ifndef LONGNAIL_COREDSL_TOKEN_HH
+#define LONGNAIL_COREDSL_TOKEN_HH
+
+#include <string>
+
+#include "support/apint.hh"
+#include "support/diagnostics.hh"
+
+namespace longnail {
+namespace coredsl {
+
+/** All token kinds produced by the lexer. */
+enum class TokenKind
+{
+    Eof,
+    Identifier,
+    IntLiteral,     ///< C-style literal: width inferred from the value.
+    SizedLiteral,   ///< Verilog-style literal: 7'd0, 3'b111.
+    StringLiteral,
+
+    // Keywords.
+    KwImport,
+    KwInstructionSet,
+    KwCore,
+    KwExtends,
+    KwProvides,
+    KwArchitecturalState,
+    KwInstructions,
+    KwEncoding,
+    KwBehavior,
+    KwAlways,
+    KwFunctions,
+    KwRegister,
+    KwExtern,
+    KwConst,
+    KwSigned,
+    KwUnsigned,
+    KwBool,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwBreak,
+    KwReturn,
+    KwSpawn,
+
+    // Punctuation and operators.
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semicolon,
+    Comma,
+    Colon,
+    ColonColon,
+    Question,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Shl,
+    Shr,
+    Less,
+    Greater,
+    LessEq,
+    GreaterEq,
+    EqEq,
+    NotEq,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Not,
+    AmpAmp,
+    PipePipe,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    ShlAssign,
+    ShrAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    PlusPlus,
+    MinusMinus,
+};
+
+/** Human-readable token kind name, for diagnostics. */
+const char *tokenKindName(TokenKind kind);
+
+/** One lexed token. */
+struct Token
+{
+    TokenKind kind = TokenKind::Eof;
+    SourceLoc loc;
+    std::string text;      ///< Identifier spelling or string contents.
+    ApInt value{1};        ///< Value for integer literals.
+    unsigned sizedWidth = 0; ///< Declared width for SizedLiteral tokens.
+
+    bool is(TokenKind k) const { return kind == k; }
+};
+
+} // namespace coredsl
+} // namespace longnail
+
+#endif // LONGNAIL_COREDSL_TOKEN_HH

@@ -1,0 +1,154 @@
+#include "coredsl/types.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace longnail {
+namespace coredsl {
+
+std::string
+Type::str() const
+{
+    return (isSigned ? "signed<" : "unsigned<") + std::to_string(width) +
+           ">";
+}
+
+const char *
+binOpName(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: return "+";
+      case BinOp::Sub: return "-";
+      case BinOp::Mul: return "*";
+      case BinOp::Div: return "/";
+      case BinOp::Rem: return "%";
+      case BinOp::Shl: return "<<";
+      case BinOp::Shr: return ">>";
+      case BinOp::Lt: return "<";
+      case BinOp::Le: return "<=";
+      case BinOp::Gt: return ">";
+      case BinOp::Ge: return ">=";
+      case BinOp::Eq: return "==";
+      case BinOp::Ne: return "!=";
+      case BinOp::And: return "&";
+      case BinOp::Or: return "|";
+      case BinOp::Xor: return "^";
+      case BinOp::LogicalAnd: return "&&";
+      case BinOp::LogicalOr: return "||";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Widths of both operands after aligning signedness: when exactly one
+ * operand is signed, the unsigned one needs an extra (sign) bit to be
+ * embedded in the signed domain.
+ */
+struct Aligned
+{
+    bool isSigned;
+    unsigned lhsWidth;
+    unsigned rhsWidth;
+};
+
+Aligned
+alignSignedness(Type lhs, Type rhs)
+{
+    Aligned a;
+    a.isSigned = lhs.isSigned || rhs.isSigned;
+    a.lhsWidth = lhs.width;
+    a.rhsWidth = rhs.width;
+    if (a.isSigned && !lhs.isSigned)
+        ++a.lhsWidth;
+    if (a.isSigned && !rhs.isSigned)
+        ++a.rhsWidth;
+    return a;
+}
+
+} // namespace
+
+Type
+unionType(Type a, Type b)
+{
+    Aligned al = alignSignedness(a, b);
+    return {al.isSigned, std::max(al.lhsWidth, al.rhsWidth)};
+}
+
+Type
+resultType(BinOp op, Type lhs, Type rhs)
+{
+    if (!lhs.isValid() || !rhs.isValid())
+        LN_PANIC("resultType on invalid type");
+    switch (op) {
+      case BinOp::Add:
+      case BinOp::Sub: {
+        // One growth bit captures the carry/borrow; subtraction of
+        // unsigned operands can go negative, so it is always signed.
+        Aligned al = alignSignedness(lhs, rhs);
+        bool is_signed = al.isSigned || op == BinOp::Sub;
+        unsigned w = std::max(al.lhsWidth, al.rhsWidth) + 1;
+        if (op == BinOp::Sub && !al.isSigned)
+            w = std::max(lhs.width, rhs.width) + 1;
+        return {is_signed, w};
+      }
+      case BinOp::Mul: {
+        // Product width is the sum of the operand widths.
+        bool is_signed = lhs.isSigned || rhs.isSigned;
+        return {is_signed, lhs.width + rhs.width};
+      }
+      case BinOp::Div: {
+        // |quotient| <= |lhs|; signed division of the most negative
+        // value by -1 needs one extra bit.
+        bool is_signed = lhs.isSigned || rhs.isSigned;
+        unsigned w = lhs.width + (lhs.isSigned && rhs.isSigned ? 1 : 0);
+        if (is_signed && !lhs.isSigned)
+            ++w;
+        return {is_signed, w};
+      }
+      case BinOp::Rem: {
+        // |remainder| < |rhs| and the sign follows the dividend.
+        unsigned w = std::min(lhs.width, rhs.width);
+        if (lhs.isSigned)
+            return {true, w + (rhs.isSigned ? 0 : 1)};
+        if (rhs.isSigned && w == rhs.width)
+            w = std::max(1u, w - 1);
+        return {false, w};
+      }
+      case BinOp::Shl:
+      case BinOp::Shr:
+        // Per the CoreDSL specification, shifts keep the left operand's
+        // type; widening shifts must be requested by casting first.
+        return lhs;
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+      case BinOp::Eq:
+      case BinOp::Ne:
+      case BinOp::LogicalAnd:
+      case BinOp::LogicalOr:
+        return Type::makeBool();
+      case BinOp::And:
+      case BinOp::Or:
+      case BinOp::Xor:
+        return unionType(lhs, rhs);
+    }
+    LN_PANIC("unhandled binary operator");
+}
+
+bool
+isImplicitlyAssignable(Type to, Type from)
+{
+    if (to.isSigned == from.isSigned)
+        return from.width <= to.width;
+    if (to.isSigned && !from.isSigned)
+        return from.width < to.width; // need room for the sign bit
+    // signed -> unsigned always discards sign information
+    return false;
+}
+
+} // namespace coredsl
+} // namespace longnail

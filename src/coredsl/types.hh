@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The CoreDSL type system (Sec. 2.3 of the paper).
+ *
+ * Types are signed/unsigned integers of arbitrary width. Operators are
+ * bitwidth-aware: results are wide enough to represent every possible
+ * value, e.g. unsigned<5> + signed<4> yields signed<7>. Implicit
+ * assignment never loses precision or sign information; narrowing
+ * requires an explicit cast.
+ */
+
+#ifndef LONGNAIL_COREDSL_TYPES_HH
+#define LONGNAIL_COREDSL_TYPES_HH
+
+#include <string>
+
+namespace longnail {
+namespace coredsl {
+
+/** An integer type: signedness plus bit width. */
+struct Type
+{
+    bool isSigned = false;
+    unsigned width = 0;
+
+    Type() = default;
+    Type(bool is_signed, unsigned w) : isSigned(is_signed), width(w) {}
+
+    static Type makeUnsigned(unsigned w) { return {false, w}; }
+    static Type makeSigned(unsigned w) { return {true, w}; }
+    /** bool is an alias for unsigned<1>. */
+    static Type makeBool() { return {false, 1}; }
+
+    bool isValid() const { return width > 0; }
+    bool operator==(const Type &rhs) const = default;
+
+    /** "signed<7>" / "unsigned<32>" rendering. */
+    std::string str() const;
+};
+
+/** Binary operators with bitwidth-aware result typing. */
+enum class BinOp
+{
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    Xor,
+    LogicalAnd,
+    LogicalOr,
+};
+
+const char *binOpName(BinOp op);
+
+/**
+ * Result type of a binary operation per the CoreDSL rules.
+ *
+ * Arithmetic/bitwise ops on mixed signedness first give the unsigned
+ * operand a sign bit; additions grow by one bit, multiplications by the
+ * sum of the widths. Shifts keep the left operand's type. Comparisons
+ * and logical operators yield unsigned<1>.
+ */
+Type resultType(BinOp op, Type lhs, Type rhs);
+
+/**
+ * The smallest type that can represent all values of both operands;
+ * used for the arms of the conditional operator.
+ */
+Type unionType(Type a, Type b);
+
+/**
+ * True if a value of type @p from may be assigned to storage of type
+ * @p to without an explicit cast, i.e. without any possible loss of
+ * precision or sign information.
+ */
+bool isImplicitlyAssignable(Type to, Type from);
+
+} // namespace coredsl
+} // namespace longnail
+
+#endif // LONGNAIL_COREDSL_TYPES_HH

@@ -1,0 +1,823 @@
+#include "cores/core.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace longnail {
+namespace cores {
+
+using hwgen::GeneratedModule;
+using hwgen::InterfacePort;
+using scaiev::SubInterface;
+
+Core::Core(const scaiev::Datasheet &sheet, CoreTiming timing)
+    : sheet_(sheet), timing_(timing)
+{
+    numStages_ = sheet.numStages;
+    overlap_ = sheet.pipelined;
+    decodeStage_ = std::min(1u, numStages_ - 1);
+    execStage_ = sheet.operandStage;
+    memStage_ = sheet.memoryStage;
+    wbStage_ = numStages_ - 1;
+    slots_.resize(numStages_);
+}
+
+void
+Core::attachIsax(std::shared_ptr<IsaxBundle> bundle)
+{
+    for (const auto &reg : bundle->customRegs) {
+        auto &storage = customRegs_[reg.name];
+        storage.assign(reg.elements, ApInt(reg.width, 0));
+    }
+    for (const auto &always : bundle->alwaysBlocks) {
+        AlwaysUnit unit;
+        unit.module = &always;
+        unit.sim = std::make_unique<rtl::Simulator>(always.module);
+        unit.sim->reset();
+        alwaysUnits_.push_back(std::move(unit));
+    }
+    bundles_.push_back(std::move(bundle));
+}
+
+void
+Core::loadProgram(const std::vector<uint32_t> &words, uint32_t base)
+{
+    for (size_t i = 0; i < words.size(); ++i)
+        memory_.writeWord(base + uint32_t(i) * 4, words[i]);
+    fetchPc_ = base;
+    state_.pc = base;
+}
+
+const ApInt &
+Core::customReg(const std::string &name, uint64_t index) const
+{
+    auto it = customRegs_.find(name);
+    if (it == customRegs_.end())
+        LN_PANIC("no custom register '", name, "'");
+    return it->second.at(index);
+}
+
+void
+Core::setCustomReg(const std::string &name, uint64_t index,
+                   const ApInt &value)
+{
+    auto it = customRegs_.find(name);
+    if (it == customRegs_.end())
+        LN_PANIC("no custom register '", name, "'");
+    ApInt &slot = it->second.at(index);
+    slot = value.zextOrTrunc(slot.width());
+}
+
+IsaxInstrUnit *
+Core::matchIsax(uint32_t word) const
+{
+    // Static arbitration priority: first attached, first matched
+    // (Sec. 3.3).
+    for (const auto &bundle : bundles_) {
+        for (auto &unit :
+             const_cast<IsaxBundle &>(*bundle).instructions) {
+            if ((word & unit.mask) == unit.match)
+                return &unit;
+        }
+    }
+    return nullptr;
+}
+
+unsigned
+Core::stageOf(const Slot *slot) const
+{
+    for (unsigned s = 0; s < slots_.size(); ++s)
+        if (&slots_[s] == slot)
+            return s;
+    LN_PANIC("slot not in pipeline");
+}
+
+bool
+Core::readOperand(unsigned reg_index, uint64_t reader_seq,
+                  uint32_t &value) const
+{
+    if (reg_index == 0) {
+        value = 0;
+        return true;
+    }
+    // Decoupled scoreboard: the register is owned by an ISAX still
+    // computing its result.
+    auto owned = rdScoreboard_.find(reg_index);
+    if (owned != rdScoreboard_.end())
+        return false;
+    // Nearest older in-flight producer (ascending stages = most
+    // recently issued first).
+    for (unsigned s = decodeStage_ + 1; s < slots_.size(); ++s) {
+        const Slot &slot = slots_[s];
+        if (!slot.valid || slot.seq >= reader_seq)
+            continue;
+        if (slot.isax && slot.isax->rd == reg_index) {
+            // In-pipeline ISAX results forward as soon as the module
+            // delivers them; the register file commit happens at WB.
+            IsaxExec &exec = *slot.isax;
+            if (exec.resultReady) {
+                value = exec.resultValue;
+                return true;
+            }
+            if (exec.rdPending && !exec.finished)
+                return false; // stall until the module delivers
+            continue; // predicated off / no WrRD: not a producer
+        }
+        if (!(slot.d.writesRd() && slot.d.rd == reg_index))
+            continue;
+        if (slot.resultValid) {
+            value = slot.result;
+            return true;
+        }
+        return false; // stall until the producer computes
+    }
+    value = state_.reg(reg_index);
+    return true;
+}
+
+void
+Core::applyRedirect(uint32_t new_pc, uint64_t younger_than_seq)
+{
+    fetchPc_ = new_pc;
+    fetchWait_ = 0;
+    for (auto &slot : slots_) {
+        if (slot.valid && slot.seq > younger_than_seq) {
+            if (slot.isax)
+                slot.isax->finished = true; // squashed
+            slot = Slot{};
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage processing
+// ---------------------------------------------------------------------------
+
+void
+Core::processWriteback()
+{
+    Slot &slot = slots_[wbStage_];
+    if (!slot.valid)
+        return;
+    if (slot.isHalt) {
+        halted_ = true;
+        ++retired_;
+        slot = Slot{};
+        return;
+    }
+    if (slot.isax) {
+        IsaxExec &exec = *slot.isax;
+        // Commit an in-pipeline result in program order.
+        if (exec.resultReady) {
+            state_.setReg(exec.rd, exec.resultValue);
+            exec.resultReady = false;
+        }
+        // Decide how the remaining module stages execute.
+        const GeneratedModule &mod = exec.unit->module;
+        if (!exec.finished && exec.stage <= mod.lastStage) {
+            bool spawn_remaining = false;
+            for (const auto &port : mod.ports)
+                if (port.stage > int(wbStage_) && port.fromSpawn)
+                    spawn_remaining = true;
+            // Either way the register stays owned by the ISAX until
+            // its WrRD fires; readers stall via the scoreboard.
+            if (exec.rdPending && exec.rd != 0)
+                rdScoreboard_[exec.rd] = exec.seq;
+            if (spawn_remaining) {
+                // Decoupled execution: the instruction retires, the
+                // module keeps running in parallel.
+                exec.decoupled = true;
+            } else {
+                // Tightly-coupled: stall the whole core until the
+                // module delivers its last result.
+                globalStall_ = unsigned(mod.lastStage - exec.stage);
+            }
+            detachedExecs_.push_back(slot.isax);
+        }
+        ++retired_;
+        slot = Slot{};
+        return;
+    }
+    // Base instruction commit.
+    if (slot.d.writesRd() && slot.resultValid)
+        state_.setReg(slot.d.rd, slot.result);
+    state_.pc = slot.pc + 4;
+    ++retired_;
+    slot = Slot{};
+}
+
+void
+Core::processMemory()
+{
+    Slot &slot = slots_[memStage_];
+    if (!slot.valid || slot.isax || slot.memDone)
+        return;
+    if (slot.d.opcode != Opcode::Load && slot.d.opcode != Opcode::Store) {
+        slot.memDone = true;
+        return;
+    }
+    if (!slot.addrValid)
+        return; // the address has not been computed yet
+    if (slot.waitCycles == 0) {
+        unsigned waits = slot.d.opcode == Opcode::Load
+                             ? timing_.bus.loadWaitStates
+                             : timing_.bus.storeWaitStates;
+        slot.waitCycles = waits + 1;
+    }
+    --slot.waitCycles;
+    if (slot.waitCycles > 0)
+        return; // still waiting; occupancy stalls upstream
+    uint32_t addr = slot.result; // ALU computed the address
+    if (slot.d.opcode == Opcode::Load) {
+        uint32_t value = 0;
+        switch (slot.d.funct3) {
+          case 0x0:
+            value = uint32_t(int32_t(int8_t(memory_.readByte(addr))));
+            break;
+          case 0x1:
+            value = uint32_t(int32_t(int16_t(memory_.readHalf(addr))));
+            break;
+          case 0x2: value = memory_.readWord(addr); break;
+          case 0x4: value = memory_.readByte(addr); break;
+          case 0x5: value = memory_.readHalf(addr); break;
+          default: break;
+        }
+        slot.result = value;
+        slot.resultValid = true;
+    } else {
+        uint32_t value = slot.rs2v;
+        switch (slot.d.funct3) {
+          case 0x0: memory_.writeByte(addr, uint8_t(value)); break;
+          case 0x1: memory_.writeHalf(addr, uint16_t(value)); break;
+          case 0x2: memory_.writeWord(addr, value); break;
+          default: break;
+        }
+    }
+    slot.memDone = true;
+}
+
+void
+Core::processExecute()
+{
+    Slot &slot = slots_[execStage_];
+    if (!slot.valid || slot.isax || slot.resultValid || !slot.operandsRead)
+        return;
+    if (slot.d.opcode == Opcode::System || slot.d.opcode == Opcode::Fence)
+        return;
+    slot.result = executeAlu(slot.d, slot.rs1v, slot.rs2v, slot.pc);
+    // Loads/stores: 'result' is the address until MEM replaces it.
+    slot.addrValid = true;
+    slot.resultValid = slot.d.opcode != Opcode::Load;
+    // Control flow resolves here.
+    if (slot.d.opcode == Opcode::Jal) {
+        applyRedirect(slot.pc + uint32_t(slot.d.imm), slot.seq);
+    } else if (slot.d.opcode == Opcode::Jalr) {
+        applyRedirect((slot.rs1v + uint32_t(slot.d.imm)) & ~1u,
+                      slot.seq);
+    } else if (slot.d.opcode == Opcode::Branch &&
+               branchTaken(slot.d, slot.rs1v, slot.rs2v)) {
+        applyRedirect(slot.pc + uint32_t(slot.d.imm), slot.seq);
+    }
+}
+
+void
+Core::processDecode()
+{
+    Slot &slot = slots_[decodeStage_];
+    stallDecode_ = false;
+    if (!slot.valid || slot.operandsRead)
+        return;
+
+    // Structural hazard: only one execution per ISAX module at a time.
+    if (slot.isax) {
+        for (unsigned s = decodeStage_ + 1; s < slots_.size(); ++s) {
+            const Slot &older = slots_[s];
+            if (older.valid && older.isax &&
+                older.isax->unit == slot.isax->unit &&
+                !older.isax->finished) {
+                stallDecode_ = true;
+                return;
+            }
+        }
+        for (const auto &exec : detachedExecs_) {
+            if (!exec->finished && exec->unit == slot.isax->unit) {
+                stallDecode_ = true;
+                return;
+            }
+        }
+    }
+
+    // Register operands (with forwarding / stall).
+    bool needs_rs1 = slot.isax
+                         ? slot.isax->unit->module.findPort(
+                               SubInterface::RdRS1) != nullptr
+                         : slot.d.readsRs1();
+    bool needs_rs2 = slot.isax
+                         ? slot.isax->unit->module.findPort(
+                               SubInterface::RdRS2) != nullptr
+                         : slot.d.readsRs2();
+    if (needs_rs1 && !readOperand(slot.d.rs1, slot.seq, slot.rs1v)) {
+        stallDecode_ = true;
+        return;
+    }
+    if (needs_rs2 && !readOperand(slot.d.rs2, slot.seq, slot.rs2v)) {
+        stallDecode_ = true;
+        return;
+    }
+    // WAW with an ISAX write in flight (either already detached and
+    // tracked by the scoreboard, or still moving through the
+    // pipeline).
+    if ((slot.d.writesRd() || slot.isax) && slot.d.rd != 0) {
+        auto owned = rdScoreboard_.find(slot.d.rd);
+        if (owned != rdScoreboard_.end()) {
+            stallDecode_ = true;
+            return;
+        }
+        for (unsigned s = decodeStage_ + 1; s < slots_.size(); ++s) {
+            const Slot &older = slots_[s];
+            if (older.valid && older.seq < slot.seq && older.isax &&
+                !older.isax->finished && older.isax->rdPending &&
+                older.isax->rd == slot.d.rd) {
+                stallDecode_ = true;
+                return;
+            }
+        }
+    }
+    // Custom-register RAW/WAW against older unfinished ISAXes writing
+    // the same register.
+    if (slot.isax) {
+        for (const std::string &reg : customRegsReadOrWritten(slot)) {
+            if (customRegHasPendingWrite(reg, slot.seq)) {
+                stallDecode_ = true;
+                return;
+            }
+        }
+    }
+    slot.operandsRead = true;
+}
+
+std::vector<std::string>
+Core::customRegsReadOrWritten(const Slot &slot) const
+{
+    std::vector<std::string> regs;
+    if (!slot.isax)
+        return regs;
+    for (const auto &port : slot.isax->unit->module.ports) {
+        if ((port.iface == SubInterface::RdCustReg ||
+             port.iface == SubInterface::WrCustRegData) &&
+            std::find(regs.begin(), regs.end(), port.reg) == regs.end())
+            regs.push_back(port.reg);
+    }
+    return regs;
+}
+
+bool
+Core::customRegHasPendingWrite(const std::string &reg,
+                               uint64_t reader_seq) const
+{
+    auto pending = [&](const IsaxExec &exec) {
+        if (exec.finished || exec.seq >= reader_seq)
+            return false;
+        for (const auto &port : exec.unit->module.ports) {
+            if (port.iface == SubInterface::WrCustRegData &&
+                port.reg == reg && port.stage >= exec.stage)
+                return true;
+        }
+        return false;
+    };
+    for (unsigned s = 0; s < slots_.size(); ++s)
+        if (slots_[s].valid && slots_[s].isax && pending(*slots_[s].isax))
+            return true;
+    for (const auto &exec : detachedExecs_)
+        if (pending(*exec))
+            return true;
+    return false;
+}
+
+void
+Core::processFetch()
+{
+    stallFetch_ = false;
+    if (halted_)
+        return;
+    if (slots_[0].valid)
+        return; // fetch stage occupied
+    if (fetchWait_ > 0) {
+        --fetchWait_;
+        return;
+    }
+    if (!overlap_) {
+        // FSM sequencing: one instruction at a time.
+        for (const auto &slot : slots_)
+            if (slot.valid)
+                return;
+    }
+    uint32_t word = memory_.readWord(fetchPc_);
+    Slot slot;
+    slot.valid = true;
+    slot.seq = nextSeq_++;
+    slot.pc = fetchPc_;
+    slot.instr = word;
+    slot.d = decode(word);
+    slot.isHalt = slot.d.opcode == Opcode::System;
+    if (slot.d.opcode == Opcode::Custom) {
+        IsaxInstrUnit *unit = matchIsax(word);
+        if (unit) {
+            auto exec = std::make_shared<IsaxExec>();
+            exec->unit = unit;
+            exec->sim =
+                std::make_unique<rtl::Simulator>(unit->module.module);
+            exec->sim->reset();
+            exec->stage = 0;
+            exec->seq = slot.seq;
+            const InterfacePort *wr =
+                unit->module.findPort(SubInterface::WrRD);
+            exec->rdPending = wr != nullptr;
+            exec->rd = slot.d.rd;
+            slot.isax = exec;
+        }
+        // Unmatched custom opcodes trap as illegal: halt.
+        if (!slot.isax)
+            slot.isHalt = true;
+    }
+    slots_[0] = std::move(slot);
+    fetchedThisCycle_ = true;
+    fetchedPc_ = slots_[0].pc;
+    fetchPc_ += 4;
+    fetchWait_ = timing_.fetchWaitStates;
+}
+
+// ---------------------------------------------------------------------------
+// ISAX module driving
+// ---------------------------------------------------------------------------
+
+void
+Core::stepOneExec(const std::shared_ptr<IsaxExec> &exec_ptr, Slot *slot,
+                  bool force_hold)
+{
+    IsaxExec &exec = *exec_ptr;
+    const GeneratedModule &mod = exec.unit->module;
+    rtl::Simulator &sim = *exec.sim;
+
+    bool hold;
+    if (slot) {
+        unsigned s = stageOf(slot);
+        if (exec.stage != int(s)) {
+            // The module ran ahead while the slot stalled at fetch
+            // time; wait for the slot to catch up.
+            hold = true;
+        } else {
+            hold = force_hold || !slotWillAdvance(s);
+        }
+    } else {
+        hold = false;
+    }
+    if (exec.memWait > 0) {
+        --exec.memWait;
+        hold = true;
+    }
+    exec.stalledThisCycle = hold;
+
+    // Drive stall inputs uniformly (one instruction per module).
+    for (const std::string &name : mod.stallInputs)
+        if (!name.empty())
+            sim.setInput(name, ApInt(1, hold ? 1 : 0));
+
+    // Drive data inputs for ports in the current module stage.
+    for (const auto &port : mod.ports) {
+        if (port.stage != exec.stage)
+            continue;
+        switch (port.iface) {
+          case SubInterface::RdInstr:
+            sim.setInput(port.dataPort,
+                         ApInt(32, slot ? slot->instr : 0));
+            break;
+          case SubInterface::RdRS1:
+            sim.setInput(port.dataPort,
+                         ApInt(32, slot ? slot->rs1v : 0));
+            break;
+          case SubInterface::RdRS2:
+            sim.setInput(port.dataPort,
+                         ApInt(32, slot ? slot->rs2v : 0));
+            break;
+          case SubInterface::RdPC:
+            sim.setInput(port.dataPort,
+                         ApInt(32, slot ? slot->pc : 0));
+            break;
+          default:
+            break;
+        }
+    }
+    sim.evalComb();
+    // Custom-register reads resolve combinationally.
+    for (const auto &port : mod.ports) {
+        if (port.iface != SubInterface::RdCustReg ||
+            port.stage != exec.stage)
+            continue;
+        auto &storage = customRegs_.at(port.reg);
+        uint64_t index = 0;
+        if (!port.addrPort.empty())
+            index = sim.output(port.addrPort).toUint64();
+        sim.setInput(port.dataPort, index < storage.size()
+                                        ? storage[index]
+                                        : ApInt(32, 0));
+    }
+    sim.evalComb();
+
+    if (!hold) {
+        sampleIsaxOutputs(slot, exec);
+        sim.clockEdge();
+        ++exec.stage;
+        if (exec.stage > mod.lastStage)
+            exec.finished = true;
+    }
+}
+
+void
+Core::stepIsaxExecs(bool force_hold_attached)
+{
+    for (auto &slot : slots_)
+        if (slot.valid && slot.isax && !slot.isax->finished)
+            stepOneExec(slot.isax, &slot, force_hold_attached);
+    for (auto &exec : detachedExecs_)
+        if (!exec->finished)
+            stepOneExec(exec, nullptr, false);
+    std::erase_if(detachedExecs_,
+                  [](const std::shared_ptr<IsaxExec> &exec) {
+                      return exec->finished;
+                  });
+}
+
+void
+Core::sampleIsaxOutputs(Slot *slot, IsaxExec &exec)
+{
+    const GeneratedModule &mod = exec.unit->module;
+    rtl::Simulator &sim = *exec.sim;
+    std::map<std::string, uint64_t> pending_index;
+
+    for (const auto &port : mod.ports) {
+        if (port.stage != exec.stage)
+            continue;
+        switch (port.iface) {
+          case SubInterface::RdMem: {
+            if (sim.output(port.validPort).isZero())
+                break;
+            uint32_t addr =
+                uint32_t(sim.output(port.addrPort).toUint64());
+            uint32_t word = memory_.readWord(addr);
+            sim.setInput(port.dataPort, ApInt(32, word));
+            if (timing_.bus.loadWaitStates > 0)
+                exec.memWait = timing_.bus.loadWaitStates;
+            break;
+          }
+          case SubInterface::WrMem: {
+            if (sim.output(port.validPort).isZero())
+                break;
+            uint32_t addr =
+                uint32_t(sim.output(port.addrPort).toUint64());
+            uint32_t value =
+                uint32_t(sim.output(port.dataPort).toUint64());
+            memory_.writeWord(addr, value);
+            if (timing_.bus.storeWaitStates > 0)
+                exec.memWait = timing_.bus.storeWaitStates;
+            break;
+          }
+          case SubInterface::WrRD: {
+            bool enabled = !sim.output(port.validPort).isZero();
+            if (enabled) {
+                uint32_t value =
+                    uint32_t(sim.output(port.dataPort).toUint64());
+                if (slot) {
+                    // In-pipeline: forwardable immediately, committed
+                    // to the register file in program order at WB.
+                    exec.resultReady = true;
+                    exec.resultValue = value;
+                } else {
+                    state_.setReg(exec.rd, value);
+                }
+            }
+            exec.rdPending = false;
+            // Release the scoreboard entry if this execution owns it.
+            auto owned = rdScoreboard_.find(exec.rd);
+            if (owned != rdScoreboard_.end() &&
+                owned->second == exec.seq)
+                rdScoreboard_.erase(owned);
+            if (enabled && exec.decoupled) {
+                // Sec. 3.2: the base pipeline is stalled for one cycle
+                // to avoid write-back conflicts.
+                globalStall_ += 1;
+            }
+            break;
+          }
+          case SubInterface::WrPC: {
+            if (sim.output(port.validPort).isZero())
+                break;
+            uint32_t target =
+                uint32_t(sim.output(port.dataPort).toUint64());
+            applyRedirect(target, exec.seq);
+            break;
+          }
+          case SubInterface::WrCustRegAddr:
+            pending_index[port.reg] =
+                port.addrPort.empty()
+                    ? 0
+                    : sim.output(port.addrPort).toUint64();
+            break;
+          case SubInterface::WrCustRegData: {
+            if (sim.output(port.validPort).isZero())
+                break;
+            auto &storage = customRegs_.at(port.reg);
+            uint64_t index = 0;
+            auto idx = pending_index.find(port.reg);
+            if (idx != pending_index.end())
+                index = idx->second;
+            if (index < storage.size())
+                storage[index] = sim.output(port.dataPort)
+                                     .zextOrTrunc(
+                                         storage[index].width());
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    (void)slot;
+}
+
+void
+Core::runAlwaysUnits()
+{
+    for (auto &unit : alwaysUnits_) {
+        rtl::Simulator &sim = *unit.sim;
+        for (const auto &port : unit.module->ports) {
+            if (port.iface == SubInterface::RdPC) {
+                // Gated by fetch-valid: the always-block sees each
+                // fetched PC exactly once (cf. RdIValid in Table 1).
+                uint32_t pc_value = fetchedThisCycle_ ? fetchedPc_
+                                                      : 0xffffffffu;
+                sim.setInput(port.dataPort, ApInt(32, pc_value));
+            }
+        }
+        sim.evalComb();
+        for (const auto &port : unit.module->ports) {
+            if (port.iface != SubInterface::RdCustReg)
+                continue;
+            auto &storage = customRegs_.at(port.reg);
+            uint64_t index = 0;
+            if (!port.addrPort.empty())
+                index = sim.output(port.addrPort).toUint64();
+            sim.setInput(port.dataPort, index < storage.size()
+                                            ? storage[index]
+                                            : ApInt(32, 0));
+        }
+        sim.evalComb();
+
+        std::map<std::string, uint64_t> pending_index;
+        for (const auto &port : unit.module->ports) {
+            switch (port.iface) {
+              case SubInterface::WrPC:
+                if (!sim.output(port.validPort).isZero()) {
+                    // Redirect the next fetch; the already fetched
+                    // instruction proceeds (ZOL semantics).
+                    fetchPc_ = uint32_t(
+                        sim.output(port.dataPort).toUint64());
+                    fetchWait_ = 0;
+                }
+                break;
+              case SubInterface::WrCustRegAddr:
+                pending_index[port.reg] =
+                    port.addrPort.empty()
+                        ? 0
+                        : sim.output(port.addrPort).toUint64();
+                break;
+              case SubInterface::WrCustRegData: {
+                if (sim.output(port.validPort).isZero())
+                    break;
+                auto &storage = customRegs_.at(port.reg);
+                uint64_t index = 0;
+                auto idx = pending_index.find(port.reg);
+                if (idx != pending_index.end())
+                    index = idx->second;
+                if (index < storage.size())
+                    storage[index] =
+                        sim.output(port.dataPort)
+                            .zextOrTrunc(storage[index].width());
+                break;
+              }
+              default:
+                break;
+            }
+        }
+        sim.clockEdge();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cycle loop
+// ---------------------------------------------------------------------------
+
+bool
+Core::slotWillAdvance(unsigned stage) const
+{
+    const Slot &slot = slots_[stage];
+    if (!slot.valid)
+        return false;
+    if (stage == wbStage_)
+        return true; // retires
+    // Hold conditions.
+    if (stage == decodeStage_ && !slot.operandsRead)
+        return false;
+    if (stage == memStage_ && !slot.isax && !slot.memDone)
+        return false;
+    if (slot.isax && slot.isax->memWait > 0)
+        return false;
+    return !slots_[stage + 1].valid || slotWillAdvance(stage + 1);
+}
+
+void
+Core::advancePipeline()
+{
+    // Writeback already retired its slot. Move the rest upward.
+    for (int s = int(wbStage_) - 1; s >= 0; --s) {
+        Slot &slot = slots_[s];
+        if (!slot.valid)
+            continue;
+        if (s == int(decodeStage_) && !slot.operandsRead)
+            continue;
+        if (s == int(memStage_) && !slot.isax && !slot.memDone)
+            continue;
+        if (slot.isax && slot.isax->memWait > 0)
+            continue;
+        if (slots_[s + 1].valid)
+            continue;
+        slots_[s + 1] = std::move(slot);
+        slot = Slot{};
+        // Instructions passing through decode before decodeStage_?
+        // (Not possible: decodeStage_ <= 1.)
+    }
+}
+
+bool
+Core::stepCycle()
+{
+    if (halted_)
+        return false;
+    ++cycle_;
+    fetchedThisCycle_ = false;
+
+    if (globalStall_ > 0) {
+        --globalStall_;
+        stepIsaxExecs(/*force_hold_attached=*/true);
+        runAlwaysUnits();
+        return !halted_;
+    }
+
+    // Fetch first: the fetched instruction occupies the fetch stage
+    // during this cycle and moves into decode at the cycle's end.
+    processFetch();
+
+    processWriteback();
+    processExecute();
+    processMemory();
+    processDecode();
+    // Merged decode/execute/memory stages (3-stage Piccolo) need the
+    // younger processing order within the same cycle.
+    if (execStage_ == decodeStage_) {
+        processExecute();
+        processMemory();
+    }
+
+    // ISAX modules advance in lock-step with their slots; evaluate
+    // before moving the slots so stage-s inputs are sampled in stage s.
+    stepIsaxExecs(/*force_hold_attached=*/false);
+
+    advancePipeline();
+    runAlwaysUnits();
+    return !halted_;
+}
+
+RunStats
+Core::run(uint64_t max_cycles)
+{
+    RunStats stats;
+    while (!halted_ && stats.cycles < max_cycles) {
+        stepCycle();
+        ++stats.cycles;
+    }
+    // Drain: decoupled/tightly-coupled executions still in flight
+    // commit their results even though the core has halted (their
+    // architectural effects precede the halting instruction in
+    // program order).
+    uint64_t drain_budget = 100000;
+    while (!detachedExecs_.empty() && drain_budget-- > 0) {
+        stepIsaxExecs(/*force_hold_attached=*/true);
+        ++stats.cycles;
+    }
+    stats.instructions = retired_;
+    stats.halted = halted_;
+    return stats;
+}
+
+} // namespace cores
+} // namespace longnail

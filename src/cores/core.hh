@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Cycle-level models of the evaluation host cores (Sec. 5.2) with
+ * SCAIE-V integration: ORCA and VexRiscv (5-stage pipelines), Piccolo
+ * (3-stage), and PicoRV32 (non-pipelined FSM sequencing, modeled as a
+ * no-overlap pipeline).
+ *
+ * The integration layer plays the role of the SCAIE-V-generated logic:
+ * it decodes ISAX opcodes, drives the generated modules' stage-suffixed
+ * ports in lock-step with the pipeline (the modules themselves run in
+ * the RTL simulator), applies their state updates (WrRD/WrPC/WrMem/
+ * custom registers), performs register data-hazard handling (stalls +
+ * forwarding, including the scoreboard for decoupled ISAXes), hosts the
+ * SCAIE-V-managed custom registers, evaluates always-blocks every
+ * cycle, and arbitrates between multiple attached ISAXes
+ * (first-attached wins, Sec. 3.3).
+ */
+
+#ifndef LONGNAIL_CORES_CORE_HH
+#define LONGNAIL_CORES_CORE_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cores/memory.hh"
+#include "cores/rv32i.hh"
+#include "hwgen/hwgen.hh"
+#include "rtl/sim.hh"
+#include "scaiev/datasheet.hh"
+
+namespace longnail {
+namespace cores {
+
+/** One ISAX instruction with its generated hardware module. */
+struct IsaxInstrUnit
+{
+    std::string name;
+    uint32_t mask = 0;
+    uint32_t match = 0;
+    hwgen::GeneratedModule module;
+};
+
+/** A compiled ISAX ready for integration. */
+struct IsaxBundle
+{
+    std::string name;
+
+    struct CustomReg
+    {
+        std::string name;
+        unsigned width = 32;
+        uint64_t elements = 1;
+    };
+
+    std::vector<IsaxInstrUnit> instructions;
+    std::vector<hwgen::GeneratedModule> alwaysBlocks;
+    std::vector<CustomReg> customRegs;
+};
+
+/** Per-run statistics. */
+struct RunStats
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    bool halted = false;
+};
+
+/** Extra timing knobs beyond the datasheet. */
+struct CoreTiming
+{
+    BusTiming bus;
+    /** Extra cycles per instruction fetch (uncached iBus). */
+    unsigned fetchWaitStates = 0;
+};
+
+class Core
+{
+  public:
+    explicit Core(const scaiev::Datasheet &sheet, CoreTiming timing = {});
+
+    /** Attach a compiled ISAX; attach order fixes arbitration
+     * priority. */
+    void attachIsax(std::shared_ptr<IsaxBundle> bundle);
+
+    /** Copy a program into memory and point the PC at it. */
+    void loadProgram(const std::vector<uint32_t> &words, uint32_t base);
+
+    Memory &memory() { return memory_; }
+    uint32_t reg(unsigned i) const { return state_.reg(i); }
+    void setReg(unsigned i, uint32_t v) { state_.setReg(i, v); }
+    uint32_t pc() const { return fetchPc_; }
+
+    /** Architectural custom-register contents. */
+    const ApInt &customReg(const std::string &name,
+                           uint64_t index = 0) const;
+    void setCustomReg(const std::string &name, uint64_t index,
+                      const ApInt &value);
+
+    /** Advance one clock cycle. @return false once halted. */
+    bool stepCycle();
+
+    /** Run until ECALL/EBREAK retires or @p max_cycles pass. */
+    RunStats run(uint64_t max_cycles = 1'000'000);
+
+    bool halted() const { return halted_; }
+
+  private:
+    // ------------------------------------------------------------------
+    struct IsaxExec; // an ISAX instruction in flight
+
+    /** One pipeline slot (the instruction occupying a stage). */
+    struct Slot
+    {
+        bool valid = false;
+        uint64_t seq = 0;
+        uint32_t pc = 0;
+        uint32_t instr = 0;
+        DecodedInstr d;
+        bool operandsRead = false;
+        uint32_t rs1v = 0;
+        uint32_t rs2v = 0;
+        bool resultValid = false;
+        uint32_t result = 0;
+        bool addrValid = false;  ///< EX computed the memory address
+        unsigned waitCycles = 0; ///< bus wait countdown in MEM
+        bool memDone = false;
+        bool isHalt = false;
+        std::shared_ptr<IsaxExec> isax; ///< non-null for ISAX instrs
+    };
+
+    /** A custom (ISAX) instruction execution driving its module. */
+    struct IsaxExec
+    {
+        IsaxInstrUnit *unit = nullptr;
+        std::unique_ptr<rtl::Simulator> sim;
+        int stage = -1;       ///< current module stage (time step)
+        bool stalledThisCycle = false;
+        bool rdPending = false; ///< WrRD not yet delivered
+        bool resultReady = false; ///< sampled, awaiting WB commit
+        uint32_t resultValue = 0;
+        unsigned rd = 0;
+        bool decoupled = false; ///< detached from the pipeline
+        bool finished = false;
+        unsigned memWait = 0;   ///< bus wait for an ISAX memory access
+        uint64_t seq = 0;
+    };
+
+    struct AlwaysUnit
+    {
+        const hwgen::GeneratedModule *module = nullptr;
+        std::unique_ptr<rtl::Simulator> sim;
+    };
+
+    // Stage processing (called once per cycle, last stage first).
+    void processWriteback();
+    void processMemory();
+    void processExecute();
+    void processDecode();
+    void processFetch();
+    void advancePipeline();
+    void runAlwaysUnits();
+    void stepIsaxExecs(bool force_hold_attached);
+    void stepOneExec(const std::shared_ptr<IsaxExec> &exec, Slot *slot,
+                     bool force_hold);
+
+    bool readOperand(unsigned reg_index, uint64_t reader_seq,
+                     uint32_t &value) const;
+    IsaxInstrUnit *matchIsax(uint32_t word) const;
+
+    void sampleIsaxOutputs(Slot *slot, IsaxExec &exec);
+    void applyRedirect(uint32_t new_pc, uint64_t younger_than_seq);
+
+    unsigned stageOf(const Slot *slot) const;
+    bool slotWillAdvance(unsigned stage) const;
+    std::vector<std::string> customRegsReadOrWritten(const Slot &slot)
+        const;
+    bool customRegHasPendingWrite(const std::string &reg,
+                                  uint64_t reader_seq) const;
+
+    // ------------------------------------------------------------------
+    const scaiev::Datasheet &sheet_;
+    CoreTiming timing_;
+
+    unsigned numStages_;
+    bool overlap_; ///< false models FSM sequencing (PicoRV32)
+    unsigned decodeStage_;
+    unsigned execStage_;
+    unsigned memStage_;
+    unsigned wbStage_;
+
+    ArchState state_;
+    Memory memory_;
+    uint32_t fetchPc_ = 0;
+    unsigned fetchWait_ = 0;
+    bool fetchedThisCycle_ = false;
+    uint32_t fetchedPc_ = 0;
+    uint64_t nextSeq_ = 1;
+    uint64_t cycle_ = 0;
+    uint64_t retired_ = 0;
+    bool halted_ = false;
+    /** Extra full-pipeline stall cycles (tightly-coupled / commit). */
+    unsigned globalStall_ = 0;
+
+    std::vector<Slot> slots_; ///< index = stage
+    std::vector<std::shared_ptr<IsaxExec>> detachedExecs_;
+    /** GPR scoreboard for decoupled writes: reg -> owning seq. */
+    std::map<unsigned, uint64_t> rdScoreboard_;
+
+    std::vector<std::shared_ptr<IsaxBundle>> bundles_;
+    std::vector<AlwaysUnit> alwaysUnits_;
+    std::map<std::string, std::vector<ApInt>> customRegs_;
+
+    // Per-cycle stall flags computed during stage processing.
+    bool stallFetch_ = false;
+    bool stallDecode_ = false;
+    bool stallExecute_ = false;
+    bool stallMemory_ = false;
+};
+
+} // namespace cores
+} // namespace longnail
+
+#endif // LONGNAIL_CORES_CORE_HH

@@ -1,0 +1,48 @@
+#include "cores/memory.hh"
+
+namespace longnail {
+namespace cores {
+
+uint8_t
+Memory::readByte(uint32_t addr) const
+{
+    auto it = bytes_.find(addr);
+    return it == bytes_.end() ? 0 : it->second;
+}
+
+void
+Memory::writeByte(uint32_t addr, uint8_t value)
+{
+    bytes_[addr] = value;
+}
+
+uint16_t
+Memory::readHalf(uint32_t addr) const
+{
+    return uint16_t(readByte(addr)) |
+           (uint16_t(readByte(addr + 1)) << 8);
+}
+
+void
+Memory::writeHalf(uint32_t addr, uint16_t value)
+{
+    writeByte(addr, uint8_t(value));
+    writeByte(addr + 1, uint8_t(value >> 8));
+}
+
+uint32_t
+Memory::readWord(uint32_t addr) const
+{
+    return uint32_t(readHalf(addr)) |
+           (uint32_t(readHalf(addr + 2)) << 16);
+}
+
+void
+Memory::writeWord(uint32_t addr, uint32_t value)
+{
+    writeHalf(addr, uint16_t(value));
+    writeHalf(addr + 2, uint16_t(value >> 16));
+}
+
+} // namespace cores
+} // namespace longnail

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Byte-addressable sparse memory and a simple bus timing model for the
+ * host-core simulators. The bus wait states model the uncached
+ * embedded-system memories of the paper's evaluation platform.
+ */
+
+#ifndef LONGNAIL_CORES_MEMORY_HH
+#define LONGNAIL_CORES_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace longnail {
+namespace cores {
+
+/** Little-endian sparse memory. */
+class Memory
+{
+  public:
+    uint8_t readByte(uint32_t addr) const;
+    void writeByte(uint32_t addr, uint8_t value);
+
+    uint16_t readHalf(uint32_t addr) const;
+    void writeHalf(uint32_t addr, uint16_t value);
+
+    /** Unaligned accesses are supported (byte-assembled). */
+    uint32_t readWord(uint32_t addr) const;
+    void writeWord(uint32_t addr, uint32_t value);
+
+  private:
+    std::unordered_map<uint32_t, uint8_t> bytes_;
+};
+
+/** Bus timing: extra cycles per access class. */
+struct BusTiming
+{
+    /** Extra wait cycles for a data load (0 = single-cycle). */
+    unsigned loadWaitStates = 2;
+    /** Extra wait cycles for a data store. */
+    unsigned storeWaitStates = 0;
+};
+
+} // namespace cores
+} // namespace longnail
+
+#endif // LONGNAIL_CORES_MEMORY_HH

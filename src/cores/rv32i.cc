@@ -1,0 +1,263 @@
+#include "cores/rv32i.hh"
+
+namespace longnail {
+namespace cores {
+
+namespace {
+
+int32_t
+signExtend(uint32_t value, unsigned bits)
+{
+    uint32_t sign = 1u << (bits - 1);
+    return int32_t((value ^ sign) - sign);
+}
+
+} // namespace
+
+DecodedInstr
+decode(uint32_t word)
+{
+    DecodedInstr d;
+    d.raw = word;
+    d.rd = (word >> 7) & 0x1f;
+    d.rs1 = (word >> 15) & 0x1f;
+    d.rs2 = (word >> 20) & 0x1f;
+    d.funct3 = (word >> 12) & 0x7;
+    d.funct7 = (word >> 25) & 0x7f;
+
+    uint32_t opcode = word & 0x7f;
+    switch (opcode) {
+      case 0x37:
+        d.opcode = Opcode::Lui;
+        d.imm = int32_t(word & 0xfffff000);
+        break;
+      case 0x17:
+        d.opcode = Opcode::Auipc;
+        d.imm = int32_t(word & 0xfffff000);
+        break;
+      case 0x6f: {
+        d.opcode = Opcode::Jal;
+        uint32_t imm = ((word >> 31) << 20) |
+                       (((word >> 12) & 0xff) << 12) |
+                       (((word >> 20) & 1) << 11) |
+                       (((word >> 21) & 0x3ff) << 1);
+        d.imm = signExtend(imm, 21);
+        break;
+      }
+      case 0x67:
+        d.opcode = Opcode::Jalr;
+        d.imm = signExtend(word >> 20, 12);
+        break;
+      case 0x63: {
+        d.opcode = Opcode::Branch;
+        uint32_t imm = ((word >> 31) << 12) |
+                       (((word >> 7) & 1) << 11) |
+                       (((word >> 25) & 0x3f) << 5) |
+                       (((word >> 8) & 0xf) << 1);
+        d.imm = signExtend(imm, 13);
+        break;
+      }
+      case 0x03:
+        d.opcode = Opcode::Load;
+        d.imm = signExtend(word >> 20, 12);
+        break;
+      case 0x23: {
+        d.opcode = Opcode::Store;
+        uint32_t imm = (((word >> 25) & 0x7f) << 5) |
+                       ((word >> 7) & 0x1f);
+        d.imm = signExtend(imm, 12);
+        break;
+      }
+      case 0x13:
+        d.opcode = Opcode::AluImm;
+        d.imm = signExtend(word >> 20, 12);
+        break;
+      case 0x33:
+        d.opcode = Opcode::AluReg;
+        break;
+      case 0x0f:
+        d.opcode = Opcode::Fence;
+        break;
+      case 0x73:
+        d.opcode = Opcode::System;
+        break;
+      default:
+        d.opcode = Opcode::Custom;
+        break;
+    }
+    return d;
+}
+
+uint32_t
+executeAlu(const DecodedInstr &instr, uint32_t rs1_value,
+           uint32_t rs2_value, uint32_t pc)
+{
+    uint32_t b = instr.opcode == Opcode::AluImm ? uint32_t(instr.imm)
+                                                : rs2_value;
+    switch (instr.opcode) {
+      case Opcode::Lui:
+        return uint32_t(instr.imm);
+      case Opcode::Auipc:
+        return pc + uint32_t(instr.imm);
+      case Opcode::Jal:
+      case Opcode::Jalr:
+        return pc + 4;
+      case Opcode::Load:
+      case Opcode::Store:
+        return rs1_value + uint32_t(instr.imm);
+      case Opcode::AluImm:
+      case Opcode::AluReg:
+        break;
+      default:
+        return 0;
+    }
+    switch (instr.funct3) {
+      case 0x0:
+        if (instr.opcode == Opcode::AluReg && (instr.funct7 & 0x20))
+            return rs1_value - b;
+        return rs1_value + b;
+      case 0x1:
+        return rs1_value << (b & 31);
+      case 0x2:
+        return int32_t(rs1_value) < int32_t(b) ? 1 : 0;
+      case 0x3:
+        return rs1_value < b ? 1 : 0;
+      case 0x4:
+        return rs1_value ^ b;
+      case 0x5:
+        if (instr.funct7 & 0x20)
+            return uint32_t(int32_t(rs1_value) >> (b & 31));
+        return rs1_value >> (b & 31);
+      case 0x6:
+        return rs1_value | b;
+      case 0x7:
+        return rs1_value & b;
+    }
+    return 0;
+}
+
+bool
+branchTaken(const DecodedInstr &instr, uint32_t rs1_value,
+            uint32_t rs2_value)
+{
+    switch (instr.funct3) {
+      case 0x0: return rs1_value == rs2_value;           // beq
+      case 0x1: return rs1_value != rs2_value;           // bne
+      case 0x4: return int32_t(rs1_value) < int32_t(rs2_value); // blt
+      case 0x5: return int32_t(rs1_value) >= int32_t(rs2_value);// bge
+      case 0x6: return rs1_value < rs2_value;            // bltu
+      case 0x7: return rs1_value >= rs2_value;           // bgeu
+      default: return false;
+    }
+}
+
+StepResult
+Iss::step()
+{
+    uint32_t word = memory_.readWord(state_.pc);
+    DecodedInstr d = decode(word);
+
+    switch (d.opcode) {
+      case Opcode::Custom:
+        if (custom_ && custom_(d, state_, memory_)) {
+            lastResult_ = StepResult::Ok;
+            break;
+        }
+        lastResult_ = StepResult::IllegalInstruction;
+        return lastResult_;
+      case Opcode::System:
+        lastResult_ = StepResult::Halted;
+        return lastResult_;
+      case Opcode::Fence:
+        state_.pc += 4;
+        lastResult_ = StepResult::Ok;
+        break;
+      case Opcode::Lui:
+      case Opcode::Auipc:
+      case Opcode::AluImm:
+      case Opcode::AluReg: {
+        uint32_t result = executeAlu(d, state_.reg(d.rs1),
+                                     state_.reg(d.rs2), state_.pc);
+        state_.setReg(d.rd, result);
+        state_.pc += 4;
+        lastResult_ = StepResult::Ok;
+        break;
+      }
+      case Opcode::Jal:
+        state_.setReg(d.rd, state_.pc + 4);
+        state_.pc += uint32_t(d.imm);
+        lastResult_ = StepResult::Ok;
+        break;
+      case Opcode::Jalr: {
+        uint32_t target = (state_.reg(d.rs1) + uint32_t(d.imm)) & ~1u;
+        state_.setReg(d.rd, state_.pc + 4);
+        state_.pc = target;
+        lastResult_ = StepResult::Ok;
+        break;
+      }
+      case Opcode::Branch:
+        if (branchTaken(d, state_.reg(d.rs1), state_.reg(d.rs2)))
+            state_.pc += uint32_t(d.imm);
+        else
+            state_.pc += 4;
+        lastResult_ = StepResult::Ok;
+        break;
+      case Opcode::Load: {
+        uint32_t addr = state_.reg(d.rs1) + uint32_t(d.imm);
+        uint32_t value = 0;
+        switch (d.funct3) {
+          case 0x0:
+            value = uint32_t(int32_t(int8_t(memory_.readByte(addr))));
+            break;
+          case 0x1:
+            value = uint32_t(
+                int32_t(int16_t(memory_.readHalf(addr))));
+            break;
+          case 0x2: value = memory_.readWord(addr); break;
+          case 0x4: value = memory_.readByte(addr); break;
+          case 0x5: value = memory_.readHalf(addr); break;
+          default:
+            lastResult_ = StepResult::IllegalInstruction;
+            return lastResult_;
+        }
+        state_.setReg(d.rd, value);
+        state_.pc += 4;
+        lastResult_ = StepResult::Ok;
+        break;
+      }
+      case Opcode::Store: {
+        uint32_t addr = state_.reg(d.rs1) + uint32_t(d.imm);
+        uint32_t value = state_.reg(d.rs2);
+        switch (d.funct3) {
+          case 0x0: memory_.writeByte(addr, uint8_t(value)); break;
+          case 0x1: memory_.writeHalf(addr, uint16_t(value)); break;
+          case 0x2: memory_.writeWord(addr, value); break;
+          default:
+            lastResult_ = StepResult::IllegalInstruction;
+            return lastResult_;
+        }
+        state_.pc += 4;
+        lastResult_ = StepResult::Ok;
+        break;
+      }
+    }
+
+    if (always_)
+        always_(state_, memory_);
+    return lastResult_;
+}
+
+uint64_t
+Iss::run(uint64_t max_steps)
+{
+    uint64_t steps = 0;
+    while (steps < max_steps) {
+        ++steps;
+        if (step() != StepResult::Ok)
+            break;
+    }
+    return steps;
+}
+
+} // namespace cores
+} // namespace longnail

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * RV32I decoder and instruction-set simulator.
+ *
+ * The ISS is the golden architectural model: the cycle-level core
+ * models must produce the same final state. ISAX instructions are
+ * handled through a callback so the golden model can delegate their
+ * semantics to the LIL interpreter.
+ */
+
+#ifndef LONGNAIL_CORES_RV32I_HH
+#define LONGNAIL_CORES_RV32I_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cores/memory.hh"
+
+namespace longnail {
+namespace cores {
+
+/** Instruction classes after decoding. */
+enum class Opcode
+{
+    Lui,
+    Auipc,
+    Jal,
+    Jalr,
+    Branch,
+    Load,
+    Store,
+    AluImm,
+    AluReg,
+    Fence,  ///< treated as a no-op
+    System, ///< ECALL/EBREAK halt the simulation
+    Custom, ///< matches no base instruction (candidate ISAX)
+};
+
+/** A decoded RV32I instruction. */
+struct DecodedInstr
+{
+    Opcode opcode = Opcode::Custom;
+    uint32_t raw = 0;
+    unsigned rd = 0;
+    unsigned rs1 = 0;
+    unsigned rs2 = 0;
+    unsigned funct3 = 0;
+    unsigned funct7 = 0;
+    int32_t imm = 0;
+
+    bool isBranchOrJump() const
+    {
+        return opcode == Opcode::Jal || opcode == Opcode::Jalr ||
+               opcode == Opcode::Branch;
+    }
+    bool
+    writesRd() const
+    {
+        switch (opcode) {
+          case Opcode::Branch:
+          case Opcode::Store:
+          case Opcode::Fence:
+          case Opcode::System:
+          case Opcode::Custom:
+            return false;
+          default:
+            return rd != 0;
+        }
+    }
+    bool
+    readsRs1() const
+    {
+        switch (opcode) {
+          case Opcode::Lui:
+          case Opcode::Auipc:
+          case Opcode::Jal:
+          case Opcode::Fence:
+          case Opcode::System:
+            return false;
+          default:
+            return true;
+        }
+    }
+    bool
+    readsRs2() const
+    {
+        return opcode == Opcode::Branch || opcode == Opcode::Store ||
+               opcode == Opcode::AluReg;
+    }
+};
+
+/** Decode one instruction word. */
+DecodedInstr decode(uint32_t word);
+
+/** Architectural state of an RV32I hart. */
+struct ArchState
+{
+    std::array<uint32_t, 32> regs{};
+    uint32_t pc = 0;
+
+    uint32_t reg(unsigned i) const { return i == 0 ? 0 : regs[i]; }
+    void
+    setReg(unsigned i, uint32_t value)
+    {
+        if (i != 0)
+            regs[i] = value;
+    }
+};
+
+/** Outcome of one ISS step. */
+enum class StepResult
+{
+    Ok,
+    Halted,   ///< ECALL/EBREAK
+    IllegalInstruction,
+};
+
+/**
+ * Execute the ALU/compare portion of an instruction (shared between
+ * the ISS and the pipeline models).
+ */
+uint32_t executeAlu(const DecodedInstr &instr, uint32_t rs1_value,
+                    uint32_t rs2_value, uint32_t pc);
+
+/** True if the branch condition holds. */
+bool branchTaken(const DecodedInstr &instr, uint32_t rs1_value,
+                 uint32_t rs2_value);
+
+class Iss
+{
+  public:
+    /**
+     * Callback for instructions the base ISA does not recognize.
+     * Returns true if the ISAX handled the instruction (and updated
+     * state/memory itself, including the PC).
+     */
+    using CustomHandler = std::function<bool(const DecodedInstr &,
+                                             ArchState &, Memory &)>;
+    /** Called after every step (models always-blocks). */
+    using AlwaysHook = std::function<void(ArchState &, Memory &)>;
+
+    Iss(ArchState &state, Memory &memory)
+        : state_(state), memory_(memory)
+    {}
+
+    void setCustomHandler(CustomHandler handler)
+    {
+        custom_ = std::move(handler);
+    }
+    void setAlwaysHook(AlwaysHook hook) { always_ = std::move(hook); }
+
+    /** Fetch, decode, execute one instruction. */
+    StepResult step();
+
+    /** Run until halt/illegal or @p max_steps. @return steps taken. */
+    uint64_t run(uint64_t max_steps = 1'000'000);
+
+    StepResult lastResult() const { return lastResult_; }
+
+  private:
+    ArchState &state_;
+    Memory &memory_;
+    CustomHandler custom_;
+    AlwaysHook always_;
+    StepResult lastResult_ = StepResult::Ok;
+};
+
+} // namespace cores
+} // namespace longnail
+
+#endif // LONGNAIL_CORES_RV32I_HH

@@ -1,0 +1,438 @@
+#include "driver/isax_catalog.hh"
+
+namespace longnail {
+namespace catalog {
+
+namespace {
+
+// Opcode map (all on the RISC-V custom-0/custom-1 opcodes):
+//   custom-0 (0001011): dotp (f3=000, f7=0), setup_zol (f3=101)
+//   custom-1 (0101011): setup_autoinc (f3=000), lw_autoinc (001),
+//                       sw_autoinc (010), ijmp (011), sbox (100),
+//                       alzette_x (101), alzette_y (110), sqrt (111)
+// The disjoint encodings allow arbitrary ISAX combinations.
+
+const char *dotpSource = R"(
+import "RV32I.core_desc"
+
+InstructionSet X_DOTP extends RV32I {
+    instructions {
+        dotp {
+            encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] ::
+                      3'd0 :: rd[4:0] :: 7'b0001011;
+            behavior: {
+                signed<32> res = 0;
+                for (int i = 0; i < 32; i += 8) {
+                    signed<16> prod = (signed) X[rs1][i+7:i] *
+                                      (signed) X[rs2][i+7:i];
+                    res += prod;
+                }
+                X[rd] = (unsigned) res;
+            }
+        }
+    }
+}
+)";
+
+const char *autoincSource = R"(
+import "RV32I.core_desc"
+
+InstructionSet autoinc extends RV32I {
+    architectural_state {
+        // Tracks the current address across load/store instructions.
+        register unsigned<32> ADDR;
+    }
+    instructions {
+        setup_autoinc {
+            encoding: 12'd0 :: rs1[4:0] :: 3'b000 :: 5'b00000
+                      :: 7'b0101011;
+            behavior: {
+                ADDR = X[rs1];
+            }
+        }
+        lw_autoinc {
+            encoding: 12'd0 :: 5'b00000 :: 3'b001 :: rd[4:0]
+                      :: 7'b0101011;
+            behavior: {
+                unsigned<32> a = ADDR;
+                X[rd] = MEM[a+3:a];
+                ADDR = (unsigned<32>)(a + 4);
+            }
+        }
+        sw_autoinc {
+            encoding: 7'd0 :: rs2[4:0] :: 5'b00000 :: 3'b010
+                      :: 5'b00000 :: 7'b0101011;
+            behavior: {
+                unsigned<32> a = ADDR;
+                MEM[a+3:a] = X[rs2];
+                ADDR = (unsigned<32>)(a + 4);
+            }
+        }
+    }
+}
+)";
+
+const char *ijmpSource = R"(
+import "RV32I.core_desc"
+
+InstructionSet ijmp extends RV32I {
+    instructions {
+        ijmp {
+            encoding: 12'd0 :: rs1[4:0] :: 3'b011 :: 5'b00000
+                      :: 7'b0101011;
+            behavior: {
+                unsigned<32> a = X[rs1];
+                PC = MEM[a+3:a];
+            }
+        }
+    }
+}
+)";
+
+const char *sboxSource = R"(
+import "RV32I.core_desc"
+
+InstructionSet sbox extends RV32I {
+    architectural_state {
+        register const unsigned<8> SBOX[256] = {
+            0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5,
+            0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+            0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+            0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+            0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc,
+            0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+            0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a,
+            0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+            0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+            0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+            0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+            0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+            0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85,
+            0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+            0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+            0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+            0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17,
+            0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+            0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88,
+            0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+            0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+            0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+            0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9,
+            0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+            0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6,
+            0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+            0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+            0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+            0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94,
+            0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+            0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68,
+            0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16
+        };
+    }
+    instructions {
+        sbox_lookup {
+            encoding: 12'd0 :: rs1[4:0] :: 3'b100 :: rd[4:0]
+                      :: 7'b0101011;
+            behavior: {
+                unsigned<8> idx = X[rs1][7:0];
+                X[rd] = SBOX[idx];
+            }
+        }
+    }
+}
+)";
+
+const char *sparkleSource = R"(
+import "RV32I.core_desc"
+
+InstructionSet sparkle extends RV32I {
+    architectural_state {
+        // SPARKLE round constants (Alzette c inputs).
+        register const unsigned<32> RCON[8] = {
+            0xB7E15162, 0xBF715880, 0x38B4DA56, 0x324E7738,
+            0xBB1185EB, 0x4F7C7B57, 0xCFBFA1C8, 0xC2B3293D
+        };
+    }
+    functions {
+        unsigned<32> ror(unsigned<32> x, unsigned<5> n) {
+            return (unsigned<32>)((x >> n) | (x << (unsigned<5>)(32 - n)));
+        }
+        unsigned<32> alzette_x(unsigned<32> xi, unsigned<32> yi,
+                               unsigned<32> c) {
+            unsigned<32> x = xi;
+            unsigned<32> y = yi;
+            x += ror(y, 31); y ^= ror(x, 24); x ^= c;
+            x += ror(y, 17); y ^= ror(x, 17); x ^= c;
+            x += y;          y ^= ror(x, 31); x ^= c;
+            x += ror(y, 24); y ^= ror(x, 16); x ^= c;
+            return x;
+        }
+        unsigned<32> alzette_y(unsigned<32> xi, unsigned<32> yi,
+                               unsigned<32> c) {
+            unsigned<32> x = xi;
+            unsigned<32> y = yi;
+            x += ror(y, 31); y ^= ror(x, 24); x ^= c;
+            x += ror(y, 17); y ^= ror(x, 17); x ^= c;
+            x += y;          y ^= ror(x, 31); x ^= c;
+            x += ror(y, 24); y ^= ror(x, 16); x ^= c;
+            return y;
+        }
+    }
+    instructions {
+        alzette_x {
+            encoding: 4'd0 :: rc[2:0] :: rs2[4:0] :: rs1[4:0]
+                      :: 3'b101 :: rd[4:0] :: 7'b0101011;
+            behavior: {
+                X[rd] = alzette_x(X[rs1], X[rs2], RCON[rc]);
+            }
+        }
+        alzette_y {
+            encoding: 4'd0 :: rc[2:0] :: rs2[4:0] :: rs1[4:0]
+                      :: 3'b110 :: rd[4:0] :: 7'b0101011;
+            behavior: {
+                X[rd] = alzette_y(X[rs1], X[rs2], RCON[rc]);
+            }
+        }
+    }
+}
+)";
+
+// 32 unrolled iterations of a bit-serial fixed-point square root:
+// computes floor(sqrt(X[rs1]) * 2^16), i.e. a Q16.16 result.
+const char *sqrtTightlySource = R"(
+import "RV32I.core_desc"
+
+InstructionSet sqrt_tightly extends RV32I {
+    instructions {
+        sqrt {
+            encoding: 12'd0 :: rs1[4:0] :: 3'b111 :: rd[4:0]
+                      :: 7'b0101011;
+            behavior: {
+                unsigned<64> v = ((unsigned<64>) X[rs1]) << 32;
+                unsigned<64> rem = 0;
+                unsigned<64> root = 0;
+                for (int i = 0; i < 32; i += 1) {
+                    root = (unsigned<64>)(root << 1);
+                    rem = (rem << 2) | (v >> 62);
+                    v = (unsigned<64>)(v << 2);
+                    if (rem >= root + 1) {
+                        rem -= root + 1;
+                        root += 2;
+                    }
+                }
+                X[rd] = (unsigned<32>) (root >> 1);
+            }
+        }
+    }
+}
+)";
+
+const char *sqrtDecoupledSource = R"(
+import "RV32I.core_desc"
+
+InstructionSet sqrt_decoupled extends RV32I {
+    instructions {
+        sqrt {
+            encoding: 12'd0 :: rs1[4:0] :: 3'b111 :: rd[4:0]
+                      :: 7'b0101011;
+            behavior: {
+                // The operand is retrieved in-order with the fetched
+                // instruction; the long-running computation executes
+                // decoupled from the base pipeline.
+                unsigned<32> arg = X[rs1];
+                spawn {
+                    unsigned<64> v = ((unsigned<64>) arg) << 32;
+                    unsigned<64> rem = 0;
+                    unsigned<64> root = 0;
+                    for (int i = 0; i < 32; i += 1) {
+                        root = (unsigned<64>)(root << 1);
+                        rem = (rem << 2) | (v >> 62);
+                        v = (unsigned<64>)(v << 2);
+                        if (rem >= root + 1) {
+                            rem -= root + 1;
+                            root += 2;
+                        }
+                    }
+                    X[rd] = (unsigned<32>) (root >> 1);
+                }
+            }
+        }
+    }
+}
+)";
+
+const char *zolSource = R"(
+import "RV32I.core_desc"
+
+InstructionSet zol extends RV32I {
+    architectural_state {
+        register unsigned<32> START_PC;
+        register unsigned<32> END_PC;
+        register unsigned<32> COUNT;
+    }
+    instructions {
+        setup_zol {
+            encoding: uimmL[11:0] :: uimmS[4:0] :: 3'b101
+                      :: 5'b00000 :: 7'b0001011;
+            behavior:
+            {
+                START_PC = (unsigned<32>) (PC + 4);
+                END_PC = (unsigned<32>) (PC + (uimmS :: 1'b0));
+                COUNT = uimmL;
+            }
+        }
+    }
+    always {
+        zol {
+            // Program counter (`PC`) defined in RV32I.
+            if (COUNT != 0 && END_PC == PC) {
+                PC = START_PC;
+                --COUNT;
+            }
+        }
+    }
+}
+)";
+
+// Extension beyond the paper's Table 3: a bit-manipulation unit whose
+// operation is selected by an immediate via a switch statement, using
+// helper functions with for-loops over single bits. Exercises the
+// while/switch language extensions end-to-end.
+const char *bitmanipSource = R"(
+import "RV32I.core_desc"
+
+InstructionSet bitmanip extends RV32I {
+    functions {
+        unsigned<6> clz32(unsigned<32> x) {
+            unsigned<6> n = 32;
+            for (int i = 0; i < 32; i += 1) {
+                if (x[i] == 1) {
+                    n = (unsigned<6>)(31 - i);
+                }
+            }
+            return n;
+        }
+        unsigned<6> popcount32(unsigned<32> x) {
+            unsigned<6> n = 0;
+            for (int i = 0; i < 32; i += 1) {
+                n += x[i];
+            }
+            return n;
+        }
+    }
+    instructions {
+        bitop {
+            encoding: 5'd0 :: op[1:0] :: rs2[4:0] :: rs1[4:0]
+                      :: 3'b111 :: rd[4:0] :: 7'b1011011;
+            behavior: {
+                unsigned<32> x = X[rs1];
+                unsigned<32> out = 0;
+                switch (op) {
+                    case 0:
+                        out = clz32(x);
+                        break;
+                    case 1:
+                        out = popcount32(x);
+                        break;
+                    case 2:
+                        out = x[7:0] :: x[15:8] :: x[23:16] :: x[31:24];
+                        break;
+                    default:
+                        out = ~x;
+                        break;
+                }
+                X[rd] = out;
+            }
+        }
+    }
+}
+)";
+
+// Extension: a ring buffer held in a SCAIE-V-managed custom register
+// *file* (Sec. 3.1: "Custom register files are accessed with an index
+// that is explicitly computed inside an instruction's behavior").
+const char *ringbufSource = R"(
+import "RV32I.core_desc"
+
+InstructionSet ringbuf extends RV32I {
+    architectural_state {
+        register unsigned<32> RING[8];
+        register unsigned<32> HEAD;
+    }
+    instructions {
+        ring_push {
+            encoding: 12'd0 :: rs1[4:0] :: 3'b010 :: 5'b00000
+                      :: 7'b1111011;
+            behavior: {
+                unsigned<3> idx = HEAD[2:0];
+                RING[idx] = X[rs1];
+                HEAD = (unsigned<32>)(HEAD + 1);
+            }
+        }
+        ring_read {
+            encoding: 12'd0 :: rs1[4:0] :: 3'b011 :: rd[4:0]
+                      :: 7'b1111011;
+            behavior: {
+                unsigned<3> idx = X[rs1][2:0];
+                X[rd] = RING[idx];
+            }
+        }
+    }
+}
+)";
+
+/** autoinc + zol combined, as used for the Sec. 5.5 case study. */
+const std::string autoincZolSource = []() {
+    std::string src = autoincSource;
+    // Append the zol set (without its duplicate import) and a core
+    // definition providing both.
+    std::string zol = zolSource;
+    auto pos = zol.find("InstructionSet");
+    src += zol.substr(pos);
+    src += "\nCore autoinc_zol provides autoinc, zol { }\n";
+    return src;
+}();
+
+const std::vector<IsaxEntry> entries = {
+    {"autoinc", "autoinc", autoincSource,
+     "Auto-incrementing load / store instructions and setup, using a "
+     "custom register to track the current address"},
+    {"dotp", "X_DOTP", dotpSource, "4x8bit dot product (Fig. 1)"},
+    {"ijmp", "ijmp", ijmpSource, "Read next PC from memory"},
+    {"sbox", "sbox", sboxSource, "Lookup from AES S-Box"},
+    {"sparkle", "sparkle", sparkleSource,
+     "Lightweight post-quantum cryptography (Alzette ARX-box)"},
+    {"sqrt_tightly", "sqrt_tightly", sqrtTightlySource,
+     "CORDIC-style fix-point square root (tightly-coupled)"},
+    {"sqrt_decoupled", "sqrt_decoupled", sqrtDecoupledSource,
+     "CORDIC-style fix-point square root (decoupled, spawn)"},
+    {"zol", "zol", zolSource,
+     "Zero-overhead loop inspired by PULP extensions"},
+    {"autoinc_zol", "autoinc_zol", autoincZolSource,
+     "Combination of autoinc and zol (Sec. 5.5 case study)"},
+    {"bitmanip", "bitmanip", bitmanipSource,
+     "Extension: switch-selected bit-manipulation unit (clz, popcount, "
+     "bswap, not)"},
+    {"ringbuf", "ringbuf", ringbufSource,
+     "Extension: ring buffer in an indexed custom register file"},
+};
+
+} // namespace
+
+const std::vector<IsaxEntry> &
+allIsaxes()
+{
+    return entries;
+}
+
+const IsaxEntry *
+findIsax(const std::string &name)
+{
+    for (const auto &entry : entries)
+        if (entry.name == name)
+            return &entry;
+    return nullptr;
+}
+
+} // namespace catalog
+} // namespace longnail

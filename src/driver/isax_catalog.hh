@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The benchmark ISAXes of the paper's evaluation (Table 3), written in
+ * CoreDSL:
+ *
+ *  - autoinc        auto-incrementing load/store + setup (custom reg +
+ *                   main memory access)
+ *  - dotp           4x8 bit SIMD dot product (Fig. 1)
+ *  - ijmp           read the next PC from memory (PC + memory access)
+ *  - sbox           AES S-Box lookup (constant custom register / ROM)
+ *  - sparkle        SPARKLE/Alzette ARX-box (R-type, bit manipulation,
+ *                   helper functions)
+ *  - sqrt_tightly   32-iteration fixed-point square root, unrolled
+ *                   (tightly-coupled interfaces)
+ *  - sqrt_decoupled same computation in a spawn block (decoupled)
+ *  - zol            zero-overhead loop (Fig. 3; always-block, PC and
+ *                   custom register access)
+ *  - autoinc_zol    combination used in the Sec. 5.5 case study
+ */
+
+#ifndef LONGNAIL_DRIVER_ISAX_CATALOG_HH
+#define LONGNAIL_DRIVER_ISAX_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+namespace longnail {
+namespace catalog {
+
+/** One benchmark ISAX: CoreDSL source plus the definition to target. */
+struct IsaxEntry
+{
+    std::string name;       ///< catalog key, e.g. "dotp"
+    std::string target;     ///< InstructionSet/Core name inside source
+    std::string source;     ///< CoreDSL text
+    std::string description;///< Table 3 description
+};
+
+/** All benchmark ISAXes, in Table 3 order (plus autoinc_zol). */
+const std::vector<IsaxEntry> &allIsaxes();
+
+/** Lookup by catalog key; nullptr if unknown. */
+const IsaxEntry *findIsax(const std::string &name);
+
+} // namespace catalog
+} // namespace longnail
+
+#endif // LONGNAIL_DRIVER_ISAX_CATALOG_HH

@@ -1,0 +1,461 @@
+#include "driver/longnail.hh"
+
+#include <algorithm>
+
+#include "driver/isax_catalog.hh"
+#include "hir/transforms.hh"
+#include "rtl/verilog.hh"
+#include "support/logging.hh"
+
+namespace longnail {
+namespace driver {
+
+using coredsl::ElaboratedIsa;
+using coredsl::InstrInfo;
+using coredsl::StateInfo;
+using scaiev::Datasheet;
+using scaiev::SubInterface;
+
+const CompiledUnit *
+CompiledIsax::findUnit(const std::string &unit_name) const
+{
+    for (const auto &unit : units)
+        if (unit.name == unit_name)
+            return &unit;
+    return nullptr;
+}
+
+std::string
+CompiledIsax::emitAllVerilog() const
+{
+    std::string out;
+    for (const auto &unit : units) {
+        out += unit.systemVerilog;
+        out += "\n";
+    }
+    return out;
+}
+
+std::shared_ptr<cores::IsaxBundle>
+CompiledIsax::makeBundle() const
+{
+    auto bundle = std::make_shared<cores::IsaxBundle>();
+    bundle->name = name;
+    for (const auto &unit : units) {
+        if (unit.isAlways) {
+            bundle->alwaysBlocks.push_back(unit.module);
+            continue;
+        }
+        const InstrInfo *info = isa->findInstruction(unit.name);
+        cores::IsaxInstrUnit instr_unit;
+        instr_unit.name = unit.name;
+        instr_unit.mask = info->mask;
+        instr_unit.match = info->match;
+        instr_unit.module = unit.module;
+        bundle->instructions.push_back(std::move(instr_unit));
+    }
+    for (const auto &state : isa->state) {
+        if (state.isCoreState || state.isConst ||
+            state.kind != StateInfo::Kind::Register)
+            continue;
+        bundle->customRegs.push_back({state.name,
+                                      state.elementType.width,
+                                      state.numElements});
+    }
+    return bundle;
+}
+
+CompiledIsax
+compile(const std::string &source, const std::string &target,
+        const CompileOptions &options)
+{
+    CompiledIsax result;
+    result.coreName = options.coreName;
+    const Datasheet &sheet = options.datasheet
+                                 ? *options.datasheet
+                                 : Datasheet::forCore(options.coreName);
+
+    DiagnosticEngine diags;
+    coredsl::SemaOptions sema_options;
+    sema_options.baseSetName = options.baseSetName;
+    coredsl::Sema sema(diags, coredsl::builtinSourceProvider(),
+                       sema_options);
+    result.isa = sema.analyze(source, target);
+    if (!result.isa) {
+        result.errors = diags.str();
+        return result;
+    }
+    result.name = result.isa->name;
+
+    result.hirModule = hir::lowerToHir(*result.isa, diags);
+    if (!result.hirModule) {
+        result.errors = diags.str();
+        return result;
+    }
+    for (auto &instr : result.hirModule->instructions)
+        hir::canonicalize(instr->body);
+    for (auto &blk : result.hirModule->alwaysBlocks)
+        hir::canonicalize(blk->body);
+
+    result.lilModule = lil::lowerToLil(*result.hirModule, diags);
+    if (!result.lilModule) {
+        result.errors = diags.str();
+        return result;
+    }
+
+    // Schedule and generate hardware per functionality.
+    sched::TechLibrary tech(options.timingMode);
+    result.config.isaxName = result.name;
+    result.config.coreName = options.coreName;
+
+    for (const auto &graph : result.lilModule->graphs) {
+        sched::BuiltProblem built =
+            sched::buildProblem(*graph, sheet, tech,
+                                options.cycleTimeNs);
+        sched::computeChainBreakers(built.problem);
+        std::string err = sched::scheduleOptimal(built.problem);
+        if (!err.empty()) {
+            result.errors = graph->name + ": " + err;
+            return result;
+        }
+        sched::sinkZeroDelayOps(built.problem);
+        std::string verify_err = built.problem.verify();
+        // Chains whose single-operation delay exceeds the cycle time
+        // cannot be broken (Sec. 5.4); they reduce fmax in the ASIC
+        // analysis but are not compile errors.
+        if (!verify_err.empty() &&
+            verify_err.find("cycle time") == std::string::npos &&
+            verify_err.find("chaining") == std::string::npos)
+            LN_PANIC("invalid schedule for ", graph->name, ": ",
+                     verify_err);
+
+        CompiledUnit unit;
+        unit.name = graph->name;
+        unit.isAlways = graph->isAlways;
+        unit.lilGraph = graph.get();
+        unit.makespan = built.problem.makespan();
+        unit.objective = built.problem.objectiveValue();
+        unit.module = hwgen::generateModule(*graph, built, sheet,
+                                            *result.isa);
+        unit.systemVerilog = rtl::emitVerilog(unit.module.module);
+
+        scaiev::ConfigFunctionality fn;
+        fn.name = graph->name;
+        fn.isAlways = graph->isAlways;
+        fn.mask = graph->maskString;
+        fn.schedule = hwgen::scheduleEntries(unit.module);
+        result.config.functionality.push_back(std::move(fn));
+
+        result.units.push_back(std::move(unit));
+    }
+
+    // Custom registers requested from SCAIE-V (Fig. 8, line 1).
+    for (const auto &state : result.isa->state) {
+        if (state.isCoreState || state.isConst ||
+            state.kind != StateInfo::Kind::Register)
+            continue;
+        result.config.registers.push_back(
+            {state.name, state.elementType.width, state.numElements});
+    }
+    return result;
+}
+
+CompiledIsax
+compileCatalogIsax(const std::string &isax_name,
+                   const CompileOptions &options)
+{
+    const catalog::IsaxEntry *entry = catalog::findIsax(isax_name);
+    if (!entry) {
+        CompiledIsax result;
+        result.errors = "unknown catalog ISAX '" + isax_name + "'";
+        return result;
+    }
+    CompiledIsax result = compile(entry->source, entry->target, options);
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Assembler integration
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Insert @p value into @p word at the field's encoding slices. */
+uint32_t
+placeField(uint32_t word, const coredsl::FieldInfo &field,
+           uint32_t value)
+{
+    for (const auto &slice : field.slices) {
+        uint32_t bits = (value >> slice.fieldLsb) &
+                        ((slice.count >= 32 ? 0u : (1u << slice.count)) -
+                         1u);
+        word |= bits << slice.instrLsb;
+    }
+    return word;
+}
+
+bool
+isGprField(const coredsl::FieldInfo &field, unsigned instr_lsb)
+{
+    return field.width == 5 && field.slices.size() == 1 &&
+           field.slices[0].instrLsb == instr_lsb &&
+           field.slices[0].count == 5;
+}
+
+} // namespace
+
+void
+registerIsaxMnemonics(rvasm::Assembler &assembler,
+                      const ElaboratedIsa &isa)
+{
+    for (const auto &instr : isa.instructions) {
+        if (instr.fromBase)
+            continue;
+        // Operand plan: rd, rs1, rs2 (if present at the standard
+        // positions), then remaining fields alphabetically.
+        struct OperandSpec
+        {
+            std::string field;
+            bool isRegister;
+        };
+        std::vector<OperandSpec> plan;
+        std::vector<std::string> immediates;
+        const coredsl::FieldInfo *rd = nullptr, *rs1 = nullptr,
+                                 *rs2 = nullptr;
+        // Only conventionally named fields at the standard positions
+        // are register operands; anything else (e.g. an immediate that
+        // happens to sit at the rs1 bits, like setup_zol's uimmS) is
+        // encoded as an immediate.
+        for (const auto &[fname, field] : instr.fields) {
+            if (fname == "rd" && isGprField(field, 7))
+                rd = &field;
+            else if (fname == "rs1" && isGprField(field, 15))
+                rs1 = &field;
+            else if (fname == "rs2" && isGprField(field, 20))
+                rs2 = &field;
+            else
+                immediates.push_back(fname);
+        }
+        if (rd)
+            plan.push_back({"rd", true});
+        if (rs1)
+            plan.push_back({"rs1", true});
+        if (rs2)
+            plan.push_back({"rs2", true});
+        for (const std::string &imm : immediates)
+            plan.push_back({imm, false});
+
+        const InstrInfo *info = &instr;
+        std::vector<OperandSpec> plan_copy = plan;
+        assembler.addCustomMnemonic(
+            instr.name,
+            [info, plan_copy](const std::vector<std::string> &operands,
+                              std::string &error)
+                -> std::optional<uint32_t> {
+                if (operands.size() != plan_copy.size()) {
+                    error = "expected " +
+                            std::to_string(plan_copy.size()) +
+                            " operands";
+                    return std::nullopt;
+                }
+                uint32_t word = info->match;
+                for (size_t i = 0; i < operands.size(); ++i) {
+                    const OperandSpec &spec = plan_copy[i];
+                    uint32_t value;
+                    if (spec.isRegister) {
+                        int reg = rvasm::Assembler::parseRegister(
+                            operands[i]);
+                        if (reg < 0) {
+                            error = "bad register '" + operands[i] +
+                                    "'";
+                            return std::nullopt;
+                        }
+                        value = uint32_t(reg);
+                    } else {
+                        try {
+                            value = uint32_t(
+                                std::stoll(operands[i], nullptr, 0));
+                        } catch (const std::exception &) {
+                            error = "bad immediate '" + operands[i] +
+                                    "'";
+                            return std::nullopt;
+                        }
+                    }
+                    std::string fname = spec.isRegister
+                                            ? spec.field
+                                            : spec.field;
+                    // Registers map onto the rd/rs1/rs2 positions; the
+                    // actual field names may differ.
+                    const coredsl::FieldInfo *field = nullptr;
+                    for (const auto &[n, f] : info->fields) {
+                        if (spec.isRegister) {
+                            unsigned lsb = spec.field == "rd" ? 7
+                                           : spec.field == "rs1"
+                                               ? 15
+                                               : 20;
+                            if (isGprField(f, lsb)) {
+                                field = &f;
+                                break;
+                            }
+                        } else if (n == spec.field) {
+                            field = &f;
+                            break;
+                        }
+                    }
+                    if (!field) {
+                        error = "internal: field not found";
+                        return std::nullopt;
+                    }
+                    word = placeField(word, *field, value);
+                }
+                return word;
+            });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden model
+// ---------------------------------------------------------------------------
+
+GoldenModel::GoldenModel(const CompiledIsax &compiled)
+    : compiled_(compiled)
+{
+    for (const auto &state : compiled.isa->state) {
+        if (state.isCoreState || state.isConst ||
+            state.kind != StateInfo::Kind::Register)
+            continue;
+        customRegs_[state.name].assign(
+            state.numElements, ApInt(state.elementType.width, 0));
+    }
+}
+
+void
+GoldenModel::loadProgram(const std::vector<uint32_t> &words,
+                         uint32_t base)
+{
+    for (size_t i = 0; i < words.size(); ++i)
+        memory_.writeWord(base + uint32_t(i) * 4, words[i]);
+    state_.pc = base;
+}
+
+const ApInt &
+GoldenModel::customReg(const std::string &name, uint64_t index) const
+{
+    return customRegs_.at(name).at(index);
+}
+
+void
+GoldenModel::setCustomReg(const std::string &name, uint64_t index,
+                          const ApInt &value)
+{
+    ApInt &slot = customRegs_.at(name).at(index);
+    slot = value.zextOrTrunc(slot.width());
+}
+
+lil::InterpInput
+GoldenModel::makeInput(uint32_t instr_word, uint32_t pc)
+{
+    lil::InterpInput input;
+    cores::DecodedInstr d = cores::decode(instr_word);
+    input.instrWord = ApInt(32, instr_word);
+    input.rs1 = ApInt(32, state_.reg(d.rs1));
+    input.rs2 = ApInt(32, state_.reg(d.rs2));
+    input.pc = ApInt(32, pc);
+    input.custRegs = customRegs_;
+    input.readMem = [this](const ApInt &addr) {
+        return ApInt(32,
+                     memory_.readWord(uint32_t(addr.toUint64())));
+    };
+    return input;
+}
+
+void
+GoldenModel::applyEffects(const lil::InterpResult &result, unsigned rd,
+                          bool &pc_written)
+{
+    if (result.rd.enabled)
+        state_.setReg(rd, uint32_t(result.rd.value.toUint64()));
+    if (result.mem.enabled)
+        memory_.writeWord(uint32_t(result.mem.addr.toUint64()),
+                          uint32_t(result.mem.value.toUint64()));
+    for (const auto &[reg, write] : result.custWrites) {
+        if (!write.enabled)
+            continue;
+        auto &storage = customRegs_.at(reg);
+        uint64_t index = write.index.toUint64();
+        if (index < storage.size())
+            storage[index] = write.value.zextOrTrunc(
+                storage[index].width());
+    }
+    if (result.pcWrite.enabled) {
+        state_.pc = uint32_t(result.pcWrite.value.toUint64());
+        pc_written = true;
+    }
+}
+
+bool
+GoldenModel::handleCustom(const cores::DecodedInstr &instr)
+{
+    for (const auto &unit : compiled_.units) {
+        if (unit.isAlways)
+            continue;
+        const InstrInfo *info =
+            compiled_.isa->findInstruction(unit.name);
+        if ((instr.raw & info->mask) != info->match)
+            continue;
+        lil::InterpInput input = makeInput(instr.raw, state_.pc);
+        lil::InterpResult result = lil::interpret(*unit.lilGraph,
+                                                  input);
+        bool pc_written = false;
+        applyEffects(result, instr.rd, pc_written);
+        if (!pc_written)
+            state_.pc += 4;
+        return true;
+    }
+    return false;
+}
+
+void
+GoldenModel::runAlwaysBlocks(uint32_t executed_pc)
+{
+    for (const auto &unit : compiled_.units) {
+        if (!unit.isAlways)
+            continue;
+        lil::InterpInput input;
+        input.pc = ApInt(32, executed_pc);
+        input.custRegs = customRegs_;
+        lil::InterpResult result = lil::interpret(*unit.lilGraph,
+                                                  input);
+        bool pc_written = false;
+        applyEffects(result, 0, pc_written);
+    }
+}
+
+uint64_t
+GoldenModel::run(uint64_t max_steps)
+{
+    uint64_t steps = 0;
+    while (steps < max_steps) {
+        ++steps;
+        uint32_t pc_before = state_.pc;
+        uint32_t word = memory_.readWord(pc_before);
+        cores::DecodedInstr d = cores::decode(word);
+        if (d.opcode == cores::Opcode::System)
+            break;
+        if (d.opcode == cores::Opcode::Custom) {
+            if (!handleCustom(d))
+                break; // illegal instruction
+        } else {
+            cores::Iss iss(state_, memory_);
+            if (iss.step() != cores::StepResult::Ok)
+                break;
+        }
+        // Always-blocks observe the PC of the executed instruction and
+        // may override the next PC (ZOL semantics).
+        runAlwaysBlocks(pc_before);
+    }
+    return steps;
+}
+
+} // namespace driver
+} // namespace longnail

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The Longnail public API: one call compiles a CoreDSL description for
+ * a target core into SystemVerilog modules plus the SCAIE-V
+ * configuration file (the complete flow of Fig. 9), and helpers
+ * integrate the result into the cycle-level core models for RTL
+ * simulation.
+ */
+
+#ifndef LONGNAIL_DRIVER_LONGNAIL_HH
+#define LONGNAIL_DRIVER_LONGNAIL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coredsl/sema.hh"
+#include "cores/core.hh"
+#include "hir/astlower.hh"
+#include "hwgen/hwgen.hh"
+#include "lil/interp.hh"
+#include "lil/lil.hh"
+#include "rvasm/assembler.hh"
+#include "scaiev/config.hh"
+#include "scaiev/datasheet.hh"
+#include "sched/scheduler.hh"
+
+namespace longnail {
+namespace driver {
+
+/** Compilation options. */
+struct CompileOptions
+{
+    std::string coreName = "VexRiscv";
+    /** Overrides the built-in datasheet for coreName when non-null
+     * (e.g. loaded from a YAML file for a custom core). */
+    const scaiev::Datasheet *datasheet = nullptr;
+    sched::TimingMode timingMode = sched::TimingMode::Uniform;
+    /** Target cycle time for chain breaking; 0 = the core's native
+     * clock. */
+    double cycleTimeNs = 0.0;
+    /** Base instruction set provided by the host core. */
+    std::string baseSetName = "RV32I";
+};
+
+/** One synthesized instruction or always-block. */
+struct CompiledUnit
+{
+    std::string name;
+    bool isAlways = false;
+    const lil::LilGraph *lilGraph = nullptr; ///< owned by CompiledIsax
+    hwgen::GeneratedModule module;
+    std::string systemVerilog;
+    /** Schedule quality indicators. */
+    int makespan = 0;
+    double objective = 0.0;
+};
+
+/** The complete result of compiling one ISAX for one core. */
+struct CompiledIsax
+{
+    std::string name;
+    std::string coreName;
+    std::string errors; ///< empty on success
+
+    std::unique_ptr<coredsl::ElaboratedIsa> isa;
+    std::unique_ptr<hir::HirModule> hirModule;
+    std::unique_ptr<lil::LilModule> lilModule;
+    std::vector<CompiledUnit> units;
+    scaiev::ScaievConfig config;
+
+    bool ok() const { return errors.empty(); }
+    const CompiledUnit *findUnit(const std::string &unit_name) const;
+
+    /** All generated SystemVerilog, one module per unit. */
+    std::string emitAllVerilog() const;
+
+    /** Package the modules for Core::attachIsax(). */
+    std::shared_ptr<cores::IsaxBundle> makeBundle() const;
+};
+
+/**
+ * Compile @p source (targeting definition @p target, default: last)
+ * for the selected host core. Never throws; check result.ok().
+ */
+CompiledIsax compile(const std::string &source,
+                     const std::string &target = "",
+                     const CompileOptions &options = {});
+
+/** Compile one of the bundled benchmark ISAXes (Table 3). */
+CompiledIsax compileCatalogIsax(const std::string &isax_name,
+                                const CompileOptions &options = {});
+
+/**
+ * Register assembler mnemonics for every non-base instruction of
+ * @p isa. Operand order: rd, rs1, rs2 (those present as encoding
+ * fields at the standard positions), then the remaining fields in
+ * alphabetical order as immediates.
+ */
+void registerIsaxMnemonics(rvasm::Assembler &assembler,
+                           const coredsl::ElaboratedIsa &isa);
+
+/**
+ * Architectural golden model: the RV32I ISS plus the LIL interpreter
+ * for ISAX instructions and always-blocks. The cycle-level Core with
+ * integrated RTL modules must produce the same final state.
+ */
+class GoldenModel
+{
+  public:
+    explicit GoldenModel(const CompiledIsax &compiled);
+
+    void loadProgram(const std::vector<uint32_t> &words, uint32_t base);
+    /** @return executed instruction count. */
+    uint64_t run(uint64_t max_steps = 1'000'000);
+
+    uint32_t reg(unsigned i) const { return state_.reg(i); }
+    void setReg(unsigned i, uint32_t v) { state_.setReg(i, v); }
+    cores::Memory &memory() { return memory_; }
+    const ApInt &customReg(const std::string &name,
+                           uint64_t index = 0) const;
+    void setCustomReg(const std::string &name, uint64_t index,
+                      const ApInt &value);
+
+  private:
+    bool handleCustom(const cores::DecodedInstr &instr);
+    void runAlwaysBlocks(uint32_t executed_pc);
+    lil::InterpInput makeInput(uint32_t instr_word, uint32_t pc);
+    void applyEffects(const lil::InterpResult &result, unsigned rd,
+                      bool &pc_written);
+
+    const CompiledIsax &compiled_;
+    cores::ArchState state_;
+    cores::Memory memory_;
+    std::map<std::string, std::vector<ApInt>> customRegs_;
+};
+
+} // namespace driver
+} // namespace longnail
+
+#endif // LONGNAIL_DRIVER_LONGNAIL_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * AST -> HIR lowering (step (a)->(b) of Fig. 5 in the paper).
+ *
+ * The lowering performs, in one pass:
+ *  - loop unrolling for loops with compile-time trip counts,
+ *  - inlining of (non-recursive) helper functions,
+ *  - if-conversion: branches become hwarith.mux selections and
+ *    predicates on state-updating operations,
+ *  - sequential-semantics resolution: reads observe earlier writes in
+ *    the same behavior, and each state element receives at most one
+ *    coredsl.set per behavior (matching SCAIE-V's one-use-per-
+ *    sub-interface rule),
+ *  - spawn blocks become coredsl.spawn operations with nested graphs.
+ */
+
+#ifndef LONGNAIL_HIR_ASTLOWER_HH
+#define LONGNAIL_HIR_ASTLOWER_HH
+
+#include <memory>
+
+#include "coredsl/module.hh"
+#include "hir/hir.hh"
+#include "support/diagnostics.hh"
+
+namespace longnail {
+namespace hir {
+
+/** Limits guarding the compile-time interpretation of loops. */
+struct LowerOptions
+{
+    unsigned maxUnrollIterations = 4096;
+};
+
+/**
+ * Lower all non-base instructions and always-blocks of @p isa.
+ * @return the module, or nullptr if diagnostics were reported.
+ *
+ * Base (core-provided) instructions are skipped by default; callers can
+ * lower them explicitly with lowerInstruction().
+ */
+std::unique_ptr<HirModule> lowerToHir(const coredsl::ElaboratedIsa &isa,
+                                      DiagnosticEngine &diags,
+                                      LowerOptions options = {});
+
+/** Lower a single instruction (including base instructions). */
+std::unique_ptr<HirInstruction>
+lowerInstruction(const coredsl::ElaboratedIsa &isa,
+                 const coredsl::InstrInfo &instr, DiagnosticEngine &diags,
+                 LowerOptions options = {});
+
+/** Lower a single always-block. */
+std::unique_ptr<HirAlways>
+lowerAlways(const coredsl::ElaboratedIsa &isa,
+            const coredsl::AlwaysInfo &always, DiagnosticEngine &diags,
+            LowerOptions options = {});
+
+} // namespace hir
+} // namespace longnail
+
+#endif // LONGNAIL_HIR_ASTLOWER_HH

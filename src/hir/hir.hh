@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The high-level IR (HIR) of the Longnail flow: the equivalent of the
+ * paper's coredsl+hwarith dialect mix (Fig. 5b).
+ *
+ * A HIR behavior graph is straight-line SSA: the AST lowering performs
+ * function inlining, loop unrolling and if-conversion, so control flow
+ * is already expressed with hwarith.mux and predicated coredsl.set /
+ * set_mem operations. Spawn blocks remain structured as nested graphs.
+ */
+
+#ifndef LONGNAIL_HIR_HIR_HH
+#define LONGNAIL_HIR_HIR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coredsl/module.hh"
+#include "ir/ir.hh"
+
+namespace longnail {
+namespace hir {
+
+/** Lowered behavior of one instruction. */
+struct HirInstruction
+{
+    std::string name;
+    const coredsl::InstrInfo *info = nullptr;
+    ir::Graph body;
+};
+
+/** Lowered behavior of one always-block. */
+struct HirAlways
+{
+    std::string name;
+    const coredsl::AlwaysInfo *info = nullptr;
+    ir::Graph body;
+};
+
+/** The HIR view of an elaborated ISA. */
+struct HirModule
+{
+    const coredsl::ElaboratedIsa *isa = nullptr;
+    std::vector<std::unique_ptr<HirInstruction>> instructions;
+    std::vector<std::unique_ptr<HirAlways>> alwaysBlocks;
+
+    const HirInstruction *findInstruction(const std::string &name) const;
+    const HirAlways *findAlways(const std::string &name) const;
+
+    /** Printed form of all graphs, for tests and documentation. */
+    std::string print() const;
+};
+
+/** Convert a coredsl::Type to the IR wire type. */
+inline ir::WireType
+wireType(coredsl::Type t)
+{
+    return ir::WireType(t.width, t.isSigned);
+}
+
+} // namespace hir
+} // namespace longnail
+
+#endif // LONGNAIL_HIR_HIR_HH

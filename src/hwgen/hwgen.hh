@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Hardware generation (Sec. 4.5 of the paper): turn a scheduled LIL
+ * graph into a netlist module whose interface operations become
+ * stage-suffixed ports (cf. Fig. 5d), with stallable pipeline registers
+ * inserted for values crossing time steps.
+ *
+ * The concrete sub-interface variant (in-pipeline / tightly-coupled /
+ * decoupled / always) is selected here after scheduling, following the
+ * rule at the end of Sec. 4.3: in-pipeline if the start time lies
+ * within the core's native window, otherwise decoupled for operations
+ * originating from a spawn block, else tightly-coupled.
+ *
+ * Longnail does not infer a controller: the SCAIE-V-generated logic
+ * (src/cores integration layer) tracks instruction progress and
+ * commits results at the right time.
+ */
+
+#ifndef LONGNAIL_HWGEN_HWGEN_HH
+#define LONGNAIL_HWGEN_HWGEN_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lil/lil.hh"
+#include "rtl/netlist.hh"
+#include "scaiev/config.hh"
+#include "scaiev/datasheet.hh"
+#include "sched/scheduler.hh"
+
+namespace longnail {
+namespace hwgen {
+
+/** One sub-interface connection of a generated module. */
+struct InterfacePort
+{
+    scaiev::SubInterface iface = scaiev::SubInterface::RdInstr;
+    std::string reg;      ///< custom register name, if applicable
+    int stage = 0;        ///< scheduled stage of the operation
+    unsigned latency = 0; ///< e.g. 1 for RdMem data
+    scaiev::ExecutionMode mode = scaiev::ExecutionMode::InPipeline;
+    bool fromSpawn = false;
+
+    // Port names on the module ("" if not present).
+    std::string dataPort;  ///< read result input / write data output
+    std::string addrPort;  ///< address/index port
+    std::string validPort; ///< predicate/valid output
+};
+
+/** The result of hardware generation for one LIL graph. */
+struct GeneratedModule
+{
+    std::string name;
+    rtl::Module module{"uninitialized"};
+    std::vector<InterfacePort> ports;
+    /** Stall input name per pipeline stage; "" if the stage has no
+     * registers. Index = stage. */
+    std::vector<std::string> stallInputs;
+    int firstStage = 0;
+    int lastStage = 0;
+    bool isAlways = false;
+
+    const InterfacePort *findPort(scaiev::SubInterface iface,
+                                  const std::string &reg = "") const;
+};
+
+/**
+ * Generate the hardware module for @p graph using the schedule in
+ * @p built. @p built must be solved and verified.
+ */
+GeneratedModule generateModule(const lil::LilGraph &graph,
+                               const sched::BuiltProblem &built,
+                               const scaiev::Datasheet &core,
+                               const coredsl::ElaboratedIsa &isa);
+
+/** Assemble the Fig. 8 schedule entries for one generated module. */
+std::vector<scaiev::ScheduledUse>
+scheduleEntries(const GeneratedModule &module);
+
+} // namespace hwgen
+} // namespace longnail
+
+#endif // LONGNAIL_HWGEN_HWGEN_HH

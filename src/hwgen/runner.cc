@@ -1,0 +1,147 @@
+#include "hwgen/runner.hh"
+
+#include "rtl/sim.hh"
+#include "support/logging.hh"
+
+namespace longnail {
+namespace hwgen {
+
+using lil::InterpInput;
+using lil::InterpResult;
+using scaiev::SubInterface;
+
+InterpResult
+runIsolated(const GeneratedModule &module, const InterpInput &input,
+            const std::function<bool(int cycle)> &stall)
+{
+    rtl::Simulator sim(module.module);
+    sim.reset();
+
+    // Constant-valued data inputs can be driven for the whole run; the
+    // pipeline registers sample them in the right cycle.
+    for (const auto &port : module.ports) {
+        switch (port.iface) {
+          case SubInterface::RdInstr:
+            sim.setInput(port.dataPort, input.instrWord);
+            break;
+          case SubInterface::RdRS1:
+            sim.setInput(port.dataPort, input.rs1);
+            break;
+          case SubInterface::RdRS2:
+            sim.setInput(port.dataPort, input.rs2);
+            break;
+          case SubInterface::RdPC:
+            sim.setInput(port.dataPort, input.pc);
+            break;
+          default:
+            break;
+        }
+    }
+    // Stall inputs default to 0 (nets initialize to zero).
+
+    InterpResult result;
+    std::map<std::string, ApInt> pending_cust_index;
+
+    // 'cycle' counts module time steps; wall-clock cycles where the
+    // stall callback asserts do not advance it.
+    int wall_clock = 0;
+    for (int cycle = 0; cycle <= module.lastStage; ++cycle) {
+        // Apply backpressure for as long as the pattern demands.
+        while (stall && stall(wall_clock)) {
+            for (const auto &name : module.stallInputs)
+                if (!name.empty())
+                    sim.setInput(name, ApInt(1, 1));
+            sim.tick();
+            ++wall_clock;
+        }
+        for (const auto &name : module.stallInputs)
+            if (!name.empty())
+                sim.setInput(name, ApInt(1, 0));
+        ++wall_clock;
+        // Register-file-style reads resolve combinationally: evaluate,
+        // look at the address outputs, provide the data, re-evaluate.
+        sim.evalComb();
+        for (const auto &port : module.ports) {
+            if (port.iface != SubInterface::RdCustReg ||
+                port.stage != cycle)
+                continue;
+            auto it = input.custRegs.find(port.reg);
+            if (it == input.custRegs.end())
+                LN_PANIC("no contents for custom register ", port.reg);
+            uint64_t index = 0;
+            if (!port.addrPort.empty())
+                index = sim.output(port.addrPort).toUint64();
+            ApInt value = index < it->second.size()
+                              ? it->second[index]
+                              : ApInt(32, 0);
+            sim.setInput(port.dataPort, value);
+        }
+        sim.evalComb();
+
+        // Sample write/valid outputs and issue memory requests.
+        for (const auto &port : module.ports) {
+            if (port.stage != cycle)
+                continue;
+            switch (port.iface) {
+              case SubInterface::RdMem: {
+                if (sim.output(port.validPort).isZero())
+                    break;
+                result.memReadUsed = true;
+                result.memReadAddr = sim.output(port.addrPort);
+                if (!input.readMem)
+                    LN_PANIC("RdMem used but no memory callback");
+                ApInt word = input.readMem(result.memReadAddr)
+                                 .zextOrTrunc(32);
+                // Data arrives after the interface latency; drive the
+                // input now so the next cycles see it.
+                sim.setInput(port.dataPort, word);
+                break;
+              }
+              case SubInterface::WrRD:
+                if (!sim.output(port.validPort).isZero()) {
+                    result.rd.enabled = true;
+                    result.rd.value = sim.output(port.dataPort);
+                }
+                break;
+              case SubInterface::WrPC:
+                if (!sim.output(port.validPort).isZero()) {
+                    result.pcWrite.enabled = true;
+                    result.pcWrite.value = sim.output(port.dataPort);
+                }
+                break;
+              case SubInterface::WrMem:
+                if (!sim.output(port.validPort).isZero()) {
+                    result.mem.enabled = true;
+                    result.mem.addr = sim.output(port.addrPort);
+                    result.mem.value = sim.output(port.dataPort);
+                }
+                break;
+              case SubInterface::WrCustRegAddr:
+                pending_cust_index[port.reg] =
+                    port.addrPort.empty()
+                        ? ApInt(1, 0)
+                        : sim.output(port.addrPort);
+                break;
+              case SubInterface::WrCustRegData:
+                if (!sim.output(port.validPort).isZero()) {
+                    lil::InterpCustWrite write;
+                    write.enabled = true;
+                    auto idx = pending_cust_index.find(port.reg);
+                    write.index = idx != pending_cust_index.end()
+                                      ? idx->second
+                                      : ApInt(1, 0);
+                    write.value = sim.output(port.dataPort);
+                    result.custWrites[port.reg] = write;
+                }
+                break;
+              default:
+                break;
+            }
+        }
+        sim.clockEdge();
+    }
+    return result;
+}
+
+} // namespace hwgen
+} // namespace longnail

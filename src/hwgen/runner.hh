@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Isolated execution harness for generated ISAX modules: drives one
+ * instruction (or one always-block evaluation) through the module's
+ * stage-suffixed ports without a host core, collecting the
+ * architectural effects. Used to verify the generated RTL against the
+ * LIL interpreter; the full in-core integration lives in src/cores.
+ */
+
+#ifndef LONGNAIL_HWGEN_RUNNER_HH
+#define LONGNAIL_HWGEN_RUNNER_HH
+
+#include "hwgen/hwgen.hh"
+#include "lil/interp.hh"
+
+namespace longnail {
+namespace hwgen {
+
+/**
+ * Execute @p module once on @p input, cycle-accurately.
+ * @param stall optional per-cycle backpressure: when it returns true,
+ *        all stall inputs are asserted and the module must hold its
+ *        state (exercises the stallable pipeline registers of
+ *        Sec. 4.5). Results must be identical to a stall-free run.
+ * @return the same architectural effects the LIL interpreter reports.
+ */
+lil::InterpResult
+runIsolated(const GeneratedModule &module, const lil::InterpInput &input,
+            const std::function<bool(int cycle)> &stall = {});
+
+} // namespace hwgen
+} // namespace longnail
+
+#endif // LONGNAIL_HWGEN_RUNNER_HH

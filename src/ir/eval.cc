@@ -1,0 +1,265 @@
+#include "ir/eval.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace longnail {
+namespace ir {
+
+bool
+isPureComputation(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::HwConstant:
+      case OpKind::HwAdd:
+      case OpKind::HwSub:
+      case OpKind::HwMul:
+      case OpKind::HwDiv:
+      case OpKind::HwRem:
+      case OpKind::HwShl:
+      case OpKind::HwShr:
+      case OpKind::HwAnd:
+      case OpKind::HwOr:
+      case OpKind::HwXor:
+      case OpKind::HwNot:
+      case OpKind::HwICmp:
+      case OpKind::HwMux:
+      case OpKind::CoredslCast:
+      case OpKind::CoredslConcat:
+      case OpKind::CoredslExtract:
+      case OpKind::CoredslRom:
+      case OpKind::CombConstant:
+      case OpKind::CombAdd:
+      case OpKind::CombSub:
+      case OpKind::CombMul:
+      case OpKind::CombDivU:
+      case OpKind::CombDivS:
+      case OpKind::CombModU:
+      case OpKind::CombModS:
+      case OpKind::CombAnd:
+      case OpKind::CombOr:
+      case OpKind::CombXor:
+      case OpKind::CombShl:
+      case OpKind::CombShrU:
+      case OpKind::CombShrS:
+      case OpKind::CombICmp:
+      case OpKind::CombMux:
+      case OpKind::CombExtract:
+      case OpKind::CombConcat:
+      case OpKind::CombReplicate:
+      case OpKind::CombRom:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+applyICmp(ICmpPred pred, const ApInt &lhs, const ApInt &rhs)
+{
+    switch (pred) {
+      case ICmpPred::Eq: return lhs == rhs;
+      case ICmpPred::Ne: return lhs != rhs;
+      case ICmpPred::Ult: return lhs.ult(rhs);
+      case ICmpPred::Ule: return lhs.ule(rhs);
+      case ICmpPred::Ugt: return lhs.ugt(rhs);
+      case ICmpPred::Uge: return lhs.uge(rhs);
+      case ICmpPred::Slt: return lhs.slt(rhs);
+      case ICmpPred::Sle: return lhs.sle(rhs);
+      case ICmpPred::Sgt: return lhs.sgt(rhs);
+      case ICmpPred::Sge: return lhs.sge(rhs);
+    }
+    LN_PANIC("invalid icmp predicate");
+}
+
+namespace {
+
+/** Extend @p v (typed @p type) to @p width following its signedness. */
+ApInt
+extendTo(const ApInt &v, WireType type, unsigned width)
+{
+    return type.isSigned ? v.sextOrTrunc(width) : v.zextOrTrunc(width);
+}
+
+/** Fit a result computed at working width back to the result width. */
+ApInt
+fitResult(const ApInt &v, unsigned width)
+{
+    return v.zextOrTrunc(width);
+}
+
+} // namespace
+
+std::optional<ApInt>
+evaluate(const Operation &op, const std::vector<ApInt> &operands)
+{
+    if (!isPureComputation(op.kind()))
+        return std::nullopt;
+    if (operands.size() != op.numOperands())
+        LN_PANIC("operand count mismatch evaluating ", op.name());
+
+    const unsigned rw =
+        op.numResults() ? op.result()->type.width : 0;
+    auto otype = [&](unsigned i) { return op.operand(i)->type; };
+
+    switch (op.kind()) {
+      case OpKind::HwConstant:
+      case OpKind::CombConstant:
+        return op.apAttr("value");
+
+      case OpKind::HwAdd:
+      case OpKind::HwSub:
+      case OpKind::HwMul:
+      case OpKind::HwDiv:
+      case OpKind::HwRem: {
+        // Work at a width that can hold any intermediate value.
+        unsigned cw = std::max({rw, otype(0).width + 1,
+                                otype(1).width + 1});
+        if (op.kind() == OpKind::HwMul)
+            cw = std::max(cw, otype(0).width + otype(1).width);
+        ApInt a = extendTo(operands[0], otype(0), cw);
+        ApInt b = extendTo(operands[1], otype(1), cw);
+        bool any_signed = otype(0).isSigned || otype(1).isSigned;
+        switch (op.kind()) {
+          case OpKind::HwAdd: return fitResult(a + b, rw);
+          case OpKind::HwSub: return fitResult(a - b, rw);
+          case OpKind::HwMul: return fitResult(a * b, rw);
+          case OpKind::HwDiv:
+            if (b.isZero())
+                return std::nullopt;
+            return fitResult(any_signed ? a.sdiv(b) : a.udiv(b), rw);
+          case OpKind::HwRem:
+            if (b.isZero())
+                return std::nullopt;
+            return fitResult(any_signed ? a.srem(b) : a.urem(b), rw);
+          default: break;
+        }
+        LN_PANIC("unreachable");
+      }
+
+      case OpKind::HwShl:
+      case OpKind::HwShr: {
+        ApInt v = operands[0];
+        uint64_t raw_amount = operands[1].activeBits() > 32
+                                  ? v.width()
+                                  : operands[1].toUint64();
+        unsigned amount = unsigned(
+            std::min<uint64_t>(raw_amount, v.width()));
+        if (op.kind() == OpKind::HwShl)
+            return fitResult(v.shl(amount), rw);
+        return fitResult(otype(0).isSigned ? v.ashr(amount)
+                                           : v.lshr(amount), rw);
+      }
+
+      case OpKind::HwAnd:
+      case OpKind::HwOr:
+      case OpKind::HwXor: {
+        ApInt a = extendTo(operands[0], otype(0), rw);
+        ApInt b = extendTo(operands[1], otype(1), rw);
+        if (op.kind() == OpKind::HwAnd)
+            return a & b;
+        if (op.kind() == OpKind::HwOr)
+            return a | b;
+        return a ^ b;
+      }
+
+      case OpKind::HwNot:
+        return ~operands[0];
+
+      case OpKind::HwICmp: {
+        unsigned cw = std::max(otype(0).width, otype(1).width) + 1;
+        ApInt a = extendTo(operands[0], otype(0), cw);
+        ApInt b = extendTo(operands[1], otype(1), cw);
+        auto pred = static_cast<ICmpPred>(op.intAttr("pred"));
+        return ApInt(1, applyICmp(pred, a, b));
+      }
+
+      case OpKind::HwMux:
+      case OpKind::CombMux:
+        return operands[0].isZero() ? operands[2] : operands[1];
+
+      case OpKind::CoredslCast:
+        return extendTo(operands[0], otype(0), rw);
+
+      case OpKind::CoredslConcat:
+      case OpKind::CombConcat:
+        return operands[0].concat(operands[1]);
+
+      case OpKind::CoredslExtract:
+      case OpKind::CombExtract:
+        return operands[0].extract(unsigned(op.intAttr("lo")), rw);
+
+      case OpKind::CoredslRom:
+      case OpKind::CombRom: {
+        const auto &values = op.romAttr("values");
+        uint64_t index = op.numOperands()
+                             ? (operands[0].activeBits() > 63
+                                    ? values.size()
+                                    : operands[0].toUint64())
+                             : 0;
+        if (index >= values.size())
+            return ApInt(rw, 0);
+        return values[index].zextOrTrunc(rw);
+      }
+
+      case OpKind::CombAdd:
+        return operands[0] + operands[1];
+      case OpKind::CombSub:
+        return operands[0] - operands[1];
+      case OpKind::CombMul:
+        return operands[0] * operands[1];
+      case OpKind::CombDivU:
+        if (operands[1].isZero())
+            return std::nullopt;
+        return operands[0].udiv(operands[1]);
+      case OpKind::CombDivS:
+        if (operands[1].isZero())
+            return std::nullopt;
+        return operands[0].sdiv(operands[1]);
+      case OpKind::CombModU:
+        if (operands[1].isZero())
+            return std::nullopt;
+        return operands[0].urem(operands[1]);
+      case OpKind::CombModS:
+        if (operands[1].isZero())
+            return std::nullopt;
+        return operands[0].srem(operands[1]);
+      case OpKind::CombAnd:
+        return operands[0] & operands[1];
+      case OpKind::CombOr:
+        return operands[0] | operands[1];
+      case OpKind::CombXor:
+        return operands[0] ^ operands[1];
+      case OpKind::CombShl:
+      case OpKind::CombShrU:
+      case OpKind::CombShrS: {
+        uint64_t raw_amount = operands[1].activeBits() > 32
+                                  ? operands[0].width()
+                                  : operands[1].toUint64();
+        unsigned amount = unsigned(std::min<uint64_t>(
+            raw_amount, operands[0].width()));
+        if (op.kind() == OpKind::CombShl)
+            return operands[0].shl(amount);
+        if (op.kind() == OpKind::CombShrU)
+            return operands[0].lshr(amount);
+        return operands[0].ashr(amount);
+      }
+      case OpKind::CombICmp: {
+        auto pred = static_cast<ICmpPred>(op.intAttr("pred"));
+        return ApInt(1, applyICmp(pred, operands[0], operands[1]));
+      }
+      case OpKind::CombReplicate: {
+        ApInt out(rw, 0);
+        if (!operands[0].isZero())
+            out = ApInt::allOnes(rw);
+        return out;
+      }
+
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace ir
+} // namespace longnail

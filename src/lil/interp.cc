@@ -1,0 +1,142 @@
+#include "lil/interp.hh"
+
+#include <map>
+
+#include "ir/eval.hh"
+#include "support/logging.hh"
+
+namespace longnail {
+namespace lil {
+
+using ir::Operation;
+using ir::OpKind;
+using ir::Value;
+
+InterpResult
+interpret(const LilGraph &graph, const InterpInput &input)
+{
+    InterpResult result;
+    std::map<const Value *, ApInt> values;
+    std::map<std::string, ApInt> pending_cust_index;
+
+    auto get = [&](const Value *v) -> const ApInt & {
+        auto it = values.find(v);
+        if (it == values.end())
+            LN_PANIC("interpreter: value %", v->id, " not computed");
+        return it->second;
+    };
+
+    for (const auto &op : graph.graph.ops()) {
+        switch (op->kind()) {
+          case OpKind::LilInstrWord:
+            values[op->result()] = input.instrWord;
+            break;
+          case OpKind::LilReadRs1:
+            values[op->result()] = input.rs1;
+            break;
+          case OpKind::LilReadRs2:
+            values[op->result()] = input.rs2;
+            break;
+          case OpKind::LilReadPC:
+            values[op->result()] = input.pc;
+            break;
+          case OpKind::LilReadMem: {
+            const ApInt &addr = get(op->operand(0));
+            const ApInt &pred = get(op->operand(1));
+            ApInt word(32, 0);
+            if (!pred.isZero()) {
+                result.memReadUsed = true;
+                result.memReadAddr = addr;
+                if (!input.readMem)
+                    LN_PANIC("interpreter: RdMem used but no memory "
+                             "callback provided");
+                word = input.readMem(addr).zextOrTrunc(32);
+            }
+            values[op->result()] = word;
+            break;
+          }
+          case OpKind::LilReadCustReg: {
+            const std::string &reg = op->strAttr("reg");
+            auto it = input.custRegs.find(reg);
+            if (it == input.custRegs.end())
+                LN_PANIC("interpreter: no contents for custom register ",
+                         reg);
+            const ApInt &index = get(op->operand(0));
+            uint64_t i = index.toUint64();
+            ApInt v = i < it->second.size()
+                          ? it->second[i]
+                          : ApInt(op->result()->type.width, 0);
+            values[op->result()] =
+                v.zextOrTrunc(op->result()->type.width);
+            break;
+          }
+          case OpKind::LilWriteRd: {
+            const ApInt &pred = get(op->operand(1));
+            if (!pred.isZero()) {
+                result.rd.enabled = true;
+                result.rd.value = get(op->operand(0)).zextOrTrunc(32);
+            }
+            break;
+          }
+          case OpKind::LilWritePC: {
+            const ApInt &pred = get(op->operand(1));
+            if (!pred.isZero()) {
+                result.pcWrite.enabled = true;
+                result.pcWrite.value =
+                    get(op->operand(0)).zextOrTrunc(32);
+            }
+            break;
+          }
+          case OpKind::LilWriteMem: {
+            const ApInt &pred = get(op->operand(2));
+            if (!pred.isZero()) {
+                result.mem.enabled = true;
+                result.mem.addr = get(op->operand(0)).zextOrTrunc(32);
+                result.mem.value = get(op->operand(1)).zextOrTrunc(32);
+            }
+            break;
+          }
+          case OpKind::LilWriteCustRegAddr:
+            pending_cust_index[op->strAttr("reg")] = get(op->operand(0));
+            break;
+          case OpKind::LilWriteCustRegData: {
+            const std::string &reg = op->strAttr("reg");
+            const ApInt &pred = get(op->operand(1));
+            if (!pred.isZero()) {
+                InterpCustWrite write;
+                write.enabled = true;
+                auto idx = pending_cust_index.find(reg);
+                write.index = idx != pending_cust_index.end()
+                                  ? idx->second
+                                  : ApInt(1, 0);
+                write.value = get(op->operand(0));
+                result.custWrites[reg] = write;
+            }
+            break;
+          }
+          case OpKind::LilSink:
+            break;
+          default: {
+            std::vector<ApInt> operands;
+            operands.reserve(op->numOperands());
+            for (unsigned i = 0; i < op->numOperands(); ++i)
+                operands.push_back(get(op->operand(i)));
+            auto v = ir::evaluate(*op, operands);
+            if (!v) {
+                // Division by zero and friends: hardware produces an
+                // unspecified value; the interpreter defines it as 0.
+                if (op->numResults())
+                    values[op->result()] =
+                        ApInt(op->result()->type.width, 0);
+                break;
+            }
+            values[op->result()] = *v;
+            break;
+          }
+        }
+    }
+    return result;
+}
+
+} // namespace lil
+} // namespace longnail

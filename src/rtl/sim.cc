@@ -1,0 +1,175 @@
+#include "rtl/sim.hh"
+
+#include <algorithm>
+
+#include "ir/eval.hh"
+#include "support/logging.hh"
+
+namespace longnail {
+namespace rtl {
+
+Simulator::Simulator(const Module &module) : module_(module)
+{
+    std::string err = module.verify();
+    if (!err.empty())
+        LN_PANIC("cannot simulate invalid module '", module.name(),
+                 "': ", err);
+    values_.reserve(module.numNets());
+    for (NetId net = 0; net < module.numNets(); ++net)
+        values_.emplace_back(module.widthOf(net), 0);
+    for (size_t i = 0; i < module.nodes().size(); ++i) {
+        if (module.nodes()[i].kind == NodeKind::Register) {
+            regNodes_.push_back(i);
+            regState_.push_back(module.nodes()[i].value);
+        }
+    }
+}
+
+void
+Simulator::reset()
+{
+    for (size_t i = 0; i < regNodes_.size(); ++i)
+        regState_[i] = module_.nodes()[regNodes_[i]].value;
+}
+
+void
+Simulator::setInput(const std::string &name, const ApInt &value)
+{
+    auto net = module_.findInput(name);
+    if (!net)
+        LN_PANIC("module '", module_.name(), "' has no input '", name,
+                 "'");
+    setInput(*net, value);
+}
+
+void
+Simulator::setInput(NetId net, const ApInt &value)
+{
+    values_.at(net) = value.zextOrTrunc(module_.widthOf(net));
+}
+
+void
+Simulator::evalComb()
+{
+    size_t reg_index = 0;
+    for (const Node &node : module_.nodes()) {
+        ApInt &out = values_[node.result];
+        auto in = [&](unsigned i) -> const ApInt & {
+            return values_[node.operands[i]];
+        };
+        switch (node.kind) {
+          case NodeKind::Input:
+            break; // driven externally
+          case NodeKind::Constant:
+            out = node.value;
+            break;
+          case NodeKind::Add:
+            out = in(0) + in(1);
+            break;
+          case NodeKind::Sub:
+            out = in(0) - in(1);
+            break;
+          case NodeKind::Mul:
+            out = in(0) * in(1);
+            break;
+          case NodeKind::DivU:
+            out = in(1).isZero() ? ApInt(out.width(), 0)
+                                 : in(0).udiv(in(1));
+            break;
+          case NodeKind::DivS:
+            out = in(1).isZero() ? ApInt(out.width(), 0)
+                                 : in(0).sdiv(in(1));
+            break;
+          case NodeKind::ModU:
+            out = in(1).isZero() ? ApInt(out.width(), 0)
+                                 : in(0).urem(in(1));
+            break;
+          case NodeKind::ModS:
+            out = in(1).isZero() ? ApInt(out.width(), 0)
+                                 : in(0).srem(in(1));
+            break;
+          case NodeKind::And:
+            out = in(0) & in(1);
+            break;
+          case NodeKind::Or:
+            out = in(0) | in(1);
+            break;
+          case NodeKind::Xor:
+            out = in(0) ^ in(1);
+            break;
+          case NodeKind::Shl:
+          case NodeKind::ShrU:
+          case NodeKind::ShrS: {
+            uint64_t raw = in(1).activeBits() > 32
+                               ? in(0).width()
+                               : in(1).toUint64();
+            unsigned amount = unsigned(
+                std::min<uint64_t>(raw, in(0).width()));
+            if (node.kind == NodeKind::Shl)
+                out = in(0).shl(amount);
+            else if (node.kind == NodeKind::ShrU)
+                out = in(0).lshr(amount);
+            else
+                out = in(0).ashr(amount);
+            break;
+          }
+          case NodeKind::ICmp:
+            out = ApInt(1, ir::applyICmp(node.pred, in(0), in(1)));
+            break;
+          case NodeKind::Mux:
+            out = in(0).isZero() ? in(2) : in(1);
+            break;
+          case NodeKind::Extract:
+            out = in(0).extract(node.lo, out.width());
+            break;
+          case NodeKind::Concat: {
+            ApInt acc = in(node.operands.size() - 1);
+            for (size_t i = node.operands.size() - 1; i-- > 0;)
+                acc = in(i).concat(acc);
+            out = acc;
+            break;
+          }
+          case NodeKind::Replicate:
+            out = in(0).isZero() ? ApInt(out.width(), 0)
+                                 : ApInt::allOnes(out.width());
+            break;
+          case NodeKind::Rom: {
+            uint64_t index = in(0).activeBits() > 63
+                                 ? node.romValues.size()
+                                 : in(0).toUint64();
+            out = index < node.romValues.size()
+                      ? node.romValues[index].zextOrTrunc(out.width())
+                      : ApInt(out.width(), 0);
+            break;
+          }
+          case NodeKind::Register:
+            out = regState_[reg_index++];
+            break;
+        }
+    }
+}
+
+void
+Simulator::clockEdge()
+{
+    for (size_t i = 0; i < regNodes_.size(); ++i) {
+        const Node &node = module_.nodes()[regNodes_[i]];
+        bool enabled = node.operands.size() < 2 ||
+                       !values_[node.operands[1]].isZero();
+        if (enabled)
+            regState_[i] = values_[node.operands[0]];
+    }
+}
+
+const ApInt &
+Simulator::output(const std::string &name) const
+{
+    auto net = module_.findOutput(name);
+    if (!net)
+        LN_PANIC("module '", module_.name(), "' has no output '", name,
+                 "'");
+    return values_.at(*net);
+}
+
+} // namespace rtl
+} // namespace longnail

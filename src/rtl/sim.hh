@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cycle-accurate simulator for netlist Modules. This is the "RTL
+ * simulation" half of the paper's verification story (Sec. 5.3): the
+ * generated ISAX modules execute here, in lock-step with the cycle-
+ * level host-core models.
+ */
+
+#ifndef LONGNAIL_RTL_SIM_HH
+#define LONGNAIL_RTL_SIM_HH
+
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hh"
+#include "support/apint.hh"
+
+namespace longnail {
+namespace rtl {
+
+class Simulator
+{
+  public:
+    explicit Simulator(const Module &module);
+
+    /** Reset all registers to their initial values. */
+    void reset();
+
+    void setInput(const std::string &name, const ApInt &value);
+    void setInput(NetId net, const ApInt &value);
+
+    /**
+     * Evaluate all combinational logic with the current inputs and
+     * register states. Safe to call repeatedly within a cycle.
+     */
+    void evalComb();
+
+    /** Capture register inputs (call after evalComb). */
+    void clockEdge();
+
+    /** evalComb + clockEdge. */
+    void
+    tick()
+    {
+        evalComb();
+        clockEdge();
+    }
+
+    const ApInt &net(NetId id) const { return values_.at(id); }
+    const ApInt &output(const std::string &name) const;
+
+    const Module &module() const { return module_; }
+
+  private:
+    const Module &module_;
+    std::vector<ApInt> values_;    ///< current net values
+    std::vector<ApInt> regState_;  ///< per register node, stored value
+    std::vector<size_t> regNodes_; ///< indices of register nodes
+};
+
+} // namespace rtl
+} // namespace longnail
+
+#endif // LONGNAIL_RTL_SIM_HH

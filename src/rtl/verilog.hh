@@ -1,0 +1,23 @@
+/**
+ * @file
+ * SystemVerilog emission from netlist Modules, in the idiomatic style
+ * of CIRCT's export pipeline (cf. Fig. 5d of the paper).
+ */
+
+#ifndef LONGNAIL_RTL_VERILOG_HH
+#define LONGNAIL_RTL_VERILOG_HH
+
+#include <string>
+
+#include "rtl/netlist.hh"
+
+namespace longnail {
+namespace rtl {
+
+/** Emit @p module as a self-contained SystemVerilog module. */
+std::string emitVerilog(const Module &module);
+
+} // namespace rtl
+} // namespace longnail
+
+#endif // LONGNAIL_RTL_VERILOG_HH

@@ -1,0 +1,403 @@
+#include "rvasm/assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/strings.hh"
+
+namespace longnail {
+namespace rvasm {
+
+namespace {
+
+/** One parsed source statement. */
+struct Statement
+{
+    int line = 0;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+    uint32_t address = 0;
+    unsigned sizeWords = 1;
+};
+
+// Encoding helpers.
+uint32_t
+rType(unsigned funct7, unsigned rs2, unsigned rs1, unsigned funct3,
+      unsigned rd, unsigned opcode)
+{
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           (rd << 7) | opcode;
+}
+
+uint32_t
+iType(int32_t imm, unsigned rs1, unsigned funct3, unsigned rd,
+      unsigned opcode)
+{
+    return (uint32_t(imm & 0xfff) << 20) | (rs1 << 15) | (funct3 << 12) |
+           (rd << 7) | opcode;
+}
+
+uint32_t
+sType(int32_t imm, unsigned rs2, unsigned rs1, unsigned funct3,
+      unsigned opcode)
+{
+    uint32_t u = uint32_t(imm);
+    return (((u >> 5) & 0x7f) << 25) | (rs2 << 20) | (rs1 << 15) |
+           (funct3 << 12) | ((u & 0x1f) << 7) | opcode;
+}
+
+uint32_t
+bType(int32_t imm, unsigned rs2, unsigned rs1, unsigned funct3)
+{
+    uint32_t u = uint32_t(imm);
+    return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25) |
+           (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           (((u >> 1) & 0xf) << 8) | (((u >> 11) & 1) << 7) | 0x63;
+}
+
+uint32_t
+uType(int32_t imm, unsigned rd, unsigned opcode)
+{
+    return (uint32_t(imm) & 0xfffff000u) | (rd << 7) | opcode;
+}
+
+uint32_t
+jType(int32_t imm, unsigned rd)
+{
+    uint32_t u = uint32_t(imm);
+    return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21) |
+           (((u >> 11) & 1) << 20) | (((u >> 12) & 0xff) << 12) |
+           (rd << 7) | 0x6f;
+}
+
+bool
+fitsSigned12(int64_t value)
+{
+    return value >= -2048 && value <= 2047;
+}
+
+} // namespace
+
+int
+Assembler::parseRegister(const std::string &text)
+{
+    static const std::map<std::string, int> abi = {
+        {"zero", 0}, {"ra", 1},  {"sp", 2},   {"gp", 3},  {"tp", 4},
+        {"t0", 5},   {"t1", 6},  {"t2", 7},   {"s0", 8},  {"fp", 8},
+        {"s1", 9},   {"a0", 10}, {"a1", 11},  {"a2", 12}, {"a3", 13},
+        {"a4", 14},  {"a5", 15}, {"a6", 16},  {"a7", 17}, {"s2", 18},
+        {"s3", 19},  {"s4", 20}, {"s5", 21},  {"s6", 22}, {"s7", 23},
+        {"s8", 24},  {"s9", 25}, {"s10", 26}, {"s11", 27}, {"t3", 28},
+        {"t4", 29},  {"t5", 30}, {"t6", 31},
+    };
+    auto it = abi.find(text);
+    if (it != abi.end())
+        return it->second;
+    if (text.size() >= 2 && text[0] == 'x') {
+        int n = 0;
+        for (size_t i = 1; i < text.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(text[i])))
+                return -1;
+            n = n * 10 + (text[i] - '0');
+        }
+        return n <= 31 ? n : -1;
+    }
+    return -1;
+}
+
+void
+Assembler::addCustomMnemonic(const std::string &name,
+                             CustomEncoder encoder)
+{
+    custom_[name] = std::move(encoder);
+}
+
+Program
+Assembler::assemble(const std::string &source, uint32_t base)
+{
+    Program program;
+    program.baseAddr = base;
+
+    auto fail = [&](int line, const std::string &msg) {
+        program.ok = false;
+        program.error = "line " + std::to_string(line) + ": " + msg;
+        return program;
+    };
+
+    // --- pass 1: parse statements, assign addresses, record labels ---
+    std::vector<Statement> statements;
+    uint32_t address = base;
+    int line_no = 0;
+    for (std::string raw : split(source, '\n')) {
+        ++line_no;
+        size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw = raw.substr(0, hash);
+        std::string text = trim(raw);
+        // Labels (possibly several) at line start.
+        while (true) {
+            size_t colon = text.find(':');
+            if (colon == std::string::npos)
+                break;
+            std::string label = trim(text.substr(0, colon));
+            if (label.empty() ||
+                label.find(' ') != std::string::npos)
+                return fail(line_no, "malformed label");
+            if (program.labels.count(label))
+                return fail(line_no, "duplicate label '" + label + "'");
+            program.labels[label] = address;
+            text = trim(text.substr(colon + 1));
+        }
+        if (text.empty())
+            continue;
+
+        Statement stmt;
+        stmt.line = line_no;
+        size_t space = text.find_first_of(" \t");
+        stmt.mnemonic = text.substr(0, space);
+        std::transform(stmt.mnemonic.begin(), stmt.mnemonic.end(),
+                       stmt.mnemonic.begin(), ::tolower);
+        if (space != std::string::npos) {
+            for (const std::string &op :
+                 split(text.substr(space + 1), ','))
+                stmt.operands.push_back(trim(op));
+        }
+        stmt.address = address;
+        // Only 'li' may expand to two words; fixed in pass 1 so label
+        // addresses are stable.
+        if (stmt.mnemonic == "li") {
+            if (stmt.operands.size() != 2)
+                return fail(line_no, "li needs 2 operands");
+            try {
+                int64_t value = std::stoll(stmt.operands[1], nullptr, 0);
+                stmt.sizeWords = fitsSigned12(value) ? 1 : 2;
+            } catch (const std::exception &) {
+                // Probably a label (resolved in pass 2); use the
+                // two-word lui+addi form so any address fits.
+                stmt.sizeWords = 2;
+            }
+        }
+        address += stmt.sizeWords * 4;
+        statements.push_back(std::move(stmt));
+    }
+
+    // --- pass 2: encode -------------------------------------------------
+    auto reg = [&](const Statement &s, unsigned index,
+                   int &out) -> bool {
+        if (index >= s.operands.size())
+            return false;
+        out = parseRegister(s.operands[index]);
+        return out >= 0;
+    };
+    auto immOrLabel = [&](const Statement &s, unsigned index,
+                          int64_t &out) -> bool {
+        if (index >= s.operands.size())
+            return false;
+        const std::string &text = s.operands[index];
+        auto label = program.labels.find(text);
+        if (label != program.labels.end()) {
+            out = int64_t(label->second);
+            return true;
+        }
+        try {
+            size_t pos = 0;
+            out = std::stoll(text, &pos, 0);
+            return pos == text.size();
+        } catch (const std::exception &) {
+            return false;
+        }
+    };
+    // "imm(rs1)" memory operand.
+    auto memOperand = [&](const Statement &s, unsigned index,
+                          int64_t &imm, int &rs1) -> bool {
+        if (index >= s.operands.size())
+            return false;
+        const std::string &text = s.operands[index];
+        size_t open = text.find('(');
+        size_t close = text.find(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open)
+            return false;
+        std::string imm_text = trim(text.substr(0, open));
+        if (imm_text.empty())
+            imm_text = "0";
+        try {
+            imm = std::stoll(imm_text, nullptr, 0);
+        } catch (const std::exception &) {
+            return false;
+        }
+        rs1 = parseRegister(trim(text.substr(open + 1,
+                                             close - open - 1)));
+        return rs1 >= 0;
+    };
+
+    for (const Statement &s : statements) {
+        const std::string &m = s.mnemonic;
+        int rd, rs1, rs2;
+        int64_t imm;
+        auto emit = [&](uint32_t word) {
+            program.words.push_back(word);
+        };
+
+        // Custom ISAX mnemonics take precedence.
+        auto custom = custom_.find(m);
+        if (custom != custom_.end()) {
+            std::string error;
+            auto word = custom->second(s.operands, error);
+            if (!word)
+                return fail(s.line, error.empty() ? "bad operands"
+                                                  : error);
+            emit(*word);
+            continue;
+        }
+
+        if (m == ".word") {
+            if (!immOrLabel(s, 0, imm))
+                return fail(s.line, ".word needs a value");
+            emit(uint32_t(imm));
+        } else if (m == "lui" || m == "auipc") {
+            if (!reg(s, 0, rd) || !immOrLabel(s, 1, imm))
+                return fail(s.line, "bad operands");
+            emit(uType(int32_t(imm << 12), rd,
+                       m == "lui" ? 0x37 : 0x17));
+        } else if (m == "jal") {
+            // jal rd, label  |  jal label (rd = ra)
+            if (s.operands.size() == 1) {
+                rd = 1;
+                if (!immOrLabel(s, 0, imm))
+                    return fail(s.line, "bad jump target");
+            } else {
+                if (!reg(s, 0, rd) || !immOrLabel(s, 1, imm))
+                    return fail(s.line, "bad operands");
+            }
+            emit(jType(int32_t(imm - s.address), unsigned(rd)));
+        } else if (m == "j") {
+            if (!immOrLabel(s, 0, imm))
+                return fail(s.line, "bad jump target");
+            emit(jType(int32_t(imm - s.address), 0));
+        } else if (m == "jalr") {
+            // jalr rd, imm(rs1) | jalr rd, rs1, imm | jalr rs1
+            if (s.operands.size() == 1) {
+                if (!reg(s, 0, rs1))
+                    return fail(s.line, "bad operands");
+                emit(iType(0, unsigned(rs1), 0, 1, 0x67));
+            } else if (memOperand(s, 1, imm, rs1)) {
+                if (!reg(s, 0, rd))
+                    return fail(s.line, "bad operands");
+                emit(iType(int32_t(imm), unsigned(rs1), 0,
+                           unsigned(rd), 0x67));
+            } else {
+                if (!reg(s, 0, rd) || !reg(s, 1, rs1) ||
+                    !immOrLabel(s, 2, imm))
+                    return fail(s.line, "bad operands");
+                emit(iType(int32_t(imm), unsigned(rs1), 0,
+                           unsigned(rd), 0x67));
+            }
+        } else if (m == "ret") {
+            emit(iType(0, 1, 0, 0, 0x67));
+        } else if (m == "beq" || m == "bne" || m == "blt" ||
+                   m == "bge" || m == "bltu" || m == "bgeu") {
+            if (!reg(s, 0, rs1) || !reg(s, 1, rs2) ||
+                !immOrLabel(s, 2, imm))
+                return fail(s.line, "bad operands");
+            unsigned funct3 = m == "beq"    ? 0
+                              : m == "bne"  ? 1
+                              : m == "blt"  ? 4
+                              : m == "bge"  ? 5
+                              : m == "bltu" ? 6
+                                            : 7;
+            emit(bType(int32_t(imm - s.address), unsigned(rs2),
+                       unsigned(rs1), funct3));
+        } else if (m == "beqz" || m == "bnez") {
+            if (!reg(s, 0, rs1) || !immOrLabel(s, 1, imm))
+                return fail(s.line, "bad operands");
+            emit(bType(int32_t(imm - s.address), 0, unsigned(rs1),
+                       m == "beqz" ? 0 : 1));
+        } else if (m == "lb" || m == "lh" || m == "lw" || m == "lbu" ||
+                   m == "lhu") {
+            if (!reg(s, 0, rd) || !memOperand(s, 1, imm, rs1))
+                return fail(s.line, "bad operands");
+            unsigned funct3 = m == "lb"    ? 0
+                              : m == "lh"  ? 1
+                              : m == "lw"  ? 2
+                              : m == "lbu" ? 4
+                                           : 5;
+            emit(iType(int32_t(imm), unsigned(rs1), funct3,
+                       unsigned(rd), 0x03));
+        } else if (m == "sb" || m == "sh" || m == "sw") {
+            if (!reg(s, 0, rs2) || !memOperand(s, 1, imm, rs1))
+                return fail(s.line, "bad operands");
+            unsigned funct3 = m == "sb" ? 0 : m == "sh" ? 1 : 2;
+            emit(sType(int32_t(imm), unsigned(rs2), unsigned(rs1),
+                       funct3, 0x23));
+        } else if (m == "addi" || m == "slti" || m == "sltiu" ||
+                   m == "xori" || m == "ori" || m == "andi") {
+            if (!reg(s, 0, rd) || !reg(s, 1, rs1) ||
+                !immOrLabel(s, 2, imm))
+                return fail(s.line, "bad operands");
+            unsigned funct3 = m == "addi"    ? 0
+                              : m == "slti"  ? 2
+                              : m == "sltiu" ? 3
+                              : m == "xori"  ? 4
+                              : m == "ori"   ? 6
+                                             : 7;
+            emit(iType(int32_t(imm), unsigned(rs1), funct3,
+                       unsigned(rd), 0x13));
+        } else if (m == "slli" || m == "srli" || m == "srai") {
+            if (!reg(s, 0, rd) || !reg(s, 1, rs1) ||
+                !immOrLabel(s, 2, imm))
+                return fail(s.line, "bad operands");
+            unsigned funct3 = m == "slli" ? 1 : 5;
+            unsigned funct7 = m == "srai" ? 0x20 : 0;
+            emit(rType(funct7, unsigned(imm) & 31, unsigned(rs1),
+                       funct3, unsigned(rd), 0x13));
+        } else if (m == "add" || m == "sub" || m == "sll" ||
+                   m == "slt" || m == "sltu" || m == "xor" ||
+                   m == "srl" || m == "sra" || m == "or" ||
+                   m == "and") {
+            if (!reg(s, 0, rd) || !reg(s, 1, rs1) || !reg(s, 2, rs2))
+                return fail(s.line, "bad operands");
+            unsigned funct3 = m == "add" || m == "sub" ? 0
+                              : m == "sll"             ? 1
+                              : m == "slt"             ? 2
+                              : m == "sltu"            ? 3
+                              : m == "xor"             ? 4
+                              : m == "srl" || m == "sra" ? 5
+                              : m == "or"              ? 6
+                                                       : 7;
+            unsigned funct7 = (m == "sub" || m == "sra") ? 0x20 : 0;
+            emit(rType(funct7, unsigned(rs2), unsigned(rs1), funct3,
+                       unsigned(rd), 0x33));
+        } else if (m == "mv") {
+            if (!reg(s, 0, rd) || !reg(s, 1, rs1))
+                return fail(s.line, "bad operands");
+            emit(iType(0, unsigned(rs1), 0, unsigned(rd), 0x13));
+        } else if (m == "li") {
+            if (!reg(s, 0, rd) || !immOrLabel(s, 1, imm))
+                return fail(s.line, "bad operands");
+            if (s.sizeWords == 1) {
+                emit(iType(int32_t(imm), 0, 0, unsigned(rd), 0x13));
+            } else {
+                uint32_t value = uint32_t(imm);
+                uint32_t hi = (value + 0x800) & 0xfffff000u;
+                int32_t lo = int32_t(value - hi);
+                emit(uType(int32_t(hi), unsigned(rd), 0x37));
+                emit(iType(lo, unsigned(rd), 0, unsigned(rd), 0x13));
+            }
+        } else if (m == "nop") {
+            emit(iType(0, 0, 0, 0, 0x13));
+        } else if (m == "ecall") {
+            emit(0x00000073);
+        } else if (m == "ebreak") {
+            emit(0x00100073);
+        } else {
+            return fail(s.line, "unknown mnemonic '" + m + "'");
+        }
+    }
+
+    program.ok = true;
+    return program;
+}
+
+} // namespace rvasm
+} // namespace longnail

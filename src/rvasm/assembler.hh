@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A small two-pass RV32I assembler for writing the hand-written test
+ * programs used to verify the extended cores (paper Sec. 5.3).
+ *
+ * Supported: the RV32I base mnemonics, common pseudo-instructions
+ * (nop, mv, li, j, ret, beqz, bnez), labels, '#' comments, the .word
+ * directive, and user-registered custom mnemonics for ISAX
+ * instructions.
+ */
+
+#ifndef LONGNAIL_RVASM_ASSEMBLER_HH
+#define LONGNAIL_RVASM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace longnail {
+namespace rvasm {
+
+/** Result of assembling one source buffer. */
+struct Program
+{
+    bool ok = false;
+    std::string error;
+    uint32_t baseAddr = 0;
+    std::vector<uint32_t> words;
+    std::map<std::string, uint32_t> labels;
+};
+
+/**
+ * Encoder callback for a custom mnemonic: receives the parsed operand
+ * strings (registers still in textual form) and returns the encoded
+ * instruction word, or nullopt with @p error set.
+ */
+using CustomEncoder = std::function<std::optional<uint32_t>(
+    const std::vector<std::string> &operands, std::string &error)>;
+
+class Assembler
+{
+  public:
+    /** Register an ISAX mnemonic. */
+    void addCustomMnemonic(const std::string &name,
+                           CustomEncoder encoder);
+
+    /** Assemble @p source at @p base address. */
+    Program assemble(const std::string &source, uint32_t base = 0);
+
+    /** Parse a register name (x0..x31 or ABI name); -1 if invalid. */
+    static int parseRegister(const std::string &text);
+
+  private:
+    std::map<std::string, CustomEncoder> custom_;
+};
+
+} // namespace rvasm
+} // namespace longnail
+
+#endif // LONGNAIL_RVASM_ASSEMBLER_HH

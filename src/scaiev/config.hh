@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The SCAIE-V configuration file (Figs. 8/9): Longnail's output
+ * metadata telling SCAIE-V which ISAX-internal state to instantiate,
+ * the instruction encodings, and the computed interface schedule.
+ */
+
+#ifndef LONGNAIL_SCAIEV_CONFIG_HH
+#define LONGNAIL_SCAIEV_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "scaiev/interface.hh"
+#include "support/yaml.hh"
+
+namespace longnail {
+namespace scaiev {
+
+/** Request for a SCAIE-V-managed custom register (file). */
+struct ConfigRegister
+{
+    std::string name;
+    unsigned width = 32;
+    uint64_t elements = 1;
+};
+
+/** One scheduled sub-interface use of a functionality. */
+struct ScheduledUse
+{
+    SubInterface iface = SubInterface::RdInstr;
+    /** Custom register name for the RdCustReg/WrCustReg interfaces. */
+    std::string reg;
+    int stage = 0;
+    bool hasValid = false;
+    ExecutionMode mode = ExecutionMode::InPipeline;
+
+    /** Fig. 8 display name, e.g. "RdCOUNT" or "WrCOUNT.addr". */
+    std::string displayName() const;
+};
+
+/** One instruction or always-block. */
+struct ConfigFunctionality
+{
+    std::string name;
+    bool isAlways = false;
+    /** 32-char encoding pattern; empty for always-blocks. */
+    std::string mask;
+    std::vector<ScheduledUse> schedule;
+};
+
+/** A complete configuration file. */
+struct ScaievConfig
+{
+    std::string isaxName;
+    std::string coreName;
+    std::vector<ConfigRegister> registers;
+    std::vector<ConfigFunctionality> functionality;
+
+    yaml::Node toYaml() const;
+    std::string emit() const { return toYaml().emit(); }
+    static ScaievConfig fromYaml(const yaml::Node &node);
+
+    const ConfigFunctionality *find(const std::string &name) const;
+};
+
+} // namespace scaiev
+} // namespace longnail
+
+#endif // LONGNAIL_SCAIEV_CONFIG_HH

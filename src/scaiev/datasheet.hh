@@ -1,0 +1,81 @@
+/**
+ * @file
+ * SCAIE-V virtual datasheets (Sec. 3.1, Fig. 9): the vendor-neutral
+ * characterization of a host core's microarchitecture that Longnail's
+ * scheduler consumes. A datasheet gives, per sub-interface, the
+ * earliest and latest pipeline stage (relative to time step 0 = fetch)
+ * in which the interface may be used, plus the operation latency.
+ *
+ * Built-in datasheets model the paper's four evaluation cores:
+ * ORCA (5-stage), Piccolo (3-stage), PicoRV32 (multi-cycle FSM) and
+ * VexRiscv (5-stage). Anchors from the paper: VexRiscv offers the
+ * instruction word in stages 1..4 and the register file in stages 2..4
+ * (Sec. 4.2 / Fig. 9); ORCA reads operands in stage 3 and expects the
+ * writeback in the following stage, with a forwarding path from the
+ * last stage (Sec. 5.4); baseline area/frequency are Table 4's values.
+ */
+
+#ifndef LONGNAIL_SCAIEV_DATASHEET_HH
+#define LONGNAIL_SCAIEV_DATASHEET_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scaiev/interface.hh"
+#include "support/yaml.hh"
+
+namespace longnail {
+namespace scaiev {
+
+/** Availability window and latency of one sub-interface. */
+struct InterfaceTiming
+{
+    int earliest = 0;
+    int latest = 0; ///< native latest stage (inclusive)
+    unsigned latency = 0;
+};
+
+/** Virtual datasheet of one host core. */
+struct Datasheet
+{
+    std::string coreName;
+    unsigned numStages = 5;
+    /** False for FSM-sequenced cores (PicoRV32). */
+    bool pipelined = true;
+    /**
+     * True if the core forwards results from the last stage into the
+     * operand-read stage (ORCA); late-scheduled ISAX logic then joins
+     * the forwarding path and stretches the critical path (Sec. 5.4).
+     */
+    bool forwardsFromLastStage = false;
+    /** Operand-read stage (target of the forwarding path). */
+    unsigned operandStage = 2;
+    /** Memory-access stage. */
+    unsigned memoryStage = 3;
+
+    /** Baseline ASIC results (Table 4). */
+    double baseAreaUm2 = 0.0;
+    double baseFreqMhz = 0.0;
+
+    std::map<SubInterface, InterfaceTiming> timings;
+
+    double cycleTimeNs() const { return 1000.0 / baseFreqMhz; }
+
+    const InterfaceTiming &timing(SubInterface iface) const;
+
+    /** Serialize to the YAML format of Fig. 9. */
+    yaml::Node toYaml() const;
+    /** Parse from YAML; throws std::runtime_error on malformed input. */
+    static Datasheet fromYaml(const yaml::Node &node);
+
+    /** Built-in datasheet for one of the four evaluation cores. */
+    static const Datasheet &forCore(const std::string &name);
+    /** Names of all built-in cores. */
+    static std::vector<std::string> knownCores();
+};
+
+} // namespace scaiev
+} // namespace longnail
+
+#endif // LONGNAIL_SCAIEV_DATASHEET_HH

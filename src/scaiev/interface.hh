@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SCAIE-V sub-interface definitions (Table 1 of the paper) and the
+ * execution modes of Sec. 3.2.
+ */
+
+#ifndef LONGNAIL_SCAIEV_INTERFACE_HH
+#define LONGNAIL_SCAIEV_INTERFACE_HH
+
+#include <optional>
+#include <string>
+
+#include "ir/ir.hh"
+
+namespace longnail {
+namespace scaiev {
+
+/**
+ * The sub-interface operations a SCAIE-V-enabled core offers
+ * (Table 1). Custom-register interfaces are instantiated per register
+ * on demand; stall/flush signals are per-stage and managed by the
+ * integration layer, not scheduled by Longnail.
+ */
+enum class SubInterface
+{
+    RdInstr,
+    RdRS1,
+    RdRS2,
+    RdCustReg,
+    RdPC,
+    RdMem,
+    WrRD,
+    WrCustRegAddr,
+    WrCustRegData,
+    WrPC,
+    WrMem,
+};
+
+const char *subInterfaceName(SubInterface iface);
+
+/** The sub-interface exercised by a lil.* operation, if any. */
+std::optional<SubInterface> subInterfaceFor(ir::OpKind kind);
+
+/** True for the interfaces that update architectural state. */
+bool isWriteInterface(SubInterface iface);
+
+/**
+ * Execution modes (Sec. 3.2). In-pipeline and always are available for
+ * all sub-interfaces; tightly-coupled and decoupled only for WrRD,
+ * RdMem and WrMem.
+ */
+enum class ExecutionMode
+{
+    InPipeline,
+    TightlyCoupled,
+    Decoupled,
+    Always,
+};
+
+const char *executionModeName(ExecutionMode mode);
+
+/** True if @p iface supports the tightly-coupled/decoupled variants. */
+bool supportsLateVariants(SubInterface iface);
+
+} // namespace scaiev
+} // namespace longnail
+
+#endif // LONGNAIL_SCAIEV_INTERFACE_HH

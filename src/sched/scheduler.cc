@@ -1,0 +1,298 @@
+#include "sched/scheduler.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "scaiev/interface.hh"
+#include "sched/lpsolver.hh"
+#include "support/logging.hh"
+
+namespace longnail {
+namespace sched {
+
+using ir::OpKind;
+using scaiev::SubInterface;
+
+int
+BuiltProblem::startTimeOf(const ir::Operation *op) const
+{
+    auto it = indexOf.find(op);
+    if (it == indexOf.end())
+        LN_PANIC("operation not part of the scheduling problem");
+    return problem.operation(it->second).startTime.value_or(-1);
+}
+
+BuiltProblem
+buildProblem(const lil::LilGraph &graph, const scaiev::Datasheet &core,
+             const TechLibrary &tech, double cycle_time_ns)
+{
+    BuiltProblem built;
+    LongnailProblem &problem = built.problem;
+    problem.setCycleTime(cycle_time_ns > 0.0 ? cycle_time_ns
+                                             : core.cycleTimeNs());
+
+    for (const auto &op : graph.graph.ops()) {
+        OperatorType type;
+        type.name = op->name();
+        OpTiming timing = tech.timing(*op);
+        type.latency = timing.latency;
+        type.outgoingDelay = timing.delayNs;
+
+        if (auto iface = scaiev::subInterfaceFor(op->kind())) {
+            const scaiev::InterfaceTiming &t = core.timing(*iface);
+            if (graph.isAlways) {
+                // Sec. 4.4: all interface constraints are at stage 0;
+                // solving merely checks single-cycle feasibility.
+                type.earliest = 0;
+                type.latest = 0;
+            } else {
+                type.earliest = t.earliest;
+                type.latest = t.latest;
+                // Sec. 4.2: allow late scheduling for the interfaces
+                // with tightly-coupled/decoupled variants.
+                if (scaiev::supportsLateVariants(*iface))
+                    type.latest = noUpperBound;
+            }
+            type.latency = std::max(type.latency, t.latency);
+        }
+
+        unsigned type_id = problem.addOperatorType(type);
+        sched::Operation sop;
+        sop.name = std::string(op->name()) + "#" +
+                   std::to_string(problem.numOperations());
+        sop.linkedOperatorType = type_id;
+        unsigned index = problem.addOperation(sop);
+        built.irOps.push_back(op.get());
+        built.indexOf[op.get()] = index;
+    }
+
+    // Dependences (deduplicated per (from, to) pair).
+    std::set<std::pair<unsigned, unsigned>> seen;
+    for (const auto &op : graph.graph.ops()) {
+        unsigned to = built.indexOf.at(op.get());
+        for (unsigned i = 0; i < op->numOperands(); ++i) {
+            const ir::Operation *def = op->operand(i)->owner;
+            auto it = built.indexOf.find(def);
+            if (it == built.indexOf.end())
+                LN_PANIC("operand defined outside the graph");
+            if (seen.emplace(it->second, to).second)
+                problem.addDependence(it->second, to);
+        }
+    }
+    return built;
+}
+
+void
+computeChainBreakers(ChainingProblem &problem)
+{
+    double cycle = problem.cycleTime();
+    if (cycle <= 0.0)
+        return;
+
+    size_t n = problem.numOperations();
+    std::vector<std::vector<unsigned>> preds(n);
+    for (const auto &dep : problem.dependences())
+        preds[dep.to].push_back(dep.from);
+
+    // Accumulated combinational depth at each operation's output,
+    // assuming greedy same-cycle placement (operations are in
+    // topological order).
+    std::vector<double> acc(n, 0.0);
+    for (unsigned i = 0; i < n; ++i) {
+        const OperatorType &type =
+            problem.operatorTypeOf(problem.operation(i));
+        double d = type.outgoingDelay;
+        double max_contrib = 0.0;
+        std::vector<std::pair<unsigned, double>> contribs;
+        for (unsigned p : preds[i]) {
+            const OperatorType &ptype =
+                problem.operatorTypeOf(problem.operation(p));
+            double contrib = ptype.latency == 0 ? acc[p]
+                                                : ptype.outgoingDelay;
+            contribs.emplace_back(p, contrib);
+            max_contrib = std::max(max_contrib, contrib);
+        }
+        if (max_contrib + d > cycle) {
+            // Break the critical incoming chains; registered inputs
+            // (latency > 0) cannot be broken further.
+            double remaining = 0.0;
+            for (auto &[p, contrib] : contribs) {
+                const OperatorType &ptype =
+                    problem.operatorTypeOf(problem.operation(p));
+                if (contrib + d > cycle && ptype.latency == 0 &&
+                    contrib > 0.0) {
+                    problem.addChainBreaker(p, i);
+                } else {
+                    remaining = std::max(remaining, contrib);
+                }
+            }
+            acc[i] = remaining + d;
+        } else {
+            acc[i] = max_contrib + d;
+        }
+    }
+}
+
+namespace {
+
+/** Objective weights of Fig. 7 after lifetime substitution. */
+std::vector<int64_t>
+objectiveWeights(const LongnailProblem &problem)
+{
+    // sum_i t_i + sum_(i->j) (t_j - t_i)
+    //   = sum_i (1 + indeg(i) - outdeg(i)) * t_i.
+    std::vector<int64_t> w(problem.numOperations(), 1);
+    for (const auto &dep : problem.dependences()) {
+        ++w[dep.to];
+        --w[dep.from];
+    }
+    return w;
+}
+
+} // namespace
+
+std::string
+scheduleOptimal(LongnailProblem &problem)
+{
+    std::string input_error = problem.checkInput();
+    if (!input_error.empty())
+        return input_error;
+
+    DifferenceLP lp(problem.numOperations());
+    lp.weights = objectiveWeights(problem);
+    // Secondary objective: among the (often many) optima of Fig. 7's
+    // objective, prefer *later* start times -- values are then produced
+    // closer to their consumers, which saves pipeline registers (and
+    // matches the paper's Fig. 5d, where the operand reads happen in
+    // stage 2 rather than the earliest possible stage). The primary
+    // objective is scaled so it always dominates.
+    constexpr int64_t primaryScale = 1024;
+    for (auto &w : lp.weights)
+        w = w * primaryScale - 1;
+    for (unsigned i = 0; i < problem.numOperations(); ++i) {
+        const OperatorType &type =
+            problem.operatorTypeOf(problem.operation(i));
+        lp.lower[i] = std::max(0, type.earliest); // C3, C4
+        lp.upper[i] = type.latest == noUpperBound
+                          ? DifferenceLP::unbounded
+                          : type.latest;
+    }
+    for (const auto &dep : problem.dependences()) { // C1
+        const OperatorType &type =
+            problem.operatorTypeOf(problem.operation(dep.from));
+        lp.addConstraint(dep.from, dep.to, int(type.latency));
+    }
+    for (const auto &dep : problem.chainBreakers()) { // C5
+        const OperatorType &type =
+            problem.operatorTypeOf(problem.operation(dep.from));
+        lp.addConstraint(dep.from, dep.to, int(type.latency) + 1);
+    }
+
+    LPResult result = solveDifferenceLP(lp);
+    if (result.status == LPResult::Status::Infeasible)
+        return "no feasible schedule: the interface windows and "
+               "dependences are contradictory";
+    if (result.status == LPResult::Status::Unbounded)
+        return "scheduling LP is unbounded (internal error)";
+
+    for (unsigned i = 0; i < problem.numOperations(); ++i)
+        problem.operation(i).startTime = result.values[i];
+    problem.computeStartTimesInCycle();
+    return "";
+}
+
+std::string
+scheduleAsap(LongnailProblem &problem)
+{
+    std::string input_error = problem.checkInput();
+    if (!input_error.empty())
+        return input_error;
+
+    size_t n = problem.numOperations();
+    std::vector<int> start(n, 0);
+    for (unsigned i = 0; i < n; ++i) {
+        const OperatorType &type =
+            problem.operatorTypeOf(problem.operation(i));
+        start[i] = std::max(0, type.earliest);
+    }
+    // Operations are topologically ordered; one forward pass suffices.
+    auto relax = [&](const Dependence &dep, int extra) {
+        const OperatorType &type =
+            problem.operatorTypeOf(problem.operation(dep.from));
+        start[dep.to] = std::max(start[dep.to],
+                                 start[dep.from] +
+                                     int(type.latency) + extra);
+    };
+    // Dependences and chain breakers may interleave; iterate to a
+    // fixpoint (bounded by n rounds).
+    for (unsigned round = 0; round < n + 1; ++round) {
+        bool changed = false;
+        std::vector<int> before = start;
+        for (const auto &dep : problem.dependences())
+            relax(dep, 0);
+        for (const auto &dep : problem.chainBreakers())
+            relax(dep, 1);
+        changed = before != start;
+        if (!changed)
+            break;
+    }
+    for (unsigned i = 0; i < n; ++i) {
+        const OperatorType &type =
+            problem.operatorTypeOf(problem.operation(i));
+        if (type.latest != noUpperBound && start[i] > type.latest)
+            return "operation '" + problem.operation(i).name +
+                   "' cannot meet its latest stage " +
+                   std::to_string(type.latest);
+        problem.operation(i).startTime = start[i];
+    }
+    problem.computeStartTimesInCycle();
+    return "";
+}
+
+} // namespace sched
+} // namespace longnail
+
+namespace longnail {
+namespace sched {
+
+unsigned
+sinkZeroDelayOps(LongnailProblem &problem)
+{
+    size_t n = problem.numOperations();
+    std::vector<std::vector<unsigned>> succs(n);
+    for (const auto &dep : problem.dependences())
+        succs[dep.from].push_back(dep.to);
+    std::vector<bool> pinned(n, false);
+    for (const auto &dep : problem.chainBreakers()) {
+        pinned[dep.from] = true;
+        pinned[dep.to] = true;
+    }
+    unsigned moved = 0;
+    // Reverse order: consumers first, so chains of wiring sink as a
+    // whole.
+    for (size_t i = n; i-- > 0;) {
+        Operation &op = problem.operation(unsigned(i));
+        const OperatorType &type = problem.operatorTypeOf(op);
+        if (pinned[i] || type.latency != 0 || type.outgoingDelay != 0.0)
+            continue;
+        if (succs[i].empty() || !op.startTime)
+            continue;
+        int target = std::numeric_limits<int>::max();
+        for (unsigned j : succs[i])
+            target = std::min(target,
+                              problem.operation(j).startTime.value_or(
+                                  *op.startTime));
+        if (type.latest != noUpperBound)
+            target = std::min(target, type.latest);
+        if (target > *op.startTime) {
+            op.startTime = target;
+            ++moved;
+        }
+    }
+    if (moved)
+        problem.computeStartTimesInCycle();
+    return moved;
+}
+
+} // namespace sched
+} // namespace longnail

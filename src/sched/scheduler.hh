@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Problem construction and the Longnail schedulers (Secs. 4.2-4.4).
+ *
+ * buildProblem() turns a LIL graph plus a core's virtual datasheet and
+ * a technology characterization into a LongnailProblem; the interface
+ * windows come from the datasheet, with latest = infinity for WrRD,
+ * RdMem and WrMem to unlock the tightly-coupled/decoupled variants
+ * (Sec. 4.2). computeChainBreakers() distributes long combinational
+ * chains over multiple time steps. scheduleOptimal() solves the ILP of
+ * Fig. 7 exactly; scheduleAsap() is the greedy baseline.
+ */
+
+#ifndef LONGNAIL_SCHED_SCHEDULER_HH
+#define LONGNAIL_SCHED_SCHEDULER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lil/lil.hh"
+#include "scaiev/datasheet.hh"
+#include "sched/problem.hh"
+#include "sched/techlib.hh"
+
+namespace longnail {
+namespace sched {
+
+/** A LongnailProblem plus the mapping back to LIL operations. */
+struct BuiltProblem
+{
+    LongnailProblem problem;
+    /** IR op per problem operation (index-aligned); may be null. */
+    std::vector<const ir::Operation *> irOps;
+    std::map<const ir::Operation *, unsigned> indexOf;
+
+    /** Scheduled start time of an IR op; ops are scheduled after
+     * solving. */
+    int startTimeOf(const ir::Operation *op) const;
+};
+
+/**
+ * Construct the scheduling problem for @p graph targeting @p core.
+ * @p cycle_time_ns limits combinational chains; pass 0 to use the
+ * core's native cycle time.
+ */
+BuiltProblem buildProblem(const lil::LilGraph &graph,
+                          const scaiev::Datasheet &core,
+                          const TechLibrary &tech,
+                          double cycle_time_ns = 0.0);
+
+/**
+ * Compute chain-breaking dependences so that no combinational chain
+ * exceeds the problem's cycle time (C5 of Fig. 7). Chains through
+ * operations whose single delay already exceeds the cycle time cannot
+ * be broken; these remain and surface as reduced fmax in the ASIC
+ * timing analysis.
+ */
+void computeChainBreakers(ChainingProblem &problem);
+
+/**
+ * Solve the ILP of Fig. 7 exactly (objective: sum of start times plus
+ * lifetimes, constraints C1-C5).
+ * @return empty string on success, else the infeasibility reason.
+ */
+std::string scheduleOptimal(LongnailProblem &problem);
+
+/**
+ * ASAP list-scheduling baseline: every operation starts as early as
+ * its window and operands allow.
+ * @return empty string on success, else the infeasibility reason.
+ */
+std::string scheduleAsap(LongnailProblem &problem);
+
+/**
+ * Post-scheduling cleanup: sink zero-delay, zero-latency operations
+ * (wiring: extracts, concats, constant shifts) to their earliest
+ * consumer's time step. The Fig. 7 objective is bitwidth-blind and its
+ * start-time term can favor placing free operations early, which would
+ * make hardware generation pipeline their results over many stages;
+ * sinking lets shared operand values be piped once instead. Operations
+ * participating in chain-breaker edges keep their start times.
+ * @return number of operations moved.
+ */
+unsigned sinkZeroDelayOps(LongnailProblem &problem);
+
+} // namespace sched
+} // namespace longnail
+
+#endif // LONGNAIL_SCHED_SCHEDULER_HH

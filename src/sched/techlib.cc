@@ -1,0 +1,187 @@
+#include "sched/techlib.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace longnail {
+namespace sched {
+
+using ir::Operation;
+using ir::OpKind;
+
+namespace {
+
+double
+log2ceil(unsigned w)
+{
+    return std::ceil(std::log2(std::max(2u, w)));
+}
+
+/** True if operand @p i of @p op is a constant (free in hardware). */
+bool
+operandIsConstant(const Operation &op, unsigned i)
+{
+    if (i >= op.numOperands())
+        return false;
+    OpKind k = op.operand(i)->owner->kind();
+    return k == OpKind::CombConstant || k == OpKind::HwConstant;
+}
+
+unsigned
+resultWidth(const Operation &op)
+{
+    return op.numResults() ? op.result()->type.width : 1;
+}
+
+} // namespace
+
+double
+TechLibrary::physicalDelayNs(const Operation &op) const
+{
+    unsigned w = resultWidth(op);
+    switch (op.kind()) {
+      case OpKind::CombAdd:
+      case OpKind::CombSub:
+        // Carry-lookahead-style: logarithmic in the width.
+        return 0.06 + 0.025 * log2ceil(w);
+      case OpKind::CombMul:
+        return 0.25 + 0.060 * log2ceil(w);
+      case OpKind::CombDivU:
+      case OpKind::CombDivS:
+      case OpKind::CombModU:
+      case OpKind::CombModS:
+        // Combinational divider: linear in the width.
+        return 0.5 + 0.09 * w;
+      case OpKind::CombICmp:
+        return 0.05 + 0.020 * log2ceil(w == 1 && op.numOperands()
+                                           ? op.operand(0)->type.width
+                                           : w);
+      case OpKind::CombAnd:
+      case OpKind::CombOr:
+      case OpKind::CombXor:
+        return 0.035;
+      case OpKind::CombMux:
+        return 0.05;
+      case OpKind::CombShl:
+      case OpKind::CombShrU:
+      case OpKind::CombShrS:
+        // Constant shift amounts are wiring; dynamic ones are barrel
+        // shifters with log2(w) mux levels.
+        if (operandIsConstant(op, 1))
+            return 0.0;
+        return 0.05 * log2ceil(w);
+      case OpKind::CombRom: {
+        size_t entries = op.romAttr("values").size();
+        return 0.12 + 0.025 * log2ceil(unsigned(entries));
+      }
+      case OpKind::CombConstant:
+      case OpKind::CombExtract:
+      case OpKind::CombConcat:
+      case OpKind::CombReplicate:
+        return 0.0; // wiring only
+      // Sub-interface operations: port arrival/setup margins.
+      case OpKind::LilInstrWord:
+      case OpKind::LilReadRs1:
+      case OpKind::LilReadRs2:
+      case OpKind::LilReadPC:
+      case OpKind::LilReadCustReg:
+        return 0.20;
+      case OpKind::LilReadMem:
+        return 0.25;
+      case OpKind::LilWriteRd:
+      case OpKind::LilWritePC:
+      case OpKind::LilWriteMem:
+      case OpKind::LilWriteCustRegAddr:
+      case OpKind::LilWriteCustRegData:
+        return 0.10;
+      default:
+        return 0.1;
+    }
+}
+
+OpTiming
+TechLibrary::timing(const Operation &op) const
+{
+    OpTiming t;
+    // Memory reads deliver their data one cycle after the request.
+    if (op.kind() == OpKind::LilReadMem)
+        t.latency = 1;
+
+    if (mode_ == TimingMode::Library) {
+        t.delayNs = physicalDelayNs(op);
+        return t;
+    }
+    // Uniform mode (paper Sec. 4.2): every logic operation costs one
+    // uniform delay unit; pure wiring (including shifts by constants)
+    // is free.
+    switch (op.kind()) {
+      case OpKind::CombConstant:
+      case OpKind::CombExtract:
+      case OpKind::CombConcat:
+      case OpKind::CombReplicate:
+        t.delayNs = 0.0;
+        break;
+      case OpKind::CombShl:
+      case OpKind::CombShrU:
+      case OpKind::CombShrS:
+        t.delayNs = operandIsConstant(op, 1) ? 0.0 : uniformDelayNs();
+        break;
+      default:
+        t.delayNs = uniformDelayNs();
+        break;
+    }
+    return t;
+}
+
+double
+TechLibrary::areaUm2(const Operation &op) const
+{
+    unsigned w = resultWidth(op);
+    switch (op.kind()) {
+      case OpKind::CombAdd:
+      case OpKind::CombSub:
+        return 0.30 * w;
+      case OpKind::CombMul: {
+        unsigned lw = op.operand(0)->type.width;
+        unsigned rw = op.operand(1)->type.width;
+        return 0.20 * lw * rw;
+      }
+      case OpKind::CombDivU:
+      case OpKind::CombDivS:
+      case OpKind::CombModU:
+      case OpKind::CombModS:
+        return 2.4 * w * w / 8.0;
+      case OpKind::CombICmp: {
+        unsigned ow = op.numOperands() ? op.operand(0)->type.width : w;
+        return 0.25 * ow;
+      }
+      case OpKind::CombAnd:
+      case OpKind::CombOr:
+      case OpKind::CombXor:
+        return 0.15 * w;
+      case OpKind::CombMux:
+        return 0.25 * w;
+      case OpKind::CombShl:
+      case OpKind::CombShrU:
+      case OpKind::CombShrS:
+        if (operandIsConstant(op, 1))
+            return 0.0;
+        return 0.25 * w * log2ceil(w);
+      case OpKind::CombRom: {
+        size_t entries = op.romAttr("values").size();
+        // LUT-style mapping: ~area per stored bit.
+        return 0.05 * double(entries) * w;
+      }
+      case OpKind::CombConstant:
+      case OpKind::CombExtract:
+      case OpKind::CombConcat:
+      case OpKind::CombReplicate:
+        return 0.0;
+      default:
+        // Interface ops: handshake/driver logic.
+        return 3.0;
+    }
+}
+
+} // namespace sched
+} // namespace longnail

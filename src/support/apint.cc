@@ -1,0 +1,522 @@
+#include "support/apint.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/logging.hh"
+
+namespace longnail {
+
+size_t
+ApInt::wordsForBits(unsigned bits)
+{
+    return (bits + wordBits - 1) / wordBits;
+}
+
+ApInt::ApInt(unsigned width, uint64_t value) : width_(width)
+{
+    if (width == 0 || width > maxWidth)
+        LN_PANIC("invalid ApInt width ", width);
+    words_.assign(wordsForBits(width), 0);
+    words_[0] = value;
+    clearUnusedBits();
+}
+
+ApInt
+ApInt::fromInt64(unsigned width, int64_t value)
+{
+    ApInt r(width);
+    uint64_t fill = value < 0 ? ~uint64_t(0) : 0;
+    for (size_t i = 0; i < r.words_.size(); ++i)
+        r.words_[i] = fill;
+    r.words_[0] = static_cast<uint64_t>(value);
+    r.clearUnusedBits();
+    return r;
+}
+
+ApInt
+ApInt::fromString(const std::string &text, unsigned radix)
+{
+    if (radix != 2 && radix != 8 && radix != 10 && radix != 16)
+        LN_PANIC("unsupported radix ", radix);
+
+    // Generous initial width; callers shrink via activeBits().
+    unsigned bits_per_digit = radix == 2 ? 1 : radix == 8 ? 3 : 4;
+    unsigned est = std::max<unsigned>(1, text.size() * bits_per_digit + 1);
+    ApInt r(std::min(est, maxWidth));
+    ApInt radix_val(r.width(), radix);
+
+    for (char c : text) {
+        if (c == '_')
+            continue;
+        unsigned digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            LN_PANIC("bad digit '", c, "' in integer literal");
+        if (digit >= radix)
+            LN_PANIC("digit '", c, "' out of range for radix ", radix);
+        r = r * radix_val + ApInt(r.width(), digit);
+    }
+
+    unsigned active = std::max(1u, r.activeBits());
+    return r.trunc(active);
+}
+
+ApInt
+ApInt::allOnes(unsigned width)
+{
+    ApInt r(width);
+    for (auto &w : r.words_)
+        w = ~uint64_t(0);
+    r.clearUnusedBits();
+    return r;
+}
+
+ApInt
+ApInt::oneBit(unsigned width, unsigned pos)
+{
+    ApInt r(width);
+    r.setBit(pos, true);
+    return r;
+}
+
+void
+ApInt::clearUnusedBits()
+{
+    unsigned used = width_ % wordBits;
+    if (used != 0)
+        words_.back() &= (~uint64_t(0)) >> (wordBits - used);
+}
+
+bool
+ApInt::getBit(unsigned pos) const
+{
+    if (pos >= width_)
+        LN_PANIC("bit index ", pos, " out of range for width ", width_);
+    return (words_[pos / wordBits] >> (pos % wordBits)) & 1;
+}
+
+void
+ApInt::setBit(unsigned pos, bool value)
+{
+    if (pos >= width_)
+        LN_PANIC("bit index ", pos, " out of range for width ", width_);
+    uint64_t mask = uint64_t(1) << (pos % wordBits);
+    if (value)
+        words_[pos / wordBits] |= mask;
+    else
+        words_[pos / wordBits] &= ~mask;
+}
+
+bool
+ApInt::isZero() const
+{
+    for (uint64_t w : words_)
+        if (w != 0)
+            return false;
+    return true;
+}
+
+bool
+ApInt::isAllOnes() const
+{
+    return *this == allOnes(width_);
+}
+
+unsigned
+ApInt::activeBits() const
+{
+    for (size_t i = words_.size(); i-- > 0;) {
+        if (words_[i] != 0) {
+            unsigned top = wordBits - __builtin_clzll(words_[i]);
+            return i * wordBits + top;
+        }
+    }
+    return 0;
+}
+
+unsigned
+ApInt::minSignedBits() const
+{
+    if (isNegative()) {
+        // Width of the magnitude of ~x, plus the sign bit.
+        ApInt inv = ~*this;
+        return inv.activeBits() + 1;
+    }
+    return activeBits() + 1;
+}
+
+ApInt
+ApInt::zext(unsigned new_width) const
+{
+    if (new_width < width_)
+        LN_PANIC("zext to smaller width");
+    ApInt r(new_width);
+    std::copy(words_.begin(), words_.end(), r.words_.begin());
+    return r;
+}
+
+ApInt
+ApInt::sext(unsigned new_width) const
+{
+    if (new_width < width_)
+        LN_PANIC("sext to smaller width");
+    ApInt r(new_width);
+    if (!isNegative()) {
+        std::copy(words_.begin(), words_.end(), r.words_.begin());
+        return r;
+    }
+    for (auto &w : r.words_)
+        w = ~uint64_t(0);
+    std::copy(words_.begin(), words_.end(), r.words_.begin());
+    // Re-set the sign-extension bits within the boundary word.
+    unsigned used = width_ % wordBits;
+    if (used != 0)
+        r.words_[words_.size() - 1] |= (~uint64_t(0)) << used;
+    r.clearUnusedBits();
+    return r;
+}
+
+ApInt
+ApInt::trunc(unsigned new_width) const
+{
+    if (new_width > width_)
+        LN_PANIC("trunc to larger width");
+    ApInt r(new_width);
+    std::copy(words_.begin(), words_.begin() + r.words_.size(),
+              r.words_.begin());
+    r.clearUnusedBits();
+    return r;
+}
+
+ApInt
+ApInt::zextOrTrunc(unsigned new_width) const
+{
+    return new_width >= width_ ? zext(new_width) : trunc(new_width);
+}
+
+ApInt
+ApInt::sextOrTrunc(unsigned new_width) const
+{
+    return new_width >= width_ ? sext(new_width) : trunc(new_width);
+}
+
+ApInt
+ApInt::operator+(const ApInt &rhs) const
+{
+    if (width_ != rhs.width_)
+        LN_PANIC("width mismatch in add: ", width_, " vs ", rhs.width_);
+    ApInt r(width_);
+    unsigned __int128 carry = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        unsigned __int128 sum = (unsigned __int128)words_[i] +
+                                rhs.words_[i] + carry;
+        r.words_[i] = static_cast<uint64_t>(sum);
+        carry = sum >> wordBits;
+    }
+    r.clearUnusedBits();
+    return r;
+}
+
+ApInt
+ApInt::operator-(const ApInt &rhs) const
+{
+    return *this + rhs.negate();
+}
+
+ApInt
+ApInt::negate() const
+{
+    ApInt r = ~*this;
+    return r + ApInt(width_, 1);
+}
+
+ApInt
+ApInt::operator*(const ApInt &rhs) const
+{
+    if (width_ != rhs.width_)
+        LN_PANIC("width mismatch in mul: ", width_, " vs ", rhs.width_);
+    ApInt r(width_);
+    size_t n = words_.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (words_[i] == 0)
+            continue;
+        unsigned __int128 carry = 0;
+        for (size_t j = 0; i + j < n; ++j) {
+            unsigned __int128 cur = (unsigned __int128)words_[i] *
+                                        rhs.words_[j] +
+                                    r.words_[i + j] + carry;
+            r.words_[i + j] = static_cast<uint64_t>(cur);
+            carry = cur >> wordBits;
+        }
+    }
+    r.clearUnusedBits();
+    return r;
+}
+
+int
+ApInt::ucmp(const ApInt &rhs) const
+{
+    for (size_t i = words_.size(); i-- > 0;) {
+        if (words_[i] != rhs.words_[i])
+            return words_[i] < rhs.words_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+void
+ApInt::udivrem(const ApInt &lhs, const ApInt &rhs, ApInt &quot, ApInt &rem)
+{
+    if (rhs.isZero())
+        LN_PANIC("division by zero");
+    unsigned w = lhs.width_;
+    quot = ApInt(w);
+    rem = ApInt(w);
+    // Binary long division, MSB first.
+    for (unsigned i = w; i-- > 0;) {
+        rem = rem.shl(1);
+        if (lhs.getBit(i))
+            rem.setBit(0, true);
+        if (rem.ucmp(rhs) >= 0) {
+            rem = rem - rhs;
+            quot.setBit(i, true);
+        }
+    }
+}
+
+ApInt
+ApInt::udiv(const ApInt &rhs) const
+{
+    if (width_ != rhs.width_)
+        LN_PANIC("width mismatch in udiv");
+    ApInt q(width_), r(width_);
+    udivrem(*this, rhs, q, r);
+    return q;
+}
+
+ApInt
+ApInt::urem(const ApInt &rhs) const
+{
+    if (width_ != rhs.width_)
+        LN_PANIC("width mismatch in urem");
+    ApInt q(width_), r(width_);
+    udivrem(*this, rhs, q, r);
+    return r;
+}
+
+ApInt
+ApInt::sdiv(const ApInt &rhs) const
+{
+    // C-style truncating division.
+    bool neg_l = isNegative(), neg_r = rhs.isNegative();
+    ApInt lhs_mag = neg_l ? negate() : *this;
+    ApInt rhs_mag = neg_r ? rhs.negate() : rhs;
+    ApInt q = lhs_mag.udiv(rhs_mag);
+    return (neg_l != neg_r) ? q.negate() : q;
+}
+
+ApInt
+ApInt::srem(const ApInt &rhs) const
+{
+    // Remainder takes the sign of the dividend.
+    bool neg_l = isNegative();
+    ApInt lhs_mag = neg_l ? negate() : *this;
+    ApInt rhs_mag = rhs.isNegative() ? rhs.negate() : rhs;
+    ApInt r = lhs_mag.urem(rhs_mag);
+    return neg_l ? r.negate() : r;
+}
+
+ApInt
+ApInt::operator&(const ApInt &rhs) const
+{
+    if (width_ != rhs.width_)
+        LN_PANIC("width mismatch in and");
+    ApInt r(width_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        r.words_[i] = words_[i] & rhs.words_[i];
+    return r;
+}
+
+ApInt
+ApInt::operator|(const ApInt &rhs) const
+{
+    if (width_ != rhs.width_)
+        LN_PANIC("width mismatch in or");
+    ApInt r(width_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        r.words_[i] = words_[i] | rhs.words_[i];
+    return r;
+}
+
+ApInt
+ApInt::operator^(const ApInt &rhs) const
+{
+    if (width_ != rhs.width_)
+        LN_PANIC("width mismatch in xor");
+    ApInt r(width_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        r.words_[i] = words_[i] ^ rhs.words_[i];
+    return r;
+}
+
+ApInt
+ApInt::operator~() const
+{
+    ApInt r(width_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        r.words_[i] = ~words_[i];
+    r.clearUnusedBits();
+    return r;
+}
+
+ApInt
+ApInt::shl(unsigned amount) const
+{
+    ApInt r(width_);
+    if (amount >= width_)
+        return r;
+    unsigned word_shift = amount / wordBits;
+    unsigned bit_shift = amount % wordBits;
+    for (size_t i = words_.size(); i-- > word_shift;) {
+        uint64_t v = words_[i - word_shift] << bit_shift;
+        if (bit_shift != 0 && i - word_shift > 0)
+            v |= words_[i - word_shift - 1] >> (wordBits - bit_shift);
+        r.words_[i] = v;
+    }
+    r.clearUnusedBits();
+    return r;
+}
+
+ApInt
+ApInt::lshr(unsigned amount) const
+{
+    ApInt r(width_);
+    if (amount >= width_)
+        return r;
+    unsigned word_shift = amount / wordBits;
+    unsigned bit_shift = amount % wordBits;
+    for (size_t i = 0; i + word_shift < words_.size(); ++i) {
+        uint64_t v = words_[i + word_shift] >> bit_shift;
+        if (bit_shift != 0 && i + word_shift + 1 < words_.size())
+            v |= words_[i + word_shift + 1] << (wordBits - bit_shift);
+        r.words_[i] = v;
+    }
+    return r;
+}
+
+ApInt
+ApInt::ashr(unsigned amount) const
+{
+    if (!isNegative())
+        return lshr(amount);
+    if (amount >= width_)
+        return allOnes(width_);
+    // lshr, then fill the vacated high bits with ones.
+    ApInt r = lshr(amount);
+    for (unsigned i = width_ - amount; i < width_; ++i)
+        r.setBit(i, true);
+    return r;
+}
+
+bool
+ApInt::operator==(const ApInt &rhs) const
+{
+    return width_ == rhs.width_ && words_ == rhs.words_;
+}
+
+bool
+ApInt::ult(const ApInt &rhs) const
+{
+    if (width_ != rhs.width_)
+        LN_PANIC("width mismatch in ult");
+    return ucmp(rhs) < 0;
+}
+
+bool
+ApInt::slt(const ApInt &rhs) const
+{
+    if (width_ != rhs.width_)
+        LN_PANIC("width mismatch in slt");
+    bool neg_l = isNegative(), neg_r = rhs.isNegative();
+    if (neg_l != neg_r)
+        return neg_l;
+    return ucmp(rhs) < 0;
+}
+
+ApInt
+ApInt::extract(unsigned lo, unsigned count) const
+{
+    if (count == 0 || lo + count > width_)
+        LN_PANIC("extract [", lo + count - 1, ":", lo,
+                 "] out of range for width ", width_);
+    return lshr(lo).trunc(count);
+}
+
+ApInt
+ApInt::concat(const ApInt &low) const
+{
+    unsigned w = width_ + low.width_;
+    return zext(w).shl(low.width_) | low.zext(w);
+}
+
+uint64_t
+ApInt::toUint64() const
+{
+    return words_[0];
+}
+
+int64_t
+ApInt::toInt64() const
+{
+    if (width_ >= 64)
+        return static_cast<int64_t>(words_[0]);
+    uint64_t v = words_[0];
+    if (isNegative())
+        v |= (~uint64_t(0)) << width_;
+    return static_cast<int64_t>(v);
+}
+
+uint64_t
+ApInt::udivremWord(uint64_t divisor)
+{
+    unsigned __int128 rem = 0;
+    for (size_t i = words_.size(); i-- > 0;) {
+        unsigned __int128 cur = (rem << wordBits) | words_[i];
+        words_[i] = static_cast<uint64_t>(cur / divisor);
+        rem = cur % divisor;
+    }
+    return static_cast<uint64_t>(rem);
+}
+
+std::string
+ApInt::toStringUnsigned(unsigned radix) const
+{
+    static const char *digits = "0123456789abcdef";
+    if (radix != 2 && radix != 8 && radix != 10 && radix != 16)
+        LN_PANIC("unsupported radix ", radix);
+    if (isZero())
+        return "0";
+    std::string out;
+    ApInt tmp = *this;
+    while (!tmp.isZero()) {
+        uint64_t d = tmp.udivremWord(radix);
+        out.push_back(digits[d]);
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+ApInt::toStringSigned() const
+{
+    if (!isNegative())
+        return toStringUnsigned(10);
+    return "-" + negate().toStringUnsigned(10);
+}
+
+} // namespace longnail

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ApInt: an arbitrary-precision integer with a fixed bit width in two's
+ * complement representation.
+ *
+ * ApInt stores raw bits; signedness is a property of the *operation*
+ * (sdiv vs. udiv, slt vs. ult, sext vs. zext), mirroring how hardware and
+ * the CoreDSL type system treat values. All binary arithmetic requires
+ * equal operand widths and wraps around; the CoreDSL semantics layer is
+ * responsible for widening operands first so no overflow can occur
+ * (Sec. 2.3 of the paper).
+ */
+
+#ifndef LONGNAIL_SUPPORT_APINT_HH
+#define LONGNAIL_SUPPORT_APINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace longnail {
+
+class ApInt
+{
+  public:
+    /** Maximum supported width in bits. */
+    static constexpr unsigned maxWidth = 1u << 16;
+
+    /** Zero value of the given width (width must be >= 1). */
+    explicit ApInt(unsigned width = 1, uint64_t value = 0);
+
+    /** Value with the low 64 bits taken sign-extended from @p value. */
+    static ApInt fromInt64(unsigned width, int64_t value);
+
+    /**
+     * Parse an unsigned decimal, hexadecimal (0x), binary (0b) or octal
+     * (0) literal. Digits may be separated by underscores.
+     * @return the value, as wide as needed (at least 1 bit).
+     */
+    static ApInt fromString(const std::string &text, unsigned radix);
+
+    /** All bits set. */
+    static ApInt allOnes(unsigned width);
+
+    /** Single set bit at @p pos. */
+    static ApInt oneBit(unsigned width, unsigned pos);
+
+    unsigned width() const { return width_; }
+    size_t numWords() const { return words_.size(); }
+
+    bool getBit(unsigned pos) const;
+    void setBit(unsigned pos, bool value);
+
+    bool isZero() const;
+    bool isAllOnes() const;
+    /** Most significant bit, i.e. the two's complement sign. */
+    bool isNegative() const { return getBit(width_ - 1); }
+
+    /** Number of significant bits when interpreted as unsigned. */
+    unsigned activeBits() const;
+    /** Minimal two's complement width that can hold this signed value. */
+    unsigned minSignedBits() const;
+
+    /** Resize operations. */
+    ApInt zext(unsigned new_width) const;
+    ApInt sext(unsigned new_width) const;
+    ApInt trunc(unsigned new_width) const;
+    ApInt zextOrTrunc(unsigned new_width) const;
+    ApInt sextOrTrunc(unsigned new_width) const;
+
+    /** Wrapping arithmetic; operands must have equal widths. */
+    ApInt operator+(const ApInt &rhs) const;
+    ApInt operator-(const ApInt &rhs) const;
+    ApInt operator*(const ApInt &rhs) const;
+    ApInt udiv(const ApInt &rhs) const;
+    ApInt urem(const ApInt &rhs) const;
+    ApInt sdiv(const ApInt &rhs) const;
+    ApInt srem(const ApInt &rhs) const;
+    ApInt negate() const;
+
+    /** Bitwise logic; operands must have equal widths. */
+    ApInt operator&(const ApInt &rhs) const;
+    ApInt operator|(const ApInt &rhs) const;
+    ApInt operator^(const ApInt &rhs) const;
+    ApInt operator~() const;
+
+    /** Shifts; an amount >= width yields 0 (or all sign bits for ashr). */
+    ApInt shl(unsigned amount) const;
+    ApInt lshr(unsigned amount) const;
+    ApInt ashr(unsigned amount) const;
+
+    /** Comparisons. */
+    bool operator==(const ApInt &rhs) const;
+    bool operator!=(const ApInt &rhs) const { return !(*this == rhs); }
+    bool ult(const ApInt &rhs) const;
+    bool ule(const ApInt &rhs) const { return !rhs.ult(*this); }
+    bool ugt(const ApInt &rhs) const { return rhs.ult(*this); }
+    bool uge(const ApInt &rhs) const { return !ult(rhs); }
+    bool slt(const ApInt &rhs) const;
+    bool sle(const ApInt &rhs) const { return !rhs.slt(*this); }
+    bool sgt(const ApInt &rhs) const { return rhs.slt(*this); }
+    bool sge(const ApInt &rhs) const { return !slt(rhs); }
+
+    /** Extract @p count bits starting at bit @p lo. */
+    ApInt extract(unsigned lo, unsigned count) const;
+
+    /** Concatenation: this value becomes the *high* bits. */
+    ApInt concat(const ApInt &low) const;
+
+    /** Low 64 bits, zero-extended. */
+    uint64_t toUint64() const;
+    /** Low 64 bits... sign-extended from the value's width. */
+    int64_t toInt64() const;
+
+    /** Unsigned textual form in the given radix (2, 8, 10 or 16). */
+    std::string toStringUnsigned(unsigned radix = 10) const;
+    /** Signed decimal textual form. */
+    std::string toStringSigned() const;
+
+  private:
+    static constexpr unsigned wordBits = 64;
+
+    static size_t wordsForBits(unsigned bits);
+    void clearUnusedBits();
+    /** -1, 0, 1 comparison of unsigned magnitudes (equal widths). */
+    int ucmp(const ApInt &rhs) const;
+    /** Divide by a single word, returning the remainder. */
+    uint64_t udivremWord(uint64_t divisor);
+    static void udivrem(const ApInt &lhs, const ApInt &rhs, ApInt &quot,
+                        ApInt &rem);
+
+    unsigned width_;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace longnail
+
+#endif // LONGNAIL_SUPPORT_APINT_HH

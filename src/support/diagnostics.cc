@@ -1,0 +1,94 @@
+#include "support/diagnostics.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace longnail {
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+std::string
+SourceLoc::str() const
+{
+    if (!isValid())
+        return "<unknown>";
+    std::ostringstream os;
+    os << line << ":" << column;
+    return os.str();
+}
+
+std::string
+Diagnostic::str() const
+{
+    const char *sev = severity == Severity::Error     ? "error"
+                      : severity == Severity::Warning ? "warning"
+                                                      : "note";
+    std::ostringstream os;
+    os << loc.str() << ": " << sev << ": " << message;
+    return os.str();
+}
+
+void
+DiagnosticEngine::error(SourceLoc loc, const std::string &msg)
+{
+    diags_.push_back({Severity::Error, loc, msg});
+    ++numErrors_;
+}
+
+void
+DiagnosticEngine::warning(SourceLoc loc, const std::string &msg)
+{
+    diags_.push_back({Severity::Warning, loc, msg});
+}
+
+void
+DiagnosticEngine::note(SourceLoc loc, const std::string &msg)
+{
+    diags_.push_back({Severity::Note, loc, msg});
+}
+
+std::string
+DiagnosticEngine::str() const
+{
+    std::ostringstream os;
+    for (const auto &d : diags_)
+        os << d.str() << "\n";
+    return os.str();
+}
+
+void
+DiagnosticEngine::clear()
+{
+    diags_.clear();
+    numErrors_ = 0;
+}
+
+} // namespace longnail

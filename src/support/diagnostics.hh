@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Source locations and a diagnostics engine for the CoreDSL frontend.
+ *
+ * Frontend components report errors/warnings against SourceLoc positions;
+ * the DiagnosticEngine collects them so callers (tests, the driver CLI)
+ * can inspect, print, or turn them into a failure.
+ */
+
+#ifndef LONGNAIL_SUPPORT_DIAGNOSTICS_HH
+#define LONGNAIL_SUPPORT_DIAGNOSTICS_HH
+
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace longnail {
+
+/** A position in a CoreDSL source buffer (1-based line/column). */
+struct SourceLoc
+{
+    int line = 0;
+    int column = 0;
+
+    bool isValid() const { return line > 0; }
+    std::string str() const;
+};
+
+/** Severity of a diagnostic. */
+enum class Severity { Note, Warning, Error };
+
+/** One reported diagnostic. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    SourceLoc loc;
+    std::string message;
+
+    std::string str() const;
+};
+
+/**
+ * Collects diagnostics produced while processing one CoreDSL input.
+ *
+ * The engine never throws; callers check hasErrors() after each phase.
+ */
+class DiagnosticEngine
+{
+  public:
+    void error(SourceLoc loc, const std::string &msg);
+    void warning(SourceLoc loc, const std::string &msg);
+    void note(SourceLoc loc, const std::string &msg);
+
+    bool hasErrors() const { return numErrors_ > 0; }
+    size_t errorCount() const { return numErrors_; }
+    const std::vector<Diagnostic> &all() const { return diags_; }
+
+    /** All diagnostics, one per line, for error messages and tests. */
+    std::string str() const;
+
+    void clear();
+
+  private:
+    std::vector<Diagnostic> diags_;
+    size_t numErrors_ = 0;
+};
+
+} // namespace longnail
+
+#endif // LONGNAIL_SUPPORT_DIAGNOSTICS_HH

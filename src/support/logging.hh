@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Status/error reporting helpers, following the gem5 convention:
+ * panic() for internal invariant violations (a Longnail bug), fatal() for
+ * unrecoverable user errors, warn()/inform() for advisory output.
+ */
+
+#ifndef LONGNAIL_SUPPORT_LOGGING_HH
+#define LONGNAIL_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace longnail {
+
+namespace detail {
+
+/** Stream-concatenate all arguments into one string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort with a message. Use for conditions that indicate a bug in
+ * Longnail itself, never for user input errors.
+ */
+#define LN_PANIC(...)                                                        \
+    ::longnail::detail::panicImpl(                                           \
+        __FILE__, __LINE__, ::longnail::detail::formatMessage(__VA_ARGS__))
+
+/** Exit with an error message caused by invalid user input. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Print a warning; execution continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+} // namespace longnail
+
+#endif // LONGNAIL_SUPPORT_LOGGING_HH

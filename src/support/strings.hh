@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small string helpers shared across the project.
+ */
+
+#ifndef LONGNAIL_SUPPORT_STRINGS_HH
+#define LONGNAIL_SUPPORT_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+namespace longnail {
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** Split on a single character; keeps empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** True if @p s ends with @p suffix. */
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string> &items,
+                 const std::string &sep);
+
+} // namespace longnail
+
+#endif // LONGNAIL_SUPPORT_STRINGS_HH

@@ -1,0 +1,480 @@
+#include "support/yaml.hh"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace longnail {
+namespace yaml {
+
+const std::string &
+Node::scalar() const
+{
+    if (!isScalar())
+        LN_PANIC("yaml node is not a scalar");
+    return scalar_;
+}
+
+int64_t
+Node::asInt() const
+{
+    const std::string &s = scalar();
+    try {
+        size_t pos = 0;
+        int64_t v = std::stoll(s, &pos, 0);
+        if (pos != s.size())
+            throw std::invalid_argument(s);
+        return v;
+    } catch (const std::exception &) {
+        throw std::runtime_error("yaml: not an integer: '" + s + "'");
+    }
+}
+
+bool
+Node::asBool() const
+{
+    const std::string &s = scalar();
+    if (s == "true" || s == "1" || s == "yes")
+        return true;
+    if (s == "false" || s == "0" || s == "no")
+        return false;
+    throw std::runtime_error("yaml: not a boolean: '" + s + "'");
+}
+
+const std::vector<Node> &
+Node::items() const
+{
+    if (!isSequence())
+        LN_PANIC("yaml node is not a sequence");
+    return items_;
+}
+
+void
+Node::push(Node n)
+{
+    if (!isSequence())
+        LN_PANIC("yaml node is not a sequence");
+    items_.push_back(std::move(n));
+}
+
+const std::vector<std::pair<std::string, Node>> &
+Node::entries() const
+{
+    if (!isMapping())
+        LN_PANIC("yaml node is not a mapping");
+    return entries_;
+}
+
+bool
+Node::has(const std::string &key) const
+{
+    for (const auto &[k, v] : entries())
+        if (k == key)
+            return true;
+    return false;
+}
+
+const Node &
+Node::at(const std::string &key) const
+{
+    for (const auto &[k, v] : entries())
+        if (k == key)
+            return v;
+    throw std::runtime_error("yaml: missing key '" + key + "'");
+}
+
+void
+Node::set(const std::string &key, Node value)
+{
+    if (!isMapping())
+        LN_PANIC("yaml node is not a mapping");
+    for (auto &[k, v] : entries_) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    entries_.emplace_back(key, std::move(value));
+}
+
+bool
+Node::needsQuotes(const std::string &s)
+{
+    if (s.empty())
+        return true;
+    for (char c : s) {
+        if (c == ':' || c == '#' || c == '{' || c == '}' || c == '[' ||
+            c == ']' || c == ',' || c == '"' || c == '\n')
+            return true;
+    }
+    return std::isspace(static_cast<unsigned char>(s.front())) ||
+           std::isspace(static_cast<unsigned char>(s.back()));
+}
+
+void
+Node::emitNode(std::string &out, int indent, bool in_flow) const
+{
+    std::string pad(indent, ' ');
+    switch (kind_) {
+      case Kind::Scalar:
+        if (needsQuotes(scalar_)) {
+            out += '"';
+            for (char c : scalar_) {
+                if (c == '"' || c == '\\')
+                    out += '\\';
+                out += c;
+            }
+            out += '"';
+        } else {
+            out += scalar_;
+        }
+        break;
+      case Kind::Sequence:
+        if (in_flow) {
+            out += '[';
+            for (size_t i = 0; i < items_.size(); ++i) {
+                if (i)
+                    out += ", ";
+                items_[i].emitNode(out, 0, true);
+            }
+            out += ']';
+        } else {
+            for (const auto &item : items_) {
+                out += pad + "- ";
+                // Keep small composite items on one line (flow style),
+                // matching the paper's configuration files.
+                item.emitNode(out, 0, true);
+                out += '\n';
+            }
+        }
+        break;
+      case Kind::Mapping:
+        if (in_flow) {
+            out += '{';
+            for (size_t i = 0; i < entries_.size(); ++i) {
+                if (i)
+                    out += ", ";
+                out += entries_[i].first + ": ";
+                entries_[i].second.emitNode(out, 0, true);
+            }
+            out += '}';
+        } else {
+            for (const auto &[k, v] : entries_) {
+                out += pad + k + ":";
+                bool empty_collection =
+                    (v.isSequence() && v.items_.empty()) ||
+                    (v.isMapping() && v.entries_.empty());
+                if (v.isScalar() || empty_collection) {
+                    out += ' ';
+                    v.emitNode(out, 0, true);
+                    out += '\n';
+                } else {
+                    out += '\n';
+                    v.emitNode(out, indent + 2, false);
+                }
+            }
+        }
+        break;
+    }
+}
+
+std::string
+Node::emit() const
+{
+    std::string out;
+    emitNode(out, 0, false);
+    if (isScalar())
+        out += '\n';
+    return out;
+}
+
+namespace {
+
+/** One logical input line: indentation plus trimmed content. */
+struct Line
+{
+    int indent;
+    std::string text;
+};
+
+[[noreturn]] void
+parseError(const std::string &msg)
+{
+    throw std::runtime_error("yaml: " + msg);
+}
+
+/** Remove a trailing comment that is not inside quotes. */
+std::string
+stripComment(const std::string &s)
+{
+    bool in_quote = false;
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '"')
+            in_quote = !in_quote;
+        else if (s[i] == '#' && !in_quote)
+            return s.substr(0, i);
+    }
+    return s;
+}
+
+std::vector<Line>
+splitLines(const std::string &text)
+{
+    std::vector<Line> lines;
+    for (const std::string &raw : split(text, '\n')) {
+        std::string no_comment = stripComment(raw);
+        std::string content = trim(no_comment);
+        if (content.empty())
+            continue;
+        int indent = 0;
+        while (indent < (int)no_comment.size() && no_comment[indent] == ' ')
+            ++indent;
+        lines.push_back({indent, content});
+    }
+    return lines;
+}
+
+/** Recursive-descent parser over the flow-style subset. */
+class FlowParser
+{
+  public:
+    explicit FlowParser(const std::string &text) : text_(text) {}
+
+    Node
+    parseAll()
+    {
+        Node n = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            parseError("trailing characters in flow value: '" +
+                       text_.substr(pos_) + "'");
+        return n;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    Node
+    parseValue()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return Node("");
+        char c = text_[pos_];
+        if (c == '{')
+            return parseFlowMapping();
+        if (c == '[')
+            return parseFlowSequence();
+        if (c == '"')
+            return Node(parseQuoted());
+        // Plain scalar: up to a structural character.
+        size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != ',' &&
+               text_[pos_] != '}' && text_[pos_] != ']')
+            ++pos_;
+        return Node(trim(text_.substr(start, pos_ - start)));
+    }
+
+    std::string
+    parseQuoted()
+    {
+        ++pos_; // consume opening quote
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\' && pos_ + 1 < text_.size())
+                ++pos_;
+            out += text_[pos_++];
+        }
+        if (pos_ >= text_.size())
+            parseError("unterminated string");
+        ++pos_; // consume closing quote
+        return out;
+    }
+
+    Node
+    parseFlowMapping()
+    {
+        ++pos_; // consume '{'
+        Node map = Node::makeMapping();
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return map;
+        }
+        while (true) {
+            skipSpace();
+            size_t key_start = pos_;
+            while (pos_ < text_.size() && text_[pos_] != ':')
+                ++pos_;
+            if (pos_ >= text_.size())
+                parseError("missing ':' in flow mapping");
+            std::string key = trim(text_.substr(key_start, pos_ - key_start));
+            ++pos_; // consume ':'
+            map.set(key, parseValue());
+            skipSpace();
+            if (pos_ >= text_.size())
+                parseError("unterminated flow mapping");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return map;
+            }
+            parseError("expected ',' or '}' in flow mapping");
+        }
+    }
+
+    Node
+    parseFlowSequence()
+    {
+        ++pos_; // consume '['
+        Node seq = Node::makeSequence();
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return seq;
+        }
+        while (true) {
+            seq.push(parseValue());
+            skipSpace();
+            if (pos_ >= text_.size())
+                parseError("unterminated flow sequence");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return seq;
+            }
+            parseError("expected ',' or ']' in flow sequence");
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+/** Parser over the line-oriented block structure. */
+class BlockParser
+{
+  public:
+    explicit BlockParser(std::vector<Line> lines) : lines_(std::move(lines))
+    {}
+
+    Node
+    parse()
+    {
+        if (lines_.empty())
+            return Node::makeMapping();
+        Node n = parseBlock(lines_[0].indent);
+        if (idx_ != lines_.size())
+            parseError("inconsistent indentation near '" +
+                       lines_[idx_].text + "'");
+        return n;
+    }
+
+  private:
+    Node
+    parseBlock(int indent)
+    {
+        if (lines_[idx_].text[0] == '-')
+            return parseSequence(indent);
+        return parseMapping(indent);
+    }
+
+    Node
+    parseSequence(int indent)
+    {
+        Node seq = Node::makeSequence();
+        while (idx_ < lines_.size() && lines_[idx_].indent == indent &&
+               lines_[idx_].text[0] == '-') {
+            std::string rest = trim(lines_[idx_].text.substr(1));
+            ++idx_;
+            if (!rest.empty()) {
+                // Inline item, possibly an inline "key: value" mapping.
+                seq.push(parseInlineValue(rest));
+            } else {
+                if (idx_ >= lines_.size() || lines_[idx_].indent <= indent)
+                    parseError("empty sequence item");
+                seq.push(parseBlock(lines_[idx_].indent));
+            }
+        }
+        return seq;
+    }
+
+    Node
+    parseMapping(int indent)
+    {
+        Node map = Node::makeMapping();
+        while (idx_ < lines_.size() && lines_[idx_].indent == indent &&
+               lines_[idx_].text[0] != '-') {
+            const std::string &text = lines_[idx_].text;
+            size_t colon = findKeyColon(text);
+            std::string key = trim(text.substr(0, colon));
+            std::string value = trim(text.substr(colon + 1));
+            ++idx_;
+            if (!value.empty()) {
+                map.set(key, FlowParser(value).parseAll());
+            } else {
+                if (idx_ < lines_.size() && lines_[idx_].indent > indent)
+                    map.set(key, parseBlock(lines_[idx_].indent));
+                else
+                    map.set(key, Node(""));
+            }
+        }
+        return map;
+    }
+
+    /** Inline sequence item: flow value or single-line mapping. */
+    Node
+    parseInlineValue(const std::string &text)
+    {
+        if (text[0] == '{' || text[0] == '[' || text[0] == '"')
+            return FlowParser(text).parseAll();
+        size_t colon = text.find(": ");
+        if (colon != std::string::npos) {
+            Node map = Node::makeMapping();
+            map.set(trim(text.substr(0, colon)),
+                    FlowParser(trim(text.substr(colon + 1))).parseAll());
+            return map;
+        }
+        return Node(trim(text));
+    }
+
+    /** Position of the colon separating key and value. */
+    static size_t
+    findKeyColon(const std::string &text)
+    {
+        for (size_t i = 0; i < text.size(); ++i) {
+            if (text[i] == ':' &&
+                (i + 1 == text.size() || text[i + 1] == ' '))
+                return i;
+        }
+        parseError("expected 'key: value' but got '" + text + "'");
+    }
+
+    std::vector<Line> lines_;
+    size_t idx_ = 0;
+};
+
+} // namespace
+
+Node
+parse(const std::string &text)
+{
+    return BlockParser(splitLines(text)).parse();
+}
+
+} // namespace yaml
+} // namespace longnail

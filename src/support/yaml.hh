@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A minimal YAML subset used for the Longnail <-> SCAIE-V metadata
+ * exchange (virtual datasheets and configuration files, Figs. 8/9 of the
+ * paper).
+ *
+ * Supported constructs: block mappings, block sequences, flow mappings
+ * ({k: v, ...}), flow sequences ([a, b]), plain and double-quoted scalars,
+ * '#' comments. Key order is preserved. This is intentionally not a
+ * general YAML implementation.
+ */
+
+#ifndef LONGNAIL_SUPPORT_YAML_HH
+#define LONGNAIL_SUPPORT_YAML_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace longnail {
+namespace yaml {
+
+/** A YAML node: scalar, sequence or (order-preserving) mapping. */
+class Node
+{
+  public:
+    enum class Kind { Scalar, Sequence, Mapping };
+
+    Node() : kind_(Kind::Scalar) {}
+    explicit Node(std::string scalar)
+        : kind_(Kind::Scalar), scalar_(std::move(scalar))
+    {}
+    explicit Node(int64_t value) : Node(std::to_string(value)) {}
+
+    static Node makeSequence() { Node n; n.kind_ = Kind::Sequence; return n; }
+    static Node makeMapping() { Node n; n.kind_ = Kind::Mapping; return n; }
+
+    Kind kind() const { return kind_; }
+    bool isScalar() const { return kind_ == Kind::Scalar; }
+    bool isSequence() const { return kind_ == Kind::Sequence; }
+    bool isMapping() const { return kind_ == Kind::Mapping; }
+
+    /** Scalar access. */
+    const std::string &scalar() const;
+    int64_t asInt() const;
+    bool asBool() const;
+
+    /** Sequence access. */
+    const std::vector<Node> &items() const;
+    void push(Node n);
+
+    /** Mapping access. */
+    const std::vector<std::pair<std::string, Node>> &entries() const;
+    /** True if the mapping contains @p key. */
+    bool has(const std::string &key) const;
+    /** Lookup; panics when missing. Use has() to probe. */
+    const Node &at(const std::string &key) const;
+    /** Append or replace a key. */
+    void set(const std::string &key, Node value);
+
+    /** Serialize this node as a YAML document. */
+    std::string emit() const;
+
+  private:
+    void emitNode(std::string &out, int indent, bool in_flow) const;
+    static bool needsQuotes(const std::string &s);
+
+    Kind kind_;
+    std::string scalar_;
+    std::vector<Node> items_;
+    std::vector<std::pair<std::string, Node>> entries_;
+};
+
+/**
+ * Parse a YAML document.
+ * @throws std::runtime_error on malformed input.
+ */
+Node parse(const std::string &text);
+
+} // namespace yaml
+} // namespace longnail
+
+#endif // LONGNAIL_SUPPORT_YAML_HH

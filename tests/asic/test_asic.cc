@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the synthetic ASIC flow: baseline calibration, area
+ * monotonicity, the Sec. 5.4 interaction effects, and the qualitative
+ * Table 4 shape assertions from DESIGN.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asic/flow.hh"
+#include "driver/longnail.hh"
+
+using namespace longnail;
+using namespace longnail::asic;
+using namespace longnail::driver;
+
+namespace {
+
+SynthesisResult
+synthesize(const std::string &isax, const std::string &core,
+           bool hazard_handling = true)
+{
+    CompileOptions options;
+    options.coreName = core;
+    CompiledIsax compiled = compileCatalogIsax(isax, options);
+    EXPECT_TRUE(compiled.ok()) << compiled.errors;
+    std::vector<const hwgen::GeneratedModule *> modules;
+    for (const auto &unit : compiled.units)
+        modules.push_back(&unit.module);
+    AsicFlow flow(scaiev::Datasheet::forCore(core));
+    FlowOptions fopts;
+    fopts.hazardHandling = hazard_handling;
+    return flow.synthesizeExtended(isax + ":" + core, modules, fopts);
+}
+
+double
+areaOverhead(const std::string &isax, const std::string &core,
+             bool hazard = true)
+{
+    AsicFlow flow(scaiev::Datasheet::forCore(core));
+    return synthesize(isax, core, hazard)
+        .areaOverheadPercent(flow.synthesizeBase());
+}
+
+} // namespace
+
+TEST(Asic, BaselinesMatchTable4)
+{
+    // The base rows of Table 4.
+    struct Row { const char *core; double area; double freq; };
+    for (const Row &row : {Row{"ORCA", 6612, 996},
+                           Row{"Piccolo", 26098, 420},
+                           Row{"PicoRV32", 4745, 1278},
+                           Row{"VexRiscv", 9052, 701}}) {
+        AsicFlow flow(scaiev::Datasheet::forCore(row.core));
+        SynthesisResult base = flow.synthesizeBase();
+        EXPECT_DOUBLE_EQ(base.areaUm2, row.area) << row.core;
+        EXPECT_DOUBLE_EQ(base.fmaxMhz, row.freq) << row.core;
+    }
+}
+
+TEST(Asic, ExtensionsAddArea)
+{
+    for (const std::string &core : scaiev::Datasheet::knownCores()) {
+        AsicFlow flow(scaiev::Datasheet::forCore(core));
+        SynthesisResult base = flow.synthesizeBase();
+        SynthesisResult ext = synthesize("dotp", core);
+        EXPECT_GT(ext.areaUm2, base.areaUm2) << core;
+        EXPECT_GT(ext.isaxLogicAreaUm2, 0.0) << core;
+    }
+}
+
+TEST(Asic, Table4ShapeLargestExtensions)
+{
+    // sparkle and sqrt are the largest extensions on every core;
+    // sbox/ijmp are among the smallest (Table 4 shape).
+    for (const std::string &core : scaiev::Datasheet::knownCores()) {
+        double sbox = areaOverhead("sbox", core);
+        double ijmp = areaOverhead("ijmp", core);
+        double sparkle = areaOverhead("sparkle", core);
+        double sqrt = areaOverhead("sqrt_tightly", core);
+        EXPECT_GT(sparkle, sbox) << core;
+        EXPECT_GT(sparkle, ijmp) << core;
+        EXPECT_GT(sqrt, sparkle) << core;
+    }
+}
+
+TEST(Asic, PiccoloOverheadsAreSmallest)
+{
+    // Piccolo's large base area makes relative overheads small
+    // (visible throughout Table 4).
+    for (const char *isax : {"dotp", "sparkle", "sqrt_tightly"}) {
+        double piccolo = areaOverhead(isax, "Piccolo");
+        for (const char *core : {"ORCA", "PicoRV32", "VexRiscv"})
+            EXPECT_LT(piccolo, areaOverhead(isax, core))
+                << isax << " vs " << core;
+    }
+}
+
+TEST(Asic, HazardHandlingAblationSavesArea)
+{
+    // Table 4's "without data-hazard handling" row.
+    double with = areaOverhead("sqrt_decoupled", "VexRiscv", true);
+    double without = areaOverhead("sqrt_decoupled", "VexRiscv", false);
+    EXPECT_LT(without, with);
+}
+
+TEST(Asic, OrcaForwardingPathRegression)
+{
+    // Sec. 5.4: ORCA forwards from the last stage; in-pipeline
+    // writebacks with heavy late logic (dotprod) regress fmax there
+    // but not on VexRiscv.
+    AsicFlow orca_flow(scaiev::Datasheet::forCore("ORCA"));
+    double orca_delta = synthesize("dotp", "ORCA")
+                            .freqDeltaPercent(orca_flow.synthesizeBase());
+    AsicFlow vex_flow(scaiev::Datasheet::forCore("VexRiscv"));
+    double vex_delta =
+        synthesize("dotp", "VexRiscv")
+            .freqDeltaPercent(vex_flow.synthesizeBase());
+    EXPECT_LT(orca_delta, -3.0);
+    EXPECT_GT(vex_delta, -3.0);
+}
+
+TEST(Asic, NoiseIsDeterministicAndBounded)
+{
+    double a = synthesisNoise("seed", 0.02);
+    double b = synthesisNoise("seed", 0.02);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_LE(std::abs(a), 0.02);
+    EXPECT_NE(synthesisNoise("seed1", 0.02),
+              synthesisNoise("seed2", 0.02));
+}
+
+TEST(Asic, ModuleCriticalPathPositive)
+{
+    CompileOptions options;
+    options.coreName = "VexRiscv";
+    CompiledIsax compiled = compileCatalogIsax("sparkle", options);
+    ASSERT_TRUE(compiled.ok());
+    AsicFlow flow(scaiev::Datasheet::forCore("VexRiscv"));
+    for (const auto &unit : compiled.units) {
+        EXPECT_GT(flow.moduleCriticalPathNs(unit.module), 0.1);
+        EXPECT_GT(flow.moduleAreaUm2(unit.module), 50.0);
+    }
+}
+
+TEST(Asic, CombinedIsaxCostsRoughlySum)
+{
+    // autoinc+zol ~ autoinc + zol (minus shared integration base).
+    AsicFlow flow(scaiev::Datasheet::forCore("VexRiscv"));
+    SynthesisResult base = flow.synthesizeBase();
+    double combined = areaOverhead("autoinc_zol", "VexRiscv");
+    double autoinc = areaOverhead("autoinc", "VexRiscv");
+    double zol = areaOverhead("zol", "VexRiscv");
+    EXPECT_GT(combined, std::max(autoinc, zol));
+    EXPECT_LT(combined, autoinc + zol + 2.0);
+    (void)base;
+}

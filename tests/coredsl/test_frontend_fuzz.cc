@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Frontend robustness fuzzing: random token soups, truncated valid
+ * programs, and mutated catalog sources must produce diagnostics (or
+ * succeed), never crash. Complements the grammar-directed parser
+ * tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "coredsl/sema.hh"
+#include "driver/isax_catalog.hh"
+
+using namespace longnail;
+using namespace longnail::coredsl;
+
+namespace {
+
+/** Run the whole frontend; we only care that it returns. */
+void
+frontend(const std::string &source)
+{
+    DiagnosticEngine diags;
+    Sema sema(diags, builtinSourceProvider());
+    auto isa = sema.analyze(source);
+    // Either diagnostics or a valid ISA; never both absent.
+    if (!isa) {
+        EXPECT_TRUE(diags.hasErrors());
+    }
+}
+
+const char *tokens[] = {
+    "InstructionSet", "Core",  "extends",  "provides",
+    "architectural_state", "instructions", "encoding", "behavior",
+    "always", "functions", "register", "extern", "const", "signed",
+    "unsigned", "bool", "if", "else", "for", "while", "switch", "case",
+    "default", "break", "return", "spawn", "{", "}", "(", ")", "[",
+    "]", ";", ",", ":", "::", "?", "+", "-", "*", "/", "%", "<<",
+    ">>", "<", ">", "<=", ">=", "==", "!=", "&", "|", "^", "~", "!",
+    "&&", "||", "=", "+=", "++", "--", "42", "0xff", "7'd0", "3'b101",
+    "x", "foo", "X", "PC", "MEM", "rd", "rs1", "\"RV32I.core_desc\"",
+    "import",
+};
+
+} // namespace
+
+TEST(FrontendFuzz, RandomTokenSoupNeverCrashes)
+{
+    std::mt19937 rng(2024);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string source;
+        unsigned length = 5 + rng() % 120;
+        for (unsigned i = 0; i < length; ++i) {
+            source += tokens[rng() % (sizeof(tokens) / sizeof(*tokens))];
+            source += ' ';
+        }
+        frontend(source);
+    }
+}
+
+TEST(FrontendFuzz, TruncatedCatalogSources)
+{
+    for (const auto &entry : catalog::allIsaxes()) {
+        for (size_t cut = 1; cut < entry.source.size();
+             cut += 37) {
+            frontend(entry.source.substr(0, cut));
+        }
+    }
+}
+
+TEST(FrontendFuzz, ByteMutatedCatalogSources)
+{
+    std::mt19937 rng(7);
+    const char garbage[] = "{}();:=<>~^#@$\\\"'0aZ_";
+    for (const auto &entry : catalog::allIsaxes()) {
+        for (int trial = 0; trial < 20; ++trial) {
+            std::string mutated = entry.source;
+            unsigned flips = 1 + rng() % 5;
+            for (unsigned f = 0; f < flips; ++f) {
+                size_t pos = rng() % mutated.size();
+                mutated[pos] =
+                    garbage[rng() % (sizeof(garbage) - 1)];
+            }
+            frontend(mutated);
+        }
+    }
+}
+
+TEST(FrontendFuzz, DeepNestingIsBounded)
+{
+    // Deeply nested expressions/blocks should not blow the stack for
+    // plausible inputs.
+    std::string expr(200, '(');
+    expr += "1";
+    expr += std::string(200, ')');
+    frontend("InstructionSet T { functions { void f() { unsigned<8> x "
+             "= (unsigned<8>)" + expr + "; } } }");
+
+    std::string blocks;
+    for (int i = 0; i < 100; ++i)
+        blocks += "if (1) { ";
+    blocks += "x = 1;";
+    for (int i = 0; i < 100; ++i)
+        blocks += " }";
+    frontend("InstructionSet T { functions { void f() { unsigned<8> x "
+             "= 0; " + blocks + " } } }");
+}

@@ -1,0 +1,152 @@
+/** @file Lexer tests: literals, operators, comments, errors. */
+
+#include <gtest/gtest.h>
+
+#include "coredsl/lexer.hh"
+
+using namespace longnail;
+using namespace longnail::coredsl;
+
+namespace {
+
+std::vector<Token>
+lex(const std::string &src, DiagnosticEngine &diags)
+{
+    Lexer lexer(src, diags);
+    return lexer.lexAll();
+}
+
+std::vector<Token>
+lexOk(const std::string &src)
+{
+    DiagnosticEngine diags;
+    auto tokens = lex(src, diags);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+    return tokens;
+}
+
+} // namespace
+
+TEST(Lexer, Keywords)
+{
+    auto toks = lexOk("InstructionSet Core extends provides spawn always");
+    ASSERT_EQ(toks.size(), 7u);
+    EXPECT_EQ(toks[0].kind, TokenKind::KwInstructionSet);
+    EXPECT_EQ(toks[1].kind, TokenKind::KwCore);
+    EXPECT_EQ(toks[2].kind, TokenKind::KwExtends);
+    EXPECT_EQ(toks[3].kind, TokenKind::KwProvides);
+    EXPECT_EQ(toks[4].kind, TokenKind::KwSpawn);
+    EXPECT_EQ(toks[5].kind, TokenKind::KwAlways);
+    EXPECT_EQ(toks[6].kind, TokenKind::Eof);
+}
+
+TEST(Lexer, Identifiers)
+{
+    auto toks = lexOk("X_DOTP rs1 _tmp architectural");
+    EXPECT_EQ(toks[0].kind, TokenKind::Identifier);
+    EXPECT_EQ(toks[0].text, "X_DOTP");
+    EXPECT_EQ(toks[3].text, "architectural");
+}
+
+TEST(Lexer, CStyleLiterals)
+{
+    auto toks = lexOk("42 0xcafe 0b101 052 0");
+    EXPECT_EQ(toks[0].value.toUint64(), 42u);
+    EXPECT_EQ(toks[1].value.toUint64(), 0xcafeu);
+    EXPECT_EQ(toks[2].value.toUint64(), 5u);
+    EXPECT_EQ(toks[3].value.toUint64(), 42u);
+    EXPECT_EQ(toks[4].value.toUint64(), 0u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(toks[i].kind, TokenKind::IntLiteral);
+}
+
+TEST(Lexer, VerilogSizedLiterals)
+{
+    auto toks = lexOk("6'd42 3'b111 7'b0001011 8'hff 5'o17");
+    EXPECT_EQ(toks[0].kind, TokenKind::SizedLiteral);
+    EXPECT_EQ(toks[0].sizedWidth, 6u);
+    EXPECT_EQ(toks[0].value.toUint64(), 42u);
+    EXPECT_EQ(toks[0].value.width(), 6u);
+    EXPECT_EQ(toks[1].sizedWidth, 3u);
+    EXPECT_EQ(toks[1].value.toUint64(), 7u);
+    EXPECT_EQ(toks[2].sizedWidth, 7u);
+    EXPECT_EQ(toks[2].value.toUint64(), 0b0001011u);
+    EXPECT_EQ(toks[3].value.toUint64(), 0xffu);
+    EXPECT_EQ(toks[4].value.toUint64(), 017u);
+}
+
+TEST(Lexer, SizedLiteralOverflowIsError)
+{
+    DiagnosticEngine diags;
+    lex("2'd7", diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, OperatorsIncludingConcat)
+{
+    auto toks = lexOk(":: : <<= >> <= < == != && & || |");
+    EXPECT_EQ(toks[0].kind, TokenKind::ColonColon);
+    EXPECT_EQ(toks[1].kind, TokenKind::Colon);
+    EXPECT_EQ(toks[2].kind, TokenKind::ShlAssign);
+    EXPECT_EQ(toks[3].kind, TokenKind::Shr);
+    EXPECT_EQ(toks[4].kind, TokenKind::LessEq);
+    EXPECT_EQ(toks[5].kind, TokenKind::Less);
+    EXPECT_EQ(toks[6].kind, TokenKind::EqEq);
+    EXPECT_EQ(toks[7].kind, TokenKind::NotEq);
+    EXPECT_EQ(toks[8].kind, TokenKind::AmpAmp);
+    EXPECT_EQ(toks[9].kind, TokenKind::Amp);
+    EXPECT_EQ(toks[10].kind, TokenKind::PipePipe);
+    EXPECT_EQ(toks[11].kind, TokenKind::Pipe);
+}
+
+TEST(Lexer, IncrementDecrement)
+{
+    auto toks = lexOk("++ -- += -=");
+    EXPECT_EQ(toks[0].kind, TokenKind::PlusPlus);
+    EXPECT_EQ(toks[1].kind, TokenKind::MinusMinus);
+    EXPECT_EQ(toks[2].kind, TokenKind::PlusAssign);
+    EXPECT_EQ(toks[3].kind, TokenKind::MinusAssign);
+}
+
+TEST(Lexer, Comments)
+{
+    auto toks = lexOk("a // comment\n b /* multi\nline */ c");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, StringLiterals)
+{
+    auto toks = lexOk("import \"RV32I.core_desc\";");
+    EXPECT_EQ(toks[0].kind, TokenKind::KwImport);
+    EXPECT_EQ(toks[1].kind, TokenKind::StringLiteral);
+    EXPECT_EQ(toks[1].text, "RV32I.core_desc");
+}
+
+TEST(Lexer, SourceLocations)
+{
+    auto toks = lexOk("a\n  b");
+    EXPECT_EQ(toks[0].loc.line, 1);
+    EXPECT_EQ(toks[0].loc.column, 1);
+    EXPECT_EQ(toks[1].loc.line, 2);
+    EXPECT_EQ(toks[1].loc.column, 3);
+}
+
+TEST(Lexer, UnexpectedCharacterReported)
+{
+    DiagnosticEngine diags;
+    auto toks = lex("a $ b", diags);
+    EXPECT_TRUE(diags.hasErrors());
+    // Lexing continues past the bad character.
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, UnterminatedString)
+{
+    DiagnosticEngine diags;
+    lex("\"abc", diags);
+    EXPECT_TRUE(diags.hasErrors());
+}

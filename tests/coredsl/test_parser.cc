@@ -1,0 +1,282 @@
+/** @file Parser tests, including the paper's Fig. 1 and Fig. 3 inputs. */
+
+#include <gtest/gtest.h>
+
+#include "coredsl/parser.hh"
+
+using namespace longnail;
+using namespace longnail::coredsl;
+
+namespace {
+
+Description
+parseOk(const std::string &src)
+{
+    DiagnosticEngine diags;
+    Description desc = parseString(src, diags);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+    return desc;
+}
+
+bool
+parseFails(const std::string &src)
+{
+    DiagnosticEngine diags;
+    parseString(src, diags);
+    return diags.hasErrors();
+}
+
+/** The complete Fig. 1 dot-product ISAX from the paper. */
+const char *dotprodSource = R"(
+import "RV32I.core_desc"
+
+InstructionSet X_DOTP extends RV32I {
+  instructions {
+    dotp {
+      encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] ::
+                3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        signed<32> res = 0;
+        for (int i = 0; i < 32; i += 8) {
+          signed<16> prod = (signed) X[rs1][i+7:i] *
+                            (signed) X[rs2][i+7:i];
+          res += prod;
+        }
+        X[rd] = (unsigned) res;
+} } } }
+)";
+
+/** The Fig. 3 zero-overhead-loop ISAX from the paper. */
+const char *zolSource = R"(
+import "RV32I.core_desc"
+
+InstructionSet zol extends RV32I {
+  architectural_state {
+    register unsigned<32> START_PC;
+    register unsigned<32> END_PC;
+    register unsigned<32> COUNT;
+  }
+  instructions {
+    setup_zol {
+      encoding: uimmL[11:0] :: uimmS[4:0] :: 3'b101
+                :: 5'b00000 :: 7'b0001011;
+      behavior:
+      {
+        START_PC = (unsigned<32>) (PC + 4);
+        END_PC = (unsigned<32>) (PC + (uimmS :: 1'b0));
+        COUNT = uimmL;
+  } } }
+  always {
+    zol {
+      if (COUNT != 0 && END_PC == PC) {
+        PC = START_PC;
+        --COUNT;
+} } } }
+)";
+
+} // namespace
+
+TEST(Parser, ImportsAndTopLevel)
+{
+    Description desc = parseOk(
+        "import \"RV32I.core_desc\";\n"
+        "InstructionSet Foo extends RV32I { }\n");
+    ASSERT_EQ(desc.imports.size(), 1u);
+    EXPECT_EQ(desc.imports[0], "RV32I.core_desc");
+    ASSERT_EQ(desc.defs.size(), 1u);
+    EXPECT_EQ(desc.defs[0]->name, "Foo");
+    ASSERT_EQ(desc.defs[0]->parents.size(), 1u);
+    EXPECT_EQ(desc.defs[0]->parents[0], "RV32I");
+}
+
+TEST(Parser, ImportWithoutSemicolonAccepted)
+{
+    // Fig. 1 writes the import without a trailing semicolon.
+    Description desc = parseOk(
+        "import \"RV32I.core_desc\"\n"
+        "InstructionSet Foo { }\n");
+    EXPECT_EQ(desc.imports.size(), 1u);
+}
+
+TEST(Parser, CoreDefinition)
+{
+    Description desc = parseOk(
+        "Core MyCore provides RV32I, zol {\n"
+        "  architectural_state { XLEN = 32; }\n"
+        "}\n");
+    ASSERT_EQ(desc.defs.size(), 1u);
+    EXPECT_TRUE(desc.defs[0]->isCore);
+    ASSERT_EQ(desc.defs[0]->parents.size(), 2u);
+    EXPECT_EQ(desc.defs[0]->parents[1], "zol");
+    ASSERT_EQ(desc.defs[0]->paramAssigns.size(), 1u);
+    EXPECT_EQ(desc.defs[0]->paramAssigns[0].name, "XLEN");
+}
+
+TEST(Parser, Fig1DotProduct)
+{
+    Description desc = parseOk(dotprodSource);
+    ASSERT_EQ(desc.defs.size(), 1u);
+    const IsaDef &def = *desc.defs[0];
+    EXPECT_EQ(def.name, "X_DOTP");
+    ASSERT_EQ(def.instructions.size(), 1u);
+    const Instruction &instr = def.instructions[0];
+    EXPECT_EQ(instr.name, "dotp");
+    ASSERT_EQ(instr.encoding.size(), 6u);
+    EXPECT_TRUE(instr.encoding[0].isLiteral);
+    EXPECT_EQ(instr.encoding[0].literalWidth, 7u);
+    EXPECT_FALSE(instr.encoding[1].isLiteral);
+    EXPECT_EQ(instr.encoding[1].field, "rs2");
+    EXPECT_EQ(instr.encoding[1].msb, 4u);
+    EXPECT_EQ(instr.encoding[1].lsb, 0u);
+    EXPECT_TRUE(instr.encoding[5].isLiteral);
+    EXPECT_EQ(instr.encoding[5].value.toUint64(), 0b0001011u);
+
+    // Behavior: declaration, for-loop, assignment.
+    ASSERT_EQ(instr.behavior->kind, Stmt::Kind::Block);
+    const auto &block = static_cast<const BlockStmt &>(*instr.behavior);
+    ASSERT_EQ(block.stmts.size(), 3u);
+    EXPECT_EQ(block.stmts[0]->kind, Stmt::Kind::VarDecl);
+    EXPECT_EQ(block.stmts[1]->kind, Stmt::Kind::For);
+    EXPECT_EQ(block.stmts[2]->kind, Stmt::Kind::ExprStmt);
+}
+
+TEST(Parser, Fig3ZeroOverheadLoop)
+{
+    Description desc = parseOk(zolSource);
+    const IsaDef &def = *desc.defs[0];
+    EXPECT_EQ(def.state.size(), 3u);
+    EXPECT_EQ(def.state[0].storage, StateDecl::Storage::Register);
+    ASSERT_EQ(def.instructions.size(), 1u);
+    ASSERT_EQ(def.alwaysBlocks.size(), 1u);
+    EXPECT_EQ(def.alwaysBlocks[0].name, "zol");
+}
+
+TEST(Parser, SpawnBlock)
+{
+    Description desc = parseOk(R"(
+InstructionSet S {
+  instructions {
+    sqrt {
+      encoding: 12'd0 :: rs1[4:0] :: 3'b001 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<32> x = X[rs1];
+        spawn {
+          X[rd] = x;
+        }
+      }
+    }
+  }
+}
+)");
+    const Instruction &instr = desc.defs[0]->instructions[0];
+    const auto &block = static_cast<const BlockStmt &>(*instr.behavior);
+    ASSERT_EQ(block.stmts.size(), 2u);
+    EXPECT_EQ(block.stmts[1]->kind, Stmt::Kind::Spawn);
+}
+
+TEST(Parser, FunctionsSection)
+{
+    Description desc = parseOk(R"(
+InstructionSet F {
+  functions {
+    unsigned<32> rotl(unsigned<32> x, unsigned<5> n) {
+      return (unsigned<32>)((x << n) | (x >> (32 - n)));
+    }
+    void helper() { return; }
+  }
+}
+)");
+    ASSERT_EQ(desc.defs[0]->functions.size(), 2u);
+    const FunctionDef &fn = desc.defs[0]->functions[0];
+    EXPECT_EQ(fn.name, "rotl");
+    ASSERT_EQ(fn.params.size(), 2u);
+    EXPECT_EQ(fn.params[1].name, "n");
+    EXPECT_TRUE(desc.defs[0]->functions[1].returnType.isVoid());
+}
+
+TEST(Parser, RomDeclaration)
+{
+    Description desc = parseOk(R"(
+InstructionSet R {
+  architectural_state {
+    register const unsigned<8> SBOX[4] = {0x63, 0x7c, 0x77, 0x7b};
+  }
+}
+)");
+    const StateDecl &decl = desc.defs[0]->state[0];
+    EXPECT_TRUE(decl.isConst);
+    EXPECT_EQ(decl.initList.size(), 4u);
+}
+
+TEST(Parser, ExpressionPrecedence)
+{
+    Description desc = parseOk(R"(
+InstructionSet E {
+  functions {
+    unsigned<32> f(unsigned<32> a, unsigned<32> b) {
+      return (unsigned<32>)(a + b * 2 == 10 ? a & b : a | b);
+    }
+  }
+}
+)");
+    (void)desc;
+}
+
+TEST(Parser, ConcatAndRanges)
+{
+    Description desc = parseOk(R"(
+InstructionSet C {
+  functions {
+    unsigned<16> f(unsigned<8> a, unsigned<8> b) {
+      return a :: b[7:0];
+    }
+    bool g(unsigned<8> a) {
+      return a[3];
+    }
+  }
+}
+)");
+    (void)desc;
+}
+
+TEST(Parser, CastForms)
+{
+    parseOk(R"(
+InstructionSet K {
+  functions {
+    signed<8> f(unsigned<8> a) {
+      signed<9> wide = (signed) a;
+      return (signed<8>) wide;
+    }
+  }
+}
+)");
+}
+
+TEST(Parser, ErrorMissingEncoding)
+{
+    EXPECT_TRUE(parseFails(R"(
+InstructionSet B { instructions { foo { behavior: { } } } }
+)"));
+}
+
+TEST(Parser, ErrorBadEncodingWidthSyntax)
+{
+    EXPECT_TRUE(parseFails(R"(
+InstructionSet B {
+  instructions {
+    foo { encoding: rd[0:4] :: 27'd0; behavior: { } }
+  }
+}
+)"));
+}
+
+TEST(Parser, ErrorUnclosedBlock)
+{
+    EXPECT_TRUE(parseFails("InstructionSet B { instructions {"));
+}
+
+TEST(Parser, ErrorGarbageTopLevel)
+{
+    EXPECT_TRUE(parseFails("banana"));
+}

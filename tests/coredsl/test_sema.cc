@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Semantic-analysis tests: elaboration, inheritance, parameters,
+ * encodings, and the strict implicit-conversion rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coredsl/parser.hh"
+#include "coredsl/sema.hh"
+
+using namespace longnail;
+using namespace longnail::coredsl;
+
+namespace {
+
+std::unique_ptr<ElaboratedIsa>
+analyzeOk(const std::string &src, const std::string &target = "")
+{
+    DiagnosticEngine diags;
+    Sema sema(diags, builtinSourceProvider());
+    auto isa = sema.analyze(src, target);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+    EXPECT_NE(isa, nullptr);
+    return isa;
+}
+
+std::string
+analyzeErrors(const std::string &src, const std::string &target = "")
+{
+    DiagnosticEngine diags;
+    Sema sema(diags, builtinSourceProvider());
+    auto isa = sema.analyze(src, target);
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_EQ(isa, nullptr);
+    return diags.str();
+}
+
+const char *dotprodSource = R"(
+import "RV32I.core_desc"
+InstructionSet X_DOTP extends RV32I {
+  instructions {
+    dotp {
+      encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] ::
+                3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        signed<32> res = 0;
+        for (int i = 0; i < 32; i += 8) {
+          signed<16> prod = (signed) X[rs1][i+7:i] *
+                            (signed) X[rs2][i+7:i];
+          res += prod;
+        }
+        X[rd] = (unsigned) res;
+} } } }
+)";
+
+} // namespace
+
+TEST(Sema, BaseSetResolvedThroughImport)
+{
+    auto isa = analyzeOk(dotprodSource);
+    EXPECT_EQ(isa->name, "X_DOTP");
+    // State inherited from RV32I, marked as core state.
+    const StateInfo *x = isa->findState("X");
+    ASSERT_NE(x, nullptr);
+    EXPECT_TRUE(x->isCoreState);
+    EXPECT_EQ(x->numElements, 32u);
+    EXPECT_EQ(x->elementType, Type::makeUnsigned(32));
+    EXPECT_EQ(x->indexWidth(), 5u);
+    const StateInfo *mem = isa->findState("MEM");
+    ASSERT_NE(mem, nullptr);
+    EXPECT_EQ(mem->kind, StateInfo::Kind::AddressSpace);
+    EXPECT_EQ(mem->elementType.width, 8u);
+}
+
+TEST(Sema, InstructionsFromBaseAreMarked)
+{
+    auto isa = analyzeOk(dotprodSource);
+    const InstrInfo *addi = isa->findInstruction("ADDI");
+    ASSERT_NE(addi, nullptr);
+    EXPECT_TRUE(addi->fromBase);
+    const InstrInfo *dotp = isa->findInstruction("dotp");
+    ASSERT_NE(dotp, nullptr);
+    EXPECT_FALSE(dotp->fromBase);
+}
+
+TEST(Sema, EncodingMaskMatch)
+{
+    auto isa = analyzeOk(dotprodSource);
+    const InstrInfo *dotp = isa->findInstruction("dotp");
+    ASSERT_NE(dotp, nullptr);
+    // funct7 | rs2 | rs1 | funct3 | rd | opcode
+    EXPECT_EQ(dotp->mask, 0xfe00707fu);
+    EXPECT_EQ(dotp->match, 0x0000000bu);
+    EXPECT_EQ(dotp->maskString,
+              "0000000----------000-----0001011");
+    ASSERT_EQ(dotp->fields.size(), 3u);
+    EXPECT_EQ(dotp->fields.at("rd").width, 5u);
+    EXPECT_EQ(dotp->fields.at("rd").slices[0].instrLsb, 7u);
+    EXPECT_EQ(dotp->fields.at("rs1").slices[0].instrLsb, 15u);
+    EXPECT_EQ(dotp->fields.at("rs2").slices[0].instrLsb, 20u);
+}
+
+TEST(Sema, AddiEncodingFromBase)
+{
+    auto isa = analyzeOk(dotprodSource);
+    const InstrInfo *addi = isa->findInstruction("ADDI");
+    ASSERT_NE(addi, nullptr);
+    EXPECT_EQ(addi->maskString, "-----------------000-----0010011");
+    EXPECT_EQ(addi->fields.at("imm").width, 12u);
+    EXPECT_EQ(addi->fields.at("imm").slices[0].instrLsb, 20u);
+}
+
+TEST(Sema, SplitEncodingField)
+{
+    auto isa = analyzeOk(R"(
+InstructionSet S {
+  instructions {
+    jmp {
+      encoding: imm[19:12] :: imm[11:4] :: rs1[4:0]
+                :: imm[3:0] :: 7'b0001011;
+      behavior: { }
+    }
+  }
+}
+)", "S");
+    const InstrInfo *jmp = isa->findInstruction("jmp");
+    ASSERT_NE(jmp, nullptr);
+    const FieldInfo &imm = jmp->fields.at("imm");
+    EXPECT_EQ(imm.width, 20u);
+    ASSERT_EQ(imm.slices.size(), 3u);
+    EXPECT_EQ(imm.slices[0].fieldLsb, 12u);
+    EXPECT_EQ(imm.slices[0].instrLsb, 24u);
+    EXPECT_EQ(imm.slices[2].fieldLsb, 0u);
+    EXPECT_EQ(imm.slices[2].instrLsb, 7u);
+}
+
+TEST(Sema, EncodingMustBe32Bits)
+{
+    std::string errors = analyzeErrors(R"(
+InstructionSet S {
+  instructions {
+    bad { encoding: 7'd0 :: rd[4:0]; behavior: { } }
+  }
+}
+)", "S");
+    EXPECT_NE(errors.find("expected 32"), std::string::npos);
+}
+
+TEST(Sema, ParametersEvaluateAndOverride)
+{
+    auto isa = analyzeOk(R"(
+InstructionSet P {
+  architectural_state {
+    unsigned<32> SIZE = 4;
+    register unsigned<8> BUF[SIZE * 2];
+  }
+}
+Core C provides P {
+  architectural_state {
+    SIZE = 16;
+  }
+}
+)", "C");
+    EXPECT_EQ(isa->parameters.at("SIZE").value.toUint64(), 16u);
+    // Note: state is elaborated after core parameter assignments.
+    EXPECT_EQ(isa->findState("BUF")->numElements, 32u);
+}
+
+TEST(Sema, StrictAssignmentDiagnostics)
+{
+    std::string errors = analyzeErrors(R"(
+InstructionSet T {
+  functions {
+    void f(unsigned<5> u5, signed<4> s4) {
+      unsigned<4> u4 = 0;
+      u4 = u5;
+      u4 = s4;
+    }
+  }
+}
+)", "T");
+    // Both forbidden assignments from the paper's Sec. 2.3 example.
+    EXPECT_NE(errors.find("unsigned<5> to unsigned<4>"),
+              std::string::npos);
+    EXPECT_NE(errors.find("signed<4> to unsigned<4>"), std::string::npos);
+}
+
+TEST(Sema, ExplicitCastAllowsNarrowing)
+{
+    analyzeOk(R"(
+InstructionSet T {
+  functions {
+    void f(unsigned<5> u5, signed<4> s4) {
+      unsigned<4> u4 = (unsigned<4>)(u5 + s4);
+    }
+  }
+}
+)", "T");
+}
+
+TEST(Sema, CompoundAssignmentWraps)
+{
+    // res += prod from Fig. 1 must type-check even though the addition
+    // result is wider than the target.
+    analyzeOk(dotprodSource);
+}
+
+TEST(Sema, UndeclaredIdentifier)
+{
+    std::string errors = analyzeErrors(R"(
+InstructionSet T {
+  functions { void f() { bogus = 1; } }
+}
+)", "T");
+    EXPECT_NE(errors.find("bogus"), std::string::npos);
+}
+
+TEST(Sema, UnknownImportReported)
+{
+    analyzeErrors("import \"nope.core_desc\"\nInstructionSet A { }");
+}
+
+TEST(Sema, UnknownParentReported)
+{
+    analyzeErrors("InstructionSet A extends Nope { }");
+}
+
+TEST(Sema, SpawnOnlyInInstructions)
+{
+    std::string errors = analyzeErrors(R"(
+import "RV32I.core_desc"
+InstructionSet T extends RV32I {
+  always {
+    blk { spawn { PC = 0; } }
+  }
+}
+)");
+    EXPECT_NE(errors.find("spawn"), std::string::npos);
+}
+
+TEST(Sema, RomRequiresInitializer)
+{
+    analyzeErrors(R"(
+InstructionSet T {
+  architectural_state { register const unsigned<8> ROM[4]; }
+}
+)", "T");
+}
+
+TEST(Sema, RomSizeMismatch)
+{
+    analyzeErrors(R"(
+InstructionSet T {
+  architectural_state {
+    register const unsigned<8> ROM[4] = {1, 2, 3};
+  }
+}
+)", "T");
+}
+
+TEST(Sema, FunctionCalls)
+{
+    auto isa = analyzeOk(R"(
+InstructionSet T {
+  functions {
+    unsigned<32> rotl(unsigned<32> x, unsigned<5> n) {
+      return (unsigned<32>)((x << n) | (x >> (unsigned<5>)(32 - n)));
+    }
+    unsigned<32> twice(unsigned<32> x) {
+      return (unsigned<32>)(rotl(x, 1) + rotl(x, 2));
+    }
+  }
+}
+)", "T");
+    EXPECT_EQ(isa->functions.size(), 2u);
+    const FunctionInfo *rotl = isa->findFunction("rotl");
+    ASSERT_NE(rotl, nullptr);
+    EXPECT_EQ(rotl->returnType, Type::makeUnsigned(32));
+    ASSERT_EQ(rotl->paramTypes.size(), 2u);
+    EXPECT_EQ(rotl->paramTypes[1], Type::makeUnsigned(5));
+}
+
+TEST(Sema, CallArgumentMismatch)
+{
+    analyzeErrors(R"(
+InstructionSet T {
+  functions {
+    unsigned<8> f(unsigned<8> x) { return x; }
+    void g() { unsigned<8> r = f(1, 2); }
+  }
+}
+)", "T");
+}
+
+TEST(Sema, RangeOnSameVariableWithOffset)
+{
+    analyzeOk(R"(
+import "RV32I.core_desc"
+InstructionSet T extends RV32I {
+  functions {
+    unsigned<8> pick(unsigned<32> v, unsigned<5> dummy) {
+      unsigned<8> out = 0;
+      for (int i = 0; i < 32; i += 8) {
+        out = v[i+7:i];
+      }
+      return out;
+    }
+  }
+}
+)");
+}
+
+TEST(Sema, RangeWithUnrelatedVariablesRejected)
+{
+    analyzeErrors(R"(
+InstructionSet T {
+  functions {
+    unsigned<8> f(unsigned<32> v, signed<32> a, signed<32> b) {
+      return (unsigned<8>) v[a:b];
+    }
+  }
+}
+)", "T");
+}
+
+TEST(Sema, MemoryRangeTyping)
+{
+    auto isa = analyzeOk(R"(
+import "RV32I.core_desc"
+InstructionSet T extends RV32I {
+  instructions {
+    ld4 {
+      encoding: 12'd0 :: rs1[4:0] :: 3'b010 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<32> addr = X[rs1];
+        X[rd] = MEM[addr+3:addr];
+      }
+    }
+  }
+}
+)");
+    EXPECT_NE(isa->findInstruction("ld4"), nullptr);
+}
+
+TEST(Sema, ZolAlwaysBlockChecks)
+{
+    auto isa = analyzeOk(R"(
+import "RV32I.core_desc"
+InstructionSet zol extends RV32I {
+  architectural_state {
+    register unsigned<32> START_PC;
+    register unsigned<32> END_PC;
+    register unsigned<32> COUNT;
+  }
+  instructions {
+    setup_zol {
+      encoding: uimmL[11:0] :: uimmS[4:0] :: 3'b101
+                :: 5'b00000 :: 7'b0001011;
+      behavior: {
+        START_PC = (unsigned<32>) (PC + 4);
+        END_PC = (unsigned<32>) (PC + (uimmS :: 1'b0));
+        COUNT = uimmL;
+      }
+    }
+  }
+  always {
+    zol {
+      if (COUNT != 0 && END_PC == PC) {
+        PC = START_PC;
+        --COUNT;
+      }
+    }
+  }
+}
+)");
+    ASSERT_EQ(isa->alwaysBlocks.size(), 1u);
+    EXPECT_FALSE(isa->findState("COUNT")->isCoreState);
+    EXPECT_TRUE(isa->findState("PC")->isCoreState);
+}
+
+TEST(Sema, ConstEvalBasics)
+{
+    std::map<std::string, TypedConst> env;
+    TypedConst w;
+    w.type = Type::makeUnsigned(32);
+    w.value = ApInt(32, 8);
+    env["W"] = w;
+
+    DiagnosticEngine diags;
+    Description desc = parseString(
+        "InstructionSet E { architectural_state {"
+        " register unsigned<8> R[(2 + 2) * 4]; } }", diags);
+    ASSERT_FALSE(diags.hasErrors());
+    const StateDecl &decl = desc.defs[0]->state[0];
+    auto c = evalConst(*decl.arraySize, env);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->value.toUint64(), 16u);
+}

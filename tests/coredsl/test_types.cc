@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the bitwidth-aware type system (Sec. 2.3 of the paper),
+ * including the paper's worked examples and property-style sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coredsl/types.hh"
+
+using namespace longnail::coredsl;
+
+namespace {
+
+Type u(unsigned w) { return Type::makeUnsigned(w); }
+Type s(unsigned w) { return Type::makeSigned(w); }
+
+/** Smallest/largest value representable in @p t, as double. */
+double
+minOf(Type t)
+{
+    return t.isSigned ? -std::ldexp(1.0, t.width - 1) : 0.0;
+}
+
+double
+maxOf(Type t)
+{
+    return t.isSigned ? std::ldexp(1.0, t.width - 1) - 1
+                      : std::ldexp(1.0, t.width) - 1;
+}
+
+} // namespace
+
+TEST(Types, Render)
+{
+    EXPECT_EQ(u(5).str(), "unsigned<5>");
+    EXPECT_EQ(s(34).str(), "signed<34>");
+}
+
+TEST(Types, PaperExampleAddition)
+{
+    // "the addition of u5 and s4 yields a result of type signed<7>"
+    EXPECT_EQ(resultType(BinOp::Add, u(5), s(4)), s(7));
+    EXPECT_EQ(resultType(BinOp::Add, s(4), u(5)), s(7));
+}
+
+TEST(Types, Fig5AddiTyping)
+{
+    // Fig. 5b: ui32 + si12 -> si34.
+    EXPECT_EQ(resultType(BinOp::Add, u(32), s(12)), s(34));
+}
+
+TEST(Types, AdditionSameSign)
+{
+    EXPECT_EQ(resultType(BinOp::Add, u(4), u(4)), u(5));
+    EXPECT_EQ(resultType(BinOp::Add, s(4), s(4)), s(5));
+    EXPECT_EQ(resultType(BinOp::Add, u(1), u(1)), u(2));
+}
+
+TEST(Types, SubtractionAlwaysSigned)
+{
+    EXPECT_EQ(resultType(BinOp::Sub, u(4), u(4)), s(5));
+    EXPECT_EQ(resultType(BinOp::Sub, s(4), s(4)), s(5));
+    EXPECT_EQ(resultType(BinOp::Sub, u(5), s(4)), s(7));
+}
+
+TEST(Types, Multiplication)
+{
+    EXPECT_EQ(resultType(BinOp::Mul, u(8), u(8)), u(16));
+    EXPECT_EQ(resultType(BinOp::Mul, s(8), s(8)), s(16));
+    EXPECT_EQ(resultType(BinOp::Mul, s(8), u(8)), s(16));
+}
+
+TEST(Types, ShiftsKeepLhsType)
+{
+    EXPECT_EQ(resultType(BinOp::Shl, u(32), u(5)), u(32));
+    EXPECT_EQ(resultType(BinOp::Shr, s(16), u(4)), s(16));
+}
+
+TEST(Types, ComparisonsAreBool)
+{
+    for (BinOp op : {BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge,
+                     BinOp::Eq, BinOp::Ne, BinOp::LogicalAnd,
+                     BinOp::LogicalOr}) {
+        EXPECT_EQ(resultType(op, u(32), s(7)), Type::makeBool());
+    }
+}
+
+TEST(Types, BitwiseUnion)
+{
+    EXPECT_EQ(resultType(BinOp::And, u(8), u(4)), u(8));
+    EXPECT_EQ(resultType(BinOp::Or, s(8), u(8)), s(9));
+    EXPECT_EQ(resultType(BinOp::Xor, s(4), s(8)), s(8));
+}
+
+TEST(Types, UnionType)
+{
+    EXPECT_EQ(unionType(u(5), u(3)), u(5));
+    EXPECT_EQ(unionType(s(5), s(3)), s(5));
+    EXPECT_EQ(unionType(u(5), s(5)), s(6));
+    EXPECT_EQ(unionType(s(6), u(5)), s(6));
+}
+
+TEST(Types, ImplicitAssignmentRules)
+{
+    // Paper: u4 = u5 and u4 = s4 are forbidden.
+    EXPECT_FALSE(isImplicitlyAssignable(u(4), u(5)));
+    EXPECT_FALSE(isImplicitlyAssignable(u(4), s(4)));
+    // Widening and same-type are fine.
+    EXPECT_TRUE(isImplicitlyAssignable(u(5), u(5)));
+    EXPECT_TRUE(isImplicitlyAssignable(u(5), u(4)));
+    EXPECT_TRUE(isImplicitlyAssignable(s(5), s(4)));
+    // unsigned -> signed needs one extra bit.
+    EXPECT_TRUE(isImplicitlyAssignable(s(5), u(4)));
+    EXPECT_FALSE(isImplicitlyAssignable(s(5), u(5)));
+    // signed -> unsigned is never implicit.
+    EXPECT_FALSE(isImplicitlyAssignable(u(64), s(2)));
+}
+
+// ---------------------------------------------------------------------------
+// Property: the result type of every arithmetic operator must be able to
+// represent the extreme values of the operation.
+// ---------------------------------------------------------------------------
+
+class TypeRangeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(TypeRangeProperty, ResultTypeCoversValueRange)
+{
+    auto [li, ri] = GetParam();
+    // Enumerate signed/unsigned x width combinations.
+    for (Type lhs : {u(li), s(li)}) {
+        for (Type rhs : {u(ri), s(ri)}) {
+            Type add = resultType(BinOp::Add, lhs, rhs);
+            EXPECT_LE(maxOf(lhs) + maxOf(rhs), maxOf(add));
+            EXPECT_GE(minOf(lhs) + minOf(rhs), minOf(add));
+
+            Type sub = resultType(BinOp::Sub, lhs, rhs);
+            EXPECT_LE(maxOf(lhs) - minOf(rhs), maxOf(sub));
+            EXPECT_GE(minOf(lhs) - maxOf(rhs), minOf(sub));
+
+            Type mul = resultType(BinOp::Mul, lhs, rhs);
+            double mmax = std::max({maxOf(lhs) * maxOf(rhs),
+                                    minOf(lhs) * minOf(rhs)});
+            double mmin = std::min({minOf(lhs) * maxOf(rhs),
+                                    maxOf(lhs) * minOf(rhs)});
+            EXPECT_LE(mmax, maxOf(mul));
+            EXPECT_GE(mmin, minOf(mul));
+
+            // Division: extreme quotient is lhs / +-1.
+            Type div = resultType(BinOp::Div, lhs, rhs);
+            EXPECT_LE(maxOf(lhs), maxOf(div));
+            if (rhs.isSigned) { // lhs / -1
+                EXPECT_LE(-minOf(lhs), maxOf(div));
+            }
+            EXPECT_GE(minOf(lhs), minOf(div));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthPairs, TypeRangeProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 16, 31),
+                       ::testing::Values(1, 2, 3, 5, 8, 16, 31)));

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Tests for the AST -> HIR lowering: unrolling, inlining, if-conversion,
+ * spawn handling, and the write-coalescing rules, exercised on the
+ * paper's benchmark ISAXes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coredsl/sema.hh"
+#include "driver/isax_catalog.hh"
+#include "hir/astlower.hh"
+#include "hir/transforms.hh"
+
+using namespace longnail;
+using namespace longnail::coredsl;
+using namespace longnail::hir;
+using ir::OpKind;
+
+namespace {
+
+std::unique_ptr<ElaboratedIsa>
+analyze(const std::string &source, const std::string &target = "")
+{
+    DiagnosticEngine diags;
+    Sema sema(diags, builtinSourceProvider());
+    auto isa = sema.analyze(source, target);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+    return isa;
+}
+
+std::unique_ptr<HirModule>
+lower(const ElaboratedIsa &isa)
+{
+    DiagnosticEngine diags;
+    auto mod = lowerToHir(isa, diags);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+    EXPECT_NE(mod, nullptr);
+    return mod;
+}
+
+unsigned
+countOps(const ir::Graph &graph, OpKind kind)
+{
+    unsigned n = 0;
+    for (const auto &op : graph.ops()) {
+        if (op->kind() == kind)
+            ++n;
+        if (op->subgraph())
+            n += countOps(*op->subgraph(), kind);
+    }
+    return n;
+}
+
+const catalog::IsaxEntry &
+entry(const std::string &name)
+{
+    const auto *e = catalog::findIsax(name);
+    EXPECT_NE(e, nullptr);
+    return *e;
+}
+
+} // namespace
+
+TEST(HirLower, AddiMatchesFig5b)
+{
+    // Lower the base ADDI instruction (the paper's running example).
+    auto isa = analyze(entry("dotp").source, entry("dotp").target);
+    ASSERT_NE(isa, nullptr);
+    DiagnosticEngine diags;
+    auto addi = lowerInstruction(*isa, *isa->findInstruction("ADDI"),
+                                 diags);
+    ASSERT_NE(addi, nullptr) << diags.str();
+    canonicalize(addi->body);
+
+    // Expected structure: field imm; get X[rs1]; cast; add; cast; set.
+    EXPECT_EQ(countOps(addi->body, OpKind::CoredslField), 3u); // imm,rs1,rd
+    EXPECT_EQ(countOps(addi->body, OpKind::CoredslGet), 1u);
+    EXPECT_EQ(countOps(addi->body, OpKind::HwAdd), 1u);
+    EXPECT_EQ(countOps(addi->body, OpKind::CoredslSet), 1u);
+    EXPECT_EQ(countOps(addi->body, OpKind::CoredslEnd), 1u);
+    EXPECT_EQ(addi->body.verify(), "");
+}
+
+TEST(HirLower, DotpUnrollsFourTimes)
+{
+    auto isa = analyze(entry("dotp").source, entry("dotp").target);
+    ASSERT_NE(isa, nullptr);
+    auto mod = lower(*isa);
+    const HirInstruction *dotp = mod->findInstruction("dotp");
+    ASSERT_NE(dotp, nullptr);
+    canonicalize(const_cast<ir::Graph &>(dotp->body));
+
+    // Four unrolled iterations, each with one multiply.
+    EXPECT_EQ(countOps(dotp->body, OpKind::HwMul), 4u);
+    // res accumulation: four adds.
+    EXPECT_EQ(countOps(dotp->body, OpKind::HwAdd), 4u);
+    // Reads of X[rs1]/X[rs2] are CSEd to one interface access each.
+    EXPECT_EQ(countOps(dotp->body, OpKind::CoredslGet), 2u);
+    // One result write.
+    EXPECT_EQ(countOps(dotp->body, OpKind::CoredslSet), 1u);
+    EXPECT_EQ(dotp->body.verify(), "");
+}
+
+TEST(HirLower, ZolAlwaysIfConversion)
+{
+    auto isa = analyze(entry("zol").source, entry("zol").target);
+    ASSERT_NE(isa, nullptr);
+    auto mod = lower(*isa);
+    const HirAlways *zol = mod->findAlways("zol");
+    ASSERT_NE(zol, nullptr);
+    canonicalize(const_cast<ir::Graph &>(zol->body));
+
+    // Predicated writes to PC and COUNT; no muxes needed at top level
+    // (writes are conditional, not merged with prior writes).
+    EXPECT_EQ(countOps(zol->body, OpKind::CoredslSet), 2u);
+    // Reads: COUNT, END_PC, PC, START_PC.
+    EXPECT_EQ(countOps(zol->body, OpKind::CoredslGet), 4u);
+    EXPECT_EQ(zol->body.verify(), "");
+}
+
+TEST(HirLower, ZolSetupWritesThreeRegisters)
+{
+    auto isa = analyze(entry("zol").source, entry("zol").target);
+    auto mod = lower(*isa);
+    const HirInstruction *setup = mod->findInstruction("setup_zol");
+    ASSERT_NE(setup, nullptr);
+    EXPECT_EQ(countOps(setup->body, OpKind::CoredslSet), 3u);
+    // PC is read once (CSE), used by both START_PC and END_PC.
+    EXPECT_EQ(countOps(setup->body, OpKind::CoredslGet), 1u);
+}
+
+TEST(HirLower, SqrtDecoupledSpawnStructure)
+{
+    auto isa = analyze(entry("sqrt_decoupled").source,
+                       entry("sqrt_decoupled").target);
+    auto mod = lower(*isa);
+    const HirInstruction *sqrt = mod->findInstruction("sqrt");
+    ASSERT_NE(sqrt, nullptr);
+    EXPECT_EQ(countOps(sqrt->body, OpKind::CoredslSpawn), 1u);
+
+    // The operand read happens outside the spawn block; the result
+    // write happens inside.
+    const ir::Operation *spawn = nullptr;
+    unsigned outer_sets = 0;
+    for (const auto &op : sqrt->body.ops()) {
+        if (op->kind() == OpKind::CoredslSpawn)
+            spawn = op.get();
+        if (op->kind() == OpKind::CoredslSet)
+            ++outer_sets;
+    }
+    ASSERT_NE(spawn, nullptr);
+    EXPECT_EQ(outer_sets, 0u);
+    EXPECT_EQ(countOps(*spawn->subgraph(), OpKind::CoredslSet), 1u);
+    EXPECT_EQ(sqrt->body.verify(), "");
+}
+
+TEST(HirLower, SqrtUnrolls32Iterations)
+{
+    auto isa = analyze(entry("sqrt_tightly").source,
+                       entry("sqrt_tightly").target);
+    auto mod = lower(*isa);
+    const HirInstruction *sqrt = mod->findInstruction("sqrt");
+    ASSERT_NE(sqrt, nullptr);
+    canonicalize(const_cast<ir::Graph &>(sqrt->body));
+    // Each iteration has one >= compare.
+    EXPECT_EQ(countOps(sqrt->body, OpKind::HwICmp), 32u);
+    EXPECT_EQ(sqrt->body.verify(), "");
+}
+
+TEST(HirLower, SparkleInlinesHelpers)
+{
+    auto isa = analyze(entry("sparkle").source, entry("sparkle").target);
+    auto mod = lower(*isa);
+    const HirInstruction *alzx = mod->findInstruction("alzette_x");
+    ASSERT_NE(alzx, nullptr);
+    canonicalize(const_cast<ir::Graph &>(alzx->body));
+    // 4 rounds x (x-add) = 4 adds; the ror helpers inline to shifts.
+    EXPECT_EQ(countOps(alzx->body, OpKind::HwAdd), 4u);
+    EXPECT_GE(countOps(alzx->body, OpKind::HwShl) +
+                  countOps(alzx->body, OpKind::HwShr), 8u);
+    // ROM lookup for the round constant.
+    EXPECT_EQ(countOps(alzx->body, OpKind::CoredslRom), 1u);
+    EXPECT_EQ(alzx->body.verify(), "");
+}
+
+TEST(HirLower, AutoincLoadAccessesMemAndCustomReg)
+{
+    auto isa = analyze(entry("autoinc").source, entry("autoinc").target);
+    auto mod = lower(*isa);
+    const HirInstruction *lw = mod->findInstruction("lw_autoinc");
+    ASSERT_NE(lw, nullptr);
+    EXPECT_EQ(countOps(lw->body, OpKind::CoredslGetMem), 1u);
+    EXPECT_EQ(countOps(lw->body, OpKind::CoredslGet), 1u); // ADDR
+    EXPECT_EQ(countOps(lw->body, OpKind::CoredslSet), 2u); // X[rd], ADDR
+
+    const HirInstruction *sw = mod->findInstruction("sw_autoinc");
+    ASSERT_NE(sw, nullptr);
+    EXPECT_EQ(countOps(sw->body, OpKind::CoredslSetMem), 1u);
+}
+
+TEST(HirLower, SboxUsesRom)
+{
+    auto isa = analyze(entry("sbox").source, entry("sbox").target);
+    auto mod = lower(*isa);
+    const HirInstruction *lookup = mod->findInstruction("sbox_lookup");
+    ASSERT_NE(lookup, nullptr);
+    EXPECT_EQ(countOps(lookup->body, OpKind::CoredslRom), 1u);
+}
+
+TEST(HirLower, AllCatalogIsaxesLower)
+{
+    for (const auto &e : catalog::allIsaxes()) {
+        DiagnosticEngine diags;
+        Sema sema(diags, builtinSourceProvider());
+        auto isa = sema.analyze(e.source, e.target);
+        ASSERT_NE(isa, nullptr) << e.name << ": " << diags.str();
+        auto mod = lowerToHir(*isa, diags);
+        ASSERT_NE(mod, nullptr) << e.name << ": " << diags.str();
+        for (const auto &instr : mod->instructions) {
+            EXPECT_EQ(instr->body.verify(), "") << e.name;
+            canonicalize(instr->body);
+            EXPECT_EQ(instr->body.verify(), "") << e.name;
+        }
+        for (const auto &blk : mod->alwaysBlocks) {
+            EXPECT_EQ(blk->body.verify(), "") << e.name;
+            canonicalize(blk->body);
+            EXPECT_EQ(blk->body.verify(), "") << e.name;
+        }
+    }
+}
+
+TEST(HirLower, SequentialWritesCoalesce)
+{
+    auto isa = analyze(R"(
+import "RV32I.core_desc"
+InstructionSet T extends RV32I {
+  architectural_state { register unsigned<32> R; }
+  instructions {
+    t {
+      encoding: 12'd0 :: 5'd0 :: 3'b000 :: rd[4:0] :: 7'b1111011;
+      behavior: {
+        R = 1;
+        R = 2;
+        R = 3;
+      }
+    }
+  }
+}
+)");
+    auto mod = lower(*isa);
+    const HirInstruction *t = mod->findInstruction("t");
+    ASSERT_NE(t, nullptr);
+    // Exactly one coalesced interface write.
+    EXPECT_EQ(countOps(t->body, OpKind::CoredslSet), 1u);
+}
+
+TEST(HirLower, ReadAfterWriteSeesNewValue)
+{
+    auto isa = analyze(R"(
+import "RV32I.core_desc"
+InstructionSet T extends RV32I {
+  architectural_state { register unsigned<32> R; }
+  instructions {
+    t {
+      encoding: 12'd0 :: 5'd0 :: 3'b000 :: rd[4:0] :: 7'b1111011;
+      behavior: {
+        R = 5;
+        X[rd] = R;
+      }
+    }
+  }
+}
+)");
+    auto mod = lower(*isa);
+    const HirInstruction *t = mod->findInstruction("t");
+    ASSERT_NE(t, nullptr);
+    canonicalize(const_cast<ir::Graph &>(t->body));
+    // No read of R remains: X[rd] receives the constant 5 directly.
+    EXPECT_EQ(countOps(t->body, OpKind::CoredslGet), 0u);
+}
+
+TEST(HirLower, ConditionalWritesArePredicated)
+{
+    auto isa = analyze(R"(
+import "RV32I.core_desc"
+InstructionSet T extends RV32I {
+  architectural_state { register unsigned<32> R; }
+  instructions {
+    t {
+      encoding: 12'd0 :: rs1[4:0] :: 3'b000 :: rd[4:0] :: 7'b1111011;
+      behavior: {
+        if (X[rs1] != 0) {
+          R = X[rs1];
+        } else {
+          R = 7;
+        }
+      }
+    }
+  }
+}
+)");
+    auto mod = lower(*isa);
+    const HirInstruction *t = mod->findInstruction("t");
+    canonicalize(const_cast<ir::Graph &>(t->body));
+    // Both branches write -> one set, value muxed.
+    EXPECT_EQ(countOps(t->body, OpKind::CoredslSet), 1u);
+    EXPECT_GE(countOps(t->body, OpKind::HwMux), 1u);
+}
+
+TEST(HirLower, CompileTimeIfIsResolved)
+{
+    auto isa = analyze(R"(
+import "RV32I.core_desc"
+InstructionSet T extends RV32I {
+  instructions {
+    t {
+      encoding: 12'd0 :: rs1[4:0] :: 3'b000 :: rd[4:0] :: 7'b1111011;
+      behavior: {
+        unsigned<32> acc = 0;
+        for (int i = 0; i < 4; i += 1) {
+          if (i % 2 == 0) {
+            acc = (unsigned<32>)(acc + X[rs1]);
+          }
+        }
+        X[rd] = acc;
+      }
+    }
+  }
+}
+)");
+    auto mod = lower(*isa);
+    const HirInstruction *t = mod->findInstruction("t");
+    canonicalize(const_cast<ir::Graph &>(t->body));
+    // Only iterations 0 and 2 contribute: two adds, no muxes.
+    EXPECT_EQ(countOps(t->body, OpKind::HwAdd), 2u);
+    EXPECT_EQ(countOps(t->body, OpKind::HwMux), 0u);
+}
+
+TEST(HirLower, UnrollLimitDiagnosed)
+{
+    DiagnosticEngine diags;
+    Sema sema(diags, builtinSourceProvider());
+    auto isa = sema.analyze(R"(
+import "RV32I.core_desc"
+InstructionSet T extends RV32I {
+  instructions {
+    t {
+      encoding: 12'd0 :: rs1[4:0] :: 3'b000 :: rd[4:0] :: 7'b1111011;
+      behavior: {
+        for (int i = 0; i < 100000; i += 1) { }
+      }
+    }
+  }
+}
+)");
+    ASSERT_NE(isa, nullptr);
+    auto mod = lowerToHir(*isa, diags);
+    EXPECT_EQ(mod, nullptr);
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_NE(diags.str().find("unroll limit"), std::string::npos);
+}
+
+TEST(HirLower, PostIncrementOnCustomRegister)
+{
+    auto isa = analyze(R"(
+import "RV32I.core_desc"
+InstructionSet T extends RV32I {
+  architectural_state { register unsigned<32> CNT; }
+  instructions {
+    t {
+      encoding: 12'd0 :: 5'd0 :: 3'b000 :: rd[4:0] :: 7'b1111011;
+      behavior: {
+        X[rd] = CNT++;
+      }
+    }
+  }
+}
+)");
+    auto mod = lower(*isa);
+    const HirInstruction *t = mod->findInstruction("t");
+    // Post-increment: X[rd] gets the old value, CNT the incremented one.
+    EXPECT_EQ(countOps(t->body, OpKind::CoredslSet), 2u);
+    EXPECT_EQ(countOps(t->body, OpKind::HwAdd), 1u);
+}

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for hardware generation: structural properties (stage-suffixed
+ * ports, pipeline registers, mode selection per Sec. 4.3) and
+ * cycle-accurate equivalence of the generated RTL against the LIL
+ * interpreter across all benchmark ISAXes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "coredsl/sema.hh"
+#include "driver/isax_catalog.hh"
+#include "hir/astlower.hh"
+#include "hwgen/hwgen.hh"
+#include "hwgen/runner.hh"
+#include "lil/interp.hh"
+#include "lil/lil.hh"
+#include "rtl/verilog.hh"
+#include "sched/scheduler.hh"
+
+using namespace longnail;
+using namespace longnail::hwgen;
+using scaiev::Datasheet;
+using scaiev::ExecutionMode;
+using scaiev::SubInterface;
+
+namespace {
+
+struct Compiled
+{
+    std::unique_ptr<coredsl::ElaboratedIsa> isa;
+    std::unique_ptr<hir::HirModule> hirMod;
+    std::unique_ptr<lil::LilModule> lilMod;
+};
+
+Compiled
+compile(const std::string &name)
+{
+    const auto *e = catalog::findIsax(name);
+    EXPECT_NE(e, nullptr);
+    Compiled c;
+    DiagnosticEngine diags;
+    coredsl::Sema sema(diags, coredsl::builtinSourceProvider());
+    c.isa = sema.analyze(e->source, e->target);
+    EXPECT_NE(c.isa, nullptr) << diags.str();
+    c.hirMod = hir::lowerToHir(*c.isa, diags);
+    EXPECT_NE(c.hirMod, nullptr) << diags.str();
+    c.lilMod = lil::lowerToLil(*c.hirMod, diags);
+    EXPECT_NE(c.lilMod, nullptr) << diags.str();
+    return c;
+}
+
+GeneratedModule
+generate(const Compiled &c, const lil::LilGraph &graph,
+         const std::string &core)
+{
+    sched::TechLibrary tech(sched::TimingMode::Uniform);
+    sched::BuiltProblem built = sched::buildProblem(
+        graph, Datasheet::forCore(core), tech);
+    sched::computeChainBreakers(built.problem);
+    std::string err = sched::scheduleOptimal(built.problem);
+    EXPECT_EQ(err, "") << graph.name << " on " << core;
+    return generateModule(graph, built, Datasheet::forCore(core),
+                          *c.isa);
+}
+
+/** Compare two architectural-effect records. */
+void
+expectSameEffects(const lil::InterpResult &want,
+                  const lil::InterpResult &got, const std::string &what)
+{
+    EXPECT_EQ(want.rd.enabled, got.rd.enabled) << what;
+    if (want.rd.enabled && got.rd.enabled) {
+        EXPECT_EQ(want.rd.value.toUint64(), got.rd.value.toUint64())
+            << what;
+    }
+    EXPECT_EQ(want.pcWrite.enabled, got.pcWrite.enabled) << what;
+    if (want.pcWrite.enabled && got.pcWrite.enabled) {
+        EXPECT_EQ(want.pcWrite.value.toUint64(),
+                  got.pcWrite.value.toUint64())
+            << what;
+    }
+    EXPECT_EQ(want.mem.enabled, got.mem.enabled) << what;
+    if (want.mem.enabled && got.mem.enabled) {
+        EXPECT_EQ(want.mem.addr.toUint64(), got.mem.addr.toUint64())
+            << what;
+        EXPECT_EQ(want.mem.value.toUint64(), got.mem.value.toUint64())
+            << what;
+    }
+    for (const auto &[reg, write] : want.custWrites) {
+        auto it = got.custWrites.find(reg);
+        if (write.enabled) {
+            ASSERT_TRUE(it != got.custWrites.end() &&
+                        it->second.enabled)
+                << what << " missing write to " << reg;
+            EXPECT_EQ(write.value.toUint64(),
+                      it->second.value.toUint64())
+                << what << " " << reg;
+            EXPECT_EQ(write.index.toUint64(),
+                      it->second.index.toUint64())
+                << what << " " << reg;
+        }
+    }
+}
+
+} // namespace
+
+TEST(Hwgen, AddiModuleStructure)
+{
+    Compiled c = compile("dotp");
+    DiagnosticEngine diags;
+    auto addi_hir = hir::lowerInstruction(
+        *c.isa, *c.isa->findInstruction("ADDI"), diags);
+    auto addi = lil::lowerInstructionToLil(*c.isa, *addi_hir, diags);
+    ASSERT_NE(addi, nullptr);
+    GeneratedModule mod = generate(c, *addi, "VexRiscv");
+
+    // Fig. 5d shape: stage-suffixed ports within the VexRiscv windows.
+    // (The instruction word may legally arrive in stage 1 or 2: both
+    // are optima of the Fig. 7 objective for this graph.)
+    const InterfacePort *instr = mod.findPort(SubInterface::RdInstr);
+    ASSERT_NE(instr, nullptr);
+    EXPECT_GE(instr->stage, 1);
+    EXPECT_LE(instr->stage, 2);
+    EXPECT_EQ(instr->dataPort,
+              "instr_word_" + std::to_string(instr->stage));
+    const InterfacePort *rs1 = mod.findPort(SubInterface::RdRS1);
+    ASSERT_NE(rs1, nullptr);
+    EXPECT_EQ(rs1->stage, 2);
+    EXPECT_EQ(rs1->dataPort, "rdrs1_2");
+    const InterfacePort *wr = mod.findPort(SubInterface::WrRD);
+    ASSERT_NE(wr, nullptr);
+    EXPECT_EQ(wr->mode, ExecutionMode::InPipeline);
+    EXPECT_EQ(mod.module.verify(), "");
+
+    std::string verilog = rtl::emitVerilog(mod.module);
+    EXPECT_NE(verilog.find("module ADDI("), std::string::npos);
+    EXPECT_NE(verilog.find("instr_word_"), std::string::npos);
+    EXPECT_NE(verilog.find("rdrs1_2"), std::string::npos);
+}
+
+TEST(Hwgen, SqrtModeSelection)
+{
+    // Tightly-coupled: long-running, no spawn block.
+    Compiled tight = compile("sqrt_tightly");
+    GeneratedModule tight_mod =
+        generate(tight, *tight.lilMod->findGraph("sqrt"), "VexRiscv");
+    const InterfacePort *wr_tight =
+        tight_mod.findPort(SubInterface::WrRD);
+    ASSERT_NE(wr_tight, nullptr);
+    EXPECT_GT(wr_tight->stage, 4); // beyond the native writeback
+    EXPECT_EQ(wr_tight->mode, ExecutionMode::TightlyCoupled);
+
+    // Decoupled: same computation inside a spawn block.
+    Compiled dec = compile("sqrt_decoupled");
+    GeneratedModule dec_mod =
+        generate(dec, *dec.lilMod->findGraph("sqrt"), "VexRiscv");
+    const InterfacePort *wr_dec = dec_mod.findPort(SubInterface::WrRD);
+    ASSERT_NE(wr_dec, nullptr);
+    EXPECT_GT(wr_dec->stage, 4);
+    EXPECT_EQ(wr_dec->mode, ExecutionMode::Decoupled);
+    EXPECT_TRUE(wr_dec->fromSpawn);
+
+    // The operand read stays in-pipeline in both variants.
+    EXPECT_EQ(dec_mod.findPort(SubInterface::RdRS1)->mode,
+              ExecutionMode::InPipeline);
+}
+
+TEST(Hwgen, ZolAlwaysModuleIsSingleStage)
+{
+    Compiled c = compile("zol");
+    GeneratedModule mod = generate(c, *c.lilMod->findGraph("zol"),
+                                   "VexRiscv");
+    EXPECT_TRUE(mod.isAlways);
+    EXPECT_EQ(mod.lastStage, 0);
+    EXPECT_EQ(mod.module.numRegisters(), 0u);
+    for (const auto &port : mod.ports)
+        EXPECT_EQ(port.mode, ExecutionMode::Always);
+    // Scalar custom registers have no address ports.
+    const InterfacePort *count =
+        mod.findPort(SubInterface::RdCustReg, "COUNT");
+    ASSERT_NE(count, nullptr);
+    EXPECT_TRUE(count->addrPort.empty());
+    EXPECT_FALSE(count->dataPort.empty());
+}
+
+TEST(Hwgen, PipelineRegistersInserted)
+{
+    // dotp on ORCA: operands in stage 3, result in stage 4+ -> at
+    // least one pipeline register stage.
+    Compiled c = compile("dotp");
+    GeneratedModule mod = generate(c, *c.lilMod->findGraph("dotp"),
+                                   "ORCA");
+    EXPECT_GT(mod.module.numRegisters(), 0u);
+    // And the stall input for the boundary exists.
+    bool has_stall = false;
+    for (const auto &name : mod.stallInputs)
+        has_stall |= !name.empty();
+    EXPECT_TRUE(has_stall);
+}
+
+TEST(Hwgen, ScheduleEntriesMirrorPorts)
+{
+    Compiled c = compile("zol");
+    GeneratedModule mod = generate(c, *c.lilMod->findGraph("setup_zol"),
+                                   "VexRiscv");
+    auto entries = scheduleEntries(mod);
+    ASSERT_EQ(entries.size(), mod.ports.size());
+    bool has_count_data = false;
+    for (const auto &use : entries) {
+        if (use.displayName() == "WrCOUNT.data") {
+            has_count_data = true;
+            EXPECT_TRUE(use.hasValid);
+        }
+    }
+    EXPECT_TRUE(has_count_data);
+}
+
+// ---------------------------------------------------------------------------
+// RTL vs. LIL-interpreter equivalence (the core verification of the
+// whole HLS path).
+// ---------------------------------------------------------------------------
+
+class RtlEquivalence
+    : public ::testing::TestWithParam<std::tuple<const char *,
+                                                 const char *>>
+{
+};
+
+TEST_P(RtlEquivalence, GeneratedRtlMatchesInterpreter)
+{
+    auto [isax_name, core] = GetParam();
+    Compiled c = compile(isax_name);
+    std::mt19937 rng(42);
+
+    for (const auto &graph : c.lilMod->graphs) {
+        GeneratedModule mod = generate(c, *graph, core);
+        ASSERT_EQ(mod.module.verify(), "") << graph->name;
+
+        for (int trial = 0; trial < 25; ++trial) {
+            lil::InterpInput input;
+            input.instrWord = ApInt(32, rng());
+            input.rs1 = ApInt(32, rng());
+            input.rs2 = ApInt(32, rng());
+            input.pc = ApInt(32, rng() & ~3u);
+            uint32_t mem_word = rng();
+            input.readMem = [&](const ApInt &) {
+                return ApInt(32, mem_word);
+            };
+            // Populate all custom registers of the ISAX.
+            for (const auto &state : c.isa->state) {
+                if (state.isCoreState || state.isConst ||
+                    state.kind != coredsl::StateInfo::Kind::Register)
+                    continue;
+                std::vector<ApInt> contents;
+                for (uint64_t i = 0; i < state.numElements; ++i)
+                    contents.push_back(
+                        ApInt(state.elementType.width, rng()));
+                input.custRegs[state.name] = contents;
+            }
+
+            lil::InterpResult want = lil::interpret(*graph, input);
+            lil::InterpResult got = runIsolated(mod, input);
+            expectSameEffects(want, got,
+                              std::string(isax_name) + "/" +
+                                  graph->name + " on " + core +
+                                  " trial " + std::to_string(trial));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IsaxCoreMatrix, RtlEquivalence,
+    ::testing::Combine(
+        ::testing::Values("dotp", "autoinc", "ijmp", "sbox", "sparkle",
+                          "sqrt_tightly", "sqrt_decoupled", "zol"),
+        ::testing::Values("ORCA", "Piccolo", "PicoRV32", "VexRiscv")));
+
+TEST(Hwgen, VerilogEmitsForAllIsaxes)
+{
+    for (const auto &e : catalog::allIsaxes()) {
+        Compiled c = compile(e.name);
+        for (const auto &graph : c.lilMod->graphs) {
+            GeneratedModule mod = generate(c, *graph, "VexRiscv");
+            std::string verilog = rtl::emitVerilog(mod.module);
+            EXPECT_NE(verilog.find("module " + graph->name),
+                      std::string::npos)
+                << e.name;
+            EXPECT_NE(verilog.find("endmodule"), std::string::npos);
+        }
+    }
+}
+
+TEST(Hwgen, StallablePipelineHoldsUnderBackpressure)
+{
+    // Sec. 4.5: pipeline registers are stallable. Random backpressure
+    // must not change any architectural result.
+    std::mt19937 rng(99);
+    for (const char *isax : {"dotp", "sparkle", "sqrt_tightly",
+                             "autoinc"}) {
+        Compiled c = compile(isax);
+        for (const auto &graph : c.lilMod->graphs) {
+            GeneratedModule mod = generate(c, *graph, "VexRiscv");
+            for (int trial = 0; trial < 5; ++trial) {
+                lil::InterpInput input;
+                input.instrWord = ApInt(32, rng());
+                input.rs1 = ApInt(32, rng());
+                input.rs2 = ApInt(32, rng());
+                input.pc = ApInt(32, rng() & ~3u);
+                uint32_t word = rng();
+                input.readMem = [&](const ApInt &) {
+                    return ApInt(32, word);
+                };
+                for (const auto &state : c.isa->state) {
+                    if (state.isCoreState || state.isConst ||
+                        state.kind !=
+                            coredsl::StateInfo::Kind::Register)
+                        continue;
+                    std::vector<ApInt> contents;
+                    for (uint64_t i = 0; i < state.numElements; ++i)
+                        contents.push_back(
+                            ApInt(state.elementType.width, rng()));
+                    input.custRegs[state.name] = contents;
+                }
+                lil::InterpResult clean = runIsolated(mod, input);
+                uint32_t pattern = rng();
+                lil::InterpResult stalled = runIsolated(
+                    mod, input, [pattern](int cycle) {
+                        return ((pattern >> (cycle % 31)) & 1) != 0;
+                    });
+                expectSameEffects(clean, stalled,
+                                  std::string(isax) + "/" + graph->name +
+                                      " under stalls");
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Semantic tests: the LIL interpreter must implement each benchmark
+ * ISAX's intended mathematics. References are computed independently
+ * with native integer arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "coredsl/sema.hh"
+#include "driver/isax_catalog.hh"
+#include "hir/astlower.hh"
+#include "lil/interp.hh"
+#include "lil/lil.hh"
+
+using namespace longnail;
+using namespace longnail::coredsl;
+using namespace longnail::lil;
+
+namespace {
+
+struct Compiled
+{
+    std::unique_ptr<ElaboratedIsa> isa;
+    std::unique_ptr<hir::HirModule> hirMod;
+    std::unique_ptr<LilModule> lilMod;
+};
+
+Compiled
+compile(const std::string &name)
+{
+    const auto *e = catalog::findIsax(name);
+    EXPECT_NE(e, nullptr);
+    Compiled c;
+    DiagnosticEngine diags;
+    Sema sema(diags, builtinSourceProvider());
+    c.isa = sema.analyze(e->source, e->target);
+    EXPECT_NE(c.isa, nullptr) << diags.str();
+    c.hirMod = hir::lowerToHir(*c.isa, diags);
+    EXPECT_NE(c.hirMod, nullptr) << diags.str();
+    c.lilMod = lil::lowerToLil(*c.hirMod, diags);
+    EXPECT_NE(c.lilMod, nullptr) << diags.str();
+    return c;
+}
+
+/** Reference: 4x8-bit signed dot product (Fig. 1 semantics). */
+uint32_t
+refDotp(uint32_t a, uint32_t b)
+{
+    int32_t acc = 0;
+    for (int i = 0; i < 4; ++i) {
+        int8_t x = static_cast<int8_t>(a >> (8 * i));
+        int8_t y = static_cast<int8_t>(b >> (8 * i));
+        acc += int32_t(x) * int32_t(y);
+    }
+    return static_cast<uint32_t>(acc);
+}
+
+/** Reference: SPARKLE rotate right. */
+uint32_t
+ror32(uint32_t x, unsigned n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+
+/** Reference: Alzette ARX-box, returning (x, y). */
+std::pair<uint32_t, uint32_t>
+refAlzette(uint32_t x, uint32_t y, uint32_t c)
+{
+    x += ror32(y, 31); y ^= ror32(x, 24); x ^= c;
+    x += ror32(y, 17); y ^= ror32(x, 17); x ^= c;
+    x += y;            y ^= ror32(x, 31); x ^= c;
+    x += ror32(y, 24); y ^= ror32(x, 16); x ^= c;
+    return {x, y};
+}
+
+const uint32_t kRcon[8] = {0xB7E15162, 0xBF715880, 0x38B4DA56,
+                           0x324E7738, 0xBB1185EB, 0x4F7C7B57,
+                           0xCFBFA1C8, 0xC2B3293D};
+
+} // namespace
+
+TEST(LilInterp, AddiComputesSum)
+{
+    auto c = compile("dotp"); // brings RV32I's ADDI along
+    DiagnosticEngine diags;
+    auto addi_hir = hir::lowerInstruction(
+        *c.isa, *c.isa->findInstruction("ADDI"), diags);
+    auto addi = lowerInstructionToLil(*c.isa, *addi_hir, diags);
+    ASSERT_NE(addi, nullptr) << diags.str();
+
+    // addi x3, x1, -7  => imm = 0xff9.
+    InterpInput in;
+    in.instrWord = ApInt(32, (0xff9u << 20) | (1u << 15) | (3u << 7) |
+                                 0x13u);
+    in.rs1 = ApInt(32, 100);
+    InterpResult r = interpret(*addi, in);
+    ASSERT_TRUE(r.rd.enabled);
+    EXPECT_EQ(r.rd.value.toUint64(), 93u);
+}
+
+TEST(LilInterp, DotpMatchesReference)
+{
+    auto c = compile("dotp");
+    const LilGraph *dotp = c.lilMod->findGraph("dotp");
+    ASSERT_NE(dotp, nullptr);
+
+    std::mt19937 rng(7);
+    for (int i = 0; i < 200; ++i) {
+        uint32_t a = rng(), b = rng();
+        InterpInput in;
+        in.rs1 = ApInt(32, a);
+        in.rs2 = ApInt(32, b);
+        InterpResult r = interpret(*dotp, in);
+        ASSERT_TRUE(r.rd.enabled);
+        EXPECT_EQ(uint32_t(r.rd.value.toUint64()), refDotp(a, b))
+            << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(LilInterp, SboxMatchesTable)
+{
+    auto c = compile("sbox");
+    const LilGraph *lookup = c.lilMod->findGraph("sbox_lookup");
+    ASSERT_NE(lookup, nullptr);
+    const StateInfo *rom = c.isa->findState("SBOX");
+    ASSERT_NE(rom, nullptr);
+    for (unsigned v = 0; v < 256; ++v) {
+        InterpInput in;
+        in.rs1 = ApInt(32, 0xabcd00u | v);
+        InterpResult r = interpret(*lookup, in);
+        ASSERT_TRUE(r.rd.enabled);
+        EXPECT_EQ(r.rd.value.toUint64(),
+                  rom->constValues[v].toUint64());
+    }
+    // Spot-check a known AES S-box entry: S(0x53) = 0xed.
+    InterpInput in;
+    in.rs1 = ApInt(32, 0x53);
+    EXPECT_EQ(interpret(*lookup, in).rd.value.toUint64(), 0xedu);
+}
+
+TEST(LilInterp, SparkleMatchesAlzette)
+{
+    auto c = compile("sparkle");
+    const LilGraph *alzx = c.lilMod->findGraph("alzette_x");
+    const LilGraph *alzy = c.lilMod->findGraph("alzette_y");
+    ASSERT_NE(alzx, nullptr);
+    ASSERT_NE(alzy, nullptr);
+
+    std::mt19937 rng(11);
+    for (int i = 0; i < 100; ++i) {
+        uint32_t x = rng(), y = rng();
+        unsigned rc = rng() % 8;
+        auto [rx, ry] = refAlzette(x, y, kRcon[rc]);
+
+        InterpInput in;
+        in.rs1 = ApInt(32, x);
+        in.rs2 = ApInt(32, y);
+        in.instrWord = ApInt(32, rc << 25); // rc field at bits 27:25
+        InterpResult wx = interpret(*alzx, in);
+        InterpResult wy = interpret(*alzy, in);
+        ASSERT_TRUE(wx.rd.enabled);
+        ASSERT_TRUE(wy.rd.enabled);
+        EXPECT_EQ(uint32_t(wx.rd.value.toUint64()), rx);
+        EXPECT_EQ(uint32_t(wy.rd.value.toUint64()), ry);
+    }
+}
+
+class SqrtInterpTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SqrtInterpTest, RootSquaredBracketsInput)
+{
+    auto c = compile(GetParam());
+    const LilGraph *sqrt = c.lilMod->findGraph("sqrt");
+    ASSERT_NE(sqrt, nullptr);
+
+    std::mt19937 rng(13);
+    std::vector<uint32_t> samples = {0, 1, 2, 3, 4, 65536, 0xffffffffu};
+    for (int i = 0; i < 40; ++i)
+        samples.push_back(rng());
+
+    for (uint32_t x : samples) {
+        InterpInput in;
+        in.rs1 = ApInt(32, x);
+        InterpResult r = interpret(*sqrt, in);
+        ASSERT_TRUE(r.rd.enabled);
+        // Q16.16 result: root = floor(sqrt(x * 2^32)).
+        unsigned __int128 target = (unsigned __int128)x << 32;
+        unsigned __int128 root = r.rd.value.toUint64();
+        EXPECT_LE(root * root, target) << "x=" << x;
+        EXPECT_GT((root + 1) * (root + 1), target) << "x=" << x;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, SqrtInterpTest,
+                         ::testing::Values("sqrt_tightly",
+                                           "sqrt_decoupled"));
+
+TEST(LilInterp, AutoincLoadSemantics)
+{
+    auto c = compile("autoinc");
+    const LilGraph *lw = c.lilMod->findGraph("lw_autoinc");
+    ASSERT_NE(lw, nullptr);
+
+    InterpInput in;
+    in.custRegs["ADDR"] = {ApInt(32, 0x1000)};
+    in.readMem = [](const ApInt &addr) {
+        EXPECT_EQ(addr.toUint64(), 0x1000u);
+        return ApInt(32, 0xdeadbeef);
+    };
+    InterpResult r = interpret(*lw, in);
+    ASSERT_TRUE(r.rd.enabled);
+    EXPECT_EQ(r.rd.value.toUint64(), 0xdeadbeefu);
+    ASSERT_TRUE(r.custWrites.count("ADDR"));
+    EXPECT_EQ(r.custWrites["ADDR"].value.toUint64(), 0x1004u);
+    EXPECT_TRUE(r.memReadUsed);
+}
+
+TEST(LilInterp, AutoincStoreSemantics)
+{
+    auto c = compile("autoinc");
+    const LilGraph *sw = c.lilMod->findGraph("sw_autoinc");
+    ASSERT_NE(sw, nullptr);
+
+    InterpInput in;
+    in.rs2 = ApInt(32, 0x12345678);
+    in.custRegs["ADDR"] = {ApInt(32, 0x2000)};
+    InterpResult r = interpret(*sw, in);
+    ASSERT_TRUE(r.mem.enabled);
+    EXPECT_EQ(r.mem.addr.toUint64(), 0x2000u);
+    EXPECT_EQ(r.mem.value.toUint64(), 0x12345678u);
+    EXPECT_EQ(r.custWrites["ADDR"].value.toUint64(), 0x2004u);
+}
+
+TEST(LilInterp, IjmpLoadsTargetIntoPc)
+{
+    auto c = compile("ijmp");
+    const LilGraph *ijmp = c.lilMod->findGraph("ijmp");
+    ASSERT_NE(ijmp, nullptr);
+
+    InterpInput in;
+    in.rs1 = ApInt(32, 0x800);
+    in.readMem = [](const ApInt &) { return ApInt(32, 0x4242); };
+    InterpResult r = interpret(*ijmp, in);
+    ASSERT_TRUE(r.pcWrite.enabled);
+    EXPECT_EQ(r.pcWrite.value.toUint64(), 0x4242u);
+}
+
+TEST(LilInterp, ZolAlwaysFiresOnlyAtLoopEnd)
+{
+    auto c = compile("zol");
+    const LilGraph *zol = c.lilMod->findGraph("zol");
+    ASSERT_NE(zol, nullptr);
+
+    auto run = [&](uint32_t pc, uint32_t start, uint32_t end,
+                   uint32_t count) {
+        InterpInput in;
+        in.pc = ApInt(32, pc);
+        in.custRegs["START_PC"] = {ApInt(32, start)};
+        in.custRegs["END_PC"] = {ApInt(32, end)};
+        in.custRegs["COUNT"] = {ApInt(32, count)};
+        return interpret(*zol, in);
+    };
+
+    // Not at the loop end: no PC update.
+    InterpResult idle = run(0x100, 0x10, 0x200, 5);
+    EXPECT_FALSE(idle.pcWrite.enabled);
+    EXPECT_FALSE(idle.custWrites.count("COUNT") &&
+                 idle.custWrites["COUNT"].enabled);
+
+    // At the loop end with remaining iterations: jump and decrement.
+    InterpResult fire = run(0x200, 0x10, 0x200, 5);
+    ASSERT_TRUE(fire.pcWrite.enabled);
+    EXPECT_EQ(fire.pcWrite.value.toUint64(), 0x10u);
+    ASSERT_TRUE(fire.custWrites.count("COUNT"));
+    EXPECT_EQ(fire.custWrites["COUNT"].value.toUint64(), 4u);
+
+    // Counter exhausted: fall through.
+    InterpResult done = run(0x200, 0x10, 0x200, 0);
+    EXPECT_FALSE(done.pcWrite.enabled);
+}
+
+TEST(LilInterp, SetupZolLoadsRegisters)
+{
+    auto c = compile("zol");
+    const LilGraph *setup = c.lilMod->findGraph("setup_zol");
+    ASSERT_NE(setup, nullptr);
+
+    // setup_zol with uimmL=33, uimmS=6 at PC=0x80.
+    uint32_t word = (33u << 20) | (6u << 15) | (0b101u << 12) | 0x0bu;
+    InterpInput in;
+    in.instrWord = ApInt(32, word);
+    in.pc = ApInt(32, 0x80);
+    InterpResult r = interpret(*setup, in);
+    ASSERT_TRUE(r.custWrites.count("START_PC"));
+    EXPECT_EQ(r.custWrites["START_PC"].value.toUint64(), 0x84u);
+    ASSERT_TRUE(r.custWrites.count("END_PC"));
+    EXPECT_EQ(r.custWrites["END_PC"].value.toUint64(), 0x80u + 12u);
+    ASSERT_TRUE(r.custWrites.count("COUNT"));
+    EXPECT_EQ(r.custWrites["COUNT"].value.toUint64(), 33u);
+}

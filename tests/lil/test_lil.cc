@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the HIR -> LIL lowering (Fig. 5c) and the SCAIE-V
+ * sub-interface legality rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coredsl/sema.hh"
+#include "driver/isax_catalog.hh"
+#include "hir/astlower.hh"
+#include "lil/lil.hh"
+
+using namespace longnail;
+using namespace longnail::coredsl;
+using ir::OpKind;
+
+namespace {
+
+struct Compiled
+{
+    std::unique_ptr<ElaboratedIsa> isa;
+    std::unique_ptr<hir::HirModule> hirMod;
+    std::unique_ptr<lil::LilModule> lilMod;
+};
+
+Compiled
+compile(const std::string &name)
+{
+    const auto *e = catalog::findIsax(name);
+    EXPECT_NE(e, nullptr);
+    Compiled c;
+    DiagnosticEngine diags;
+    Sema sema(diags, builtinSourceProvider());
+    c.isa = sema.analyze(e->source, e->target);
+    EXPECT_NE(c.isa, nullptr) << diags.str();
+    c.hirMod = hir::lowerToHir(*c.isa, diags);
+    EXPECT_NE(c.hirMod, nullptr) << diags.str();
+    c.lilMod = lil::lowerToLil(*c.hirMod, diags);
+    EXPECT_NE(c.lilMod, nullptr) << diags.str();
+    return c;
+}
+
+unsigned
+countOps(const ir::Graph &graph, OpKind kind)
+{
+    unsigned n = 0;
+    for (const auto &op : graph.ops())
+        if (op->kind() == kind)
+            ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(Lil, AddiMatchesFig5c)
+{
+    // Lower ADDI through HIR to LIL; expect the structure of Fig. 5c:
+    // instr_word, extract, read_rs1, sign-extension, add, write_rd.
+    auto c = compile("dotp");
+    DiagnosticEngine diags;
+    auto addi_hir = hir::lowerInstruction(
+        *c.isa, *c.isa->findInstruction("ADDI"), diags);
+    ASSERT_NE(addi_hir, nullptr);
+    auto addi = lil::lowerInstructionToLil(*c.isa, *addi_hir, diags);
+    ASSERT_NE(addi, nullptr) << diags.str();
+
+    EXPECT_EQ(addi->maskString, "-----------------000-----0010011");
+    EXPECT_EQ(countOps(addi->graph, OpKind::LilInstrWord), 1u);
+    EXPECT_EQ(countOps(addi->graph, OpKind::LilReadRs1), 1u);
+    EXPECT_EQ(countOps(addi->graph, OpKind::CombAdd), 1u);
+    EXPECT_EQ(countOps(addi->graph, OpKind::LilWriteRd), 1u);
+    EXPECT_EQ(countOps(addi->graph, OpKind::LilSink), 1u);
+    // Sign extension of the immediate: replicate of bit 31.
+    EXPECT_GE(countOps(addi->graph, OpKind::CombReplicate), 1u);
+    EXPECT_EQ(addi->graph.verify(), "");
+}
+
+TEST(Lil, DotpUsesRegisterPortsNotInstrWord)
+{
+    auto c = compile("dotp");
+    const lil::LilGraph *dotp = c.lilMod->findGraph("dotp");
+    ASSERT_NE(dotp, nullptr);
+    // All fields are GPR indices; after DCE no instruction-word port
+    // remains (the decoder handles the match).
+    EXPECT_EQ(countOps(dotp->graph, OpKind::LilInstrWord), 0u);
+    EXPECT_EQ(countOps(dotp->graph, OpKind::LilReadRs1), 1u);
+    EXPECT_EQ(countOps(dotp->graph, OpKind::LilReadRs2), 1u);
+    EXPECT_EQ(countOps(dotp->graph, OpKind::LilWriteRd), 1u);
+    EXPECT_EQ(countOps(dotp->graph, OpKind::CombMul), 4u);
+}
+
+TEST(Lil, ZolAlwaysUsesPcAndCustomRegs)
+{
+    auto c = compile("zol");
+    const lil::LilGraph *zol = c.lilMod->findGraph("zol");
+    ASSERT_NE(zol, nullptr);
+    EXPECT_TRUE(zol->isAlways);
+    EXPECT_EQ(countOps(zol->graph, OpKind::LilReadPC), 1u);
+    EXPECT_EQ(countOps(zol->graph, OpKind::LilWritePC), 1u);
+    // COUNT, START_PC, END_PC reads; COUNT write.
+    EXPECT_EQ(countOps(zol->graph, OpKind::LilReadCustReg), 3u);
+    EXPECT_EQ(countOps(zol->graph, OpKind::LilWriteCustRegAddr), 1u);
+    EXPECT_EQ(countOps(zol->graph, OpKind::LilWriteCustRegData), 1u);
+    ASSERT_EQ(zol->customRegsWritten.size(), 1u);
+    EXPECT_EQ(zol->customRegsWritten[0], "COUNT");
+    ASSERT_EQ(zol->customRegsRead.size(), 3u);
+}
+
+TEST(Lil, SetupZolWritesThreeCustomRegs)
+{
+    auto c = compile("zol");
+    const lil::LilGraph *setup = c.lilMod->findGraph("setup_zol");
+    ASSERT_NE(setup, nullptr);
+    EXPECT_EQ(countOps(setup->graph, OpKind::LilWriteCustRegData), 3u);
+    EXPECT_EQ(countOps(setup->graph, OpKind::LilReadPC), 1u);
+    // The immediate fields come from the instruction word.
+    EXPECT_EQ(countOps(setup->graph, OpKind::LilInstrWord), 1u);
+}
+
+TEST(Lil, SqrtDecoupledMarksSpawnOps)
+{
+    auto c = compile("sqrt_decoupled");
+    const lil::LilGraph *sqrt = c.lilMod->findGraph("sqrt");
+    ASSERT_NE(sqrt, nullptr);
+    EXPECT_TRUE(sqrt->hasSpawnOps());
+    // The write_rd carries the spawn provenance mark; the read_rs1
+    // does not.
+    for (const auto &op : sqrt->graph.ops()) {
+        if (op->kind() == OpKind::LilWriteRd) {
+            EXPECT_TRUE(op->hasAttr("spawn"));
+        }
+        if (op->kind() == OpKind::LilReadRs1) {
+            EXPECT_FALSE(op->hasAttr("spawn"));
+        }
+    }
+}
+
+TEST(Lil, SqrtTightlyHasNoSpawnMarks)
+{
+    auto c = compile("sqrt_tightly");
+    const lil::LilGraph *sqrt = c.lilMod->findGraph("sqrt");
+    ASSERT_NE(sqrt, nullptr);
+    EXPECT_FALSE(sqrt->hasSpawnOps());
+}
+
+TEST(Lil, AutoincMemoryInterfaces)
+{
+    auto c = compile("autoinc");
+    const lil::LilGraph *lw = c.lilMod->findGraph("lw_autoinc");
+    ASSERT_NE(lw, nullptr);
+    EXPECT_EQ(countOps(lw->graph, OpKind::LilReadMem), 1u);
+    EXPECT_EQ(countOps(lw->graph, OpKind::LilWriteRd), 1u);
+    EXPECT_EQ(countOps(lw->graph, OpKind::LilReadCustReg), 1u);
+    EXPECT_EQ(countOps(lw->graph, OpKind::LilWriteCustRegData), 1u);
+
+    const lil::LilGraph *sw = c.lilMod->findGraph("sw_autoinc");
+    ASSERT_NE(sw, nullptr);
+    EXPECT_EQ(countOps(sw->graph, OpKind::LilWriteMem), 1u);
+    EXPECT_EQ(countOps(sw->graph, OpKind::LilReadRs2), 1u);
+}
+
+TEST(Lil, SboxRomInternalized)
+{
+    auto c = compile("sbox");
+    const lil::LilGraph *lookup = c.lilMod->findGraph("sbox_lookup");
+    ASSERT_NE(lookup, nullptr);
+    // ROM becomes module-internal logic, not a custom register.
+    EXPECT_EQ(countOps(lookup->graph, OpKind::CombRom), 1u);
+    EXPECT_EQ(countOps(lookup->graph, OpKind::LilReadCustReg), 0u);
+    EXPECT_TRUE(lookup->customRegsRead.empty());
+}
+
+TEST(Lil, IjmpReadsMemWritesPc)
+{
+    auto c = compile("ijmp");
+    const lil::LilGraph *ijmp = c.lilMod->findGraph("ijmp");
+    ASSERT_NE(ijmp, nullptr);
+    EXPECT_EQ(countOps(ijmp->graph, OpKind::LilReadMem), 1u);
+    EXPECT_EQ(countOps(ijmp->graph, OpKind::LilWritePC), 1u);
+    EXPECT_EQ(countOps(ijmp->graph, OpKind::LilReadRs1), 1u);
+}
+
+TEST(Lil, GprReadViaWrongFieldRejected)
+{
+    DiagnosticEngine diags;
+    Sema sema(diags, builtinSourceProvider());
+    // 'src' sits at instruction bits 24:18 (width 7) - not a GPR port.
+    auto isa = sema.analyze(R"(
+import "RV32I.core_desc"
+InstructionSet T extends RV32I {
+  instructions {
+    t {
+      encoding: 7'd0 :: src[6:0] :: 3'd0 :: rd[4:0] :: 3'b000 :: 7'b1111011;
+      behavior: {
+        X[rd] = X[src];
+      }
+    }
+  }
+}
+)");
+    ASSERT_NE(isa, nullptr) << diags.str();
+    auto hir_mod = hir::lowerToHir(*isa, diags);
+    ASSERT_NE(hir_mod, nullptr);
+    auto lil_mod = lil::lowerToLil(*hir_mod, diags);
+    EXPECT_EQ(lil_mod, nullptr);
+    EXPECT_NE(diags.str().find("rs1/rs2"), std::string::npos);
+}
+
+TEST(Lil, DuplicateMemReadRejected)
+{
+    DiagnosticEngine diags;
+    Sema sema(diags, builtinSourceProvider());
+    auto isa = sema.analyze(R"(
+import "RV32I.core_desc"
+InstructionSet T extends RV32I {
+  instructions {
+    t {
+      encoding: 12'd0 :: rs1[4:0] :: 3'b000 :: rd[4:0] :: 7'b1111011;
+      behavior: {
+        unsigned<32> a = X[rs1];
+        unsigned<32> lo = MEM[a+3:a];
+        unsigned<32> b = (unsigned<32>)(a + 8);
+        unsigned<32> hi = MEM[b+3:b];
+        X[rd] = (unsigned<32>)(lo ^ hi);
+      }
+    }
+  }
+}
+)");
+    ASSERT_NE(isa, nullptr) << diags.str();
+    auto hir_mod = hir::lowerToHir(*isa, diags);
+    ASSERT_NE(hir_mod, nullptr);
+    auto lil_mod = lil::lowerToLil(*hir_mod, diags);
+    EXPECT_EQ(lil_mod, nullptr);
+    EXPECT_NE(diags.str().find("one use per"), std::string::npos);
+}
+
+TEST(Lil, AllCatalogIsaxesLowerToLil)
+{
+    for (const auto &e : catalog::allIsaxes()) {
+        DiagnosticEngine diags;
+        Sema sema(diags, builtinSourceProvider());
+        auto isa = sema.analyze(e.source, e.target);
+        ASSERT_NE(isa, nullptr) << e.name << diags.str();
+        auto hir_mod = hir::lowerToHir(*isa, diags);
+        ASSERT_NE(hir_mod, nullptr) << e.name << diags.str();
+        auto lil_mod = lil::lowerToLil(*hir_mod, diags);
+        ASSERT_NE(lil_mod, nullptr) << e.name << diags.str();
+        for (const auto &g : lil_mod->graphs)
+            EXPECT_EQ(g->graph.verify(), "") << e.name << "/" << g->name;
+    }
+}

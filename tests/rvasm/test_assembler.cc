@@ -1,0 +1,201 @@
+/** @file Tests for the RV32I assembler. */
+
+#include <gtest/gtest.h>
+
+#include "cores/rv32i.hh"
+#include "rvasm/assembler.hh"
+
+using namespace longnail;
+using namespace longnail::rvasm;
+
+namespace {
+
+Program
+assembleOk(const std::string &src, uint32_t base = 0)
+{
+    Assembler as;
+    Program p = as.assemble(src, base);
+    EXPECT_TRUE(p.ok) << p.error;
+    return p;
+}
+
+} // namespace
+
+TEST(Assembler, RegisterNames)
+{
+    EXPECT_EQ(Assembler::parseRegister("x0"), 0);
+    EXPECT_EQ(Assembler::parseRegister("x31"), 31);
+    EXPECT_EQ(Assembler::parseRegister("zero"), 0);
+    EXPECT_EQ(Assembler::parseRegister("ra"), 1);
+    EXPECT_EQ(Assembler::parseRegister("sp"), 2);
+    EXPECT_EQ(Assembler::parseRegister("a0"), 10);
+    EXPECT_EQ(Assembler::parseRegister("t6"), 31);
+    EXPECT_EQ(Assembler::parseRegister("s11"), 27);
+    EXPECT_EQ(Assembler::parseRegister("x32"), -1);
+    EXPECT_EQ(Assembler::parseRegister("q7"), -1);
+}
+
+TEST(Assembler, BasicEncodings)
+{
+    Program p = assembleOk(R"(
+        addi x1, x0, 42
+        add x3, x1, x2
+        sub x4, x1, x2
+        lw x5, 8(x1)
+        sw x5, -4(x2)
+        lui x6, 0x12345
+        ecall
+    )");
+    ASSERT_EQ(p.words.size(), 7u);
+    EXPECT_EQ(p.words[0], 0x02a00093u);
+    EXPECT_EQ(p.words[1], 0x002081b3u);
+    EXPECT_EQ(p.words[2], 0x40208233u);
+    EXPECT_EQ(p.words[3], 0x0080a283u);
+    EXPECT_EQ(p.words[4], 0xfe512e23u);
+    EXPECT_EQ(p.words[5], 0x12345337u);
+    EXPECT_EQ(p.words[6], 0x00000073u);
+}
+
+TEST(Assembler, DecoderRoundTrip)
+{
+    Program p = assembleOk(R"(
+        addi t0, t1, -7
+        beq t0, t1, 16
+        jal ra, 0
+        srai s1, s2, 5
+    )");
+    using namespace longnail::cores;
+    DecodedInstr d0 = decode(p.words[0]);
+    EXPECT_EQ(d0.opcode, Opcode::AluImm);
+    EXPECT_EQ(d0.rd, 5u);
+    EXPECT_EQ(d0.rs1, 6u);
+    EXPECT_EQ(d0.imm, -7);
+    DecodedInstr d1 = decode(p.words[1]);
+    EXPECT_EQ(d1.opcode, Opcode::Branch);
+    EXPECT_EQ(d1.imm, 16 - 4); // relative to the branch at address 4
+    DecodedInstr d3 = decode(p.words[3]);
+    EXPECT_EQ(d3.opcode, Opcode::AluImm);
+    EXPECT_EQ(d3.funct7, 0x20u);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program p = assembleOk(R"(
+        start:
+            addi x1, x1, 1
+            bne x1, x2, start
+            j end
+            nop
+        end:
+            ecall
+    )");
+    ASSERT_EQ(p.words.size(), 5u);
+    using namespace longnail::cores;
+    DecodedInstr bne = decode(p.words[1]);
+    EXPECT_EQ(bne.imm, -4);
+    DecodedInstr j = decode(p.words[2]);
+    EXPECT_EQ(j.opcode, Opcode::Jal);
+    EXPECT_EQ(j.imm, 8);
+    EXPECT_EQ(p.labels.at("end"), 16u);
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    Program p = assembleOk(R"(
+        li a0, 100
+        li a1, 0x12345678
+        mv a2, a0
+        nop
+        beqz a0, 0
+        bnez a0, 0
+        ret
+    )");
+    // li with a large value expands to lui+addi.
+    ASSERT_EQ(p.words.size(), 8u);
+    using namespace longnail::cores;
+    EXPECT_EQ(decode(p.words[1]).opcode, Opcode::Lui);
+    EXPECT_EQ(decode(p.words[2]).opcode, Opcode::AluImm);
+}
+
+TEST(Assembler, LiLargeValueCorrect)
+{
+    // Check the lui/addi pair reconstructs the value via the ISS.
+    Program p = assembleOk("li a0, 0xdeadbeef\n li a1, -1234567\n ecall");
+    cores::ArchState state;
+    cores::Memory mem;
+    for (size_t i = 0; i < p.words.size(); ++i)
+        mem.writeWord(uint32_t(i * 4), p.words[i]);
+    cores::Iss iss(state, mem);
+    iss.run();
+    EXPECT_EQ(state.reg(10), 0xdeadbeefu);
+    EXPECT_EQ(state.reg(11), uint32_t(-1234567));
+}
+
+TEST(Assembler, CustomMnemonic)
+{
+    Assembler as;
+    as.addCustomMnemonic(
+        "frob", [](const std::vector<std::string> &ops,
+                   std::string &error) -> std::optional<uint32_t> {
+            if (ops.size() != 1) {
+                error = "frob needs 1 operand";
+                return std::nullopt;
+            }
+            int rd = Assembler::parseRegister(ops[0]);
+            if (rd < 0)
+                return std::nullopt;
+            return 0x0b | (uint32_t(rd) << 7);
+        });
+    Program p = as.assemble("frob t0");
+    ASSERT_TRUE(p.ok) << p.error;
+    EXPECT_EQ(p.words[0], 0x0bu | (5u << 7));
+
+    Program bad = as.assemble("frob t0, t1");
+    EXPECT_FALSE(bad.ok);
+}
+
+TEST(Assembler, Errors)
+{
+    Assembler as;
+    EXPECT_FALSE(as.assemble("bogus x1").ok);
+    EXPECT_FALSE(as.assemble("addi x1").ok);
+    EXPECT_FALSE(as.assemble("addi x1, x99, 0").ok);
+    EXPECT_FALSE(as.assemble("lw x1, nope").ok);
+    EXPECT_FALSE(as.assemble("dup: nop\ndup: nop").ok);
+}
+
+TEST(Assembler, WordDirectiveAndComments)
+{
+    Program p = assembleOk(R"(
+        # a comment line
+        .word 0xcafebabe
+        nop  # trailing comment
+    )");
+    ASSERT_EQ(p.words.size(), 2u);
+    EXPECT_EQ(p.words[0], 0xcafebabeu);
+}
+
+TEST(Assembler, IssRunsFibonacci)
+{
+    Program p = assembleOk(R"(
+        li a0, 10       # n
+        li a1, 0        # fib(0)
+        li a2, 1        # fib(1)
+    loop:
+        beqz a0, done
+        add a3, a1, a2
+        mv a1, a2
+        mv a2, a3
+        addi a0, a0, -1
+        j loop
+    done:
+        ecall
+    )");
+    cores::ArchState state;
+    cores::Memory mem;
+    for (size_t i = 0; i < p.words.size(); ++i)
+        mem.writeWord(uint32_t(i * 4), p.words[i]);
+    cores::Iss iss(state, mem);
+    iss.run();
+    EXPECT_EQ(state.reg(11), 55u); // fib(10)
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the SCAIE-V abstraction: sub-interface metadata, virtual
+ * datasheets (YAML round-trip, Fig. 9), and configuration files
+ * (Fig. 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "scaiev/config.hh"
+#include "scaiev/datasheet.hh"
+#include "scaiev/interface.hh"
+
+using namespace longnail;
+using namespace longnail::scaiev;
+
+TEST(Interface, NamesMatchTable1)
+{
+    EXPECT_STREQ(subInterfaceName(SubInterface::RdRS1), "RdRS1");
+    EXPECT_STREQ(subInterfaceName(SubInterface::WrCustRegAddr),
+                 "WrCustReg.addr");
+    EXPECT_STREQ(subInterfaceName(SubInterface::WrPC), "WrPC");
+}
+
+TEST(Interface, LilOpMapping)
+{
+    EXPECT_EQ(subInterfaceFor(ir::OpKind::LilReadRs1),
+              SubInterface::RdRS1);
+    EXPECT_EQ(subInterfaceFor(ir::OpKind::LilWriteMem),
+              SubInterface::WrMem);
+    EXPECT_EQ(subInterfaceFor(ir::OpKind::CombAdd), std::nullopt);
+}
+
+TEST(Interface, LateVariantsPerSec32)
+{
+    // "the other mechanisms may be used only for the WrRD, RdMem, or
+    // WrMem sub-interfaces"
+    EXPECT_TRUE(supportsLateVariants(SubInterface::WrRD));
+    EXPECT_TRUE(supportsLateVariants(SubInterface::RdMem));
+    EXPECT_TRUE(supportsLateVariants(SubInterface::WrMem));
+    EXPECT_FALSE(supportsLateVariants(SubInterface::RdRS1));
+    EXPECT_FALSE(supportsLateVariants(SubInterface::WrPC));
+    EXPECT_FALSE(supportsLateVariants(SubInterface::WrCustRegData));
+}
+
+TEST(Datasheet, FourCoresAvailable)
+{
+    auto cores = Datasheet::knownCores();
+    ASSERT_EQ(cores.size(), 4u);
+    for (const auto &name : cores) {
+        const Datasheet &d = Datasheet::forCore(name);
+        EXPECT_EQ(d.coreName, name);
+        EXPECT_GT(d.baseAreaUm2, 0.0);
+        EXPECT_GT(d.baseFreqMhz, 0.0);
+        // All Table 1 interfaces characterized.
+        for (SubInterface iface : {SubInterface::RdInstr,
+                                   SubInterface::RdRS1,
+                                   SubInterface::RdRS2,
+                                   SubInterface::RdPC,
+                                   SubInterface::RdMem,
+                                   SubInterface::WrRD,
+                                   SubInterface::WrPC,
+                                   SubInterface::WrMem,
+                                   SubInterface::RdCustReg,
+                                   SubInterface::WrCustRegAddr,
+                                   SubInterface::WrCustRegData}) {
+            const InterfaceTiming &t = d.timing(iface);
+            EXPECT_LE(t.earliest, t.latest) << name;
+            EXPECT_LT(unsigned(t.latest), d.numStages) << name;
+        }
+    }
+}
+
+TEST(Datasheet, PaperAnchors)
+{
+    // Sec. 4.2: VexRiscv offers the instruction word in stages 1..4
+    // and the register file in stages 2..4.
+    const Datasheet &vex = Datasheet::forCore("VexRiscv");
+    EXPECT_EQ(vex.timing(SubInterface::RdInstr).earliest, 1);
+    EXPECT_EQ(vex.timing(SubInterface::RdInstr).latest, 4);
+    EXPECT_EQ(vex.timing(SubInterface::RdRS1).earliest, 2);
+    EXPECT_EQ(vex.timing(SubInterface::RdRS1).latest, 4);
+
+    // Sec. 5.4: ORCA reads operands in stage 3, expects the result in
+    // the following stage, and forwards from the last stage.
+    const Datasheet &orca = Datasheet::forCore("ORCA");
+    EXPECT_EQ(orca.timing(SubInterface::RdRS1).earliest, 3);
+    EXPECT_EQ(orca.timing(SubInterface::RdRS1).latest, 3);
+    EXPECT_EQ(orca.timing(SubInterface::WrRD).earliest, 4);
+    EXPECT_TRUE(orca.forwardsFromLastStage);
+
+    // Table 4 baselines.
+    EXPECT_DOUBLE_EQ(orca.baseFreqMhz, 996.0);
+    EXPECT_DOUBLE_EQ(Datasheet::forCore("Piccolo").baseAreaUm2,
+                     26098.0);
+    EXPECT_FALSE(Datasheet::forCore("PicoRV32").pipelined);
+    EXPECT_EQ(Datasheet::forCore("Piccolo").numStages, 3u);
+}
+
+TEST(Datasheet, YamlRoundTrip)
+{
+    const Datasheet &vex = Datasheet::forCore("VexRiscv");
+    std::string text = vex.toYaml().emit();
+    EXPECT_NE(text.find("RdRS1"), std::string::npos);
+    Datasheet back = Datasheet::fromYaml(yaml::parse(text));
+    EXPECT_EQ(back.coreName, vex.coreName);
+    EXPECT_EQ(back.numStages, vex.numStages);
+    EXPECT_EQ(back.timing(SubInterface::WrRD).earliest,
+              vex.timing(SubInterface::WrRD).earliest);
+    EXPECT_EQ(back.timing(SubInterface::RdMem).latency,
+              vex.timing(SubInterface::RdMem).latency);
+    EXPECT_EQ(back.baseFreqMhz, vex.baseFreqMhz);
+}
+
+TEST(Config, DisplayNamesMatchFig8)
+{
+    ScheduledUse use;
+    use.iface = SubInterface::RdCustReg;
+    use.reg = "COUNT";
+    EXPECT_EQ(use.displayName(), "RdCOUNT");
+    use.iface = SubInterface::WrCustRegAddr;
+    EXPECT_EQ(use.displayName(), "WrCOUNT.addr");
+    use.iface = SubInterface::WrCustRegData;
+    EXPECT_EQ(use.displayName(), "WrCOUNT.data");
+    use.iface = SubInterface::RdPC;
+    EXPECT_EQ(use.displayName(), "RdPC");
+}
+
+TEST(Config, EmitAndParseZolStyleConfig)
+{
+    // Reproduce the structure of Fig. 8.
+    ScaievConfig config;
+    config.isaxName = "zol";
+    config.coreName = "VexRiscv";
+    config.registers.push_back({"COUNT", 32, 1});
+    config.registers.push_back({"START_PC", 32, 1});
+    config.registers.push_back({"END_PC", 32, 1});
+
+    ConfigFunctionality setup;
+    setup.name = "setup_zol";
+    setup.mask = "-----------------101000000001011";
+    setup.schedule.push_back({SubInterface::RdPC, "", 1, false,
+                              ExecutionMode::InPipeline});
+    setup.schedule.push_back({SubInterface::WrCustRegAddr, "COUNT", 1,
+                              false, ExecutionMode::InPipeline});
+    setup.schedule.push_back({SubInterface::WrCustRegData, "COUNT", 1,
+                              true, ExecutionMode::InPipeline});
+    config.functionality.push_back(setup);
+
+    ConfigFunctionality always;
+    always.name = "zol";
+    always.isAlways = true;
+    always.schedule.push_back({SubInterface::RdPC, "", 0, false,
+                               ExecutionMode::Always});
+    always.schedule.push_back({SubInterface::WrPC, "", 0, true,
+                               ExecutionMode::Always});
+    config.functionality.push_back(always);
+
+    std::string text = config.emit();
+    EXPECT_NE(text.find("register: COUNT"), std::string::npos);
+    EXPECT_NE(text.find("interface: WrCOUNT.data"), std::string::npos);
+    EXPECT_NE(text.find("has valid: 1"), std::string::npos);
+
+    ScaievConfig back = ScaievConfig::fromYaml(yaml::parse(text));
+    ASSERT_EQ(back.registers.size(), 3u);
+    ASSERT_EQ(back.functionality.size(), 2u);
+    const ConfigFunctionality *zol = back.find("zol");
+    ASSERT_NE(zol, nullptr);
+    EXPECT_TRUE(zol->isAlways);
+    ASSERT_EQ(zol->schedule.size(), 2u);
+    EXPECT_EQ(zol->schedule[1].iface, SubInterface::WrPC);
+    EXPECT_TRUE(zol->schedule[1].hasValid);
+    EXPECT_EQ(zol->schedule[1].mode, ExecutionMode::Always);
+    const ConfigFunctionality *setup_back = back.find("setup_zol");
+    ASSERT_NE(setup_back, nullptr);
+    EXPECT_EQ(setup_back->schedule[1].reg, "COUNT");
+    EXPECT_EQ(setup_back->schedule[1].iface,
+              SubInterface::WrCustRegAddr);
+}

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit and property tests for ApInt. The property suites compare ApInt
+ * against native 64-bit arithmetic over pseudo-random operands and a
+ * range of widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "support/apint.hh"
+
+using longnail::ApInt;
+
+TEST(ApInt, ConstructionAndWidth)
+{
+    ApInt a(8, 0xff);
+    EXPECT_EQ(a.width(), 8u);
+    EXPECT_EQ(a.toUint64(), 0xffu);
+
+    // Value wider than the width is masked.
+    ApInt b(4, 0xff);
+    EXPECT_EQ(b.toUint64(), 0xfu);
+
+    ApInt wide(200);
+    EXPECT_TRUE(wide.isZero());
+    EXPECT_EQ(wide.numWords(), 4u);
+}
+
+TEST(ApInt, FromInt64)
+{
+    ApInt neg = ApInt::fromInt64(16, -1);
+    EXPECT_TRUE(neg.isAllOnes());
+    EXPECT_EQ(neg.toInt64(), -1);
+
+    ApInt neg_wide = ApInt::fromInt64(100, -5);
+    EXPECT_TRUE(neg_wide.isNegative());
+    EXPECT_EQ(neg_wide.toInt64(), -5);
+    EXPECT_EQ(neg_wide.toStringSigned(), "-5");
+}
+
+TEST(ApInt, FromString)
+{
+    EXPECT_EQ(ApInt::fromString("42", 10).toUint64(), 42u);
+    EXPECT_EQ(ApInt::fromString("cafe", 16).toUint64(), 0xcafeu);
+    EXPECT_EQ(ApInt::fromString("111", 2).toUint64(), 7u);
+    EXPECT_EQ(ApInt::fromString("52", 8).toUint64(), 42u);
+    EXPECT_EQ(ApInt::fromString("1_000", 10).toUint64(), 1000u);
+    EXPECT_EQ(ApInt::fromString("0", 10).width(), 1u);
+
+    ApInt big = ApInt::fromString("ffffffffffffffffff", 16);
+    EXPECT_EQ(big.activeBits(), 72u);
+}
+
+TEST(ApInt, BitAccess)
+{
+    ApInt a(70);
+    a.setBit(69, true);
+    EXPECT_TRUE(a.getBit(69));
+    EXPECT_TRUE(a.isNegative());
+    a.setBit(69, false);
+    EXPECT_TRUE(a.isZero());
+}
+
+TEST(ApInt, Resize)
+{
+    ApInt a(4, 0b1010);
+    EXPECT_EQ(a.zext(8).toUint64(), 0b1010u);
+    EXPECT_EQ(a.sext(8).toUint64(), 0b11111010u);
+    EXPECT_EQ(a.trunc(2).toUint64(), 0b10u);
+
+    // Sign extension across word boundaries.
+    ApInt b = ApInt::fromInt64(8, -2);
+    ApInt c = b.sext(130);
+    EXPECT_EQ(c.toInt64(), -2);
+    EXPECT_TRUE(c.getBit(129));
+}
+
+TEST(ApInt, AddSubWrap)
+{
+    ApInt max = ApInt::allOnes(8);
+    ApInt one(8, 1);
+    EXPECT_TRUE((max + one).isZero());
+    EXPECT_TRUE((ApInt(8, 0) - one).isAllOnes());
+}
+
+TEST(ApInt, MulWide)
+{
+    // 2^64 * 2^64 = 2^128, only representable at width >= 129.
+    ApInt a = ApInt::oneBit(130, 64);
+    ApInt product = a * a;
+    EXPECT_TRUE(product.getBit(128));
+    EXPECT_EQ(product.activeBits(), 129u);
+}
+
+TEST(ApInt, DivisionBasics)
+{
+    ApInt a(32, 100), b(32, 7);
+    EXPECT_EQ(a.udiv(b).toUint64(), 14u);
+    EXPECT_EQ(a.urem(b).toUint64(), 2u);
+
+    ApInt neg = ApInt::fromInt64(32, -100);
+    EXPECT_EQ(neg.sdiv(b).toInt64(), -14);
+    EXPECT_EQ(neg.srem(b).toInt64(), -2);
+    EXPECT_EQ(a.sdiv(ApInt::fromInt64(32, -7)).toInt64(), -14);
+}
+
+TEST(ApInt, Shifts)
+{
+    ApInt a(8, 0b10000001);
+    EXPECT_EQ(a.shl(1).toUint64(), 0b00000010u);
+    EXPECT_EQ(a.lshr(1).toUint64(), 0b01000000u);
+    EXPECT_EQ(a.ashr(1).toUint64(), 0b11000000u);
+    EXPECT_TRUE(a.shl(8).isZero());
+    EXPECT_TRUE(a.lshr(8).isZero());
+    EXPECT_TRUE(a.ashr(8).isAllOnes());
+
+    // Multi-word shifts.
+    ApInt b = ApInt::oneBit(200, 0);
+    EXPECT_TRUE(b.shl(150).getBit(150));
+    EXPECT_EQ(b.shl(150).lshr(150).toUint64(), 1u);
+}
+
+TEST(ApInt, Comparisons)
+{
+    ApInt a = ApInt::fromInt64(8, -1); // 255 unsigned
+    ApInt b(8, 1);
+    EXPECT_TRUE(a.ugt(b));
+    EXPECT_TRUE(a.slt(b));
+    EXPECT_TRUE(b.sge(a));
+    EXPECT_TRUE(a.sle(a));
+}
+
+TEST(ApInt, ExtractConcat)
+{
+    ApInt a(16, 0xabcd);
+    EXPECT_EQ(a.extract(4, 8).toUint64(), 0xbcu);
+    ApInt hi(8, 0xab), lo(8, 0xcd);
+    ApInt cat = hi.concat(lo);
+    EXPECT_EQ(cat.width(), 16u);
+    EXPECT_EQ(cat.toUint64(), 0xabcdu);
+}
+
+TEST(ApInt, ToString)
+{
+    EXPECT_EQ(ApInt(16, 1234).toStringUnsigned(), "1234");
+    EXPECT_EQ(ApInt(16, 0xbeef).toStringUnsigned(16), "beef");
+    EXPECT_EQ(ApInt(8, 5).toStringUnsigned(2), "101");
+    EXPECT_EQ(ApInt::fromInt64(16, -1234).toStringSigned(), "-1234");
+    EXPECT_EQ(ApInt(8, 0).toStringUnsigned(), "0");
+
+    ApInt big = ApInt::fromString("123456789012345678901234567890", 10);
+    EXPECT_EQ(big.toStringUnsigned(), "123456789012345678901234567890");
+}
+
+TEST(ApInt, MinSignedBits)
+{
+    EXPECT_EQ(ApInt::fromInt64(32, -1).minSignedBits(), 1u);
+    EXPECT_EQ(ApInt::fromInt64(32, -2).minSignedBits(), 2u);
+    EXPECT_EQ(ApInt(32, 0).minSignedBits(), 1u);
+    EXPECT_EQ(ApInt(32, 1).minSignedBits(), 2u);
+    EXPECT_EQ(ApInt(32, 127).minSignedBits(), 8u);
+    EXPECT_EQ(ApInt::fromInt64(32, -128).minSignedBits(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests against native 64-bit arithmetic.
+// ---------------------------------------------------------------------------
+
+class ApIntPropertyTest : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    std::mt19937_64 rng{12345 + GetParam()};
+
+    uint64_t
+    randomValue(unsigned width)
+    {
+        uint64_t mask = width >= 64 ? ~uint64_t(0)
+                                    : ((uint64_t(1) << width) - 1);
+        return rng() & mask;
+    }
+
+    static int64_t
+    signExtend(uint64_t v, unsigned width)
+    {
+        if (width >= 64)
+            return static_cast<int64_t>(v);
+        uint64_t sign = uint64_t(1) << (width - 1);
+        return static_cast<int64_t>((v ^ sign) - sign);
+    }
+};
+
+TEST_P(ApIntPropertyTest, ArithMatchesNative)
+{
+    unsigned width = GetParam();
+    uint64_t mask = width >= 64 ? ~uint64_t(0)
+                                : ((uint64_t(1) << width) - 1);
+    for (int i = 0; i < 200; ++i) {
+        uint64_t x = randomValue(width), y = randomValue(width);
+        ApInt a(width, x), b(width, y);
+        EXPECT_EQ((a + b).toUint64(), (x + y) & mask);
+        EXPECT_EQ((a - b).toUint64(), (x - y) & mask);
+        EXPECT_EQ((a * b).toUint64(), (x * y) & mask);
+        EXPECT_EQ((a & b).toUint64(), x & y);
+        EXPECT_EQ((a | b).toUint64(), x | y);
+        EXPECT_EQ((a ^ b).toUint64(), x ^ y);
+        EXPECT_EQ((~a).toUint64(), ~x & mask);
+        EXPECT_EQ(a.negate().toUint64(), (~x + 1) & mask);
+        if (y != 0) {
+            EXPECT_EQ(a.udiv(b).toUint64(), x / y);
+            EXPECT_EQ(a.urem(b).toUint64(), x % y);
+        }
+    }
+}
+
+TEST_P(ApIntPropertyTest, SignedOpsMatchNative)
+{
+    unsigned width = GetParam();
+    for (int i = 0; i < 200; ++i) {
+        uint64_t x = randomValue(width), y = randomValue(width);
+        ApInt a(width, x), b(width, y);
+        int64_t sx = signExtend(x, width), sy = signExtend(y, width);
+        EXPECT_EQ(a.slt(b), sx < sy);
+        EXPECT_EQ(a.sle(b), sx <= sy);
+        EXPECT_EQ(a.ult(b), x < y);
+        EXPECT_EQ(a == b, x == y);
+        if (sy != 0 && !(sx == INT64_MIN && sy == -1)) {
+            EXPECT_EQ(a.sdiv(b).toInt64(),
+                      ApInt::fromInt64(width, sx / sy).toInt64());
+            EXPECT_EQ(a.srem(b).toInt64(),
+                      ApInt::fromInt64(width, sx % sy).toInt64());
+        }
+    }
+}
+
+TEST_P(ApIntPropertyTest, ShiftsMatchNative)
+{
+    unsigned width = GetParam();
+    uint64_t mask = width >= 64 ? ~uint64_t(0)
+                                : ((uint64_t(1) << width) - 1);
+    for (int i = 0; i < 200; ++i) {
+        uint64_t x = randomValue(width);
+        unsigned amount = rng() % (width + 1);
+        ApInt a(width, x);
+        uint64_t shl = amount >= width ? 0 : (x << amount) & mask;
+        uint64_t lshr = amount >= width ? 0 : x >> amount;
+        EXPECT_EQ(a.shl(amount).toUint64(), shl);
+        EXPECT_EQ(a.lshr(amount).toUint64(), lshr);
+        int64_t sx = signExtend(x, width);
+        int64_t ashr = amount >= width ? (sx < 0 ? -1 : 0)
+                                       : (sx >> amount);
+        EXPECT_EQ(a.ashr(amount).toInt64(),
+                  ApInt::fromInt64(width, ashr).toInt64());
+    }
+}
+
+TEST_P(ApIntPropertyTest, WideningRoundTrips)
+{
+    unsigned width = GetParam();
+    for (int i = 0; i < 100; ++i) {
+        uint64_t x = randomValue(width);
+        ApInt a(width, x);
+        EXPECT_EQ(a.zext(width + 77).trunc(width), a);
+        EXPECT_EQ(a.sext(width + 77).trunc(width), a);
+        EXPECT_EQ(a.sext(width + 77).toInt64(), signExtend(x, width));
+    }
+}
+
+TEST_P(ApIntPropertyTest, ConcatExtractInverse)
+{
+    unsigned width = GetParam();
+    for (int i = 0; i < 100; ++i) {
+        uint64_t x = randomValue(width), y = randomValue(width);
+        ApInt a(width, x), b(width, y);
+        ApInt cat = a.concat(b);
+        EXPECT_EQ(cat.extract(0, width), b);
+        EXPECT_EQ(cat.extract(width, width), a);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ApIntPropertyTest,
+                         ::testing::Values(1u, 3u, 8u, 13u, 31u, 32u, 33u,
+                                           48u, 63u, 64u));

@@ -1,0 +1,39 @@
+/** @file Tests for small string helpers. */
+
+#include <gtest/gtest.h>
+
+#include "support/strings.hh"
+
+using namespace longnail;
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t\n"), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("RdRS1", "Rd"));
+    EXPECT_FALSE(startsWith("Rd", "RdRS1"));
+    EXPECT_TRUE(endsWith("test.core_desc", ".core_desc"));
+    EXPECT_FALSE(endsWith("a", "ab"));
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"x"}, ","), "x");
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the YAML subset used by the Longnail <-> SCAIE-V metadata
+ * exchange.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/yaml.hh"
+
+using longnail::yaml::Node;
+using longnail::yaml::parse;
+
+TEST(Yaml, ScalarRoundTrip)
+{
+    Node n("hello");
+    EXPECT_EQ(n.emit(), "hello\n");
+    // Bare scalar documents are outside the supported subset.
+    EXPECT_THROW(parse("hello"), std::runtime_error);
+    // An empty document parses as an empty mapping.
+    EXPECT_TRUE(parse("").isMapping());
+}
+
+TEST(Yaml, MappingBasics)
+{
+    Node map = Node::makeMapping();
+    map.set("name", Node("ADDI"));
+    map.set("stage", Node(int64_t(3)));
+    std::string out = map.emit();
+    Node back = parse(out);
+    EXPECT_TRUE(back.has("name"));
+    EXPECT_EQ(back.at("name").scalar(), "ADDI");
+    EXPECT_EQ(back.at("stage").asInt(), 3);
+    EXPECT_FALSE(back.has("missing"));
+}
+
+TEST(Yaml, SetReplacesExisting)
+{
+    Node map = Node::makeMapping();
+    map.set("k", Node("a"));
+    map.set("k", Node("b"));
+    EXPECT_EQ(map.entries().size(), 1u);
+    EXPECT_EQ(map.at("k").scalar(), "b");
+}
+
+TEST(Yaml, FlowMappingParses)
+{
+    Node n = parse("op: {interface: RdPC, stage: 1}");
+    const Node &op = n.at("op");
+    EXPECT_TRUE(op.isMapping());
+    EXPECT_EQ(op.at("interface").scalar(), "RdPC");
+    EXPECT_EQ(op.at("stage").asInt(), 1);
+}
+
+TEST(Yaml, FlowSequenceParses)
+{
+    Node n = parse("xs: [1, 2, 3]");
+    const Node &xs = n.at("xs");
+    ASSERT_TRUE(xs.isSequence());
+    ASSERT_EQ(xs.items().size(), 3u);
+    EXPECT_EQ(xs.items()[1].asInt(), 2);
+}
+
+TEST(Yaml, BlockSequenceOfFlowMappings)
+{
+    // The shape of the paper's SCAIE-V configuration files (Fig. 8).
+    const char *text = R"(
+state:
+  - {register: COUNT, width: 32, elements: 1}
+schedule:
+  - {interface: RdPC, stage: 1}
+  - {interface: WrCOUNT.data, stage: 1, has valid: 1}
+)";
+    Node n = parse(text);
+    ASSERT_TRUE(n.at("state").isSequence());
+    EXPECT_EQ(n.at("state").items()[0].at("register").scalar(), "COUNT");
+    ASSERT_EQ(n.at("schedule").items().size(), 2u);
+    EXPECT_EQ(n.at("schedule").items()[1].at("has valid").asInt(), 1);
+}
+
+TEST(Yaml, NestedBlockMapping)
+{
+    const char *text = R"(
+core: VexRiscv
+interfaces:
+  RdRS1:
+    earliest: 2
+    latest: 4
+  WrRD:
+    earliest: 2
+    latest: 4
+)";
+    Node n = parse(text);
+    EXPECT_EQ(n.at("core").scalar(), "VexRiscv");
+    EXPECT_EQ(n.at("interfaces").at("RdRS1").at("earliest").asInt(), 2);
+    EXPECT_EQ(n.at("interfaces").at("WrRD").at("latest").asInt(), 4);
+}
+
+TEST(Yaml, CommentsAndBlanksIgnored)
+{
+    const char *text = R"(
+# leading comment
+a: 1  # trailing comment
+
+b: 2
+)";
+    Node n = parse(text);
+    EXPECT_EQ(n.at("a").asInt(), 1);
+    EXPECT_EQ(n.at("b").asInt(), 2);
+}
+
+TEST(Yaml, QuotedStringsPreserveSpecials)
+{
+    Node map = Node::makeMapping();
+    map.set("mask", Node("-----------------000-----0010011"));
+    map.set("text", Node("a: b # c"));
+    Node back = parse(map.emit());
+    EXPECT_EQ(back.at("mask").scalar(),
+              "-----------------000-----0010011");
+    EXPECT_EQ(back.at("text").scalar(), "a: b # c");
+}
+
+TEST(Yaml, EmitParseRoundTripComplex)
+{
+    Node root = Node::makeMapping();
+    Node regs = Node::makeSequence();
+    Node reg = Node::makeMapping();
+    reg.set("register", Node("COUNT"));
+    reg.set("width", Node(int64_t(32)));
+    regs.push(reg);
+    root.set("state", regs);
+    Node sched = Node::makeSequence();
+    Node op = Node::makeMapping();
+    op.set("interface", Node("WrPC"));
+    op.set("stage", Node(int64_t(0)));
+    op.set("has valid", Node(int64_t(1)));
+    sched.push(op);
+    root.set("schedule", sched);
+
+    Node back = parse(root.emit());
+    EXPECT_EQ(back.at("state").items()[0].at("width").asInt(), 32);
+    EXPECT_EQ(back.at("schedule").items()[0].at("interface").scalar(),
+              "WrPC");
+}
+
+TEST(Yaml, Errors)
+{
+    EXPECT_THROW(parse("a: {unterminated"), std::runtime_error);
+    EXPECT_THROW(parse("a: [1, 2"), std::runtime_error);
+    EXPECT_THROW(parse("x: 1").at("y"), std::runtime_error);
+    EXPECT_THROW(parse("x: abc").at("x").asInt(), std::runtime_error);
+}
+
+TEST(Yaml, BoolScalars)
+{
+    Node n = parse("a: true\nb: false");
+    EXPECT_TRUE(n.at("a").asBool());
+    EXPECT_FALSE(n.at("b").asBool());
+}

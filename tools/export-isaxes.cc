@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Writes the bundled benchmark ISAX CoreDSL sources (Table 3) to a
+ * directory, so they can be used as standalone .core_desc files with
+ * the longnail CLI.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "driver/isax_catalog.hh"
+#include "scaiev/datasheet.hh"
+#include "support/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string dir = argc > 1 ? argv[1] : "isax";
+    for (const auto &entry : longnail::catalog::allIsaxes()) {
+        std::string path = dir + "/" + entry.name + ".core_desc";
+        std::ofstream out(path);
+        if (!out)
+            longnail::fatal("cannot write ", path);
+        out << "// " << entry.description << "\n" << entry.source;
+        std::printf("wrote %s\n", path.c_str());
+    }
+    // The virtual datasheets of the four evaluation cores (Fig. 9).
+    for (const std::string &core :
+         longnail::scaiev::Datasheet::knownCores()) {
+        std::string path = dir + "/" + core + ".datasheet.yaml";
+        std::ofstream out(path);
+        if (!out)
+            longnail::fatal("cannot write ", path);
+        out << longnail::scaiev::Datasheet::forCore(core).toYaml()
+                   .emit();
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The Longnail command-line tool: CoreDSL in, SystemVerilog + SCAIE-V
+ * configuration out (the end-to-end flow of Fig. 9).
+ *
+ *   longnail [options] <input.core_desc>
+ *     --core NAME        target core: ORCA, Piccolo, PicoRV32,
+ *                        VexRiscv (default VexRiscv)
+ *     --datasheet FILE   virtual datasheet (YAML) for a custom core
+ *     --target NAME      InstructionSet/Core to compile (default:
+ *                        the last definition in the file)
+ *     --timing MODE      uniform (paper default) | library
+ *     --cycle-time NS    override the target clock period
+ *     -o DIR             output directory (default: .)
+ *     --stdout           print artifacts instead of writing files
+ *     --report           print the schedule and ASIC summary
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asic/flow.hh"
+#include "driver/longnail.hh"
+
+using namespace longnail;
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write '", path, "'");
+    out << contents;
+    inform("wrote ", path);
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: longnail [--core NAME] [--datasheet FILE] "
+                 "[--target NAME]\n"
+                 "                [--timing uniform|library] "
+                 "[--cycle-time NS]\n"
+                 "                [-o DIR] [--stdout] [--report] "
+                 "<input.core_desc>\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    driver::CompileOptions options;
+    std::string input, target, out_dir = ".", datasheet_path;
+    bool to_stdout = false, report = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--core") {
+            options.coreName = next();
+        } else if (arg == "--datasheet") {
+            datasheet_path = next();
+        } else if (arg == "--target") {
+            target = next();
+        } else if (arg == "--timing") {
+            std::string mode = next();
+            if (mode == "uniform")
+                options.timingMode = sched::TimingMode::Uniform;
+            else if (mode == "library")
+                options.timingMode = sched::TimingMode::Library;
+            else
+                usage();
+        } else if (arg == "--cycle-time") {
+            options.cycleTimeNs = std::stod(next());
+        } else if (arg == "-o") {
+            out_dir = next();
+        } else if (arg == "--stdout") {
+            to_stdout = true;
+        } else if (arg == "--report") {
+            report = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+        } else if (input.empty()) {
+            input = arg;
+        } else {
+            usage();
+        }
+    }
+    if (input.empty())
+        usage();
+
+    scaiev::Datasheet custom_sheet;
+    if (!datasheet_path.empty()) {
+        try {
+            custom_sheet = scaiev::Datasheet::fromYaml(
+                yaml::parse(readFile(datasheet_path)));
+        } catch (const std::exception &e) {
+            fatal("bad datasheet: ", e.what());
+        }
+        options.coreName = custom_sheet.coreName;
+        options.datasheet = &custom_sheet;
+    }
+
+    driver::CompiledIsax compiled =
+        driver::compile(readFile(input), target, options);
+    if (!compiled.ok()) {
+        std::fprintf(stderr, "%s", compiled.errors.c_str());
+        return 1;
+    }
+
+    if (to_stdout) {
+        std::printf("%s\n%s", compiled.emitAllVerilog().c_str(),
+                    compiled.config.emit().c_str());
+    } else {
+        for (const auto &unit : compiled.units)
+            writeFile(out_dir + "/" + unit.name + ".sv",
+                      unit.systemVerilog);
+        writeFile(out_dir + "/" + compiled.name + ".scaiev.yaml",
+                  compiled.config.emit());
+    }
+
+    if (report) {
+        std::printf("\n%s on %s\n", compiled.name.c_str(),
+                    compiled.coreName.c_str());
+        std::vector<const hwgen::GeneratedModule *> modules;
+        for (const auto &unit : compiled.units) {
+            modules.push_back(&unit.module);
+            std::printf("  %-16s %s, stages %d..%d, %u pipeline "
+                        "registers, objective %.0f\n",
+                        unit.name.c_str(),
+                        unit.isAlways ? "always" : "instruction",
+                        unit.module.firstStage, unit.module.lastStage,
+                        unit.module.module.numRegisters(),
+                        unit.objective);
+            for (const auto &port : unit.module.ports)
+                std::printf("    %-16s stage %2d  %s\n",
+                            scaiev::ScheduledUse{
+                                port.iface, port.reg, port.stage,
+                                !port.validPort.empty(), port.mode}
+                                .displayName()
+                                .c_str(),
+                            port.stage,
+                            scaiev::executionModeName(port.mode));
+        }
+        const scaiev::Datasheet &sheet =
+            options.datasheet ? *options.datasheet
+                              : scaiev::Datasheet::forCore(
+                                    options.coreName);
+        asic::AsicFlow flow(sheet);
+        asic::SynthesisResult base = flow.synthesizeBase();
+        asic::SynthesisResult ext =
+            flow.synthesizeExtended(compiled.name, modules);
+        std::printf("  ASIC: area %.0f um2 (%+.1f%%), fmax %.0f MHz "
+                    "(%+.1f%%)\n",
+                    ext.areaUm2, ext.areaOverheadPercent(base),
+                    ext.fmaxMhz, ext.freqDeltaPercent(base));
+    }
+    return 0;
+}
