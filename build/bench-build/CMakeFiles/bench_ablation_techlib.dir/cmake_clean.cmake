@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_techlib"
+  "../bench/bench_ablation_techlib.pdb"
+  "CMakeFiles/bench_ablation_techlib.dir/bench_ablation_techlib.cc.o"
+  "CMakeFiles/bench_ablation_techlib.dir/bench_ablation_techlib.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_techlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_asic"
+  "../bench/bench_table4_asic.pdb"
+  "CMakeFiles/bench_table4_asic.dir/bench_table4_asic.cc.o"
+  "CMakeFiles/bench_table4_asic.dir/bench_table4_asic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

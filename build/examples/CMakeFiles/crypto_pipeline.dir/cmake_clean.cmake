@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_pipeline.dir/crypto_pipeline.cpp.o"
+  "CMakeFiles/crypto_pipeline.dir/crypto_pipeline.cpp.o.d"
+  "crypto_pipeline"
+  "crypto_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

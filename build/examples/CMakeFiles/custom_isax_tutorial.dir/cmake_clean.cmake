@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_isax_tutorial.dir/custom_isax_tutorial.cpp.o"
+  "CMakeFiles/custom_isax_tutorial.dir/custom_isax_tutorial.cpp.o.d"
+  "custom_isax_tutorial"
+  "custom_isax_tutorial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_isax_tutorial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

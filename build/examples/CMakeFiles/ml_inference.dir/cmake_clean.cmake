@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_inference.dir/ml_inference.cpp.o"
+  "CMakeFiles/ml_inference.dir/ml_inference.cpp.o.d"
+  "ml_inference"
+  "ml_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portability_matrix.dir/portability_matrix.cpp.o"
+  "CMakeFiles/portability_matrix.dir/portability_matrix.cpp.o.d"
+  "portability_matrix"
+  "portability_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portability_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zol_accelerator.dir/zol_accelerator.cpp.o"
+  "CMakeFiles/zol_accelerator.dir/zol_accelerator.cpp.o.d"
+  "zol_accelerator"
+  "zol_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zol_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

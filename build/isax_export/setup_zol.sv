@@ -1,0 +1,92 @@
+module setup_zol(
+    input clk,
+    input rst,
+    input stall_in_0,
+    input stall_in_1,
+    input [31:0] rdpc_0,
+    input [31:0] instr_word_1,
+    output [31:0] wrCOUNT_data_2,
+    output wrCOUNT_valid_2,
+    output [31:0] wrEND_PC_data_2,
+    output wrEND_PC_valid_2,
+    output [31:0] wrSTART_PC_data_2,
+    output wrSTART_PC_valid_2);
+
+  wire _t1;
+  wire _t2;
+  wire _t4;
+  wire _t5;
+  wire _t7;
+  wire [32:0] _t8;
+  wire [32:0] _t9;
+  wire [32:0] _t10;
+  reg [32:0] _t11;
+  reg [32:0] _t12;
+  wire [31:0] _t13;
+  wire _t14;
+  wire [4:0] _t16;
+  wire _t17;
+  wire [5:0] _t18;
+  wire _t19;
+  reg [31:0] _t20;
+  wire [32:0] _t21;
+  wire [26:0] _t22;
+  wire [32:0] _t23;
+  wire [32:0] _t24;
+  reg [32:0] _t25;
+  wire [31:0] _t26;
+  wire _t27;
+  reg [31:0] _t28;
+  wire [11:0] _t29;
+  wire [19:0] _t30;
+  wire [31:0] _t31;
+  wire _t32;
+  wire _t33;
+  wire _t34;
+  wire _t35;
+
+  assign _t1 = 1'h0;
+  assign _t2 = stall_in_0 == _t1;
+  assign _t4 = 1'h0;
+  assign _t5 = stall_in_1 == _t4;
+  assign _t7 = 1'h0;
+  assign _t8 = {_t7, rdpc_0};
+  assign _t9 = 33'h4;
+  assign _t10 = _t8 + _t9;
+  always_ff @(posedge clk)
+    _t11 <= rst ? 33'h0 : (_t2 ? _t10 : _t11);
+  always_ff @(posedge clk)
+    _t12 <= rst ? 33'h0 : (_t5 ? _t11 : _t12);
+  assign _t13 = _t12[31:0];
+  assign _t14 = 1'h1;
+  assign _t16 = instr_word_1[19:15];
+  assign _t17 = 1'h0;
+  assign _t18 = {_t16, _t17};
+  assign _t19 = 1'h0;
+  always_ff @(posedge clk)
+    _t20 <= rst ? 32'h0 : (_t2 ? rdpc_0 : _t20);
+  assign _t21 = {_t19, _t20};
+  assign _t22 = 27'h0;
+  assign _t23 = {_t22, _t18};
+  assign _t24 = _t21 + _t23;
+  always_ff @(posedge clk)
+    _t25 <= rst ? 33'h0 : (_t5 ? _t24 : _t25);
+  assign _t26 = _t25[31:0];
+  assign _t27 = 1'h1;
+  always_ff @(posedge clk)
+    _t28 <= rst ? 32'h0 : (_t5 ? instr_word_1 : _t28);
+  assign _t29 = _t28[31:20];
+  assign _t30 = 20'h0;
+  assign _t31 = {_t30, _t29};
+  assign _t32 = 1'h1;
+  assign _t33 = 1'h0;
+  assign _t34 = 1'h0;
+  assign _t35 = 1'h0;
+
+  assign wrCOUNT_data_2 = _t31;
+  assign wrCOUNT_valid_2 = _t32;
+  assign wrEND_PC_data_2 = _t26;
+  assign wrEND_PC_valid_2 = _t27;
+  assign wrSTART_PC_data_2 = _t13;
+  assign wrSTART_PC_valid_2 = _t14;
+endmodule

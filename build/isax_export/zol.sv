@@ -1,0 +1,45 @@
+module zol(
+    input clk,
+    input rst,
+    input [31:0] rdCOUNT_data_0,
+    input [31:0] rdEND_PC_data_0,
+    input [31:0] rdpc_0,
+    input [31:0] rdSTART_PC_data_0,
+    output [31:0] wrCOUNT_data_0,
+    output wrCOUNT_valid_0,
+    output [31:0] wrpc_data_0,
+    output wrpc_valid_0);
+
+  wire _t0;
+  wire [31:0] _t2;
+  wire _t3;
+  wire _t4;
+  wire _t7;
+  wire _t8;
+  wire _t9;
+  wire _t11;
+  wire [32:0] _t12;
+  wire [32:0] _t13;
+  wire [32:0] _t14;
+  wire [31:0] _t15;
+  wire _t16;
+
+  assign _t0 = 1'h0;
+  assign _t2 = 32'h0;
+  assign _t3 = rdCOUNT_data_0 != _t2;
+  assign _t4 = 1'h0;
+  assign _t7 = rdEND_PC_data_0 == rdpc_0;
+  assign _t8 = _t3 & _t7;
+  assign _t9 = 1'h0;
+  assign _t11 = 1'h0;
+  assign _t12 = {_t11, rdCOUNT_data_0};
+  assign _t13 = 33'h1;
+  assign _t14 = _t12 - _t13;
+  assign _t15 = _t14[31:0];
+  assign _t16 = 1'h0;
+
+  assign wrCOUNT_data_0 = _t15;
+  assign wrCOUNT_valid_0 = _t8;
+  assign wrpc_data_0 = rdSTART_PC_data_0;
+  assign wrpc_valid_0 = _t8;
+endmodule

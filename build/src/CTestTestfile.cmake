@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("coredsl")
+subdirs("ir")
+subdirs("hir")
+subdirs("lil")
+subdirs("sched")
+subdirs("rtl")
+subdirs("hwgen")
+subdirs("scaiev")
+subdirs("cores")
+subdirs("rvasm")
+subdirs("asic")
+subdirs("driver")

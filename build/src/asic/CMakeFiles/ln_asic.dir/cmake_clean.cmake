@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_asic.dir/flow.cc.o"
+  "CMakeFiles/ln_asic.dir/flow.cc.o.d"
+  "libln_asic.a"
+  "libln_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

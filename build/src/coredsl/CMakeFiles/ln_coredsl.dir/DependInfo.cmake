@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coredsl/lexer.cc" "src/coredsl/CMakeFiles/ln_coredsl.dir/lexer.cc.o" "gcc" "src/coredsl/CMakeFiles/ln_coredsl.dir/lexer.cc.o.d"
+  "/root/repo/src/coredsl/parser.cc" "src/coredsl/CMakeFiles/ln_coredsl.dir/parser.cc.o" "gcc" "src/coredsl/CMakeFiles/ln_coredsl.dir/parser.cc.o.d"
+  "/root/repo/src/coredsl/resources.cc" "src/coredsl/CMakeFiles/ln_coredsl.dir/resources.cc.o" "gcc" "src/coredsl/CMakeFiles/ln_coredsl.dir/resources.cc.o.d"
+  "/root/repo/src/coredsl/sema.cc" "src/coredsl/CMakeFiles/ln_coredsl.dir/sema.cc.o" "gcc" "src/coredsl/CMakeFiles/ln_coredsl.dir/sema.cc.o.d"
+  "/root/repo/src/coredsl/types.cc" "src/coredsl/CMakeFiles/ln_coredsl.dir/types.cc.o" "gcc" "src/coredsl/CMakeFiles/ln_coredsl.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ln_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

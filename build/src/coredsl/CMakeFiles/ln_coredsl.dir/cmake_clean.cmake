@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_coredsl.dir/lexer.cc.o"
+  "CMakeFiles/ln_coredsl.dir/lexer.cc.o.d"
+  "CMakeFiles/ln_coredsl.dir/parser.cc.o"
+  "CMakeFiles/ln_coredsl.dir/parser.cc.o.d"
+  "CMakeFiles/ln_coredsl.dir/resources.cc.o"
+  "CMakeFiles/ln_coredsl.dir/resources.cc.o.d"
+  "CMakeFiles/ln_coredsl.dir/sema.cc.o"
+  "CMakeFiles/ln_coredsl.dir/sema.cc.o.d"
+  "CMakeFiles/ln_coredsl.dir/types.cc.o"
+  "CMakeFiles/ln_coredsl.dir/types.cc.o.d"
+  "libln_coredsl.a"
+  "libln_coredsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_coredsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ln_coredsl.
+# This may be replaced when dependencies are built.

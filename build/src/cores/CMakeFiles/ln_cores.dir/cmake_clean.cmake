@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_cores.dir/core.cc.o"
+  "CMakeFiles/ln_cores.dir/core.cc.o.d"
+  "CMakeFiles/ln_cores.dir/memory.cc.o"
+  "CMakeFiles/ln_cores.dir/memory.cc.o.d"
+  "CMakeFiles/ln_cores.dir/rv32i.cc.o"
+  "CMakeFiles/ln_cores.dir/rv32i.cc.o.d"
+  "libln_cores.a"
+  "libln_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

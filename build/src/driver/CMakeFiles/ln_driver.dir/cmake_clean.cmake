@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_driver.dir/longnail.cc.o"
+  "CMakeFiles/ln_driver.dir/longnail.cc.o.d"
+  "libln_driver.a"
+  "libln_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

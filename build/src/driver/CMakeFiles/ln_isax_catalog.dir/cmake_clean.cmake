@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_isax_catalog.dir/isax_catalog.cc.o"
+  "CMakeFiles/ln_isax_catalog.dir/isax_catalog.cc.o.d"
+  "libln_isax_catalog.a"
+  "libln_isax_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_isax_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

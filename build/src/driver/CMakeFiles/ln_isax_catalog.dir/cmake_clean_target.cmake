@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libln_isax_catalog.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_hir.dir/astlower.cc.o"
+  "CMakeFiles/ln_hir.dir/astlower.cc.o.d"
+  "CMakeFiles/ln_hir.dir/transforms.cc.o"
+  "CMakeFiles/ln_hir.dir/transforms.cc.o.d"
+  "libln_hir.a"
+  "libln_hir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_hir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

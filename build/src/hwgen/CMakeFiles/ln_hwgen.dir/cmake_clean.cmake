@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_hwgen.dir/hwgen.cc.o"
+  "CMakeFiles/ln_hwgen.dir/hwgen.cc.o.d"
+  "CMakeFiles/ln_hwgen.dir/runner.cc.o"
+  "CMakeFiles/ln_hwgen.dir/runner.cc.o.d"
+  "libln_hwgen.a"
+  "libln_hwgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_hwgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

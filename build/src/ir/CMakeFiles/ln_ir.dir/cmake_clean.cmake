@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_ir.dir/eval.cc.o"
+  "CMakeFiles/ln_ir.dir/eval.cc.o.d"
+  "CMakeFiles/ln_ir.dir/ir.cc.o"
+  "CMakeFiles/ln_ir.dir/ir.cc.o.d"
+  "libln_ir.a"
+  "libln_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

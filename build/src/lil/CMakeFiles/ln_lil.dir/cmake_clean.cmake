@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_lil.dir/interp.cc.o"
+  "CMakeFiles/ln_lil.dir/interp.cc.o.d"
+  "CMakeFiles/ln_lil.dir/lil.cc.o"
+  "CMakeFiles/ln_lil.dir/lil.cc.o.d"
+  "libln_lil.a"
+  "libln_lil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_lil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

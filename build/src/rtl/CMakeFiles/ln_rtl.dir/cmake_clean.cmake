@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_rtl.dir/netlist.cc.o"
+  "CMakeFiles/ln_rtl.dir/netlist.cc.o.d"
+  "CMakeFiles/ln_rtl.dir/sim.cc.o"
+  "CMakeFiles/ln_rtl.dir/sim.cc.o.d"
+  "CMakeFiles/ln_rtl.dir/verilog.cc.o"
+  "CMakeFiles/ln_rtl.dir/verilog.cc.o.d"
+  "libln_rtl.a"
+  "libln_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_rvasm.dir/assembler.cc.o"
+  "CMakeFiles/ln_rvasm.dir/assembler.cc.o.d"
+  "libln_rvasm.a"
+  "libln_rvasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_rvasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scaiev/config.cc" "src/scaiev/CMakeFiles/ln_scaiev.dir/config.cc.o" "gcc" "src/scaiev/CMakeFiles/ln_scaiev.dir/config.cc.o.d"
+  "/root/repo/src/scaiev/datasheet.cc" "src/scaiev/CMakeFiles/ln_scaiev.dir/datasheet.cc.o" "gcc" "src/scaiev/CMakeFiles/ln_scaiev.dir/datasheet.cc.o.d"
+  "/root/repo/src/scaiev/interface.cc" "src/scaiev/CMakeFiles/ln_scaiev.dir/interface.cc.o" "gcc" "src/scaiev/CMakeFiles/ln_scaiev.dir/interface.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ln_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ln_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

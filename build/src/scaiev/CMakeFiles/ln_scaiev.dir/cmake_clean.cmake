@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_scaiev.dir/config.cc.o"
+  "CMakeFiles/ln_scaiev.dir/config.cc.o.d"
+  "CMakeFiles/ln_scaiev.dir/datasheet.cc.o"
+  "CMakeFiles/ln_scaiev.dir/datasheet.cc.o.d"
+  "CMakeFiles/ln_scaiev.dir/interface.cc.o"
+  "CMakeFiles/ln_scaiev.dir/interface.cc.o.d"
+  "libln_scaiev.a"
+  "libln_scaiev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_scaiev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ln_scaiev.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ln_scaiev.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_sched.dir/lpsolver.cc.o"
+  "CMakeFiles/ln_sched.dir/lpsolver.cc.o.d"
+  "CMakeFiles/ln_sched.dir/problem.cc.o"
+  "CMakeFiles/ln_sched.dir/problem.cc.o.d"
+  "CMakeFiles/ln_sched.dir/scheduler.cc.o"
+  "CMakeFiles/ln_sched.dir/scheduler.cc.o.d"
+  "CMakeFiles/ln_sched.dir/techlib.cc.o"
+  "CMakeFiles/ln_sched.dir/techlib.cc.o.d"
+  "libln_sched.a"
+  "libln_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_support.dir/apint.cc.o"
+  "CMakeFiles/ln_support.dir/apint.cc.o.d"
+  "CMakeFiles/ln_support.dir/diagnostics.cc.o"
+  "CMakeFiles/ln_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/ln_support.dir/strings.cc.o"
+  "CMakeFiles/ln_support.dir/strings.cc.o.d"
+  "CMakeFiles/ln_support.dir/yaml.cc.o"
+  "CMakeFiles/ln_support.dir/yaml.cc.o.d"
+  "libln_support.a"
+  "libln_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apint.dir/support/test_apint.cc.o"
+  "CMakeFiles/test_apint.dir/support/test_apint.cc.o.d"
+  "test_apint"
+  "test_apint.pdb"
+  "test_apint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_astlower.dir/hir/test_astlower.cc.o"
+  "CMakeFiles/test_astlower.dir/hir/test_astlower.cc.o.d"
+  "test_astlower"
+  "test_astlower.pdb"
+  "test_astlower[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_astlower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend_fuzz.dir/coredsl/test_frontend_fuzz.cc.o"
+  "CMakeFiles/test_frontend_fuzz.dir/coredsl/test_frontend_fuzz.cc.o.d"
+  "test_frontend_fuzz"
+  "test_frontend_fuzz.pdb"
+  "test_frontend_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

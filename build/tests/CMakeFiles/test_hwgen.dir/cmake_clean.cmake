@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwgen.dir/hwgen/test_hwgen.cc.o"
+  "CMakeFiles/test_hwgen.dir/hwgen/test_hwgen.cc.o.d"
+  "test_hwgen"
+  "test_hwgen.pdb"
+  "test_hwgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isax_fuzz.dir/cores/test_isax_fuzz.cc.o"
+  "CMakeFiles/test_isax_fuzz.dir/cores/test_isax_fuzz.cc.o.d"
+  "test_isax_fuzz"
+  "test_isax_fuzz.pdb"
+  "test_isax_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isax_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lil.dir/lil/test_lil.cc.o"
+  "CMakeFiles/test_lil.dir/lil/test_lil.cc.o.d"
+  "test_lil"
+  "test_lil.pdb"
+  "test_lil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

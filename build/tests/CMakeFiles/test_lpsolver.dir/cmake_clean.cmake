@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lpsolver.dir/sched/test_lpsolver.cc.o"
+  "CMakeFiles/test_lpsolver.dir/sched/test_lpsolver.cc.o.d"
+  "test_lpsolver"
+  "test_lpsolver.pdb"
+  "test_lpsolver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lpsolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaiev.dir/scaiev/test_scaiev.cc.o"
+  "CMakeFiles/test_scaiev.dir/scaiev/test_scaiev.cc.o.d"
+  "test_scaiev"
+  "test_scaiev.pdb"
+  "test_scaiev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaiev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

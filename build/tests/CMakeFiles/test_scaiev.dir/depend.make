@@ -1,0 +1,2 @@
+# Empty dependencies file for test_scaiev.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_while_switch.dir/coredsl/test_while_switch.cc.o"
+  "CMakeFiles/test_while_switch.dir/coredsl/test_while_switch.cc.o.d"
+  "test_while_switch"
+  "test_while_switch.pdb"
+  "test_while_switch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_while_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export-isaxes.dir/export-isaxes.cc.o"
+  "CMakeFiles/export-isaxes.dir/export-isaxes.cc.o.d"
+  "export-isaxes"
+  "export-isaxes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export-isaxes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

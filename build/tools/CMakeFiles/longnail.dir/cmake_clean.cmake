@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longnail.dir/longnail-cli.cc.o"
+  "CMakeFiles/longnail.dir/longnail-cli.cc.o.d"
+  "longnail"
+  "longnail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longnail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
