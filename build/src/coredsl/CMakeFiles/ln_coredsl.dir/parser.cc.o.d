@@ -206,4 +206,4 @@ src/coredsl/CMakeFiles/ln_coredsl.dir/parser.cc.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/coredsl/token.hh \
- /root/repo/src/coredsl/lexer.hh
+ /root/repo/src/coredsl/lexer.hh /root/repo/src/support/failpoint.hh

@@ -221,4 +221,4 @@ src/coredsl/CMakeFiles/ln_coredsl.dir/sema.cc.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/coredsl/parser.hh \
- /root/repo/src/coredsl/token.hh
+ /root/repo/src/coredsl/token.hh /root/repo/src/support/failpoint.hh

@@ -234,4 +234,4 @@ src/driver/CMakeFiles/ln_driver.dir/longnail.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/driver/isax_catalog.hh /root/repo/src/hir/transforms.hh \
- /root/repo/src/rtl/verilog.hh
+ /root/repo/src/rtl/verilog.hh /root/repo/src/support/failpoint.hh

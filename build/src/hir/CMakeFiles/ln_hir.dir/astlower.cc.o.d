@@ -224,4 +224,5 @@ src/hir/CMakeFiles/ln_hir.dir/astlower.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/ir/eval.hh
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/ir/eval.hh \
+ /root/repo/src/support/failpoint.hh

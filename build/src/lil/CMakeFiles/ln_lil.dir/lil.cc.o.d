@@ -221,4 +221,5 @@ src/lil/CMakeFiles/ln_lil.dir/lil.cc.o: /root/repo/src/lil/lil.cc \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/hir/transforms.hh
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/hir/transforms.hh \
+ /root/repo/src/support/failpoint.hh

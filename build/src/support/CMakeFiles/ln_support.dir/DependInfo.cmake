@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/apint.cc" "src/support/CMakeFiles/ln_support.dir/apint.cc.o" "gcc" "src/support/CMakeFiles/ln_support.dir/apint.cc.o.d"
   "/root/repo/src/support/diagnostics.cc" "src/support/CMakeFiles/ln_support.dir/diagnostics.cc.o" "gcc" "src/support/CMakeFiles/ln_support.dir/diagnostics.cc.o.d"
+  "/root/repo/src/support/failpoint.cc" "src/support/CMakeFiles/ln_support.dir/failpoint.cc.o" "gcc" "src/support/CMakeFiles/ln_support.dir/failpoint.cc.o.d"
   "/root/repo/src/support/strings.cc" "src/support/CMakeFiles/ln_support.dir/strings.cc.o" "gcc" "src/support/CMakeFiles/ln_support.dir/strings.cc.o.d"
   "/root/repo/src/support/yaml.cc" "src/support/CMakeFiles/ln_support.dir/yaml.cc.o" "gcc" "src/support/CMakeFiles/ln_support.dir/yaml.cc.o.d"
   )

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ln_support.dir/apint.cc.o.d"
   "CMakeFiles/ln_support.dir/diagnostics.cc.o"
   "CMakeFiles/ln_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/ln_support.dir/failpoint.cc.o"
+  "CMakeFiles/ln_support.dir/failpoint.cc.o.d"
   "CMakeFiles/ln_support.dir/strings.cc.o"
   "CMakeFiles/ln_support.dir/strings.cc.o.d"
   "CMakeFiles/ln_support.dir/yaml.cc.o"

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failpoint.dir/support/test_failpoint.cc.o"
+  "CMakeFiles/test_failpoint.dir/support/test_failpoint.cc.o.d"
+  "test_failpoint"
+  "test_failpoint.pdb"
+  "test_failpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/driver/test_failsoft.cc" "tests/CMakeFiles/test_failsoft.dir/driver/test_failsoft.cc.o" "gcc" "tests/CMakeFiles/test_failsoft.dir/driver/test_failsoft.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ln_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/coredsl/CMakeFiles/ln_coredsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ln_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hir/CMakeFiles/ln_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/ln_isax_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/lil/CMakeFiles/ln_lil.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ln_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaiev/CMakeFiles/ln_scaiev.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ln_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwgen/CMakeFiles/ln_hwgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/cores/CMakeFiles/ln_cores.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvasm/CMakeFiles/ln_rvasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/ln_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/ln_asic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

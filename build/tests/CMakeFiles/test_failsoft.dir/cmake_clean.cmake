@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failsoft.dir/driver/test_failsoft.cc.o"
+  "CMakeFiles/test_failsoft.dir/driver/test_failsoft.cc.o.d"
+  "test_failsoft"
+  "test_failsoft.pdb"
+  "test_failsoft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failsoft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -296,5 +296,6 @@ tests/CMakeFiles/test_scaiev.dir/scaiev/test_scaiev.cc.o: \
  /root/repo/src/scaiev/config.hh /root/repo/src/scaiev/interface.hh \
  /root/repo/src/ir/ir.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/support/apint.hh /root/repo/src/support/yaml.hh \
+ /root/repo/src/support/apint.hh /root/repo/src/support/diagnostics.hh \
+ /root/repo/src/support/logging.hh /root/repo/src/support/yaml.hh \
  /root/repo/src/scaiev/datasheet.hh

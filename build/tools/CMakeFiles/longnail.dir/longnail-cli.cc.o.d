@@ -234,4 +234,5 @@ tools/CMakeFiles/longnail.dir/longnail-cli.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/cores/core.hh \
  /root/repo/src/cores/memory.hh /root/repo/src/cores/rv32i.hh \
  /root/repo/src/rtl/sim.hh /root/repo/src/hir/astlower.hh \
- /root/repo/src/lil/interp.hh /root/repo/src/rvasm/assembler.hh
+ /root/repo/src/lil/interp.hh /root/repo/src/rvasm/assembler.hh \
+ /root/repo/src/support/failpoint.hh

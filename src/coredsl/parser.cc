@@ -1,6 +1,7 @@
 #include "coredsl/parser.hh"
 
 #include "coredsl/lexer.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 
 namespace longnail {
@@ -60,6 +61,90 @@ Parser::errorHere(const std::string &msg)
     throw ParseError{};
 }
 
+bool
+Parser::atTopLevelKeyword() const
+{
+    switch (current().kind) {
+      case TokenKind::KwImport:
+      case TokenKind::KwInstructionSet:
+      case TokenKind::KwCore:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Skip to the next top-level definition (or Eof). */
+void
+Parser::syncToTopLevel()
+{
+    while (!check(TokenKind::Eof) && !atTopLevelKeyword())
+        consume();
+}
+
+/**
+ * Skip to the end of the current braced element: consumes tokens,
+ * tracking '{'/'}' nesting relative to the sync start, until either
+ * the '}' closing the enclosing element is consumed (error inside the
+ * element's braces) or one balanced '{...}' group has been skipped
+ * (error before the element's opening brace). Stops (without
+ * consuming) at a top-level keyword -- the likely recovery point when
+ * the closer is missing -- or at Eof.
+ */
+void
+Parser::syncToBlockElement()
+{
+    int depth = 0;
+    bool entered = false;
+    while (!check(TokenKind::Eof)) {
+        if (atTopLevelKeyword())
+            return;
+        TokenKind kind = current().kind;
+        if (kind == TokenKind::LBrace) {
+            ++depth;
+            entered = true;
+        } else if (kind == TokenKind::RBrace) {
+            if (depth == 0) {
+                consume();
+                return;
+            }
+            --depth;
+            if (depth == 0 && entered) {
+                consume();
+                return;
+            }
+        }
+        consume();
+    }
+}
+
+/**
+ * Skip to the next statement boundary: past the next ';' at the
+ * current nesting level, or up to (not past) a '}' closing the
+ * enclosing block.
+ */
+void
+Parser::syncToStatement()
+{
+    int depth = 0;
+    while (!check(TokenKind::Eof)) {
+        if (atTopLevelKeyword())
+            return;
+        TokenKind kind = current().kind;
+        if (kind == TokenKind::LBrace) {
+            ++depth;
+        } else if (kind == TokenKind::RBrace) {
+            if (depth == 0)
+                return; // let the enclosing block consume it
+            --depth;
+        } else if (kind == TokenKind::Semicolon && depth == 0) {
+            consume();
+            return;
+        }
+        consume();
+    }
+}
+
 Description
 Parser::parseDescription()
 {
@@ -72,10 +157,21 @@ Parser::parseDescription()
             accept(TokenKind::Semicolon);
             desc.imports.push_back(name.text);
         }
-        while (!check(TokenKind::Eof))
-            desc.defs.push_back(parseIsaDef());
     } catch (const ParseError &) {
-        // Diagnostics already recorded; return the partial AST.
+        syncToTopLevel();
+    }
+    while (!check(TokenKind::Eof) && !diags_.errorLimitReached()) {
+        size_t before = pos_;
+        try {
+            desc.defs.push_back(parseIsaDef());
+        } catch (const ParseError &) {
+            // Diagnostics already recorded; resynchronize at the next
+            // top-level definition and keep going so one run reports
+            // every independent error.
+            if (pos_ == before)
+                consume(); // guarantee progress
+            syncToTopLevel();
+        }
     }
     return desc;
 }
@@ -137,31 +233,47 @@ Parser::parseArchitecturalState(IsaDef &def)
 {
     expect(TokenKind::LBrace, "to open architectural_state");
     while (!accept(TokenKind::RBrace)) {
-        // Parameter assignment: ID = expr ;
-        if (check(TokenKind::Identifier) &&
-            peek(1).is(TokenKind::Assign)) {
-            ParamAssign pa;
-            pa.loc = current().loc;
-            pa.name = consume().text;
-            consume(); // '='
-            pa.value = parseExpr();
-            expect(TokenKind::Semicolon, "after parameter assignment");
-            def.paramAssigns.push_back(std::move(pa));
-            continue;
+        if (check(TokenKind::Eof))
+            errorHere("missing '}' to close architectural_state");
+        size_t before = pos_;
+        try {
+            // Parameter assignment: ID = expr ;
+            if (check(TokenKind::Identifier) &&
+                peek(1).is(TokenKind::Assign)) {
+                ParamAssign pa;
+                pa.loc = current().loc;
+                pa.name = consume().text;
+                consume(); // '='
+                pa.value = parseExpr();
+                expect(TokenKind::Semicolon,
+                       "after parameter assignment");
+                def.paramAssigns.push_back(std::move(pa));
+                continue;
+            }
+            bool has_register = false, has_extern = false,
+                 has_const = false;
+            while (true) {
+                if (accept(TokenKind::KwRegister))
+                    has_register = true;
+                else if (accept(TokenKind::KwExtern))
+                    has_extern = true;
+                else if (accept(TokenKind::KwConst))
+                    has_const = true;
+                else
+                    break;
+            }
+            def.state.push_back(
+                parseStateDecl(has_register, has_extern, has_const));
+        } catch (const ParseError &) {
+            // Recover at the next declaration so one run reports every
+            // malformed state element.
+            if (diags_.errorLimitReached() || check(TokenKind::Eof) ||
+                atTopLevelKeyword())
+                throw;
+            if (pos_ == before)
+                consume(); // guarantee progress
+            syncToStatement();
         }
-        bool has_register = false, has_extern = false, has_const = false;
-        while (true) {
-            if (accept(TokenKind::KwRegister))
-                has_register = true;
-            else if (accept(TokenKind::KwExtern))
-                has_extern = true;
-            else if (accept(TokenKind::KwConst))
-                has_const = true;
-            else
-                break;
-        }
-        def.state.push_back(
-            parseStateDecl(has_register, has_extern, has_const));
     }
 }
 
@@ -204,8 +316,23 @@ void
 Parser::parseInstructions(IsaDef &def)
 {
     expect(TokenKind::LBrace, "to open instructions");
-    while (!accept(TokenKind::RBrace))
-        def.instructions.push_back(parseInstruction());
+    while (!accept(TokenKind::RBrace)) {
+        if (check(TokenKind::Eof))
+            errorHere("missing '}' to close instructions");
+        size_t before = pos_;
+        try {
+            def.instructions.push_back(parseInstruction());
+        } catch (const ParseError &) {
+            // Recover at the next instruction so one run reports every
+            // malformed instruction.
+            if (diags_.errorLimitReached() || check(TokenKind::Eof) ||
+                atTopLevelKeyword())
+                throw;
+            if (pos_ == before)
+                consume(); // guarantee progress
+            syncToBlockElement();
+        }
+    }
 }
 
 Instruction
@@ -265,12 +392,25 @@ Parser::parseAlwaysSection(IsaDef &def)
 {
     expect(TokenKind::LBrace, "to open always section");
     while (!accept(TokenKind::RBrace)) {
-        AlwaysBlock blk;
-        blk.loc = current().loc;
-        blk.name = expect(TokenKind::Identifier, "as always-block name")
-                       .text;
-        blk.behavior = parseBlock();
-        def.alwaysBlocks.push_back(std::move(blk));
+        if (check(TokenKind::Eof))
+            errorHere("missing '}' to close always section");
+        size_t before = pos_;
+        try {
+            AlwaysBlock blk;
+            blk.loc = current().loc;
+            blk.name = expect(TokenKind::Identifier,
+                              "as always-block name")
+                           .text;
+            blk.behavior = parseBlock();
+            def.alwaysBlocks.push_back(std::move(blk));
+        } catch (const ParseError &) {
+            if (diags_.errorLimitReached() || check(TokenKind::Eof) ||
+                atTopLevelKeyword())
+                throw;
+            if (pos_ == before)
+                consume(); // guarantee progress
+            syncToBlockElement();
+        }
     }
 }
 
@@ -278,8 +418,21 @@ void
 Parser::parseFunctions(IsaDef &def)
 {
     expect(TokenKind::LBrace, "to open functions");
-    while (!accept(TokenKind::RBrace))
-        def.functions.push_back(parseFunction());
+    while (!accept(TokenKind::RBrace)) {
+        if (check(TokenKind::Eof))
+            errorHere("missing '}' to close functions");
+        size_t before = pos_;
+        try {
+            def.functions.push_back(parseFunction());
+        } catch (const ParseError &) {
+            if (diags_.errorLimitReached() || check(TokenKind::Eof) ||
+                atTopLevelKeyword())
+                throw;
+            if (pos_ == before)
+                consume(); // guarantee progress
+            syncToBlockElement();
+        }
+    }
 }
 
 FunctionDef
@@ -420,8 +573,23 @@ Parser::parseBlock()
     SourceLoc loc = current().loc;
     expect(TokenKind::LBrace, "to open a block");
     auto block = std::make_unique<BlockStmt>(loc);
-    while (!accept(TokenKind::RBrace))
-        block->stmts.push_back(parseStmt());
+    while (!accept(TokenKind::RBrace)) {
+        if (check(TokenKind::Eof))
+            errorHere("missing '}' to close the block");
+        size_t before = pos_;
+        try {
+            block->stmts.push_back(parseStmt());
+        } catch (const ParseError &) {
+            // Panic-mode recovery: skip past the next ';' (or up to
+            // the enclosing '}') and continue with the next statement.
+            if (diags_.errorLimitReached() || check(TokenKind::Eof) ||
+                atTopLevelKeyword())
+                throw;
+            if (pos_ == before)
+                consume(); // guarantee progress
+            syncToStatement();
+        }
+    }
     return block;
 }
 
@@ -876,6 +1044,12 @@ Parser::parsePrimary()
 Description
 parseString(const std::string &source, DiagnosticEngine &diags)
 {
+    DiagnosticEngine::ContextScope scope(diags, Phase::Parse, "LN1001");
+    if (failpoint::fire("parse") != failpoint::Mode::Off) {
+        diags.error({}, "LN1901",
+                    "injected fault at failpoint 'parse'");
+        return {};
+    }
     Lexer lexer(source, diags);
     Parser parser(lexer.lexAll(), diags);
     return parser.parseDescription();

@@ -28,6 +28,12 @@ class Parser
     /**
      * Parse a whole description file. On error, diagnostics are
      * reported and a partial (possibly empty) AST is returned.
+     *
+     * The parser recovers from syntax errors with panic-mode
+     * resynchronization (skipping to the next ';', '}', or top-level
+     * keyword), so one run reports every independent syntax error in
+     * the input instead of only the first. Recovery stops when the
+     * engine's error limit is reached.
      */
     Description parseDescription();
 
@@ -42,6 +48,12 @@ class Parser
     bool accept(TokenKind kind);
     Token expect(TokenKind kind, const char *context);
     [[noreturn]] void errorHere(const std::string &msg);
+
+    // Panic-mode error recovery.
+    bool atTopLevelKeyword() const;
+    void syncToTopLevel();
+    void syncToBlockElement();
+    void syncToStatement();
 
     // Top-level productions.
     std::unique_ptr<IsaDef> parseIsaDef();

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "coredsl/parser.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 
 namespace longnail {
@@ -305,6 +306,8 @@ class Analyzer
     std::unique_ptr<ElaboratedIsa>
     run(const std::string &source, const std::string &target_name)
     {
+        DiagnosticEngine::ContextScope scope(diags_, Phase::Sema,
+                                             "LN1002");
         auto isa = std::make_unique<ElaboratedIsa>();
         isa_ = isa.get();
 
@@ -312,6 +315,11 @@ class Analyzer
             parseString(source, diags_));
         if (diags_.hasErrors())
             return nullptr;
+        if (failpoint::fire("sema") != failpoint::Mode::Off) {
+            diags_.error({}, "LN1902",
+                         "injected fault at failpoint 'sema'");
+            return nullptr;
+        }
 
         loadImports(*desc);
         for (auto &def : desc->defs)

@@ -5,6 +5,7 @@
 #include "driver/isax_catalog.hh"
 #include "hir/transforms.hh"
 #include "rtl/verilog.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 
 namespace longnail {
@@ -65,43 +66,54 @@ CompiledIsax::makeBundle() const
     return bundle;
 }
 
-CompiledIsax
-compile(const std::string &source, const std::string &target,
-        const CompileOptions &options)
-{
-    CompiledIsax result;
-    result.coreName = options.coreName;
-    const Datasheet &sheet = options.datasheet
-                                 ? *options.datasheet
-                                 : Datasheet::forCore(options.coreName);
+namespace {
 
-    DiagnosticEngine diags;
+/**
+ * The Fig. 9 flow; returns early on the first failing phase, leaving
+ * the failure in @p diags. Split out of compile() so every exit path
+ * shares the diagnostics rendering there.
+ */
+void
+compileInto(CompiledIsax &result, DiagnosticEngine &diags,
+            const std::string &source, const std::string &target,
+            const CompileOptions &options)
+{
+    const Datasheet *sheet = options.datasheet;
+    if (!sheet) {
+        sheet = Datasheet::findCore(options.coreName);
+        if (!sheet) {
+            std::string known;
+            for (const std::string &core : Datasheet::knownCores())
+                known += (known.empty() ? "" : ", ") + core;
+            DiagnosticEngine::ContextScope scope(diags, Phase::Scaiev,
+                                                 "LN3005");
+            diags.error({}, "LN3005",
+                        "unknown core '" + options.coreName +
+                            "'; available cores: " + known);
+            return;
+        }
+    }
+
     coredsl::SemaOptions sema_options;
     sema_options.baseSetName = options.baseSetName;
     coredsl::Sema sema(diags, coredsl::builtinSourceProvider(),
                        sema_options);
     result.isa = sema.analyze(source, target);
-    if (!result.isa) {
-        result.errors = diags.str();
-        return result;
-    }
+    if (!result.isa)
+        return;
     result.name = result.isa->name;
 
     result.hirModule = hir::lowerToHir(*result.isa, diags);
-    if (!result.hirModule) {
-        result.errors = diags.str();
-        return result;
-    }
+    if (!result.hirModule)
+        return;
     for (auto &instr : result.hirModule->instructions)
         hir::canonicalize(instr->body);
     for (auto &blk : result.hirModule->alwaysBlocks)
         hir::canonicalize(blk->body);
 
     result.lilModule = lil::lowerToLil(*result.hirModule, diags);
-    if (!result.lilModule) {
-        result.errors = diags.str();
-        return result;
-    }
+    if (!result.lilModule)
+        return;
 
     // Schedule and generate hardware per functionality.
     sched::TechLibrary tech(options.timingMode);
@@ -109,20 +121,39 @@ compile(const std::string &source, const std::string &target,
     result.config.coreName = options.coreName;
 
     for (const auto &graph : result.lilModule->graphs) {
+        DiagnosticEngine::ContextScope sched_scope(diags, Phase::Sched,
+                                                   "LN2001");
+        if (failpoint::fire("sched") != failpoint::Mode::Off) {
+            diags.error({}, "LN2901",
+                        "injected fault at failpoint 'sched'");
+            return;
+        }
         sched::BuiltProblem built =
-            sched::buildProblem(*graph, sheet, tech,
+            sched::buildProblem(*graph, *sheet, tech,
                                 options.cycleTimeNs);
         sched::computeChainBreakers(built.problem);
-        std::string err = sched::scheduleOptimal(built.problem);
-        if (!err.empty()) {
-            result.errors = graph->name + ": " + err;
-            return result;
+        sched::ScheduleOutcome outcome =
+            sched::scheduleWithFallback(built.problem,
+                                        options.schedBudget);
+        if (!outcome.ok()) {
+            diags.error({}, "LN2002", graph->name + ": " +
+                                          outcome.error);
+            return;
         }
+        if (outcome.quality != sched::ScheduleQuality::Optimal)
+            diags.warning({}, "LN2001",
+                          graph->name +
+                              ": optimal scheduler unavailable (" +
+                              outcome.fallbackReason + "); using " +
+                              sched::scheduleQualityName(
+                                  outcome.quality) +
+                              " schedule");
         sched::sinkZeroDelayOps(built.problem);
         std::string verify_err = built.problem.verify();
         // Chains whose single-operation delay exceeds the cycle time
         // cannot be broken (Sec. 5.4); they reduce fmax in the ASIC
-        // analysis but are not compile errors.
+        // analysis but are not compile errors. The relaxed fallback
+        // scheduler trades chain breaking for feasibility the same way.
         if (!verify_err.empty() &&
             verify_err.find("cycle time") == std::string::npos &&
             verify_err.find("chaining") == std::string::npos)
@@ -135,10 +166,27 @@ compile(const std::string &source, const std::string &target,
         unit.lilGraph = graph.get();
         unit.makespan = built.problem.makespan();
         unit.objective = built.problem.objectiveValue();
-        unit.module = hwgen::generateModule(*graph, built, sheet,
+        unit.quality = outcome.quality;
+        unit.fallbackReason = outcome.fallbackReason;
+
+        DiagnosticEngine::ContextScope hwgen_scope(diags, Phase::HwGen,
+                                                   "LN3001");
+        if (failpoint::fire("hwgen") != failpoint::Mode::Off) {
+            diags.error({}, "LN3901",
+                        "injected fault at failpoint 'hwgen'");
+            return;
+        }
+        unit.module = hwgen::generateModule(*graph, built, *sheet,
                                             *result.isa);
         unit.systemVerilog = rtl::emitVerilog(unit.module.module);
 
+        DiagnosticEngine::ContextScope cfg_scope(diags, Phase::Scaiev,
+                                                 "LN3002");
+        if (failpoint::fire("scaiev-config") != failpoint::Mode::Off) {
+            diags.error({}, "LN3902",
+                        "injected fault at failpoint 'scaiev-config'");
+            return;
+        }
         scaiev::ConfigFunctionality fn;
         fn.name = graph->name;
         fn.isAlways = graph->isAlways;
@@ -157,6 +205,47 @@ compile(const std::string &source, const std::string &target,
         result.config.registers.push_back(
             {state.name, state.elementType.width, state.numElements});
     }
+}
+
+} // namespace
+
+CompiledIsax
+compile(const std::string &source, const std::string &target,
+        const CompileOptions &options)
+{
+    CompiledIsax result;
+    result.coreName = options.coreName;
+    DiagnosticEngine diags;
+    diags.setErrorLimit(options.maxErrors);
+    try {
+        compileInto(result, diags, source, target, options);
+    } catch (const std::exception &e) {
+        DiagnosticEngine::ContextScope scope(diags, Phase::Driver,
+                                             "LN3009");
+        diags.error({}, "LN3009",
+                    std::string("internal error: ") + e.what());
+    }
+    if (diags.hasErrors())
+        result.errors = diags.str();
+    result.diags = std::move(diags);
+    return result;
+}
+
+CompiledIsax
+compileWithRetry(const std::string &source, const std::string &target,
+                 const CompileOptions &options, unsigned max_attempts)
+{
+    if (max_attempts == 0)
+        max_attempts = 1;
+    CompiledIsax result;
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        failpoint::clearTransientFired();
+        result = compile(source, target, options);
+        result.attempts = attempt;
+        result.retryable = failpoint::transientFired();
+        if (result.ok() || !result.retryable)
+            break;
+    }
     return result;
 }
 
@@ -167,7 +256,12 @@ compileCatalogIsax(const std::string &isax_name,
     const catalog::IsaxEntry *entry = catalog::findIsax(isax_name);
     if (!entry) {
         CompiledIsax result;
-        result.errors = "unknown catalog ISAX '" + isax_name + "'";
+        result.coreName = options.coreName;
+        DiagnosticEngine::ContextScope scope(result.diags,
+                                             Phase::Driver, "LN3006");
+        result.diags.error({}, "LN3006",
+                           "unknown catalog ISAX '" + isax_name + "'");
+        result.errors = result.diags.str();
         return result;
     }
     CompiledIsax result = compile(entry->source, entry->target, options);

@@ -41,6 +41,12 @@ struct CompileOptions
     double cycleTimeNs = 0.0;
     /** Base instruction set provided by the host core. */
     std::string baseSetName = "RV32I";
+    /** Cap on reported errors (0 = unlimited); error recovery stops
+     * once the cap is reached. */
+    size_t maxErrors = 0;
+    /** Budget for the optimal scheduler; exhausting it falls back to
+     * the heuristic scheduler (see docs/failure-model.md). */
+    sched::ScheduleBudget schedBudget;
 };
 
 /** One synthesized instruction or always-block. */
@@ -54,6 +60,10 @@ struct CompiledUnit
     /** Schedule quality indicators. */
     int makespan = 0;
     double objective = 0.0;
+    /** Which scheduler in the fallback chain produced the schedule. */
+    sched::ScheduleQuality quality = sched::ScheduleQuality::Optimal;
+    /** Why the optimal scheduler was abandoned (non-Optimal quality). */
+    std::string fallbackReason;
 };
 
 /** The complete result of compiling one ISAX for one core. */
@@ -62,6 +72,14 @@ struct CompiledIsax
     std::string name;
     std::string coreName;
     std::string errors; ///< empty on success
+    /** Structured diagnostics (errors + warnings) with phase tags and
+     * stable LN codes; `errors` above is its rendered form. */
+    DiagnosticEngine diags;
+    /** True when the failure involved a transient injected fault; see
+     * compileWithRetry(). */
+    bool retryable = false;
+    /** Number of compile attempts made (>1 only via compileWithRetry). */
+    unsigned attempts = 1;
 
     std::unique_ptr<coredsl::ElaboratedIsa> isa;
     std::unique_ptr<hir::HirModule> hirModule;
@@ -86,6 +104,17 @@ struct CompiledIsax
 CompiledIsax compile(const std::string &source,
                      const std::string &target = "",
                      const CompileOptions &options = {});
+
+/**
+ * Like compile(), but retry up to @p max_attempts times when the
+ * failure was caused by a transient injected fault (failpoint mode
+ * "transient:N"); permanent failures are returned immediately. The
+ * result's `attempts` field records how many tries were made.
+ */
+CompiledIsax compileWithRetry(const std::string &source,
+                              const std::string &target = "",
+                              const CompileOptions &options = {},
+                              unsigned max_attempts = 3);
 
 /** Compile one of the bundled benchmark ISAXes (Table 3). */
 CompiledIsax compileCatalogIsax(const std::string &isax_name,

@@ -5,6 +5,7 @@
 
 #include "coredsl/sema.hh"
 #include "ir/eval.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 
 namespace longnail {
@@ -1379,6 +1380,13 @@ std::unique_ptr<HirModule>
 lowerToHir(const ElaboratedIsa &isa, DiagnosticEngine &diags,
            LowerOptions options)
 {
+    DiagnosticEngine::ContextScope scope(diags, Phase::AstLower,
+                                         "LN1003");
+    if (failpoint::fire("astlower") != failpoint::Mode::Off) {
+        diags.error({}, "LN1903",
+                    "injected fault at failpoint 'astlower'");
+        return nullptr;
+    }
     auto mod = std::make_unique<HirModule>();
     mod->isa = &isa;
     for (const auto &instr : isa.instructions) {

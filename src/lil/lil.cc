@@ -5,6 +5,7 @@
 #include <set>
 
 #include "hir/transforms.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 
 namespace longnail {
@@ -609,6 +610,11 @@ lowerAlwaysToLil(const ElaboratedIsa &isa, const hir::HirAlways &always,
 std::unique_ptr<LilModule>
 lowerToLil(const hir::HirModule &mod, DiagnosticEngine &diags)
 {
+    DiagnosticEngine::ContextScope scope(diags, Phase::Lil, "LN1004");
+    if (failpoint::fire("lil") != failpoint::Mode::Off) {
+        diags.error({}, "LN1904", "injected fault at failpoint 'lil'");
+        return nullptr;
+    }
     auto out = std::make_unique<LilModule>();
     out->isa = mod.isa;
     for (const auto &instr : mod.instructions) {

@@ -154,6 +154,21 @@ ScaievConfig::fromYaml(const yaml::Node &node)
     return config;
 }
 
+std::optional<ScaievConfig>
+ScaievConfig::fromYaml(const yaml::Node &node, DiagnosticEngine &diags)
+{
+    DiagnosticEngine::ContextScope scope(diags, Phase::Scaiev,
+                                         "LN3004");
+    try {
+        return fromYaml(node);
+    } catch (const std::exception &e) {
+        diags.error({}, "LN3004",
+                    std::string("malformed SCAIE-V config: ") +
+                        e.what());
+        return std::nullopt;
+    }
+}
+
 const ConfigFunctionality *
 ScaievConfig::find(const std::string &name) const
 {

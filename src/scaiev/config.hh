@@ -8,10 +8,12 @@
 #ifndef LONGNAIL_SCAIEV_CONFIG_HH
 #define LONGNAIL_SCAIEV_CONFIG_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "scaiev/interface.hh"
+#include "support/diagnostics.hh"
 #include "support/yaml.hh"
 
 namespace longnail {
@@ -60,6 +62,12 @@ struct ScaievConfig
     yaml::Node toYaml() const;
     std::string emit() const { return toYaml().emit(); }
     static ScaievConfig fromYaml(const yaml::Node &node);
+    /**
+     * Fail-soft variant: malformed input becomes an LN3004 diagnostic
+     * (with the YAML line number when available) instead of a throw.
+     */
+    static std::optional<ScaievConfig>
+    fromYaml(const yaml::Node &node, DiagnosticEngine &diags);
 
     const ConfigFunctionality *find(const std::string &name) const;
 };

@@ -91,6 +91,20 @@ Datasheet::fromYaml(const yaml::Node &node)
     return sheet;
 }
 
+std::optional<Datasheet>
+Datasheet::fromYaml(const yaml::Node &node, DiagnosticEngine &diags)
+{
+    DiagnosticEngine::ContextScope scope(diags, Phase::Scaiev,
+                                         "LN3003");
+    try {
+        return fromYaml(node);
+    } catch (const std::exception &e) {
+        diags.error({}, "LN3003",
+                    std::string("malformed datasheet: ") + e.what());
+        return std::nullopt;
+    }
+}
+
 namespace {
 
 Datasheet
@@ -214,8 +228,8 @@ makePicoRV32()
 
 } // namespace
 
-const Datasheet &
-Datasheet::forCore(const std::string &name)
+const Datasheet *
+Datasheet::findCore(const std::string &name)
 {
     static const std::map<std::string, Datasheet> cores = {
         {"ORCA", makeOrca()},
@@ -224,10 +238,17 @@ Datasheet::forCore(const std::string &name)
         {"VexRiscv", makeVexRiscv()},
     };
     auto it = cores.find(name);
-    if (it == cores.end())
+    return it == cores.end() ? nullptr : &it->second;
+}
+
+const Datasheet &
+Datasheet::forCore(const std::string &name)
+{
+    const Datasheet *sheet = findCore(name);
+    if (!sheet)
         fatal("unknown core '", name, "'; available cores: ORCA, "
               "Piccolo, PicoRV32, VexRiscv");
-    return it->second;
+    return *sheet;
 }
 
 std::vector<std::string>

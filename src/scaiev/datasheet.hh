@@ -19,10 +19,12 @@
 #define LONGNAIL_SCAIEV_DATASHEET_HH
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "scaiev/interface.hh"
+#include "support/diagnostics.hh"
 #include "support/yaml.hh"
 
 namespace longnail {
@@ -68,9 +70,18 @@ struct Datasheet
     yaml::Node toYaml() const;
     /** Parse from YAML; throws std::runtime_error on malformed input. */
     static Datasheet fromYaml(const yaml::Node &node);
+    /**
+     * Fail-soft variant: malformed input becomes an LN3003 diagnostic
+     * (with the YAML line number when available) instead of a throw.
+     */
+    static std::optional<Datasheet> fromYaml(const yaml::Node &node,
+                                             DiagnosticEngine &diags);
 
-    /** Built-in datasheet for one of the four evaluation cores. */
+    /** Built-in datasheet for one of the four evaluation cores;
+     * exits via fatal() when @p name is unknown. */
     static const Datasheet &forCore(const std::string &name);
+    /** Non-fatal lookup: nullptr when @p name is not a built-in core. */
+    static const Datasheet *findCore(const std::string &name);
     /** Names of all built-in cores. */
     static std::vector<std::string> knownCores();
 };

@@ -60,11 +60,12 @@ class FlowNetwork
 
     /**
      * SPFA shortest path from @p source by cost over residual edges.
+     * Adds one unit per queue pop to @p work.
      * @return true if @p sink is reachable; fills @p prev_edge.
      */
     bool
     shortestPath(unsigned source, unsigned sink,
-                 std::vector<unsigned> &prev_edge)
+                 std::vector<unsigned> &prev_edge, uint64_t &work)
     {
         std::vector<int64_t> dist(numNodes(), infDistance);
         std::vector<bool> in_queue(numNodes(), false);
@@ -77,6 +78,7 @@ class FlowNetwork
             unsigned u = queue.front();
             queue.pop_front();
             in_queue[u] = false;
+            ++work;
             for (unsigned e : adj_[u]) {
                 if (residual(e) <= 0)
                     continue;
@@ -105,7 +107,7 @@ class FlowNetwork
  * form a negative cycle in the shortest-path formulation.
  */
 bool
-hasNegativeCycle(const DifferenceLP &lp)
+hasNegativeCycle(const DifferenceLP &lp, uint64_t &work)
 {
     unsigned n = lp.numVars();
     unsigned ref = n;
@@ -121,6 +123,7 @@ hasNegativeCycle(const DifferenceLP &lp)
     std::vector<int64_t> dist(n + 1, 0); // virtual source to all
     for (unsigned iter = 0; iter <= n + 1; ++iter) {
         bool changed = false;
+        ++work;
         for (const auto &[u, v, w] : edges) {
             if (dist[u] + w < dist[v]) {
                 dist[v] = dist[u] + w;
@@ -136,11 +139,18 @@ hasNegativeCycle(const DifferenceLP &lp)
 } // namespace
 
 LPResult
-solveDifferenceLP(const DifferenceLP &lp)
+solveDifferenceLP(const DifferenceLP &lp, uint64_t work_limit)
 {
     LPResult result;
-    if (hasNegativeCycle(lp)) {
+    auto over_budget = [&]() {
+        return work_limit != 0 && result.workUnits > work_limit;
+    };
+    if (hasNegativeCycle(lp, result.workUnits)) {
         result.status = LPResult::Status::Infeasible;
+        return result;
+    }
+    if (over_budget()) {
+        result.status = LPResult::Status::BudgetExhausted;
         return result;
     }
 
@@ -187,8 +197,13 @@ solveDifferenceLP(const DifferenceLP &lp)
     int64_t routed = 0;
     std::vector<unsigned> prev_edge;
     while (routed < total_supply) {
-        if (!net.shortestPath(source, sink, prev_edge)) {
+        if (!net.shortestPath(source, sink, prev_edge,
+                              result.workUnits)) {
             result.status = LPResult::Status::Unbounded;
+            return result;
+        }
+        if (over_budget()) {
+            result.status = LPResult::Status::BudgetExhausted;
             return result;
         }
         // Bottleneck along the path.

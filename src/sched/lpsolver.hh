@@ -62,15 +62,24 @@ struct DifferenceLP
 /** Solver outcome. */
 struct LPResult
 {
-    enum class Status { Optimal, Infeasible, Unbounded };
+    enum class Status { Optimal, Infeasible, Unbounded, BudgetExhausted };
 
     Status status = Status::Infeasible;
     std::vector<int> values;
     int64_t objective = 0;
+    /** Deterministic work units spent (queue pops / edge relaxations). */
+    uint64_t workUnits = 0;
 };
 
-/** Solve @p lp exactly. */
-LPResult solveDifferenceLP(const DifferenceLP &lp);
+/**
+ * Solve @p lp exactly. @p work_limit bounds the solver's deterministic
+ * work counter (0 = unlimited); when the limit is hit the result status
+ * is BudgetExhausted and no values are produced, letting callers fall
+ * back to a heuristic scheduler instead of waiting on a pathological
+ * instance.
+ */
+LPResult solveDifferenceLP(const DifferenceLP &lp,
+                           uint64_t work_limit = 0);
 
 } // namespace sched
 } // namespace longnail

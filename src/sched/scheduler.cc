@@ -5,6 +5,7 @@
 
 #include "scaiev/interface.hh"
 #include "sched/lpsolver.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 
 namespace longnail {
@@ -152,11 +153,14 @@ objectiveWeights(const LongnailProblem &problem)
 } // namespace
 
 std::string
-scheduleOptimal(LongnailProblem &problem)
+scheduleOptimal(LongnailProblem &problem, uint64_t lp_work_limit)
 {
     std::string input_error = problem.checkInput();
     if (!input_error.empty())
         return input_error;
+
+    if (failpoint::fire("sched-optimal") != failpoint::Mode::Off)
+        return "injected fault at failpoint 'sched-optimal'";
 
     DifferenceLP lp(problem.numOperations());
     lp.weights = objectiveWeights(problem);
@@ -188,12 +192,15 @@ scheduleOptimal(LongnailProblem &problem)
         lp.addConstraint(dep.from, dep.to, int(type.latency) + 1);
     }
 
-    LPResult result = solveDifferenceLP(lp);
+    LPResult result = solveDifferenceLP(lp, lp_work_limit);
     if (result.status == LPResult::Status::Infeasible)
         return "no feasible schedule: the interface windows and "
                "dependences are contradictory";
     if (result.status == LPResult::Status::Unbounded)
         return "scheduling LP is unbounded (internal error)";
+    if (result.status == LPResult::Status::BudgetExhausted)
+        return "scheduling budget exhausted after " +
+               std::to_string(result.workUnits) + " LP work units";
 
     for (unsigned i = 0; i < problem.numOperations(); ++i)
         problem.operation(i).startTime = result.values[i];
@@ -202,7 +209,7 @@ scheduleOptimal(LongnailProblem &problem)
 }
 
 std::string
-scheduleAsap(LongnailProblem &problem)
+scheduleAsap(LongnailProblem &problem, bool honor_chain_breakers)
 {
     std::string input_error = problem.checkInput();
     if (!input_error.empty())
@@ -230,8 +237,9 @@ scheduleAsap(LongnailProblem &problem)
         std::vector<int> before = start;
         for (const auto &dep : problem.dependences())
             relax(dep, 0);
-        for (const auto &dep : problem.chainBreakers())
-            relax(dep, 1);
+        if (honor_chain_breakers)
+            for (const auto &dep : problem.chainBreakers())
+                relax(dep, 1);
         changed = before != start;
         if (!changed)
             break;
@@ -247,6 +255,49 @@ scheduleAsap(LongnailProblem &problem)
     }
     problem.computeStartTimesInCycle();
     return "";
+}
+
+const char *
+scheduleQualityName(ScheduleQuality quality)
+{
+    switch (quality) {
+    case ScheduleQuality::Optimal: return "optimal";
+    case ScheduleQuality::Fallback: return "fallback";
+    case ScheduleQuality::FallbackRelaxed: return "fallback-relaxed";
+    }
+    return "?";
+}
+
+ScheduleOutcome
+scheduleWithFallback(LongnailProblem &problem,
+                     const ScheduleBudget &budget)
+{
+    ScheduleOutcome outcome;
+    std::string optimal_error =
+        scheduleOptimal(problem, budget.lpWorkLimit);
+    if (optimal_error.empty())
+        return outcome;
+
+    outcome.fallbackReason = optimal_error;
+    outcome.quality = ScheduleQuality::Fallback;
+    std::string asap_error = scheduleAsap(problem);
+    if (asap_error.empty())
+        return outcome;
+
+    // Last resort: drop the C5 chain breakers. Dependences and
+    // interface windows still hold, so the schedule is architecturally
+    // correct; only the combinational chain length (fmax) may suffer.
+    outcome.quality = ScheduleQuality::FallbackRelaxed;
+    std::string relaxed_error =
+        scheduleAsap(problem, /*honor_chain_breakers=*/false);
+    if (relaxed_error.empty())
+        return outcome;
+
+    outcome.error = "no scheduler in the fallback chain succeeded: "
+                    "optimal: " + optimal_error +
+                    "; asap: " + asap_error +
+                    "; asap-relaxed: " + relaxed_error;
+    return outcome;
 }
 
 } // namespace sched

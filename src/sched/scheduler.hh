@@ -14,6 +14,7 @@
 #ifndef LONGNAIL_SCHED_SCHEDULER_HH
 #define LONGNAIL_SCHED_SCHEDULER_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -60,17 +61,68 @@ void computeChainBreakers(ChainingProblem &problem);
 
 /**
  * Solve the ILP of Fig. 7 exactly (objective: sum of start times plus
- * lifetimes, constraints C1-C5).
+ * lifetimes, constraints C1-C5). @p lp_work_limit bounds the LP
+ * solver's deterministic work counter (0 = unlimited); exhausting it
+ * reports a distinct "budget exhausted" error rather than blocking.
  * @return empty string on success, else the infeasibility reason.
  */
-std::string scheduleOptimal(LongnailProblem &problem);
+std::string scheduleOptimal(LongnailProblem &problem,
+                            uint64_t lp_work_limit = 0);
 
 /**
  * ASAP list-scheduling baseline: every operation starts as early as
- * its window and operands allow.
+ * its window and operands allow. With @p honor_chain_breakers false
+ * the C5 chain-breaking edges are ignored -- the schedule stays
+ * architecturally correct (all dependences and interface windows hold)
+ * but combinational chains may exceed the cycle time, reducing fmax.
  * @return empty string on success, else the infeasibility reason.
  */
-std::string scheduleAsap(LongnailProblem &problem);
+std::string scheduleAsap(LongnailProblem &problem,
+                         bool honor_chain_breakers = true);
+
+/** How a schedule was obtained (fail-soft fallback chain). */
+enum class ScheduleQuality
+{
+    /** Exact Fig. 7 ILP optimum. */
+    Optimal,
+    /** Heuristic ASAP schedule honoring all constraints. */
+    Fallback,
+    /** ASAP schedule with chain breakers (C5) relaxed; correct but
+     * combinational chains may exceed the cycle time. */
+    FallbackRelaxed,
+};
+
+const char *scheduleQualityName(ScheduleQuality quality);
+
+/** Resource budget for the optimal scheduler. */
+struct ScheduleBudget
+{
+    /** Deterministic LP work-unit limit; 0 = unlimited. */
+    uint64_t lpWorkLimit = 0;
+};
+
+/** Result of the scheduler fallback chain. */
+struct ScheduleOutcome
+{
+    ScheduleQuality quality = ScheduleQuality::Optimal;
+    /** Non-empty iff every scheduler in the chain failed. */
+    std::string error;
+    /** Why the optimal scheduler was abandoned (when quality is not
+     * Optimal). */
+    std::string fallbackReason;
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Fail-soft scheduling: try scheduleOptimal() under @p budget; on
+ * infeasibility or budget exhaustion fall back to scheduleAsap(), and
+ * as a last resort retry ASAP with chain breakers relaxed (correctness
+ * preserved, fmax possibly reduced). Only when every step fails does
+ * the outcome carry an error.
+ */
+ScheduleOutcome scheduleWithFallback(LongnailProblem &problem,
+                                     const ScheduleBudget &budget = {});
 
 /**
  * Post-scheduling cleanup: sink zero-delay, zero-latency operations

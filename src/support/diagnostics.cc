@@ -45,6 +45,23 @@ SourceLoc::str() const
     return os.str();
 }
 
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::None: return "none";
+      case Phase::Parse: return "parse";
+      case Phase::Sema: return "sema";
+      case Phase::AstLower: return "astlower";
+      case Phase::Lil: return "lil";
+      case Phase::Sched: return "sched";
+      case Phase::HwGen: return "hwgen";
+      case Phase::Scaiev: return "scaiev";
+      case Phase::Driver: return "driver";
+    }
+    return "none";
+}
+
 std::string
 Diagnostic::str() const
 {
@@ -53,26 +70,87 @@ Diagnostic::str() const
                                                       : "note";
     std::ostringstream os;
     os << loc.str() << ": " << sev << ": " << message;
+    if (!code.empty() || phase != Phase::None) {
+        os << " [";
+        if (!code.empty())
+            os << code;
+        if (phase != Phase::None) {
+            if (!code.empty())
+                os << ", ";
+            os << phaseName(phase);
+        }
+        os << "]";
+    }
     return os.str();
+}
+
+void
+DiagnosticEngine::add(Severity severity, SourceLoc loc, std::string code,
+                      const std::string &msg)
+{
+    if (code.empty())
+        code = defaultCode_;
+    diags_.push_back({severity, loc, msg, std::move(code), phase_});
+    if (severity == Severity::Error)
+        ++numErrors_;
 }
 
 void
 DiagnosticEngine::error(SourceLoc loc, const std::string &msg)
 {
-    diags_.push_back({Severity::Error, loc, msg});
-    ++numErrors_;
+    add(Severity::Error, loc, "", msg);
+}
+
+void
+DiagnosticEngine::error(SourceLoc loc, const std::string &code,
+                        const std::string &msg)
+{
+    add(Severity::Error, loc, code, msg);
 }
 
 void
 DiagnosticEngine::warning(SourceLoc loc, const std::string &msg)
 {
-    diags_.push_back({Severity::Warning, loc, msg});
+    add(Severity::Warning, loc, "", msg);
+}
+
+void
+DiagnosticEngine::warning(SourceLoc loc, const std::string &code,
+                          const std::string &msg)
+{
+    add(Severity::Warning, loc, code, msg);
 }
 
 void
 DiagnosticEngine::note(SourceLoc loc, const std::string &msg)
 {
-    diags_.push_back({Severity::Note, loc, msg});
+    add(Severity::Note, loc, "", msg);
+}
+
+bool
+DiagnosticEngine::hasErrorCode(const std::string &code) const
+{
+    for (const auto &d : diags_)
+        if (d.severity == Severity::Error && d.code == code)
+            return true;
+    return false;
+}
+
+bool
+DiagnosticEngine::hasErrorCodePrefix(const std::string &prefix) const
+{
+    for (const auto &d : diags_)
+        if (d.severity == Severity::Error &&
+            d.code.compare(0, prefix.size(), prefix) == 0)
+            return true;
+    return false;
+}
+
+void
+DiagnosticEngine::setContext(Phase phase, std::string default_code)
+{
+    phase_ = phase;
+    defaultCode_ = std::move(default_code);
 }
 
 std::string

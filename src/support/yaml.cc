@@ -17,6 +17,13 @@ Node::scalar() const
     return scalar_;
 }
 
+std::string
+Node::lineSuffix() const
+{
+    return sourceLine_ > 0 ? " at line " + std::to_string(sourceLine_)
+                           : "";
+}
+
 int64_t
 Node::asInt() const
 {
@@ -28,7 +35,8 @@ Node::asInt() const
             throw std::invalid_argument(s);
         return v;
     } catch (const std::exception &) {
-        throw std::runtime_error("yaml: not an integer: '" + s + "'");
+        throw std::runtime_error("yaml: not an integer: '" + s + "'" +
+                                 lineSuffix());
     }
 }
 
@@ -40,7 +48,8 @@ Node::asBool() const
         return true;
     if (s == "false" || s == "0" || s == "no")
         return false;
-    throw std::runtime_error("yaml: not a boolean: '" + s + "'");
+    throw std::runtime_error("yaml: not a boolean: '" + s + "'" +
+                             lineSuffix());
 }
 
 const std::vector<Node> &
@@ -82,7 +91,8 @@ Node::at(const std::string &key) const
     for (const auto &[k, v] : entries())
         if (k == key)
             return v;
-    throw std::runtime_error("yaml: missing key '" + key + "'");
+    throw std::runtime_error("yaml: missing key '" + key + "'" +
+                             lineSuffix());
 }
 
 void
@@ -197,12 +207,16 @@ struct Line
 {
     int indent;
     std::string text;
+    /** 1-based position in the input document. */
+    int lineNo;
 };
 
 [[noreturn]] void
-parseError(const std::string &msg)
+parseError(const std::string &msg, int line = 0)
 {
-    throw std::runtime_error("yaml: " + msg);
+    throw std::runtime_error(
+        "yaml: " + msg +
+        (line > 0 ? " at line " + std::to_string(line) : ""));
 }
 
 /** Remove a trailing comment that is not inside quotes. */
@@ -223,7 +237,9 @@ std::vector<Line>
 splitLines(const std::string &text)
 {
     std::vector<Line> lines;
+    int line_no = 0;
     for (const std::string &raw : split(text, '\n')) {
+        ++line_no;
         std::string no_comment = stripComment(raw);
         std::string content = trim(no_comment);
         if (content.empty())
@@ -231,7 +247,7 @@ splitLines(const std::string &text)
         int indent = 0;
         while (indent < (int)no_comment.size() && no_comment[indent] == ' ')
             ++indent;
-        lines.push_back({indent, content});
+        lines.push_back({indent, content, line_no});
     }
     return lines;
 }
@@ -240,7 +256,9 @@ splitLines(const std::string &text)
 class FlowParser
 {
   public:
-    explicit FlowParser(const std::string &text) : text_(text) {}
+    explicit FlowParser(const std::string &text, int line_no = 0)
+        : text_(text), lineNo_(line_no)
+    {}
 
     Node
     parseAll()
@@ -249,7 +267,8 @@ class FlowParser
         skipSpace();
         if (pos_ != text_.size())
             parseError("trailing characters in flow value: '" +
-                       text_.substr(pos_) + "'");
+                           text_.substr(pos_) + "'",
+                       lineNo_);
         return n;
     }
 
@@ -264,6 +283,14 @@ class FlowParser
 
     Node
     parseValue()
+    {
+        Node n = parseValueImpl();
+        n.setSourceLine(lineNo_);
+        return n;
+    }
+
+    Node
+    parseValueImpl()
     {
         skipSpace();
         if (pos_ >= text_.size())
@@ -294,7 +321,7 @@ class FlowParser
             out += text_[pos_++];
         }
         if (pos_ >= text_.size())
-            parseError("unterminated string");
+            parseError("unterminated string", lineNo_);
         ++pos_; // consume closing quote
         return out;
     }
@@ -315,13 +342,13 @@ class FlowParser
             while (pos_ < text_.size() && text_[pos_] != ':')
                 ++pos_;
             if (pos_ >= text_.size())
-                parseError("missing ':' in flow mapping");
+                parseError("missing ':' in flow mapping", lineNo_);
             std::string key = trim(text_.substr(key_start, pos_ - key_start));
             ++pos_; // consume ':'
             map.set(key, parseValue());
             skipSpace();
             if (pos_ >= text_.size())
-                parseError("unterminated flow mapping");
+                parseError("unterminated flow mapping", lineNo_);
             if (text_[pos_] == ',') {
                 ++pos_;
                 continue;
@@ -330,7 +357,7 @@ class FlowParser
                 ++pos_;
                 return map;
             }
-            parseError("expected ',' or '}' in flow mapping");
+            parseError("expected ',' or '}' in flow mapping", lineNo_);
         }
     }
 
@@ -348,7 +375,7 @@ class FlowParser
             seq.push(parseValue());
             skipSpace();
             if (pos_ >= text_.size())
-                parseError("unterminated flow sequence");
+                parseError("unterminated flow sequence", lineNo_);
             if (text_[pos_] == ',') {
                 ++pos_;
                 continue;
@@ -357,12 +384,13 @@ class FlowParser
                 ++pos_;
                 return seq;
             }
-            parseError("expected ',' or ']' in flow sequence");
+            parseError("expected ',' or ']' in flow sequence", lineNo_);
         }
     }
 
     const std::string &text_;
     size_t pos_ = 0;
+    int lineNo_;
 };
 
 /** Parser over the line-oriented block structure. */
@@ -380,7 +408,8 @@ class BlockParser
         Node n = parseBlock(lines_[0].indent);
         if (idx_ != lines_.size())
             parseError("inconsistent indentation near '" +
-                       lines_[idx_].text + "'");
+                           lines_[idx_].text + "'",
+                       lines_[idx_].lineNo);
         return n;
     }
 
@@ -397,16 +426,18 @@ class BlockParser
     parseSequence(int indent)
     {
         Node seq = Node::makeSequence();
+        seq.setSourceLine(lines_[idx_].lineNo);
         while (idx_ < lines_.size() && lines_[idx_].indent == indent &&
                lines_[idx_].text[0] == '-') {
             std::string rest = trim(lines_[idx_].text.substr(1));
+            int line_no = lines_[idx_].lineNo;
             ++idx_;
             if (!rest.empty()) {
                 // Inline item, possibly an inline "key: value" mapping.
-                seq.push(parseInlineValue(rest));
+                seq.push(parseInlineValue(rest, line_no));
             } else {
                 if (idx_ >= lines_.size() || lines_[idx_].indent <= indent)
-                    parseError("empty sequence item");
+                    parseError("empty sequence item", line_no);
                 seq.push(parseBlock(lines_[idx_].indent));
             }
         }
@@ -417,15 +448,17 @@ class BlockParser
     parseMapping(int indent)
     {
         Node map = Node::makeMapping();
+        map.setSourceLine(lines_[idx_].lineNo);
         while (idx_ < lines_.size() && lines_[idx_].indent == indent &&
                lines_[idx_].text[0] != '-') {
             const std::string &text = lines_[idx_].text;
-            size_t colon = findKeyColon(text);
+            int line_no = lines_[idx_].lineNo;
+            size_t colon = findKeyColon(text, line_no);
             std::string key = trim(text.substr(0, colon));
             std::string value = trim(text.substr(colon + 1));
             ++idx_;
             if (!value.empty()) {
-                map.set(key, FlowParser(value).parseAll());
+                map.set(key, FlowParser(value, line_no).parseAll());
             } else {
                 if (idx_ < lines_.size() && lines_[idx_].indent > indent)
                     map.set(key, parseBlock(lines_[idx_].indent));
@@ -438,30 +471,35 @@ class BlockParser
 
     /** Inline sequence item: flow value or single-line mapping. */
     Node
-    parseInlineValue(const std::string &text)
+    parseInlineValue(const std::string &text, int line_no)
     {
         if (text[0] == '{' || text[0] == '[' || text[0] == '"')
-            return FlowParser(text).parseAll();
+            return FlowParser(text, line_no).parseAll();
         size_t colon = text.find(": ");
         if (colon != std::string::npos) {
             Node map = Node::makeMapping();
+            map.setSourceLine(line_no);
             map.set(trim(text.substr(0, colon)),
-                    FlowParser(trim(text.substr(colon + 1))).parseAll());
+                    FlowParser(trim(text.substr(colon + 1)), line_no)
+                        .parseAll());
             return map;
         }
-        return Node(trim(text));
+        Node scalar{trim(text)};
+        scalar.setSourceLine(line_no);
+        return scalar;
     }
 
     /** Position of the colon separating key and value. */
     static size_t
-    findKeyColon(const std::string &text)
+    findKeyColon(const std::string &text, int line_no)
     {
         for (size_t i = 0; i < text.size(); ++i) {
             if (text[i] == ':' &&
                 (i + 1 == text.size() || text[i + 1] == ' '))
                 return i;
         }
-        parseError("expected 'key: value' but got '" + text + "'");
+        parseError("expected 'key: value' but got '" + text + "'",
+                   line_no);
     }
 
     std::vector<Line> lines_;

@@ -63,14 +63,22 @@ class Node
     /** Serialize this node as a YAML document. */
     std::string emit() const;
 
+    /** 1-based source line this node was parsed from; 0 when the node
+     * was built programmatically. Carried into error messages so
+     * malformed metadata files point at the offending line. */
+    int sourceLine() const { return sourceLine_; }
+    void setSourceLine(int line) { sourceLine_ = line; }
+
   private:
     void emitNode(std::string &out, int indent, bool in_flow) const;
     static bool needsQuotes(const std::string &s);
+    std::string lineSuffix() const;
 
     Kind kind_;
     std::string scalar_;
     std::vector<Node> items_;
     std::vector<std::pair<std::string, Node>> entries_;
+    int sourceLine_ = 0;
 };
 
 /**

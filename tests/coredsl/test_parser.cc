@@ -280,3 +280,110 @@ TEST(Parser, ErrorGarbageTopLevel)
 {
     EXPECT_TRUE(parseFails("banana"));
 }
+
+// ---------------------------------------------------------------------------
+// Panic-mode error recovery: one run reports multiple diagnostics.
+// ---------------------------------------------------------------------------
+
+TEST(ParserRecovery, ReportsMultipleStatementErrors)
+{
+    // Three independent syntax errors inside one behavior block; the
+    // parser must resynchronize after each and report all of them.
+    const char *src = R"(
+InstructionSet Broken {
+  instructions {
+    foo {
+      encoding: 25'd0 :: 7'b0001011;
+      behavior: {
+        unsigned<32> a = ;
+        unsigned<32> b = 1 +;
+        unsigned<32> c = @;
+        unsigned<32> ok = 1;
+      }
+    }
+  }
+}
+)";
+    DiagnosticEngine diags;
+    parseString(src, diags);
+    EXPECT_GE(diags.errorCount(), 3u) << diags.str();
+}
+
+TEST(ParserRecovery, ReportsErrorsAcrossInstructions)
+{
+    // An error in one instruction must not swallow the next one.
+    const char *src = R"(
+InstructionSet Broken {
+  instructions {
+    foo {
+      encoding: %%;
+      behavior: { }
+    }
+    bar {
+      encoding: 25'd0 :: 7'b0001011;
+      behavior: { unsigned<32> x = ; }
+    }
+  }
+}
+)";
+    DiagnosticEngine diags;
+    parseString(src, diags);
+    EXPECT_GE(diags.errorCount(), 2u) << diags.str();
+}
+
+TEST(ParserRecovery, ReportsErrorsAcrossTopLevelDefs)
+{
+    const char *src = R"(
+InstructionSet A {
+  instructions {
+    foo { encoding: ; behavior: { } }
+  }
+}
+InstructionSet B {
+  architectural_state {
+    register unsigned<32> = R;
+  }
+}
+)";
+    DiagnosticEngine diags;
+    parseString(src, diags);
+    EXPECT_GE(diags.errorCount(), 2u) << diags.str();
+}
+
+TEST(ParserRecovery, ErrorLimitStopsTheCascade)
+{
+    const char *src = R"(
+InstructionSet Broken {
+  instructions {
+    foo {
+      encoding: 25'd0 :: 7'b0001011;
+      behavior: {
+        unsigned<32> a = ;
+        unsigned<32> b = ;
+        unsigned<32> c = ;
+        unsigned<32> d = ;
+      }
+    }
+  }
+}
+)";
+    DiagnosticEngine diags;
+    diags.setErrorLimit(2);
+    parseString(src, diags);
+    EXPECT_EQ(diags.errorCount(), 2u) << diags.str();
+}
+
+TEST(ParserRecovery, DiagnosticsCarryParseCodeAndPhase)
+{
+    DiagnosticEngine diags;
+    parseString("InstructionSet B { instructions {", diags);
+    ASSERT_TRUE(diags.hasErrors());
+    EXPECT_TRUE(diags.hasErrorCodePrefix("LN1")) << diags.str();
+    bool tagged = false;
+    for (const auto &d : diags.all())
+        if (d.severity == Severity::Error && d.phase == Phase::Parse &&
+            d.code == "LN1001")
+            tagged = true;
+    EXPECT_TRUE(tagged) << diags.str();
+    EXPECT_NE(diags.str().find("[LN1001, parse]"), std::string::npos);
+}

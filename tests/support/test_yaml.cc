@@ -157,3 +157,67 @@ TEST(Yaml, BoolScalars)
     EXPECT_TRUE(n.at("a").asBool());
     EXPECT_FALSE(n.at("b").asBool());
 }
+
+// ---------------------------------------------------------------------------
+// Source line numbers in parse and access errors.
+// ---------------------------------------------------------------------------
+
+TEST(YamlLines, NodesRememberTheirSourceLine)
+{
+    Node n = parse("a: 1\nb:\n  c: 2\n");
+    EXPECT_EQ(n.at("a").sourceLine(), 1);
+    EXPECT_EQ(n.at("b").at("c").sourceLine(), 3);
+    // Programmatic nodes have no source line.
+    EXPECT_EQ(Node("x").sourceLine(), 0);
+}
+
+TEST(YamlLines, MissingKeyNamesTheMappingLine)
+{
+    Node n = parse("a: 1\nsub:\n  x: 2\n");
+    try {
+        n.at("sub").at("missing");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("missing key 'missing'"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("at line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(YamlLines, BadScalarConversionNamesItsLine)
+{
+    Node n = parse("count: notanumber\nflag: maybe\n");
+    try {
+        n.at("count").asInt();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("at line 1"),
+                  std::string::npos);
+    }
+    try {
+        n.at("flag").asBool();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("at line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(YamlLines, ParseErrorsNameTheOffendingLine)
+{
+    try {
+        parse("ok: 1\nbroken without colon\n");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("at line 2"),
+                  std::string::npos);
+    }
+    try {
+        parse("a: 1\nbad: {x: 1\n");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("at line 2"),
+                  std::string::npos);
+    }
+}

@@ -11,9 +11,21 @@
  *                        the last definition in the file)
  *     --timing MODE      uniform (paper default) | library
  *     --cycle-time NS    override the target clock period
+ *     --max-errors N     stop reporting after N errors (default:
+ *                        unlimited)
  *     -o DIR             output directory (default: .)
  *     --stdout           print artifacts instead of writing files
  *     --report           print the schedule and ASIC summary
+ *
+ * Exit codes (deterministic, see docs/failure-model.md):
+ *   0  success
+ *   1  usage error
+ *   2  frontend error (parse/sema/lowering, LN1xxx)
+ *   3  scheduling error (LN2xxx)
+ *   4  I/O error (unreadable input, bad datasheet, unwritable output)
+ *
+ * The tool never terminates via an uncaught exception; unexpected
+ * failures are reported and mapped onto the codes above.
  */
 
 #include <cstdio>
@@ -24,17 +36,35 @@
 
 #include "asic/flow.hh"
 #include "driver/longnail.hh"
+#include "support/failpoint.hh"
 
 using namespace longnail;
 
 namespace {
+
+/** Deterministic exit codes. */
+enum ExitCode
+{
+    exitOk = 0,
+    exitUsage = 1,
+    exitFrontend = 2,
+    exitSchedule = 3,
+    exitIo = 4,
+};
+
+/** Thrown to unwind to main() with a specific exit code. */
+struct CliError
+{
+    int code;
+    std::string message;
+};
 
 std::string
 readFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("cannot open '", path, "'");
+        throw CliError{exitIo, "cannot open '" + path + "'"};
     std::ostringstream buffer;
     buffer << in.rdbuf();
     return buffer.str();
@@ -45,28 +75,33 @@ writeFile(const std::string &path, const std::string &contents)
 {
     std::ofstream out(path);
     if (!out)
-        fatal("cannot write '", path, "'");
+        throw CliError{exitIo, "cannot write '" + path + "'"};
     out << contents;
     inform("wrote ", path);
 }
 
-[[noreturn]] void
-usage()
+void
+printUsage()
 {
     std::fprintf(stderr,
                  "usage: longnail [--core NAME] [--datasheet FILE] "
                  "[--target NAME]\n"
                  "                [--timing uniform|library] "
                  "[--cycle-time NS]\n"
-                 "                [-o DIR] [--stdout] [--report] "
-                 "<input.core_desc>\n");
-    std::exit(2);
+                 "                [--max-errors N] [-o DIR] [--stdout] "
+                 "[--report]\n"
+                 "                <input.core_desc>\n");
 }
 
-} // namespace
+[[noreturn]] void
+usage()
+{
+    printUsage();
+    throw CliError{exitUsage, ""};
+}
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     driver::CompileOptions options;
     std::string input, target, out_dir = ".", datasheet_path;
@@ -94,7 +129,17 @@ main(int argc, char **argv)
             else
                 usage();
         } else if (arg == "--cycle-time") {
-            options.cycleTimeNs = std::stod(next());
+            try {
+                options.cycleTimeNs = std::stod(next());
+            } catch (const std::exception &) {
+                usage();
+            }
+        } else if (arg == "--max-errors") {
+            try {
+                options.maxErrors = std::stoul(next());
+            } catch (const std::exception &) {
+                usage();
+            }
         } else if (arg == "-o") {
             out_dir = next();
         } else if (arg == "--stdout") {
@@ -116,11 +161,20 @@ main(int argc, char **argv)
 
     scaiev::Datasheet custom_sheet;
     if (!datasheet_path.empty()) {
+        std::string text = readFile(datasheet_path);
+        DiagnosticEngine sheet_diags;
         try {
-            custom_sheet = scaiev::Datasheet::fromYaml(
-                yaml::parse(readFile(datasheet_path)));
+            auto sheet = scaiev::Datasheet::fromYaml(yaml::parse(text),
+                                                     sheet_diags);
+            if (!sheet)
+                throw CliError{exitIo, "bad datasheet '" +
+                                           datasheet_path + "':\n" +
+                                           sheet_diags.str()};
+            custom_sheet = std::move(*sheet);
         } catch (const std::exception &e) {
-            fatal("bad datasheet: ", e.what());
+            // yaml::parse() reports the offending line itself.
+            throw CliError{exitIo, "bad datasheet '" + datasheet_path +
+                                       "': " + e.what()};
         }
         options.coreName = custom_sheet.coreName;
         options.datasheet = &custom_sheet;
@@ -130,8 +184,14 @@ main(int argc, char **argv)
         driver::compile(readFile(input), target, options);
     if (!compiled.ok()) {
         std::fprintf(stderr, "%s", compiled.errors.c_str());
-        return 1;
+        return compiled.diags.hasErrorCodePrefix("LN2")
+                   ? exitSchedule
+                   : exitFrontend;
     }
+    // Surface fallback-schedule warnings (LN2001) and other advisories.
+    for (const auto &diag : compiled.diags.all())
+        if (diag.severity == Severity::Warning)
+            std::fprintf(stderr, "%s\n", diag.str().c_str());
 
     if (to_stdout) {
         std::printf("%s\n%s", compiled.emitAllVerilog().c_str(),
@@ -151,12 +211,13 @@ main(int argc, char **argv)
         for (const auto &unit : compiled.units) {
             modules.push_back(&unit.module);
             std::printf("  %-16s %s, stages %d..%d, %u pipeline "
-                        "registers, objective %.0f\n",
+                        "registers, objective %.0f, %s schedule\n",
                         unit.name.c_str(),
                         unit.isAlways ? "always" : "instruction",
                         unit.module.firstStage, unit.module.lastStage,
                         unit.module.module.numRegisters(),
-                        unit.objective);
+                        unit.objective,
+                        sched::scheduleQualityName(unit.quality));
             for (const auto &port : unit.module.ports)
                 std::printf("    %-16s stage %2d  %s\n",
                             scaiev::ScheduledUse{
@@ -180,5 +241,27 @@ main(int argc, char **argv)
                     ext.areaUm2, ext.areaOverheadPercent(base),
                     ext.fmaxMhz, ext.freqDeltaPercent(base));
     }
-    return 0;
+    return exitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string arm_error = failpoint::armFromEnv();
+    if (!arm_error.empty()) {
+        std::fprintf(stderr, "error: %s\n", arm_error.c_str());
+        return exitUsage;
+    }
+    try {
+        return run(argc, argv);
+    } catch (const CliError &e) {
+        if (!e.message.empty())
+            std::fprintf(stderr, "error: %s\n", e.message.c_str());
+        return e.code;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return exitIo;
+    }
 }
