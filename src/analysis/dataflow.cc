@@ -1,0 +1,362 @@
+#include "analysis/dataflow.hh"
+
+#include "ir/eval.hh"
+
+namespace longnail {
+namespace analysis {
+
+using ir::ICmpPred;
+using ir::OpKind;
+using ir::Operation;
+using ir::Value;
+
+// --------------------------------------------------------------------
+// ValueRange
+// --------------------------------------------------------------------
+
+uint64_t
+ValueRange::maxFor(unsigned width)
+{
+    // Saturated: for 64+ bit wires UINT64_MAX means "unbounded above".
+    return width >= 64 ? UINT64_MAX : ((uint64_t(1) << width) - 1);
+}
+
+ValueRange
+ValueRange::full(unsigned width)
+{
+    ValueRange r;
+    r.umin = 0;
+    r.umax = maxFor(width);
+    return r;
+}
+
+namespace {
+
+/** True if the raw value fits a uint64 (allowing wide, small values). */
+bool
+fitsUint64(const ApInt &value)
+{
+    for (unsigned bit = 64; bit < value.width(); ++bit)
+        if (value.getBit(bit))
+            return false;
+    return true;
+}
+
+/** a + b, saturating at UINT64_MAX. */
+uint64_t
+satAdd(uint64_t a, uint64_t b)
+{
+    return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+/** An upper bound is only a real bound when it did not saturate. */
+bool
+bounded(uint64_t umax)
+{
+    return umax != UINT64_MAX;
+}
+
+} // namespace
+
+ValueRange
+ValueRange::exact(const ApInt &value)
+{
+    ValueRange r;
+    r.constant = value;
+    if (fitsUint64(value)) {
+        r.umin = r.umax = value.zextOrTrunc(64).toUint64();
+    } else {
+        r.umin = 0;
+        r.umax = UINT64_MAX;
+    }
+    return r;
+}
+
+bool
+ValueRange::operator==(const ValueRange &rhs) const
+{
+    if (constant.has_value() != rhs.constant.has_value())
+        return false;
+    if (constant &&
+        (constant->width() != rhs.constant->width() ||
+         *constant != *rhs.constant))
+        return false;
+    return umin == rhs.umin && umax == rhs.umax;
+}
+
+// --------------------------------------------------------------------
+// RangeLattice
+// --------------------------------------------------------------------
+
+ValueRange
+RangeLattice::top(const Value &value) const
+{
+    return ValueRange::full(value.type.width);
+}
+
+ValueRange
+RangeLattice::join(const ValueRange &a, const ValueRange &b) const
+{
+    if (a.constant && b.constant &&
+        a.constant->width() == b.constant->width() &&
+        *a.constant == *b.constant)
+        return a;
+    ValueRange r;
+    r.umin = std::min(a.umin, b.umin);
+    r.umax = std::max(a.umax, b.umax);
+    return r;
+}
+
+bool
+RangeLattice::equal(const ValueRange &a, const ValueRange &b) const
+{
+    return a == b;
+}
+
+std::optional<bool>
+icmpOutcome(ICmpPred pred, const ValueRange &lhs, const ValueRange &rhs)
+{
+    if (lhs.constant && rhs.constant &&
+        lhs.constant->width() == rhs.constant->width())
+        return ir::applyICmp(pred, *lhs.constant, *rhs.constant);
+
+    // Range reasoning works on unsigned bounds only; saturated upper
+    // bounds (see bounded()) never decide anything.
+    bool disjoint =
+        (bounded(lhs.umax) && lhs.umax < rhs.umin) ||
+        (bounded(rhs.umax) && rhs.umax < lhs.umin);
+    switch (pred) {
+      case ICmpPred::Eq:
+        if (disjoint)
+            return false;
+        return std::nullopt;
+      case ICmpPred::Ne:
+        if (disjoint)
+            return true;
+        return std::nullopt;
+      case ICmpPred::Ult:
+        if (bounded(lhs.umax) && lhs.umax < rhs.umin)
+            return true;
+        if (bounded(rhs.umax) && lhs.umin >= rhs.umax)
+            return false;
+        return std::nullopt;
+      case ICmpPred::Ule:
+        if (bounded(lhs.umax) && lhs.umax <= rhs.umin)
+            return true;
+        if (bounded(rhs.umax) && lhs.umin > rhs.umax)
+            return false;
+        return std::nullopt;
+      case ICmpPred::Ugt:
+        if (bounded(rhs.umax) && lhs.umin > rhs.umax)
+            return true;
+        if (bounded(lhs.umax) && lhs.umax <= rhs.umin)
+            return false;
+        return std::nullopt;
+      case ICmpPred::Uge:
+        if (bounded(rhs.umax) && lhs.umin >= rhs.umax)
+            return true;
+        if (bounded(lhs.umax) && lhs.umax < rhs.umin)
+            return false;
+        return std::nullopt;
+      default:
+        // Signed predicates are only decided for exact constants.
+        return std::nullopt;
+    }
+}
+
+std::vector<ValueRange>
+RangeLattice::transfer(const Operation &op,
+                       const std::vector<ValueRange> &operands) const
+{
+    if (op.numResults() != 1)
+        return {};
+    unsigned rw = op.result()->type.width;
+
+    if (op.kind() == OpKind::HwConstant ||
+        op.kind() == OpKind::CombConstant)
+        return {ValueRange::exact(op.apAttr("value"))};
+
+    // All-constant pure computations fold through the shared evaluator.
+    if (ir::isPureComputation(op.kind()) && op.numOperands() > 0) {
+        bool all_const = true;
+        std::vector<ApInt> values;
+        for (const auto &state : operands) {
+            if (!state.constant) {
+                all_const = false;
+                break;
+            }
+            values.push_back(*state.constant);
+        }
+        if (all_const)
+            if (auto result = ir::evaluate(op, values))
+                return {ValueRange::exact(*result)};
+    }
+
+    ValueRange out = ValueRange::full(rw);
+    auto widthOf = [&](unsigned i) { return op.operand(i)->type.width; };
+
+    switch (op.kind()) {
+      case OpKind::HwAdd:
+      case OpKind::CombAdd: {
+        if (op.numOperands() != 2)
+            break;
+        if (op.kind() == OpKind::HwAdd &&
+            (op.operand(0)->type.isSigned ||
+             op.operand(1)->type.isSigned || op.result()->type.isSigned))
+            break; // sign extension invalidates raw-bit bounds
+        const ValueRange &a = operands[0], &b = operands[1];
+        if (bounded(a.umax) && bounded(b.umax)) {
+            uint64_t smax = satAdd(a.umax, b.umax);
+            // No wrap: the concrete sum always fits the result width.
+            if (bounded(smax) && smax <= ValueRange::maxFor(rw)) {
+                out.umin = satAdd(a.umin, b.umin);
+                out.umax = smax;
+            }
+        }
+        break;
+      }
+      case OpKind::HwMux:
+      case OpKind::CombMux: {
+        if (op.numOperands() != 3)
+            break;
+        const ValueRange &cond = operands[0];
+        if (cond.constant)
+            out = cond.constant->isZero() ? operands[2] : operands[1];
+        else
+            out = join(operands[1], operands[2]);
+        break;
+      }
+      case OpKind::CoredslExtract:
+      case OpKind::CombExtract: {
+        if (op.numOperands() != 1 || !op.hasAttr("lo"))
+            break;
+        const ValueRange &a = operands[0];
+        // Keeping the low bits loses nothing when the value fits.
+        if (op.intAttr("lo") == 0 && bounded(a.umax) &&
+            a.umax <= ValueRange::maxFor(rw)) {
+            out.umin = a.umin;
+            out.umax = a.umax;
+        }
+        break;
+      }
+      case OpKind::CoredslCast: {
+        if (op.numOperands() != 1)
+            break;
+        const ValueRange &a = operands[0];
+        bool widens = rw >= widthOf(0);
+        if (op.operand(0)->type.isSigned && widens)
+            break; // sign extension
+        if (widens || (bounded(a.umax) &&
+                       a.umax <= ValueRange::maxFor(rw))) {
+            out.umin = a.umin;
+            out.umax = a.umax;
+        }
+        break;
+      }
+      case OpKind::CoredslConcat:
+      case OpKind::CombConcat: {
+        if (op.numOperands() != 2 || rw > 64)
+            break;
+        const ValueRange &hi = operands[0], &lo = operands[1];
+        unsigned lo_width = widthOf(1);
+        out.umin = (hi.umin << lo_width) + lo.umin;
+        out.umax = (hi.umax << lo_width) + lo.umax;
+        break;
+      }
+      case OpKind::HwAnd:
+      case OpKind::CombAnd: {
+        if (op.numOperands() != 2)
+            break;
+        const ValueRange &a = operands[0], &b = operands[1];
+        if (a.isConstZero() || b.isConstZero()) {
+            out = ValueRange::exact(ApInt(rw, 0));
+        } else {
+            out.umin = 0;
+            out.umax = std::min(a.umax, b.umax);
+        }
+        break;
+      }
+      case OpKind::HwOr:
+      case OpKind::CombOr:
+      case OpKind::HwXor:
+      case OpKind::CombXor: {
+        if (op.numOperands() != 2)
+            break;
+        const ValueRange &a = operands[0], &b = operands[1];
+        bool is_or =
+            op.kind() == OpKind::HwOr || op.kind() == OpKind::CombOr;
+        out.umin = is_or ? std::max(a.umin, b.umin) : 0;
+        if (bounded(a.umax) && bounded(b.umax))
+            out.umax = std::min(ValueRange::maxFor(rw),
+                                satAdd(a.umax, b.umax));
+        break;
+      }
+      case OpKind::HwICmp:
+      case OpKind::CombICmp: {
+        if (op.numOperands() != 2 || !op.hasAttr("pred"))
+            break;
+        auto pred = ICmpPred(op.intAttr("pred"));
+        if (auto outcome = icmpOutcome(pred, operands[0], operands[1]))
+            out = ValueRange::exact(ApInt(1, *outcome ? 1 : 0));
+        else
+            out = ValueRange::full(1);
+        break;
+      }
+      default:
+        break;
+    }
+    return {out};
+}
+
+std::map<const Value *, ValueRange>
+computeRanges(const ir::Graph &graph)
+{
+    RangeLattice lattice;
+    return ForwardDataflow<ValueRange>(lattice).run(graph);
+}
+
+// --------------------------------------------------------------------
+// InitLattice
+// --------------------------------------------------------------------
+
+InitState
+InitLattice::top(const Value &) const
+{
+    return {false};
+}
+
+InitState
+InitLattice::join(const InitState &a, const InitState &b) const
+{
+    return {a.maybeUninit || b.maybeUninit};
+}
+
+bool
+InitLattice::equal(const InitState &a, const InitState &b) const
+{
+    return a == b;
+}
+
+std::vector<InitState>
+InitLattice::transfer(const Operation &op,
+                      const std::vector<InitState> &operands) const
+{
+    std::vector<InitState> results(op.numResults(), InitState{false});
+    if (results.empty())
+        return results;
+    if (uninitSources_.count(&op)) {
+        for (auto &r : results)
+            r.maybeUninit = true;
+        return results;
+    }
+    // Taint propagates through every data dependence.
+    bool any = false;
+    for (const auto &state : operands)
+        any = any || state.maybeUninit;
+    for (auto &r : results)
+        r.maybeUninit = any;
+    return results;
+}
+
+} // namespace analysis
+} // namespace longnail

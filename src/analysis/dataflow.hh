@@ -1,0 +1,235 @@
+/**
+ * @file
+ * A small forward dataflow engine over behavior graphs, plus the two
+ * lattices the lint checks are built on (docs/static-analysis.md).
+ *
+ * Behaviors are straight-line SSA, so "dataflow" here is a sparse
+ * fixpoint over the SSA value graph: a worklist of operations is
+ * drained, each op's transfer function maps operand states to result
+ * states, and users of changed values are re-queued. Spawn subgraphs
+ * are analyzed together with their enclosing graph (their operands may
+ * reference outer values).
+ *
+ * A lattice plugs in through the Lattice<State> interface: top(),
+ * join(), equal() and the per-op transfer(). States must form a
+ * finite-height semilattice under join for termination.
+ */
+
+#ifndef LONGNAIL_ANALYSIS_DATAFLOW_HH
+#define LONGNAIL_ANALYSIS_DATAFLOW_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ir/ir.hh"
+#include "support/apint.hh"
+
+namespace longnail {
+namespace analysis {
+
+/** The abstract-domain interface of the dataflow engine. */
+template <typename State>
+class Lattice
+{
+  public:
+    virtual ~Lattice() = default;
+
+    /** The initial (most optimistic reachable) state for @p value. */
+    virtual State top(const ir::Value &value) const = 0;
+
+    /** Least upper bound of two states. */
+    virtual State join(const State &a, const State &b) const = 0;
+
+    virtual bool equal(const State &a, const State &b) const = 0;
+
+    /**
+     * Abstractly execute @p op on @p operand_states (one entry per
+     * operand, in order). Must return one state per result.
+     */
+    virtual std::vector<State>
+    transfer(const ir::Operation &op,
+             const std::vector<State> &operand_states) const = 0;
+};
+
+/**
+ * Runs a lattice to fixpoint over one graph (including spawn
+ * subgraphs) and returns the final per-value states.
+ */
+template <typename State>
+class ForwardDataflow
+{
+  public:
+    explicit ForwardDataflow(const Lattice<State> &lattice)
+        : lattice_(lattice)
+    {}
+
+    std::map<const ir::Value *, State>
+    run(const ir::Graph &graph)
+    {
+        ops_.clear();
+        collect(graph);
+
+        // Map each value to the op indices using it, so only affected
+        // transfers re-run after a state change.
+        std::map<const ir::Value *, std::vector<size_t>> users;
+        for (size_t i = 0; i < ops_.size(); ++i)
+            for (const ir::Value *v : ops_[i]->operands())
+                users[v].push_back(i);
+
+        std::map<const ir::Value *, State> states;
+        auto stateOf = [&](const ir::Value *v) -> State {
+            auto it = states.find(v);
+            if (it != states.end())
+                return it->second;
+            return lattice_.top(*v);
+        };
+
+        // Ordered worklist keeps evaluation deterministic. Ops are
+        // seeded in graph order, so the first pass sees operand states
+        // already computed (def-before-use).
+        std::set<size_t> worklist;
+        for (size_t i = 0; i < ops_.size(); ++i)
+            worklist.insert(i);
+
+        while (!worklist.empty()) {
+            size_t idx = *worklist.begin();
+            worklist.erase(worklist.begin());
+            const ir::Operation &op = *ops_[idx];
+
+            std::vector<State> operand_states;
+            operand_states.reserve(op.numOperands());
+            for (const ir::Value *v : op.operands())
+                operand_states.push_back(stateOf(v));
+
+            std::vector<State> results =
+                lattice_.transfer(op, operand_states);
+            for (unsigned r = 0;
+                 r < op.numResults() && r < results.size(); ++r) {
+                const ir::Value *v = op.result(r);
+                State merged = results[r];
+                auto it = states.find(v);
+                if (it != states.end()) {
+                    // Monotone update: never move back up the lattice.
+                    merged = lattice_.join(it->second, merged);
+                    if (lattice_.equal(it->second, merged))
+                        continue;
+                    it->second = merged;
+                } else {
+                    states.emplace(v, merged);
+                }
+                for (size_t user : users[v])
+                    worklist.insert(user);
+            }
+        }
+        return states;
+    }
+
+  private:
+    void
+    collect(const ir::Graph &graph)
+    {
+        for (const auto &op : graph.ops()) {
+            ops_.push_back(op.get());
+            if (op->subgraph())
+                collect(*op->subgraph());
+        }
+    }
+
+    const Lattice<State> &lattice_;
+    std::vector<const ir::Operation *> ops_;
+};
+
+// --------------------------------------------------------------------
+// Constant/range lattice
+// --------------------------------------------------------------------
+
+/**
+ * Abstract value of the constant/range analysis: an optional exact
+ * constant plus unsigned bounds on the raw bits. Bounds are exact for
+ * widths up to 64 and saturate to [0, UINT64_MAX] beyond that.
+ */
+struct ValueRange
+{
+    std::optional<ApInt> constant;
+    uint64_t umin = 0;
+    uint64_t umax = UINT64_MAX;
+
+    /** Saturated maximum raw value of a @p width-bit wire. */
+    static uint64_t maxFor(unsigned width);
+    static ValueRange full(unsigned width);
+    static ValueRange exact(const ApInt &value);
+
+    bool isConstZero() const
+    {
+        return constant && constant->isZero();
+    }
+    bool operator==(const ValueRange &rhs) const;
+};
+
+/** Constant propagation + unsigned range tracking over both levels. */
+class RangeLattice : public Lattice<ValueRange>
+{
+  public:
+    ValueRange top(const ir::Value &value) const override;
+    ValueRange join(const ValueRange &a,
+                    const ValueRange &b) const override;
+    bool equal(const ValueRange &a, const ValueRange &b) const override;
+    std::vector<ValueRange>
+    transfer(const ir::Operation &op,
+             const std::vector<ValueRange> &operands) const override;
+};
+
+/** Convenience: solve the range lattice over @p graph. */
+std::map<const ir::Value *, ValueRange>
+computeRanges(const ir::Graph &graph);
+
+/**
+ * Decide an icmp given operand ranges: returns the comparison outcome
+ * when the ranges prove it, nullopt otherwise. Signed predicates are
+ * only decided for exact constants.
+ */
+std::optional<bool> icmpOutcome(ir::ICmpPred pred, const ValueRange &lhs,
+                                const ValueRange &rhs);
+
+// --------------------------------------------------------------------
+// Definite-initialization lattice
+// --------------------------------------------------------------------
+
+/**
+ * Tracks whether a value may depend on an uninitialized source (e.g.
+ * the read of a never-written custom register). Two-point lattice:
+ * initialized (top) / maybe-uninitialized.
+ */
+struct InitState
+{
+    bool maybeUninit = false;
+
+    bool operator==(const InitState &rhs) const = default;
+};
+
+class InitLattice : public Lattice<InitState>
+{
+  public:
+    /** @p uninit_sources: ops whose results are uninitialized reads. */
+    explicit InitLattice(std::set<const ir::Operation *> uninit_sources)
+        : uninitSources_(std::move(uninit_sources))
+    {}
+
+    InitState top(const ir::Value &value) const override;
+    InitState join(const InitState &a, const InitState &b) const override;
+    bool equal(const InitState &a, const InitState &b) const override;
+    std::vector<InitState>
+    transfer(const ir::Operation &op,
+             const std::vector<InitState> &operands) const override;
+
+  private:
+    std::set<const ir::Operation *> uninitSources_;
+};
+
+} // namespace analysis
+} // namespace longnail
+
+#endif // LONGNAIL_ANALYSIS_DATAFLOW_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The longnail-lint checks: module-level IR verification plus the
+ * dataflow- and catalog-level lint findings (docs/static-analysis.md).
+ *
+ * Findings carry stable LN4xxx codes and flow through the
+ * DiagnosticEngine, so severity is configurable per code
+ * (--Werror=CODE / --no-warn=CODE) and tests can match on codes:
+ *
+ *   LN4001..LN4006  structural verifier violations (errors)
+ *   LN4101  guaranteed bitwidth truncation
+ *   LN4102  always-false condition
+ *   LN4103  read of a never-written custom register
+ *   LN4104  dead LIL node (write whose predicate is always false)
+ *   LN4201  overlapping/ambiguous ISAX instruction encodings
+ *   LN4202  ISAX encoding overlaps an RV32I base instruction
+ *   LN4301  sub-interface not offered by the target core
+ *   LN4302  operation cannot meet its earliest/latest window
+ *   LN4303  write-port arbitration conflict between always-blocks
+ */
+
+#ifndef LONGNAIL_ANALYSIS_LINT_HH
+#define LONGNAIL_ANALYSIS_LINT_HH
+
+#include "hir/hir.hh"
+#include "lil/lil.hh"
+#include "scaiev/datasheet.hh"
+#include "support/diagnostics.hh"
+
+namespace longnail {
+namespace analysis {
+
+/**
+ * Run the structural verifier (analysis/verifier.hh) over every
+ * behavior graph of the module; violations are reported as errors.
+ * @return true when every graph is well-formed.
+ */
+bool verifyHirModule(const hir::HirModule &mod, DiagnosticEngine &diags);
+bool verifyLilModule(const lil::LilModule &mod, DiagnosticEngine &diags);
+
+/**
+ * HIR-level dataflow lints (LN4101, LN4102). Runs on the
+ * pre-canonicalization HIR, where the evidence (e.g. a truncating
+ * cast of a provably large value) has not been folded away yet.
+ */
+void checkHirModule(const hir::HirModule &mod, DiagnosticEngine &diags);
+
+/**
+ * LIL-level dataflow lints (LN4103, LN4104) plus the cross-instruction
+ * checks: encoding overlaps within the ISAX and against the RV32I base
+ * (LN4201, LN4202) and pre-schedule datasheet violations (LN4301,
+ * LN4302, LN4303).
+ */
+void checkLilModule(const lil::LilModule &mod,
+                    const scaiev::Datasheet &sheet,
+                    DiagnosticEngine &diags);
+
+} // namespace analysis
+} // namespace longnail
+
+#endif // LONGNAIL_ANALYSIS_LINT_HH

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "cores/memory.hh"
 
@@ -93,6 +94,21 @@ struct DecodedInstr
 
 /** Decode one instruction word. */
 DecodedInstr decode(uint32_t word);
+
+/**
+ * One base-ISA encoding pattern in mask/match form: a word w is this
+ * instruction iff (w & mask) == match. Used by the encoding lint to
+ * detect ISAX encodings colliding with the RV32I base.
+ */
+struct EncodingPattern
+{
+    const char *name;
+    uint32_t mask;
+    uint32_t match;
+};
+
+/** Mask/match patterns of every RV32I base instruction. */
+const std::vector<EncodingPattern> &rv32iBasePatterns();
 
 /** Architectural state of an RV32I hart. */
 struct ArchState

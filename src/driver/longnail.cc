@@ -1,7 +1,10 @@
 #include "driver/longnail.hh"
 
 #include <algorithm>
+#include <optional>
 
+#include "analysis/lint.hh"
+#include "analysis/verifier.hh"
 #include "driver/isax_catalog.hh"
 #include "hir/transforms.hh"
 #include "rtl/verilog.hh"
@@ -106,6 +109,24 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
     result.hirModule = hir::lowerToHir(*result.isa, diags);
     if (!result.hirModule)
         return;
+
+    // Static-analysis phase, part 1 (docs/static-analysis.md): verify
+    // the freshly lowered HIR and run the HIR-level dataflow lints
+    // before canonicalization folds their evidence away.
+    {
+        DiagnosticEngine::ContextScope scope(diags, Phase::Analysis,
+                                             "LN4001");
+        if (failpoint::fire("analysis") != failpoint::Mode::Off) {
+            diags.error({}, "LN4901",
+                        "injected fault at failpoint 'analysis'");
+            return;
+        }
+        analysis::verifyHirModule(*result.hirModule, diags);
+        analysis::checkHirModule(*result.hirModule, diags);
+        if (diags.hasErrors())
+            return;
+    }
+
     for (auto &instr : result.hirModule->instructions)
         hir::canonicalize(instr->body);
     for (auto &blk : result.hirModule->alwaysBlocks)
@@ -113,6 +134,21 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
 
     result.lilModule = lil::lowerToLil(*result.hirModule, diags);
     if (!result.lilModule)
+        return;
+
+    // Static-analysis phase, part 2: verify the LIL, then run the
+    // LIL-level dataflow lints and the cross-instruction checks
+    // (encoding overlaps, pre-schedule datasheet violations).
+    {
+        DiagnosticEngine::ContextScope scope(diags, Phase::Analysis,
+                                             "LN4001");
+        analysis::verifyLilModule(*result.lilModule, diags);
+        if (!diags.hasErrors())
+            analysis::checkLilModule(*result.lilModule, *sheet, diags);
+        if (diags.hasErrors())
+            return;
+    }
+    if (options.lintOnly)
         return;
 
     // Schedule and generate hardware per functionality.
@@ -217,6 +253,14 @@ compile(const std::string &source, const std::string &target,
     result.coreName = options.coreName;
     DiagnosticEngine diags;
     diags.setErrorLimit(options.maxErrors);
+    diags.setWarningsAsErrors(options.warningsAsErrors);
+    for (const auto &code : options.warningsAsErrorCodes)
+        diags.addWarningAsError(code);
+    for (const auto &code : options.suppressedWarningCodes)
+        diags.addSuppressedWarning(code);
+    std::optional<analysis::ScopedVerifyIr> verify_scope;
+    if (options.verifyIr)
+        verify_scope.emplace(true);
     try {
         compileInto(result, diags, source, target, options);
     } catch (const std::exception &e) {

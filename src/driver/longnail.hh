@@ -47,6 +47,20 @@ struct CompileOptions
     /** Budget for the optimal scheduler; exhausting it falls back to
      * the heuristic scheduler (see docs/failure-model.md). */
     sched::ScheduleBudget schedBudget;
+
+    /** Stop after the static-analysis phase (CLI: --lint); the result
+     * carries the elaborated ISA, HIR/LIL modules and all lint
+     * diagnostics, but no schedule or hardware. */
+    bool lintOnly = false;
+    /** Re-run the IR verifier after every HIR transform, in addition
+     * to the analysis phase (also: LONGNAIL_VERIFY_IR). */
+    bool verifyIr = false;
+    /** Promote all warnings to errors (CLI: --Werror). */
+    bool warningsAsErrors = false;
+    /** Promote only these LN codes to errors (CLI: --Werror=CODE). */
+    std::vector<std::string> warningsAsErrorCodes;
+    /** Drop warnings with these LN codes (CLI: --no-warn=CODE). */
+    std::vector<std::string> suppressedWarningCodes;
 };
 
 /** One synthesized instruction or always-block. */

@@ -387,6 +387,7 @@ class Lowerer
         // Note: emission order follows the map (name) order; the ops are
         // dataflow nodes whose timing is decided by the scheduler.
         for (auto &[name, w] : frame.stateWrites) {
+            target.setDefaultLoc(w.loc);
             if (name == "MEM") {
                 Operation *op = target.append(
                     OpKind::CoredslSetMem, {w.index, w.value, w.pred},
@@ -418,6 +419,7 @@ class Lowerer
     void
     lowerStmt(const Stmt &stmt)
     {
+        g().setDefaultLoc(stmt.loc);
         switch (stmt.kind) {
           case Stmt::Kind::Block: {
             const auto &block = static_cast<const BlockStmt &>(stmt);
@@ -902,6 +904,7 @@ class Lowerer
     Value *
     lowerExpr(const Expr &expr)
     {
+        g().setDefaultLoc(expr.loc);
         // Anything that folds at compile time becomes a constant.
         if (expr.kind != Expr::Kind::Assign &&
             expr.kind != Expr::Kind::Unary) {

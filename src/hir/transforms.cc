@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "analysis/verifier.hh"
 #include "ir/eval.hh"
 
 namespace longnail {
@@ -231,6 +232,7 @@ eliminateDeadCode(Graph &graph)
         if (removed == 0)
             break;
     }
+    analysis::verifyAfterTransform(graph, "eliminateDeadCode");
     return total;
 }
 
@@ -241,6 +243,9 @@ canonicalize(Graph &graph)
     for (int iteration = 0; iteration < 16; ++iteration) {
         std::map<const Value *, ApInt> constants;
         unsigned changed = foldOnce(graph, graph, constants);
+        // eliminateDeadCode verifies the graph (when enabled) at the
+        // end of every iteration, so a corrupting fold is pinned to
+        // the iteration that introduced it.
         changed += eliminateDeadCode(graph);
         total += changed;
         if (changed == 0)

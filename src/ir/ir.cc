@@ -204,6 +204,7 @@ Graph::append(OpKind kind, std::vector<Value *> operands,
         v->id = nextValueId_++;
         op->results_.push_back(std::move(v));
     }
+    op->loc_ = defaultLoc_;
     ops_.push_back(std::move(op));
     return ops_.back().get();
 }

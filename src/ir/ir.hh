@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "support/apint.hh"
+#include "support/diagnostics.hh"
 
 namespace longnail {
 namespace ir {
@@ -181,6 +182,15 @@ class Operation
     Graph *subgraph() const { return subgraph_.get(); }
 
     /**
+     * CoreDSL source position of the construct this operation was
+     * lowered from; invalid when synthesized without one. Lowerers
+     * stamp it via Graph::setDefaultLoc so analyses can point findings
+     * back at the input.
+     */
+    SourceLoc loc() const { return loc_; }
+    void setLoc(SourceLoc loc) { loc_ = loc; }
+
+    /**
      * Rewrite this operation in place into a constant producing
      * @p value; result Value pointers stay valid, so users are
      * unaffected. @p comb_level selects comb.constant vs.
@@ -196,6 +206,7 @@ class Operation
     std::vector<std::unique_ptr<Value>> results_;
     std::map<std::string, Attr> attrs_;
     std::unique_ptr<Graph> subgraph_;
+    SourceLoc loc_;
 };
 
 /**
@@ -216,6 +227,15 @@ class Graph
 
     /** Append a spawn-style op owning a fresh nested graph. */
     Operation *appendWithSubgraph(OpKind kind);
+
+    /**
+     * Source location stamped onto subsequently appended operations.
+     * Lowerers update it as they walk the AST (or the source IR) so
+     * every new op inherits the position of the construct being
+     * lowered.
+     */
+    void setDefaultLoc(SourceLoc loc) { defaultLoc_ = loc; }
+    SourceLoc defaultLoc() const { return defaultLoc_; }
 
     const std::deque<std::unique_ptr<Operation>> &ops() const
     {
@@ -248,6 +268,7 @@ class Graph
     std::string verifyInner(const Graph *outer) const;
 
     std::deque<std::unique_ptr<Operation>> ops_;
+    SourceLoc defaultLoc_;
     static unsigned nextValueId_;
 };
 

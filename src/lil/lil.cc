@@ -97,7 +97,8 @@ class LilLowerer
     [[noreturn]] void
     error(const std::string &msg)
     {
-        diags_.error({}, msg);
+        // Attribute the failure to the HIR op currently being lowered.
+        diags_.error(out_ ? out_->defaultLoc() : SourceLoc{}, msg);
         throw LowerError{};
     }
 
@@ -252,8 +253,12 @@ class LilLowerer
     void
     lowerOps(const Graph &hir_graph, bool in_spawn)
     {
-        for (const auto &op : hir_graph.ops())
+        for (const auto &op : hir_graph.ops()) {
+            // LIL ops inherit the source position of the HIR op they
+            // were lowered from.
+            out_->setDefaultLoc(op->loc());
             lowerOp(*op, in_spawn);
+        }
     }
 
     void
@@ -578,6 +583,7 @@ lowerInstructionToLil(const ElaboratedIsa &isa,
                       const hir::HirInstruction &instr,
                       DiagnosticEngine &diags)
 {
+    DiagnosticEngine::ContextScope scope(diags, Phase::Lil, "LN1004");
     auto out = std::make_unique<LilGraph>();
     out->name = instr.name;
     out->instr = instr.info;
@@ -595,6 +601,7 @@ std::unique_ptr<LilGraph>
 lowerAlwaysToLil(const ElaboratedIsa &isa, const hir::HirAlways &always,
                  DiagnosticEngine &diags)
 {
+    DiagnosticEngine::ContextScope scope(diags, Phase::Lil, "LN1004");
     auto out = std::make_unique<LilGraph>();
     out->name = always.name;
     out->isAlways = true;
@@ -636,13 +643,15 @@ bool
 checkInterfaceUsage(const LilGraph &graph, DiagnosticEngine &diags)
 {
     std::map<std::string, unsigned> uses;
+    std::map<std::string, SourceLoc> first_use;
     for (const auto &op : graph.graph.ops()) {
         if (!ir::isInterfaceOp(op->kind()))
             continue;
         std::string key = op->name();
         if (op->hasAttr("reg"))
             key += ":" + op->strAttr("reg");
-        ++uses[key];
+        if (++uses[key] == 1)
+            first_use[key] = op->loc();
     }
     bool ok = true;
     for (const auto &[key, count] : uses) {
@@ -650,10 +659,11 @@ checkInterfaceUsage(const LilGraph &graph, DiagnosticEngine &diags)
         // port; multiple lil.instr_word ops would still be one port,
         // so only true sub-interface duplicates are errors.
         if (count > 1 && key != "lil.instr_word") {
-            diags.error({}, "'" + graph.name + "' uses sub-interface " +
-                                key + " " + std::to_string(count) +
-                                " times; SCAIE-V allows one use per "
-                                "instruction (Sec. 3.1)");
+            diags.error(first_use[key],
+                        "'" + graph.name + "' uses sub-interface " +
+                            key + " " + std::to_string(count) +
+                            " times; SCAIE-V allows one use per "
+                            "instruction (Sec. 3.1)");
             ok = false;
         }
     }

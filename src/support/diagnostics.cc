@@ -53,6 +53,7 @@ phaseName(Phase phase)
       case Phase::Parse: return "parse";
       case Phase::Sema: return "sema";
       case Phase::AstLower: return "astlower";
+      case Phase::Analysis: return "analysis";
       case Phase::Lil: return "lil";
       case Phase::Sched: return "sched";
       case Phase::HwGen: return "hwgen";
@@ -90,6 +91,12 @@ DiagnosticEngine::add(Severity severity, SourceLoc loc, std::string code,
 {
     if (code.empty())
         code = defaultCode_;
+    if (severity == Severity::Warning) {
+        if (suppressed_.count(code))
+            return;
+        if (werrorAll_ || werrorCodes_.count(code))
+            severity = Severity::Error;
+    }
     diags_.push_back({severity, loc, msg, std::move(code), phase_});
     if (severity == Severity::Error)
         ++numErrors_;

@@ -12,6 +12,8 @@
  *   LN1xxx  frontend (parse, sema, AST lowering, LIL lowering)
  *   LN2xxx  scheduling
  *   LN3xxx  hardware generation / SCAIE-V metadata
+ *   LN4xxx  static analysis (IR verifier, dataflow lint, encoding and
+ *           datasheet checks; see docs/static-analysis.md)
  *
  * Codes ending in 9xx are reserved for injected faults from the
  * support/failpoint facility.
@@ -20,6 +22,7 @@
 #ifndef LONGNAIL_SUPPORT_DIAGNOSTICS_HH
 #define LONGNAIL_SUPPORT_DIAGNOSTICS_HH
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,6 +50,7 @@ enum class Phase
     Parse,
     Sema,
     AstLower,
+    Analysis,
     Lil,
     Sched,
     HwGen,
@@ -111,6 +115,22 @@ class DiagnosticEngine
         return errorLimit_ > 0 && numErrors_ >= errorLimit_;
     }
 
+    /**
+     * Warning-severity policy, applied centrally in add():
+     * suppressed codes are dropped, warnings-as-errors (globally or
+     * per code) are promoted to errors before they are recorded. The
+     * CLI exposes these as --no-warn=CODE and --Werror[=CODE].
+     */
+    void setWarningsAsErrors(bool enable) { werrorAll_ = enable; }
+    void addWarningAsError(const std::string &code)
+    {
+        werrorCodes_.insert(code);
+    }
+    void addSuppressedWarning(const std::string &code)
+    {
+        suppressed_.insert(code);
+    }
+
     /** Current phase/default-code context (see ContextScope). */
     void setContext(Phase phase, std::string default_code);
     Phase phase() const { return phase_; }
@@ -150,6 +170,9 @@ class DiagnosticEngine
     size_t errorLimit_ = 0;
     Phase phase_ = Phase::None;
     std::string defaultCode_;
+    bool werrorAll_ = false;
+    std::set<std::string> werrorCodes_;
+    std::set<std::string> suppressed_;
 };
 
 } // namespace longnail

@@ -3,8 +3,8 @@
  * Deterministic fault-injection points for the compile pipeline.
  *
  * A failpoint is a named site in the code (one per phase boundary:
- * "parse", "sema", "astlower", "lil", "sched", "sched-optimal",
- * "hwgen", "scaiev-config") that is normally inert. Tests or operators
+ * "parse", "sema", "astlower", "analysis", "lil", "sched",
+ * "sched-optimal", "hwgen", "scaiev-config") that is normally inert. Tests or operators
  * arm it programmatically (arm()) or through the environment:
  *
  *   LONGNAIL_FAILPOINTS="sema=fail;sched=transient:2"

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Golden-diagnostic tests for the longnail-lint checks: every LN4xxx
+ * finding family is exercised with an intentional-bug fixture, and the
+ * whole shipped ISAX catalog is asserted lint-clean with the IR
+ * verifier enabled after every transform.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/verifier.hh"
+#include "driver/isax_catalog.hh"
+#include "driver/longnail.hh"
+#include "scaiev/datasheet.hh"
+#include "support/failpoint.hh"
+
+using namespace longnail;
+using namespace longnail::driver;
+
+namespace {
+
+std::string
+readFixture(const std::string &name)
+{
+    std::string path = std::string(LN_ANALYSIS_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open fixture " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** All diagnostics with @p code, as (line, severity) pairs. */
+std::vector<std::pair<int, Severity>>
+findingsWithCode(const CompiledIsax &compiled, const std::string &code)
+{
+    std::vector<std::pair<int, Severity>> out;
+    for (const auto &diag : compiled.diags.all())
+        if (diag.code == code)
+            out.push_back({diag.loc.line, diag.severity});
+    return out;
+}
+
+bool
+hasWarningAtLine(const CompiledIsax &compiled, const std::string &code,
+                 int line)
+{
+    for (const auto &[l, sev] : findingsWithCode(compiled, code))
+        if (l == line && sev == Severity::Warning)
+            return true;
+    return false;
+}
+
+size_t
+lintWarningCount(const CompiledIsax &compiled)
+{
+    size_t n = 0;
+    for (const auto &diag : compiled.diags.all())
+        if (diag.severity == Severity::Warning &&
+            diag.code.rfind("LN4", 0) == 0)
+            ++n;
+    return n;
+}
+
+CompileOptions
+lintOptions()
+{
+    CompileOptions options;
+    options.lintOnly = true;
+    return options;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Golden diagnostics from the intentional-bug fixture
+// ---------------------------------------------------------------------------
+
+TEST(Lint, FixtureReportsAllFindingFamiliesAtTheRightLines)
+{
+    std::string source = readFixture("lint_bugs.core_desc");
+    CompiledIsax compiled = compile(source, "lint_bugs", lintOptions());
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+
+    // Guaranteed truncation: (unsigned<8>)(uimm + 256), line 19.
+    EXPECT_TRUE(hasWarningAtLine(compiled, "LN4101", 19))
+        << compiled.diags.str();
+    // Always-false condition: 5-bit uimm > 40, line 28.
+    EXPECT_TRUE(hasWarningAtLine(compiled, "LN4102", 28))
+        << compiled.diags.str();
+    // Dead LIL write under the always-false predicate, line 28.
+    EXPECT_TRUE(hasWarningAtLine(compiled, "LN4104", 28))
+        << compiled.diags.str();
+    // Read of the never-written custom register STALE, line 37.
+    EXPECT_TRUE(hasWarningAtLine(compiled, "LN4103", 37))
+        << compiled.diags.str();
+    // ISAX-internal encoding overlap, reported at overlap_b (line 48).
+    EXPECT_TRUE(hasWarningAtLine(compiled, "LN4201", 48))
+        << compiled.diags.str();
+    // Overlap with the RV32I base ADD, reported at base_clash (line 56).
+    EXPECT_TRUE(hasWarningAtLine(compiled, "LN4202", 56))
+        << compiled.diags.str();
+
+    // The codes are distinct and none was promoted to an error.
+    EXPECT_FALSE(compiled.diags.hasErrorCodePrefix("LN4"));
+}
+
+TEST(Lint, WerrorPromotesFindingsAndFailsTheCompile)
+{
+    std::string source = readFixture("lint_bugs.core_desc");
+    CompileOptions options = lintOptions();
+    options.warningsAsErrors = true;
+    CompiledIsax compiled = compile(source, "lint_bugs", options);
+    EXPECT_FALSE(compiled.ok());
+    EXPECT_TRUE(compiled.diags.hasErrorCodePrefix("LN4"))
+        << compiled.errors;
+}
+
+TEST(Lint, PerCodeWerrorPromotesOnlyThatCode)
+{
+    std::string source = readFixture("lint_bugs.core_desc");
+    CompileOptions options = lintOptions();
+    options.warningsAsErrorCodes.push_back("LN4201");
+    CompiledIsax compiled = compile(source, "lint_bugs", options);
+    EXPECT_FALSE(compiled.ok());
+    EXPECT_TRUE(compiled.diags.hasErrorCode("LN4201"));
+    EXPECT_FALSE(compiled.diags.hasErrorCode("LN4101"));
+}
+
+TEST(Lint, SuppressedCodesAreDropped)
+{
+    std::string source = readFixture("lint_bugs.core_desc");
+    CompileOptions options = lintOptions();
+    options.suppressedWarningCodes.push_back("LN4102");
+    CompiledIsax compiled = compile(source, "lint_bugs", options);
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+    EXPECT_TRUE(findingsWithCode(compiled, "LN4102").empty());
+    EXPECT_FALSE(findingsWithCode(compiled, "LN4101").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Datasheet checks (LN43xx) with a doctored virtual datasheet
+// ---------------------------------------------------------------------------
+
+TEST(Lint, MissingSubInterfaceIsReported)
+{
+    const catalog::IsaxEntry *zol = catalog::findIsax("zol");
+    ASSERT_NE(zol, nullptr);
+
+    scaiev::Datasheet sheet = scaiev::Datasheet::forCore("VexRiscv");
+    sheet.timings.erase(scaiev::SubInterface::WrPC);
+
+    CompileOptions options = lintOptions();
+    options.datasheet = &sheet;
+    CompiledIsax compiled = compile(zol->source, zol->target, options);
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+    EXPECT_FALSE(findingsWithCode(compiled, "LN4301").empty())
+        << compiled.diags.str();
+}
+
+TEST(Lint, InfeasibleWindowIsReportedPreSchedule)
+{
+    const catalog::IsaxEntry *zol = catalog::findIsax("zol");
+    ASSERT_NE(zol, nullptr);
+
+    // The zol always-block computes the next PC from custom registers.
+    // If reading them takes 10 cycles but the PC port closes at
+    // stage 1, no schedule can exist; the lint proves it without
+    // running the scheduler.
+    scaiev::Datasheet sheet = scaiev::Datasheet::forCore("VexRiscv");
+    sheet.timings[scaiev::SubInterface::RdCustReg].latency = 10;
+    sheet.timings[scaiev::SubInterface::WrPC].latest = 1;
+
+    CompileOptions options = lintOptions();
+    options.datasheet = &sheet;
+    CompiledIsax compiled = compile(zol->source, zol->target, options);
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+    EXPECT_FALSE(findingsWithCode(compiled, "LN4302").empty())
+        << compiled.diags.str();
+}
+
+TEST(Lint, AlwaysBlockWritePortConflictIsReported)
+{
+    const char *source = R"(
+import "RV32I.core_desc"
+
+InstructionSet dual_always extends RV32I {
+    architectural_state {
+        register unsigned<32> TICKS;
+    }
+    instructions {
+        read_ticks {
+            encoding: 12'd0 :: 5'b00000 :: 3'b110 :: rd[4:0]
+                      :: 7'b0001011;
+            behavior: {
+                X[rd] = TICKS;
+            }
+        }
+    }
+    always {
+        tick_a {
+            TICKS = (unsigned<32>)(TICKS + 1);
+        }
+        tick_b {
+            TICKS = (unsigned<32>)(TICKS + 2);
+        }
+    }
+}
+)";
+    CompiledIsax compiled = compile(source, "dual_always",
+                                    lintOptions());
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+    EXPECT_FALSE(findingsWithCode(compiled, "LN4303").empty())
+        << compiled.diags.str();
+}
+
+// ---------------------------------------------------------------------------
+// Catalog-wide cleanliness + always-on verifier
+// ---------------------------------------------------------------------------
+
+TEST(Lint, WholeCatalogIsLintCleanOnAllCores)
+{
+    analysis::ScopedVerifyIr verify(true);
+    for (const auto &entry : catalog::allIsaxes()) {
+        for (const std::string &core : scaiev::Datasheet::knownCores()) {
+            CompileOptions options = lintOptions();
+            options.coreName = core;
+            options.warningsAsErrors = true;
+            CompiledIsax compiled =
+                compile(entry.source, entry.target, options);
+            EXPECT_TRUE(compiled.ok())
+                << entry.name << " on " << core << ":\n"
+                << compiled.errors;
+            EXPECT_EQ(lintWarningCount(compiled), 0u)
+                << entry.name << " on " << core;
+        }
+    }
+}
+
+TEST(Lint, VerifierPassesAfterEveryTransformOnFullCompiles)
+{
+    // Full pipeline (not lint-only): eliminateDeadCode re-verifies the
+    // graph after every canonicalization iteration at both the HIR and
+    // LIL levels.
+    analysis::ScopedVerifyIr verify(true);
+    for (const auto &entry : catalog::allIsaxes()) {
+        CompiledIsax compiled = compileCatalogIsax(entry.name);
+        EXPECT_TRUE(compiled.ok())
+            << entry.name << ":\n" << compiled.errors;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis phase failpoint
+// ---------------------------------------------------------------------------
+
+TEST(Lint, AnalysisFailpointYieldsTaggedDiagnostic)
+{
+    failpoint::Scoped scoped("analysis", failpoint::Mode::Fail);
+    CompiledIsax compiled = compileCatalogIsax("dotp");
+    EXPECT_FALSE(compiled.ok());
+    EXPECT_TRUE(compiled.diags.hasErrorCode("LN4901"))
+        << compiled.errors;
+    bool tagged = false;
+    for (const auto &diag : compiled.diags.all())
+        if (diag.code == "LN4901" && diag.phase == Phase::Analysis)
+            tagged = true;
+    EXPECT_TRUE(tagged);
+}
+
+TEST(Lint, LintOnlyStopsBeforeScheduling)
+{
+    // An armed sched failpoint never fires in lint-only mode.
+    failpoint::Scoped scoped("sched", failpoint::Mode::Fail);
+    const catalog::IsaxEntry *dotp = catalog::findIsax("dotp");
+    ASSERT_NE(dotp, nullptr);
+    CompiledIsax compiled = compile(dotp->source, dotp->target,
+                                    lintOptions());
+    EXPECT_TRUE(compiled.ok()) << compiled.errors;
+    EXPECT_TRUE(compiled.units.empty());
+    EXPECT_NE(compiled.lilModule, nullptr);
+}

@@ -78,6 +78,7 @@ INSTANTIATE_TEST_SUITE_P(
         PhaseFault{"parse", "LN1901", Phase::Parse},
         PhaseFault{"sema", "LN1902", Phase::Sema},
         PhaseFault{"astlower", "LN1903", Phase::AstLower},
+        PhaseFault{"analysis", "LN4901", Phase::Analysis},
         PhaseFault{"lil", "LN1904", Phase::Lil},
         PhaseFault{"sched", "LN2901", Phase::Sched},
         PhaseFault{"hwgen", "LN3901", Phase::HwGen},

@@ -16,6 +16,11 @@
  *     -o DIR             output directory (default: .)
  *     --stdout           print artifacts instead of writing files
  *     --report           print the schedule and ASIC summary
+ *     --lint             stop after static analysis; print findings
+ *     --verify-ir        re-verify the IR after every transform
+ *     --Werror[=CODE]    promote all warnings (or one LN code) to
+ *                        errors
+ *     --no-warn=CODE     suppress warnings with the given LN code
  *
  * Exit codes (deterministic, see docs/failure-model.md):
  *   0  success
@@ -23,6 +28,7 @@
  *   2  frontend error (parse/sema/lowering, LN1xxx)
  *   3  scheduling error (LN2xxx)
  *   4  I/O error (unreadable input, bad datasheet, unwritable output)
+ *   5  lint error (static analysis, LN4xxx)
  *
  * The tool never terminates via an uncaught exception; unexpected
  * failures are reported and mapped onto the codes above.
@@ -50,6 +56,7 @@ enum ExitCode
     exitFrontend = 2,
     exitSchedule = 3,
     exitIo = 4,
+    exitLint = 5,
 };
 
 /** Thrown to unwind to main() with a specific exit code. */
@@ -90,6 +97,8 @@ printUsage()
                  "[--cycle-time NS]\n"
                  "                [--max-errors N] [-o DIR] [--stdout] "
                  "[--report]\n"
+                 "                [--lint] [--verify-ir] "
+                 "[--Werror[=CODE]] [--no-warn=CODE]\n"
                  "                <input.core_desc>\n");
 }
 
@@ -146,6 +155,18 @@ run(int argc, char **argv)
             to_stdout = true;
         } else if (arg == "--report") {
             report = true;
+        } else if (arg == "--lint") {
+            options.lintOnly = true;
+        } else if (arg == "--verify-ir") {
+            options.verifyIr = true;
+        } else if (arg == "--Werror") {
+            options.warningsAsErrors = true;
+        } else if (arg.rfind("--Werror=", 0) == 0) {
+            options.warningsAsErrorCodes.push_back(
+                arg.substr(std::strlen("--Werror=")));
+        } else if (arg.rfind("--no-warn=", 0) == 0) {
+            options.suppressedWarningCodes.push_back(
+                arg.substr(std::strlen("--no-warn=")));
         } else if (arg == "--help" || arg == "-h") {
             usage();
         } else if (!arg.empty() && arg[0] == '-') {
@@ -184,14 +205,27 @@ run(int argc, char **argv)
         driver::compile(readFile(input), target, options);
     if (!compiled.ok()) {
         std::fprintf(stderr, "%s", compiled.errors.c_str());
+        if (compiled.diags.hasErrorCodePrefix("LN4"))
+            return exitLint;
         return compiled.diags.hasErrorCodePrefix("LN2")
                    ? exitSchedule
                    : exitFrontend;
     }
-    // Surface fallback-schedule warnings (LN2001) and other advisories.
+    // Surface fallback-schedule warnings (LN2001), lint findings
+    // (LN4xxx) and other advisories.
+    size_t warnings = 0;
     for (const auto &diag : compiled.diags.all())
-        if (diag.severity == Severity::Warning)
+        if (diag.severity == Severity::Warning) {
+            ++warnings;
             std::fprintf(stderr, "%s\n", diag.str().c_str());
+        }
+
+    if (options.lintOnly) {
+        std::printf("%s: lint ok (%zu warning%s)\n",
+                    compiled.name.c_str(), warnings,
+                    warnings == 1 ? "" : "s");
+        return exitOk;
+    }
 
     if (to_stdout) {
         std::printf("%s\n%s", compiled.emitAllVerilog().c_str(),
