@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "asic/flow.hh"
+#include "bench/report.hh"
 #include "driver/isax_catalog.hh"
 #include "driver/longnail.hh"
 
@@ -66,6 +67,7 @@ main()
                 "makespan uni/lib", "pipe bits uni/lib",
                 "fmax MHz uni/lib");
 
+    bench::ReportWriter report("ablation");
     for (const char *isax : {"dotp", "sparkle", "sqrt_tightly",
                              "autoinc"}) {
         for (const std::string &core :
@@ -79,6 +81,13 @@ main()
                             core.c_str());
                 continue;
             }
+            std::string point = std::string(isax) + "/" + core;
+            report.add(point + "/uniform", "makespan", uni.makespan,
+                       "stages");
+            report.add(point + "/library", "makespan", lib.makespan,
+                       "stages");
+            report.add(point + "/uniform", "fmax", uni.fmax, "MHz");
+            report.add(point + "/library", "fmax", lib.fmax, "MHz");
             std::printf("%-14s %-10s | %7d / %7d | %8u / %8u | "
                         "%9.0f / %9.0f\n",
                         isax, core.c_str(), uni.makespan, lib.makespan,

@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_report.hh"
 #include "driver/longnail.hh"
 
 using namespace longnail;
@@ -39,4 +40,4 @@ BENCHMARK_CAPTURE(compileBench, sqrt_tightly_PicoRV32, "sqrt_tightly",
 BENCHMARK_CAPTURE(compileBench, autoinc_zol_VexRiscv, "autoinc_zol",
                   "VexRiscv");
 
-BENCHMARK_MAIN();
+LONGNAIL_BENCHMARK_MAIN("compile_time")

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench/report.hh"
 #include "driver/isax_catalog.hh"
 #include "driver/longnail.hh"
 #include "rtl/verilog.hh"
@@ -122,6 +123,7 @@ main()
                 "VexRiscv windows)\n\n");
     std::printf("%9s %12s %10s %10s %9s\n", "cycle", "instr_word",
                 "read_rs1", "comb.add", "write_rd");
+    bench::ReportWriter report("fig6");
     for (double cycle : {5.0, 4.0, 3.6, 3.5, 3.0, 2.5}) {
         Fig6Instance f = makeInstance(cycle);
         computeChainBreakers(f.problem);
@@ -134,6 +136,9 @@ main()
         auto t = [&](unsigned op) {
             return *f.problem.operation(op).startTime;
         };
+        char point[32];
+        std::snprintf(point, sizeof(point), "addi/%.1fns", cycle);
+        report.add(point, "write_rd_start", t(f.wr), "step");
         std::printf("%8.1fns %12d %10d %10d %9d%s\n", cycle, t(f.instr),
                     t(f.rs1), t(f.add), t(f.wr),
                     cycle == 3.5 && t(f.wr) == 3

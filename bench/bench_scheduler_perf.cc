@@ -10,6 +10,7 @@
 #include <memory>
 #include <random>
 
+#include "bench/gbench_report.hh"
 #include "coredsl/sema.hh"
 #include "driver/isax_catalog.hh"
 #include "hir/astlower.hh"
@@ -98,4 +99,4 @@ BENCHMARK_CAPTURE(scheduleIsaxBench, sqrt_ilp, "sqrt_tightly", true);
 BENCHMARK_CAPTURE(scheduleIsaxBench, sqrt_asap, "sqrt_tightly", false);
 BENCHMARK(BM_IlpSyntheticDag)->Arg(100)->Arg(400)->Arg(1600);
 
-BENCHMARK_MAIN();
+LONGNAIL_BENCHMARK_MAIN("scheduler_perf")

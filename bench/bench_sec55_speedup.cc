@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "asic/flow.hh"
+#include "bench/report.hh"
 #include "driver/longnail.hh"
 
 using namespace longnail;
@@ -149,6 +150,11 @@ main()
     std::printf("asymptotic speedup: %.2fx (paper: %.2fx)\n", ba / ia,
                 18.0 / 11.0);
 
+    bench::ReportWriter report("sec55");
+    report.add("baseline", "cycles_per_element", ba, "cycles");
+    report.add("autoinc_zol", "cycles_per_element", ia, "cycles");
+    report.add("autoinc_zol", "asymptotic_speedup", ba / ia, "ratio");
+
     // Area cost of the speedup (the paper quotes ~16% for ~60% gain).
     std::vector<const hwgen::GeneratedModule *> modules;
     for (const auto &unit : compiled.units)
@@ -161,5 +167,7 @@ main()
                 "%+.0f%%\n",
                 ext.areaOverheadPercent(base),
                 ext.freqDeltaPercent(base));
+    report.add("autoinc_zol", "area_overhead",
+               ext.areaOverheadPercent(base), "percent");
     return 0;
 }

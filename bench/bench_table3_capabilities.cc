@@ -11,6 +11,7 @@
 #include <set>
 #include <string>
 
+#include "bench/report.hh"
 #include "driver/isax_catalog.hh"
 #include "driver/longnail.hh"
 
@@ -22,6 +23,7 @@ using scaiev::SubInterface;
 int
 main()
 {
+    bench::ReportWriter report("table3");
     std::printf("Table 3: benchmark ISAXes and demonstrated "
                 "capabilities (derived from compiled artifacts)\n\n");
     std::printf("%-15s %-6s %-4s %-4s %-4s %-4s %-7s %-6s %-7s %-30s\n",
@@ -73,6 +75,7 @@ main()
             mode_text += (mode_text.empty() ? "" : ",") + m;
         if (mode_text.empty())
             mode_text = "-";
+        report.add(entry.name, "instructions", instrs, "count");
         std::printf("%-15s %-6u %-4s %-4s %-4s %-4s %-7s %-6s %-7s "
                     "%.30s\n",
                     entry.name.c_str(), instrs, mem ? "yes" : "-",
@@ -97,6 +100,8 @@ main()
             int makespan = 0;
             for (const auto &unit : compiled.units)
                 makespan = std::max(makespan, unit.makespan);
+            report.add(entry.name + "/" + core, "makespan", makespan,
+                       "stages");
             std::printf(" %10d", makespan);
         }
         std::printf("\n");

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "asic/flow.hh"
+#include "bench/report.hh"
 #include "driver/longnail.hh"
 
 using namespace longnail;
@@ -78,6 +79,7 @@ const std::map<std::string,
 int
 main()
 {
+    bench::ReportWriter report("table4");
     const std::vector<std::string> cores = scaiev::Datasheet::knownCores();
 
     std::printf("Table 4: ASIC area and frequency overheads of ISAXes "
@@ -125,6 +127,9 @@ main()
 
             double area = ext.areaOverheadPercent(base);
             double freq = ext.freqDeltaPercent(base);
+            std::string point = row.label + "/" + core;
+            report.add(point, "area_overhead", area, "percent");
+            report.add(point, "freq_delta", freq, "percent");
             auto paper = paperValues.at(row.label).at(core);
             std::printf(" | %+4.0f%%(%+3d) %+4.0f%%(%+3d)", area,
                         paper.first, freq, paper.second);

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Glue between google-benchmark and bench/report.hh: a ConsoleReporter
+ * that mirrors every finished run into a ReportWriter, and a
+ * LONGNAIL_BENCHMARK_MAIN replacement for BENCHMARK_MAIN() that
+ * installs it. The console output is unchanged; the records land in
+ * BENCH_<name>.json (or $LONGNAIL_BENCH_REPORT).
+ */
+
+#ifndef LONGNAIL_BENCH_GBENCH_REPORT_HH
+#define LONGNAIL_BENCH_GBENCH_REPORT_HH
+
+#include <benchmark/benchmark.h>
+
+#include "bench/report.hh"
+
+namespace longnail {
+namespace bench {
+
+/** Console reporter that also records each run as a bench Record. */
+class ReportingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit ReportingReporter(ReportWriter &writer)
+        : writer_(writer)
+    {}
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            writer_.add(run.benchmark_name(), "real_time",
+                        run.GetAdjustedRealTime(),
+                        benchmark::GetTimeUnitString(run.time_unit));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    ReportWriter &writer_;
+};
+
+} // namespace bench
+} // namespace longnail
+
+/** BENCHMARK_MAIN(), plus JSON-Lines record emission. */
+#define LONGNAIL_BENCHMARK_MAIN(bench_name)                             \
+    int main(int argc, char **argv)                                     \
+    {                                                                   \
+        ::benchmark::Initialize(&argc, argv);                           \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))       \
+            return 1;                                                   \
+        ::longnail::bench::ReportWriter writer(bench_name);             \
+        ::longnail::bench::ReportingReporter reporter(writer);          \
+        ::benchmark::RunSpecifiedBenchmarks(&reporter);                 \
+        return 0;                                                       \
+    }
+
+#endif // LONGNAIL_BENCH_GBENCH_REPORT_HH

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "coredsl/parser.hh"
+#include "obs/obs.hh"
 #include "support/failpoint.hh"
 #include "support/logging.hh"
 
@@ -311,8 +312,12 @@ class Analyzer
         auto isa = std::make_unique<ElaboratedIsa>();
         isa_ = isa.get();
 
-        auto desc = std::make_unique<Description>(
-            parseString(source, diags_));
+        std::unique_ptr<Description> desc;
+        {
+            obs::TraceSpan span("parse");
+            desc = std::make_unique<Description>(
+                parseString(source, diags_));
+        }
         if (diags_.hasErrors())
             return nullptr;
         if (failpoint::fire("sema") != failpoint::Mode::Off) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
 #include "support/logging.hh"
 
 namespace longnail {
@@ -768,6 +769,7 @@ Core::stepCycle()
 
     if (globalStall_ > 0) {
         --globalStall_;
+        ++stallCycles_;
         stepIsaxExecs(/*force_hold_attached=*/true);
         runAlwaysUnits();
         return !halted_;
@@ -792,6 +794,8 @@ Core::stepCycle()
     // before moving the slots so stage-s inputs are sampled in stage s.
     stepIsaxExecs(/*force_hold_attached=*/false);
 
+    if (stallFetch_ || stallDecode_)
+        ++stallCycles_;
     advancePipeline();
     runAlwaysUnits();
     return !halted_;
@@ -800,6 +804,8 @@ Core::stepCycle()
 RunStats
 Core::run(uint64_t max_cycles)
 {
+    uint64_t retired_before = retired_;
+    uint64_t stalls_before = stallCycles_;
     RunStats stats;
     while (!halted_ && stats.cycles < max_cycles) {
         stepCycle();
@@ -815,7 +821,11 @@ Core::run(uint64_t max_cycles)
         ++stats.cycles;
     }
     stats.instructions = retired_;
+    stats.stallCycles = stallCycles_;
     stats.halted = halted_;
+    obs::count("core.cycles", stats.cycles);
+    obs::count("core.instructions_retired", retired_ - retired_before);
+    obs::count("core.stall_cycles", stallCycles_ - stalls_before);
     return stats;
 }
 

@@ -65,7 +65,16 @@ struct RunStats
 {
     uint64_t cycles = 0;
     uint64_t instructions = 0;
+    /** Cycles (since core construction) in which the pipeline front
+     * end was held back: a global tightly-coupled/commit stall, or a
+     * fetch/decode stall from hazards and bus waits. */
+    uint64_t stallCycles = 0;
     bool halted = false;
+
+    double ipc() const
+    {
+        return cycles ? double(instructions) / double(cycles) : 0.0;
+    }
 };
 
 /** Extra timing knobs beyond the datasheet. */
@@ -200,6 +209,7 @@ class Core
     uint64_t nextSeq_ = 1;
     uint64_t cycle_ = 0;
     uint64_t retired_ = 0;
+    uint64_t stallCycles_ = 0;
     bool halted_ = false;
     /** Extra full-pipeline stall cycles (tightly-coupled / commit). */
     unsigned globalStall_ = 0;

@@ -1,12 +1,16 @@
 #include "driver/longnail.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 
 #include "analysis/lint.hh"
 #include "analysis/verifier.hh"
 #include "driver/isax_catalog.hh"
 #include "hir/transforms.hh"
+#include "ir/ir.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
 #include "rtl/verilog.hh"
 #include "support/failpoint.hh"
 #include "support/logging.hh"
@@ -19,6 +23,110 @@ using coredsl::InstrInfo;
 using coredsl::StateInfo;
 using scaiev::Datasheet;
 using scaiev::SubInterface;
+
+// ---------------------------------------------------------------------------
+// PhaseReport
+// ---------------------------------------------------------------------------
+
+double
+PhaseReport::totalWallMs() const
+{
+    double total = 0.0;
+    for (const Entry &entry : phases)
+        total += entry.wallMs;
+    return total;
+}
+
+const PhaseReport::Entry *
+PhaseReport::findPhase(const std::string &name) const
+{
+    for (const Entry &entry : phases)
+        if (entry.name == name)
+            return &entry;
+    return nullptr;
+}
+
+void
+PhaseReport::addTime(const std::string &name, double ms)
+{
+    for (Entry &entry : phases) {
+        if (entry.name == name) {
+            entry.wallMs += ms;
+            return;
+        }
+    }
+    phases.push_back({name, ms});
+}
+
+namespace {
+
+/**
+ * Times one pipeline phase into a PhaseReport entry and, when obs is
+ * enabled, opens a trace span and records the per-phase wall-time
+ * histogram plus the peak-RSS gauge for the phase.
+ */
+class PhaseTimer
+{
+  public:
+    PhaseTimer(PhaseReport &report, std::string name)
+        : report_(report), name_(std::move(name)), span_(name_),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    ~PhaseTimer()
+    {
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+        report_.addTime(name_, ms);
+        if (obs::enabled()) {
+            obs::observe(("phase." + name_ + ".ms").c_str(), ms);
+            obs::gaugeMax(("rss.peak_kb." + name_).c_str(),
+                          double(obs::peakRssKb()));
+        }
+    }
+
+    PhaseTimer(const PhaseTimer &) = delete;
+    PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+    obs::TraceSpan &span() { return span_; }
+
+  private:
+    PhaseReport &report_;
+    std::string name_;
+    obs::TraceSpan span_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Dialect prefix of an operation name ("lil.read_rs1" -> "lil"). */
+std::string
+dialectOf(ir::OpKind kind)
+{
+    std::string name = ir::opKindName(kind);
+    size_t dot = name.find('.');
+    return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+/** Count top-level ops of @p graph into @p total / @p by_dialect and
+ * (when obs is enabled) the per-dialect counter family
+ * "<counter_prefix>.<dialect>". */
+void
+countIrOps(const ir::Graph &graph, size_t &total,
+           std::map<std::string, size_t> &by_dialect,
+           const char *counter_prefix)
+{
+    bool obs_on = obs::enabled();
+    for (const auto &op : graph.ops()) {
+        ++total;
+        std::string dialect = dialectOf(op->kind());
+        if (obs_on)
+            obs::count(
+                (std::string(counter_prefix) + "." + dialect).c_str());
+        ++by_dialect[std::move(dialect)];
+    }
+}
+
+} // namespace
 
 const CompiledUnit *
 CompiledIsax::findUnit(const std::string &unit_name) const
@@ -71,6 +179,17 @@ CompiledIsax::makeBundle() const
 
 namespace {
 
+/** Inverse of sched::scheduleQualityName() for the worst-of compare. */
+sched::ScheduleQuality
+worstQuality(const std::string &name)
+{
+    if (name == "fallback-relaxed")
+        return sched::ScheduleQuality::FallbackRelaxed;
+    if (name == "fallback")
+        return sched::ScheduleQuality::Fallback;
+    return sched::ScheduleQuality::Optimal;
+}
+
 /**
  * The Fig. 9 flow; returns early on the first failing phase, leaving
  * the failure in @p diags. Split out of compile() so every exit path
@@ -97,23 +216,36 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
         }
     }
 
-    coredsl::SemaOptions sema_options;
-    sema_options.baseSetName = options.baseSetName;
-    coredsl::Sema sema(diags, coredsl::builtinSourceProvider(),
-                       sema_options);
-    result.isa = sema.analyze(source, target);
+    {
+        PhaseTimer timer(result.report, "sema");
+        coredsl::SemaOptions sema_options;
+        sema_options.baseSetName = options.baseSetName;
+        coredsl::Sema sema(diags, coredsl::builtinSourceProvider(),
+                           sema_options);
+        result.isa = sema.analyze(source, target);
+    }
     if (!result.isa)
         return;
     result.name = result.isa->name;
 
-    result.hirModule = hir::lowerToHir(*result.isa, diags);
+    {
+        PhaseTimer timer(result.report, "astlower");
+        result.hirModule = hir::lowerToHir(*result.isa, diags);
+    }
     if (!result.hirModule)
         return;
+    for (const auto &instr : result.hirModule->instructions)
+        countIrOps(instr->body, result.report.hirOps,
+                   result.report.hirOpsByDialect, "ir.nodes.hir");
+    for (const auto &blk : result.hirModule->alwaysBlocks)
+        countIrOps(blk->body, result.report.hirOps,
+                   result.report.hirOpsByDialect, "ir.nodes.hir");
 
     // Static-analysis phase, part 1 (docs/static-analysis.md): verify
     // the freshly lowered HIR and run the HIR-level dataflow lints
     // before canonicalization folds their evidence away.
     {
+        PhaseTimer timer(result.report, "analysis");
         DiagnosticEngine::ContextScope scope(diags, Phase::Analysis,
                                              "LN4001");
         if (failpoint::fire("analysis") != failpoint::Mode::Off) {
@@ -127,19 +259,29 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
             return;
     }
 
-    for (auto &instr : result.hirModule->instructions)
-        hir::canonicalize(instr->body);
-    for (auto &blk : result.hirModule->alwaysBlocks)
-        hir::canonicalize(blk->body);
+    {
+        PhaseTimer timer(result.report, "canonicalize");
+        for (auto &instr : result.hirModule->instructions)
+            hir::canonicalize(instr->body);
+        for (auto &blk : result.hirModule->alwaysBlocks)
+            hir::canonicalize(blk->body);
+    }
 
-    result.lilModule = lil::lowerToLil(*result.hirModule, diags);
+    {
+        PhaseTimer timer(result.report, "lil");
+        result.lilModule = lil::lowerToLil(*result.hirModule, diags);
+    }
     if (!result.lilModule)
         return;
+    for (const auto &graph : result.lilModule->graphs)
+        countIrOps(graph->graph, result.report.lilOps,
+                   result.report.lilOpsByDialect, "ir.nodes.lil");
 
     // Static-analysis phase, part 2: verify the LIL, then run the
     // LIL-level dataflow lints and the cross-instruction checks
     // (encoding overlaps, pre-schedule datasheet violations).
     {
+        PhaseTimer timer(result.report, "analysis");
         DiagnosticEngine::ContextScope scope(diags, Phase::Analysis,
                                              "LN4001");
         analysis::verifyLilModule(*result.lilModule, diags);
@@ -159,24 +301,30 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
     for (const auto &graph : result.lilModule->graphs) {
         DiagnosticEngine::ContextScope sched_scope(diags, Phase::Sched,
                                                    "LN2001");
-        if (failpoint::fire("sched") != failpoint::Mode::Off) {
-            diags.error({}, "LN2901",
-                        "injected fault at failpoint 'sched'");
-            return;
+        sched::ScheduleOutcome outcome;
+        sched::BuiltProblem built;
+        {
+            PhaseTimer timer(result.report, "sched");
+            timer.span().arg("graph", graph->name);
+            if (failpoint::fire("sched") != failpoint::Mode::Off) {
+                diags.error({}, "LN2901",
+                            "injected fault at failpoint 'sched'");
+                return;
+            }
+            built = sched::buildProblem(*graph, *sheet, tech,
+                                        options.cycleTimeNs);
+            sched::computeChainBreakers(built.problem);
+            outcome = sched::scheduleWithFallback(built.problem,
+                                                  options.schedBudget);
         }
-        sched::BuiltProblem built =
-            sched::buildProblem(*graph, *sheet, tech,
-                                options.cycleTimeNs);
-        sched::computeChainBreakers(built.problem);
-        sched::ScheduleOutcome outcome =
-            sched::scheduleWithFallback(built.problem,
-                                        options.schedBudget);
+        result.report.lpWorkUnits += outcome.lpWorkUnits;
         if (!outcome.ok()) {
             diags.error({}, "LN2002", graph->name + ": " +
                                           outcome.error);
             return;
         }
-        if (outcome.quality != sched::ScheduleQuality::Optimal)
+        if (outcome.quality != sched::ScheduleQuality::Optimal) {
+            ++result.report.fallbackEvents;
             diags.warning({}, "LN2001",
                           graph->name +
                               ": optimal scheduler unavailable (" +
@@ -184,6 +332,16 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
                               sched::scheduleQualityName(
                                   outcome.quality) +
                               " schedule");
+        }
+        // Record the worst quality across units as the compile's
+        // chosen scheduler (satellite of ISSUE 3: the fallback chain
+        // outcome must be programmatically observable).
+        const char *quality_name =
+            sched::scheduleQualityName(outcome.quality);
+        if (result.report.chosenScheduler.empty() ||
+            int(outcome.quality) >
+                int(worstQuality(result.report.chosenScheduler)))
+            result.report.chosenScheduler = quality_name;
         sched::sinkZeroDelayOps(built.problem);
         std::string verify_err = built.problem.verify();
         // Chains whose single-operation delay exceeds the cycle time
@@ -204,31 +362,40 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
         unit.objective = built.problem.objectiveValue();
         unit.quality = outcome.quality;
         unit.fallbackReason = outcome.fallbackReason;
+        unit.lpWorkUnits = outcome.lpWorkUnits;
 
         DiagnosticEngine::ContextScope hwgen_scope(diags, Phase::HwGen,
                                                    "LN3001");
-        if (failpoint::fire("hwgen") != failpoint::Mode::Off) {
-            diags.error({}, "LN3901",
-                        "injected fault at failpoint 'hwgen'");
-            return;
+        {
+            PhaseTimer timer(result.report, "hwgen");
+            timer.span().arg("graph", graph->name);
+            if (failpoint::fire("hwgen") != failpoint::Mode::Off) {
+                diags.error({}, "LN3901",
+                            "injected fault at failpoint 'hwgen'");
+                return;
+            }
+            unit.module = hwgen::generateModule(*graph, built, *sheet,
+                                                *result.isa);
+            unit.systemVerilog = rtl::emitVerilog(unit.module.module);
         }
-        unit.module = hwgen::generateModule(*graph, built, *sheet,
-                                            *result.isa);
-        unit.systemVerilog = rtl::emitVerilog(unit.module.module);
 
         DiagnosticEngine::ContextScope cfg_scope(diags, Phase::Scaiev,
                                                  "LN3002");
-        if (failpoint::fire("scaiev-config") != failpoint::Mode::Off) {
-            diags.error({}, "LN3902",
-                        "injected fault at failpoint 'scaiev-config'");
-            return;
+        {
+            PhaseTimer timer(result.report, "scaiev-config");
+            if (failpoint::fire("scaiev-config") !=
+                failpoint::Mode::Off) {
+                diags.error({}, "LN3902", "injected fault at "
+                                          "failpoint 'scaiev-config'");
+                return;
+            }
+            scaiev::ConfigFunctionality fn;
+            fn.name = graph->name;
+            fn.isAlways = graph->isAlways;
+            fn.mask = graph->maskString;
+            fn.schedule = hwgen::scheduleEntries(unit.module);
+            result.config.functionality.push_back(std::move(fn));
         }
-        scaiev::ConfigFunctionality fn;
-        fn.name = graph->name;
-        fn.isAlways = graph->isAlways;
-        fn.mask = graph->maskString;
-        fn.schedule = hwgen::scheduleEntries(unit.module);
-        result.config.functionality.push_back(std::move(fn));
 
         result.units.push_back(std::move(unit));
     }
@@ -261,13 +428,39 @@ compile(const std::string &source, const std::string &target,
     std::optional<analysis::ScopedVerifyIr> verify_scope;
     if (options.verifyIr)
         verify_scope.emplace(true);
-    try {
-        compileInto(result, diags, source, target, options);
-    } catch (const std::exception &e) {
-        DiagnosticEngine::ContextScope scope(diags, Phase::Driver,
-                                             "LN3009");
-        diags.error({}, "LN3009",
-                    std::string("internal error: ") + e.what());
+    // Counter snapshot before/after: the compile's own delta lands in
+    // report.counters (only when obs is on; compiles stay zero-cost
+    // otherwise).
+    std::map<std::string, uint64_t> counters_before;
+    if (obs::enabled())
+        counters_before = obs::Registry::instance().counters();
+    {
+        obs::TraceSpan compile_span("compile");
+        compile_span.arg("core", options.coreName);
+        try {
+            compileInto(result, diags, source, target, options);
+        } catch (const std::exception &e) {
+            DiagnosticEngine::ContextScope scope(diags, Phase::Driver,
+                                                 "LN3009");
+            diags.error({}, "LN3009",
+                        std::string("internal error: ") + e.what());
+        }
+        compile_span.arg("isax", result.name);
+        compile_span.arg("status",
+                         diags.hasErrors() ? "error" : "ok");
+    }
+    if (obs::enabled()) {
+        obs::count("driver.compiles");
+        if (diags.hasErrors())
+            obs::count("driver.compile_errors");
+        for (const auto &[name, value] :
+             obs::Registry::instance().counters()) {
+            auto it = counters_before.find(name);
+            uint64_t before = it == counters_before.end() ? 0
+                                                          : it->second;
+            if (value > before)
+                result.report.counters[name] = value - before;
+        }
     }
     if (diags.hasErrors())
         result.errors = diags.str();
@@ -592,6 +785,7 @@ GoldenModel::run(uint64_t max_steps)
         // may override the next PC (ZOL semantics).
         runAlwaysBlocks(pc_before);
     }
+    obs::count("golden.instructions_retired", steps);
     return steps;
 }
 

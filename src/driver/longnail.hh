@@ -10,6 +10,8 @@
 #ifndef LONGNAIL_DRIVER_LONGNAIL_HH
 #define LONGNAIL_DRIVER_LONGNAIL_HH
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,6 +65,53 @@ struct CompileOptions
     std::vector<std::string> suppressedWarningCodes;
 };
 
+/**
+ * Structured per-compile observability (docs/observability.md): phase
+ * wall times, IR sizes and the scheduler outcome. Always populated by
+ * compile() -- the bookkeeping is a handful of clock reads -- so
+ * library users and tests can assert on it without enabling the global
+ * obs instrumentation. The `counters` snapshot is the one field that
+ * additionally requires obs::enabled().
+ */
+struct PhaseReport
+{
+    /** Wall time of one pipeline phase (merged across per-unit loop
+     * iterations for sched/hwgen/scaiev-config). */
+    struct Entry
+    {
+        std::string name;
+        double wallMs = 0.0;
+    };
+    /** Phases in pipeline order (Fig. 9). */
+    std::vector<Entry> phases;
+
+    /** Top-level IR operation counts after lowering. */
+    size_t hirOps = 0;
+    size_t lilOps = 0;
+    /** The same, keyed by dialect ("coredsl", "hwarith", "comb",
+     * "lil"). */
+    std::map<std::string, size_t> hirOpsByDialect;
+    std::map<std::string, size_t> lilOpsByDialect;
+
+    /** Worst schedule quality across units ("optimal", "fallback",
+     * "fallback-relaxed"; empty before scheduling ran). */
+    std::string chosenScheduler;
+    /** Total LP work units the optimal scheduler consumed (its budget
+     * consumption across all units). */
+    uint64_t lpWorkUnits = 0;
+    /** Times the scheduler fallback chain degraded one step. */
+    unsigned fallbackEvents = 0;
+
+    /** Delta of the global obs counter registry over this compile;
+     * empty unless obs::enabled() was set. */
+    std::map<std::string, uint64_t> counters;
+
+    double totalWallMs() const;
+    const Entry *findPhase(const std::string &name) const;
+    /** Merge @p ms into the entry for @p name (appending if new). */
+    void addTime(const std::string &name, double ms);
+};
+
 /** One synthesized instruction or always-block. */
 struct CompiledUnit
 {
@@ -78,6 +127,9 @@ struct CompiledUnit
     sched::ScheduleQuality quality = sched::ScheduleQuality::Optimal;
     /** Why the optimal scheduler was abandoned (non-Optimal quality). */
     std::string fallbackReason;
+    /** LP work units the optimal-scheduler attempt consumed for this
+     * unit (budget consumption, also on a failed attempt). */
+    uint64_t lpWorkUnits = 0;
 };
 
 /** The complete result of compiling one ISAX for one core. */
@@ -100,6 +152,8 @@ struct CompiledIsax
     std::unique_ptr<lil::LilModule> lilModule;
     std::vector<CompiledUnit> units;
     scaiev::ScaievConfig config;
+    /** Phase timings, IR sizes and scheduler outcome of this compile. */
+    PhaseReport report;
 
     bool ok() const { return errors.empty(); }
     const CompiledUnit *findUnit(const std::string &unit_name) const;

@@ -3,6 +3,8 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
 #include "support/logging.hh"
 
 namespace longnail {
@@ -72,17 +74,30 @@ class Generator
         result.name = graph_.name;
         result.isAlways = graph_.isAlways;
 
-        computeStageRange(result);
-        createStallInputs(result);
+        {
+            obs::TraceSpan span("hwgen.stages");
+            computeStageRange(result);
+            createStallInputs(result);
+        }
 
-        for (const auto &op : graph_.graph.ops())
-            emitOp(*op, result);
+        {
+            obs::TraceSpan span("hwgen.netlist");
+            for (const auto &op : graph_.graph.ops())
+                emitOp(*op, result);
+        }
 
         result.module = std::move(out_);
-        std::string err = result.module.verify();
-        if (!err.empty())
-            LN_PANIC("generated module for ", graph_.name,
-                     " is invalid: ", err);
+        {
+            obs::TraceSpan span("hwgen.verify");
+            std::string err = result.module.verify();
+            if (!err.empty())
+                LN_PANIC("generated module for ", graph_.name,
+                         " is invalid: ", err);
+        }
+        obs::count("hwgen.modules");
+        obs::count("hwgen.pipeline_registers",
+                   result.module.numRegisters());
+        obs::count("hwgen.interface_ports", result.ports.size());
         return result;
     }
 

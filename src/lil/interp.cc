@@ -3,6 +3,7 @@
 #include <map>
 
 #include "ir/eval.hh"
+#include "obs/metrics.hh"
 #include "support/logging.hh"
 
 namespace longnail {
@@ -16,6 +17,11 @@ InterpResult
 interpret(const LilGraph &graph, const InterpInput &input)
 {
     InterpResult result;
+    // Retired-graph/op counters for the Sec. 5.5 case study: one
+    // interpret() call is one retired ISAX instruction (or one
+    // always-block evaluation) in the golden model.
+    obs::count("interp.graphs_executed");
+    obs::count("interp.ops_evaluated", graph.graph.ops().size());
     std::map<const Value *, ApInt> values;
     std::map<std::string, ApInt> pending_cust_index;
 

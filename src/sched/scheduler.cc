@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
 #include "scaiev/interface.hh"
 #include "sched/lpsolver.hh"
 #include "support/failpoint.hh"
@@ -153,8 +155,11 @@ objectiveWeights(const LongnailProblem &problem)
 } // namespace
 
 std::string
-scheduleOptimal(LongnailProblem &problem, uint64_t lp_work_limit)
+scheduleOptimal(LongnailProblem &problem, uint64_t lp_work_limit,
+                uint64_t *work_units_out)
 {
+    if (work_units_out)
+        *work_units_out = 0;
     std::string input_error = problem.checkInput();
     if (!input_error.empty())
         return input_error;
@@ -193,6 +198,14 @@ scheduleOptimal(LongnailProblem &problem, uint64_t lp_work_limit)
     }
 
     LPResult result = solveDifferenceLP(lp, lp_work_limit);
+    if (work_units_out)
+        *work_units_out = result.workUnits;
+    // LP "iterations" are the solver's deterministic work units (queue
+    // pops / edge relaxations); see src/sched/lpsolver.hh.
+    obs::count("sched.lp_solves");
+    obs::count("sched.lp_iterations", result.workUnits);
+    obs::observe("sched.lp_iterations_per_solve",
+                 double(result.workUnits));
     if (result.status == LPResult::Status::Infeasible)
         return "no feasible schedule: the interface windows and "
                "dependences are contradictory";
@@ -273,26 +286,58 @@ scheduleWithFallback(LongnailProblem &problem,
                      const ScheduleBudget &budget)
 {
     ScheduleOutcome outcome;
-    std::string optimal_error =
-        scheduleOptimal(problem, budget.lpWorkLimit);
-    if (optimal_error.empty())
+    // Register the fallback counter even when no fallback fires so a
+    // --stats dump always reports it (zero is a result, not absence).
+    obs::count("sched.fallback_events", 0);
+    std::string optimal_error;
+    {
+        obs::TraceSpan span("sched.optimal");
+        optimal_error = scheduleOptimal(problem, budget.lpWorkLimit,
+                                        &outcome.lpWorkUnits);
+        span.arg("status", optimal_error.empty() ? "ok"
+                                                 : optimal_error);
+    }
+    obs::count("sched.budget_consumed", outcome.lpWorkUnits);
+    if (optimal_error.empty()) {
+        obs::count("sched.quality.optimal");
         return outcome;
+    }
 
+    // The fallback chain fires: make each step observable (the chain
+    // used to degrade silently; see ISSUE 3).
+    obs::count("sched.fallback_events");
     outcome.fallbackReason = optimal_error;
     outcome.quality = ScheduleQuality::Fallback;
-    std::string asap_error = scheduleAsap(problem);
-    if (asap_error.empty())
+    std::string asap_error;
+    {
+        obs::TraceSpan span("sched.fallback.asap");
+        asap_error = scheduleAsap(problem);
+        span.arg("status", asap_error.empty() ? "ok" : asap_error);
+    }
+    if (asap_error.empty()) {
+        obs::count("sched.quality.fallback");
         return outcome;
+    }
 
     // Last resort: drop the C5 chain breakers. Dependences and
     // interface windows still hold, so the schedule is architecturally
     // correct; only the combinational chain length (fmax) may suffer.
+    obs::count("sched.fallback_events");
     outcome.quality = ScheduleQuality::FallbackRelaxed;
-    std::string relaxed_error =
-        scheduleAsap(problem, /*honor_chain_breakers=*/false);
-    if (relaxed_error.empty())
+    std::string relaxed_error;
+    {
+        obs::TraceSpan span("sched.fallback.asap-relaxed");
+        relaxed_error =
+            scheduleAsap(problem, /*honor_chain_breakers=*/false);
+        span.arg("status",
+                 relaxed_error.empty() ? "ok" : relaxed_error);
+    }
+    if (relaxed_error.empty()) {
+        obs::count("sched.quality.fallback-relaxed");
         return outcome;
+    }
 
+    obs::count("sched.chain_exhausted");
     outcome.error = "no scheduler in the fallback chain succeeded: "
                     "optimal: " + optimal_error +
                     "; asap: " + asap_error +

@@ -64,10 +64,13 @@ void computeChainBreakers(ChainingProblem &problem);
  * lifetimes, constraints C1-C5). @p lp_work_limit bounds the LP
  * solver's deterministic work counter (0 = unlimited); exhausting it
  * reports a distinct "budget exhausted" error rather than blocking.
+ * @p work_units_out, when non-null, receives the LP work actually
+ * spent (even on failure), for budget observability.
  * @return empty string on success, else the infeasibility reason.
  */
 std::string scheduleOptimal(LongnailProblem &problem,
-                            uint64_t lp_work_limit = 0);
+                            uint64_t lp_work_limit = 0,
+                            uint64_t *work_units_out = nullptr);
 
 /**
  * ASAP list-scheduling baseline: every operation starts as early as
@@ -110,6 +113,9 @@ struct ScheduleOutcome
     /** Why the optimal scheduler was abandoned (when quality is not
      * Optimal). */
     std::string fallbackReason;
+    /** Deterministic LP work units the optimal attempt consumed (its
+     * budget consumption, whether or not it succeeded). */
+    uint64_t lpWorkUnits = 0;
 
     bool ok() const { return error.empty(); }
 };

@@ -1,11 +1,33 @@
 #include "support/diagnostics.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <sstream>
 
+#include "obs/metrics.hh"
+
 namespace longnail {
 
+namespace {
+std::atomic<bool> quietFlag{false};
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+quiet()
+{
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
 namespace detail {
+
+// All four sinks write to stderr only: stdout stays reserved for
+// machine-readable artifacts (see logging.hh).
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
@@ -24,12 +46,16 @@ fatalImpl(const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    if (quiet())
+        return;
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    if (quiet())
+        return;
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
@@ -96,6 +122,11 @@ DiagnosticEngine::add(Severity severity, SourceLoc loc, std::string code,
             return;
         if (werrorAll_ || werrorCodes_.count(code))
             severity = Severity::Error;
+    }
+    switch (severity) {
+      case Severity::Error: obs::count("diag.errors"); break;
+      case Severity::Warning: obs::count("diag.warnings"); break;
+      case Severity::Note: obs::count("diag.notes"); break;
     }
     diags_.push_back({severity, loc, msg, std::move(code), phase_});
     if (severity == Severity::Error)

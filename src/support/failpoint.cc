@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 
+#include "obs/metrics.hh"
 #include "support/strings.hh"
 
 namespace longnail {
@@ -127,12 +128,14 @@ fire(const char *name)
       case Mode::Off:
         return Mode::Off;
       case Mode::Fail:
+        obs::count("failpoint.trips");
         return Mode::Fail;
       case Mode::Transient:
         if (site.transientCount == 0)
             return Mode::Off;
         --site.transientCount;
         r.transientFired = true;
+        obs::count("failpoint.trips");
         return Mode::Transient;
     }
     return Mode::Off;

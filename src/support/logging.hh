@@ -3,6 +3,12 @@
  * Status/error reporting helpers, following the gem5 convention:
  * panic() for internal invariant violations (a Longnail bug), fatal() for
  * unrecoverable user errors, warn()/inform() for advisory output.
+ *
+ * All advisory output (warn/inform, and panic/fatal messages) goes to
+ * stderr, never stdout: stdout is reserved for machine-readable
+ * artifacts (--stdout Verilog, --stats=- metric tables, reports), so
+ * pipelines can consume it without filtering. setQuiet(true) (CLI:
+ * --quiet) additionally suppresses warn()/inform() entirely.
  */
 
 #ifndef LONGNAIL_SUPPORT_LOGGING_HH
@@ -35,6 +41,13 @@ void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
 } // namespace detail
+
+/**
+ * Suppress warn()/inform() advisory output (CLI: --quiet). Errors
+ * (panic/fatal and structured diagnostics) are never suppressed.
+ */
+void setQuiet(bool quiet);
+bool quiet();
 
 /**
  * Abort with a message. Use for conditions that indicate a bug in

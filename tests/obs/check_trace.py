@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Validate a longnail --trace-json output file (ctest cli_trace_stats).
+
+Checks that the file is well-formed Chrome trace-event JSON and that
+every pipeline phase of Fig. 9 contributed at least one complete ("X")
+span, properly nested inside the top-level compile span.
+"""
+
+import json
+import sys
+
+REQUIRED_PHASES = [
+    "parse",
+    "sema",
+    "astlower",
+    "analysis",
+    "canonicalize",
+    "lil",
+    "sched",
+    "hwgen",
+    "scaiev-config",
+    "compile",
+]
+
+
+def main():
+    path = sys.argv[1]
+    with open(path) as f:
+        doc = json.load(f)
+
+    events = doc["traceEvents"]
+    if not events:
+        sys.exit("no trace events recorded")
+
+    by_name = {}
+    for event in events:
+        if event["ph"] != "X":
+            sys.exit("unexpected event phase %r" % event["ph"])
+        if event["dur"] < 0:
+            sys.exit("negative duration in span %r" % event["name"])
+        by_name.setdefault(event["name"], []).append(event)
+
+    for phase in REQUIRED_PHASES:
+        if phase not in by_name:
+            sys.exit("missing span for phase %r (have: %s)"
+                     % (phase, sorted(by_name)))
+
+    # Every phase span must nest inside the enclosing compile span.
+    compile_span = by_name["compile"][0]
+    lo = compile_span["ts"]
+    hi = lo + compile_span["dur"]
+    for phase in REQUIRED_PHASES:
+        if phase == "compile":
+            continue
+        for span in by_name[phase]:
+            if span["ts"] < lo or span["ts"] + span["dur"] > hi + 1e-6:
+                sys.exit("span %r [%f, %f] escapes the compile span "
+                         "[%f, %f]" % (phase, span["ts"],
+                                       span["ts"] + span["dur"], lo, hi))
+
+    print("ok: %d events, %d distinct span names"
+          % (len(events), len(by_name)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the observability layer (docs/observability.md): span
+ * nesting and JSON export, metrics registry semantics and determinism,
+ * the per-compile PhaseReport, and the bench record round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "bench/report.hh"
+#include "driver/longnail.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+
+using namespace longnail;
+
+namespace {
+
+/** Fresh global obs state for one test. */
+struct ObsFixture : ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        obs::Tracer::instance().clear();
+        obs::Registry::instance().clear();
+    }
+    void
+    TearDown() override
+    {
+        obs::setEnabled(false);
+        obs::Tracer::instance().clear();
+        obs::Registry::instance().clear();
+    }
+};
+
+using ObsTraceTest = ObsFixture;
+using ObsMetricsTest = ObsFixture;
+using ObsReportTest = ObsFixture;
+using ObsBenchTest = ObsFixture;
+
+TEST_F(ObsTraceTest, DisabledSpansRecordNothing)
+{
+    ASSERT_FALSE(obs::enabled());
+    {
+        obs::TraceSpan span("ghost");
+        EXPECT_FALSE(span.active());
+        span.arg("key", "value"); // must be a harmless no-op
+    }
+    EXPECT_TRUE(obs::Tracer::instance().events().empty());
+}
+
+TEST_F(ObsTraceTest, SpansNestAndRecordChildrenFirst)
+{
+    obs::ScopedEnable on;
+    {
+        obs::TraceSpan outer("outer");
+        EXPECT_TRUE(outer.active());
+        {
+            obs::TraceSpan mid("mid");
+            obs::TraceSpan inner("inner");
+            (void)mid;
+            (void)inner;
+        }
+    }
+    auto events = obs::Tracer::instance().events();
+    ASSERT_EQ(events.size(), 3u);
+    // Children complete (and record) before their parents.
+    EXPECT_EQ(events[0].name, "inner");
+    EXPECT_EQ(events[1].name, "mid");
+    EXPECT_EQ(events[2].name, "outer");
+    EXPECT_EQ(events[0].depth, 2);
+    EXPECT_EQ(events[1].depth, 1);
+    EXPECT_EQ(events[2].depth, 0);
+    // Containment: the outer interval covers both children.
+    const auto &outer = events[2];
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_GE(events[i].startUs, outer.startUs);
+        EXPECT_LE(events[i].startUs + events[i].durUs,
+                  outer.startUs + outer.durUs);
+    }
+    // All on the same (first) tracing thread.
+    EXPECT_EQ(events[0].tid, events[2].tid);
+}
+
+TEST_F(ObsTraceTest, EscapeJsonHandlesSpecialCharacters)
+{
+    EXPECT_EQ(obs::escapeJson("plain"), "plain");
+    EXPECT_EQ(obs::escapeJson("a\"b"), "a\\\"b");
+    EXPECT_EQ(obs::escapeJson("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::escapeJson("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(obs::escapeJson("\r\b\f"), "\\r\\b\\f");
+    EXPECT_EQ(obs::escapeJson(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(obs::escapeJson(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST_F(ObsTraceTest, ChromeJsonEscapesNamesAndArgs)
+{
+    obs::ScopedEnable on;
+    {
+        obs::TraceSpan span("weird \"name\"");
+        span.arg("note", "line1\nline2");
+    }
+    std::string json = obs::Tracer::instance().toChromeJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("weird \\\"name\\\""), std::string::npos);
+    EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+    // No raw control characters may survive into the document.
+    for (char c : json)
+        EXPECT_TRUE(c == '\n' || static_cast<unsigned char>(c) >= 0x20)
+            << "raw control character in JSON output";
+}
+
+TEST_F(ObsMetricsTest, CountersGaugesHistograms)
+{
+    obs::ScopedEnable on;
+    obs::count("c.a");
+    obs::count("c.a", 4);
+    obs::gauge("g.x", 2.5);
+    obs::gauge("g.x", 1.5);    // last write wins
+    obs::gaugeMax("g.m", 3.0);
+    obs::gaugeMax("g.m", 2.0); // max retained
+    obs::observe("h.t", 1.0);
+    obs::observe("h.t", 3.0);
+
+    auto &reg = obs::Registry::instance();
+    EXPECT_EQ(reg.counter("c.a"), 5u);
+    EXPECT_EQ(reg.counter("c.missing"), 0u);
+    EXPECT_DOUBLE_EQ(reg.gauges().at("g.x"), 1.5);
+    EXPECT_DOUBLE_EQ(reg.gauges().at("g.m"), 3.0);
+    auto h = reg.histograms().at("h.t");
+    EXPECT_EQ(h.count, 2u);
+    EXPECT_DOUBLE_EQ(h.sum, 4.0);
+    EXPECT_DOUBLE_EQ(h.min, 1.0);
+    EXPECT_DOUBLE_EQ(h.max, 3.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+
+    reg.clear();
+    EXPECT_TRUE(reg.counters().empty());
+    EXPECT_TRUE(reg.gauges().empty());
+    EXPECT_TRUE(reg.histograms().empty());
+}
+
+TEST_F(ObsMetricsTest, DisabledHelpersRecordNothing)
+{
+    ASSERT_FALSE(obs::enabled());
+    obs::count("c.off");
+    obs::gauge("g.off", 1.0);
+    obs::observe("h.off", 1.0);
+    EXPECT_TRUE(obs::Registry::instance().counters().empty());
+    EXPECT_TRUE(obs::Registry::instance().gauges().empty());
+    EXPECT_TRUE(obs::Registry::instance().histograms().empty());
+}
+
+TEST_F(ObsMetricsTest, YamlDumpIsSortedAndParsable)
+{
+    obs::ScopedEnable on;
+    obs::count("b.second", 2);
+    obs::count("a.first", 1);
+    obs::gauge("g.v", 4.5);
+    obs::observe("h.t", 2.0);
+    std::string yaml = obs::Registry::instance().toYaml();
+    EXPECT_NE(yaml.find("counters:\n  a.first: 1\n  b.second: 2\n"),
+              std::string::npos);
+    EXPECT_NE(yaml.find("gauges:\n  g.v: 4.5\n"), std::string::npos);
+    EXPECT_NE(yaml.find("h.t: {count: 1, sum: 2, min: 2, max: 2, "
+                        "mean: 2}"),
+              std::string::npos);
+}
+
+/** Counters of one zol compile with a cleared registry. */
+std::map<std::string, uint64_t>
+compileZolCounters()
+{
+    obs::Registry::instance().clear();
+    driver::CompileOptions options;
+    options.coreName = "VexRiscv";
+    driver::CompiledIsax compiled =
+        driver::compileCatalogIsax("zol", options);
+    EXPECT_TRUE(compiled.ok()) << compiled.errors;
+    return obs::Registry::instance().counters();
+}
+
+TEST_F(ObsMetricsTest, CompileCountersAreDeterministic)
+{
+    obs::ScopedEnable on;
+    auto first = compileZolCounters();
+    auto second = compileZolCounters();
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST_F(ObsMetricsTest, GoldenStatsForCatalogIsax)
+{
+    obs::ScopedEnable on;
+    auto counters = compileZolCounters();
+    // zol compiles to two units (setup + the always block), each solved
+    // optimally; all of Fig. 9 is represented in the registry.
+    EXPECT_EQ(counters.at("driver.compiles"), 1u);
+    EXPECT_EQ(counters.at("sched.lp_solves"), 2u);
+    EXPECT_EQ(counters.at("sched.quality.optimal"), 2u);
+    EXPECT_EQ(counters.at("sched.fallback_events"), 0u);
+    EXPECT_EQ(counters.at("hwgen.modules"), 2u);
+    EXPECT_GT(counters.at("sched.lp_iterations"), 0u);
+    EXPECT_GT(counters.at("sched.budget_consumed"), 0u);
+    EXPECT_GT(counters.at("hwgen.interface_ports"), 0u);
+    EXPECT_GT(counters.at("ir.nodes.hir.coredsl"), 0u);
+    EXPECT_GT(counters.at("ir.nodes.lil.lil"), 0u);
+
+    // The YAML dump must carry the headline counters verbatim.
+    std::string yaml = obs::Registry::instance().toYaml();
+    EXPECT_NE(yaml.find("sched.lp_iterations: "), std::string::npos);
+    EXPECT_NE(yaml.find("sched.fallback_events: 0"), std::string::npos);
+}
+
+TEST_F(ObsReportTest, PhaseReportPopulatedWithoutGlobalObs)
+{
+    ASSERT_FALSE(obs::enabled());
+    driver::CompileOptions options;
+    options.coreName = "VexRiscv";
+    driver::CompiledIsax compiled =
+        driver::compileCatalogIsax("zol", options);
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+
+    const driver::PhaseReport &report = compiled.report;
+    // Phase entries in pipeline order, merged per phase name.
+    ASSERT_GE(report.phases.size(), 7u);
+    EXPECT_EQ(report.phases.front().name, "sema");
+    for (const char *phase :
+         {"sema", "astlower", "analysis", "canonicalize", "lil",
+          "sched", "hwgen", "scaiev-config"})
+        EXPECT_NE(report.findPhase(phase), nullptr)
+            << "missing phase " << phase;
+    EXPECT_EQ(report.findPhase("nonexistent"), nullptr);
+    EXPECT_GT(report.totalWallMs(), 0.0);
+
+    EXPECT_GT(report.hirOps, 0u);
+    EXPECT_GT(report.lilOps, 0u);
+    EXPECT_FALSE(report.hirOpsByDialect.empty());
+    EXPECT_FALSE(report.lilOpsByDialect.empty());
+
+    // Satellite: the chosen scheduler and its budget consumption are
+    // part of the compile result.
+    EXPECT_EQ(report.chosenScheduler, "optimal");
+    EXPECT_GT(report.lpWorkUnits, 0u);
+    EXPECT_EQ(report.fallbackEvents, 0u);
+    for (const auto &unit : compiled.units) {
+        EXPECT_EQ(unit.quality, sched::ScheduleQuality::Optimal);
+        EXPECT_GT(unit.lpWorkUnits, 0u);
+    }
+
+    // Counter snapshots require the global switch.
+    EXPECT_TRUE(report.counters.empty());
+}
+
+TEST_F(ObsReportTest, PhaseReportSnapshotsCountersWhenEnabled)
+{
+    obs::ScopedEnable on;
+    driver::CompileOptions options;
+    options.coreName = "VexRiscv";
+    driver::CompiledIsax compiled =
+        driver::compileCatalogIsax("zol", options);
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+    EXPECT_FALSE(compiled.report.counters.empty());
+    EXPECT_EQ(compiled.report.counters.at("sched.lp_solves"), 2u);
+}
+
+TEST_F(ObsReportTest, PhaseReportAddTimeMergesByName)
+{
+    driver::PhaseReport report;
+    report.addTime("analysis", 1.0);
+    report.addTime("sched", 2.0);
+    report.addTime("analysis", 0.5);
+    ASSERT_EQ(report.phases.size(), 2u);
+    EXPECT_DOUBLE_EQ(report.findPhase("analysis")->wallMs, 1.5);
+    EXPECT_DOUBLE_EQ(report.totalWallMs(), 3.5);
+}
+
+TEST_F(ObsBenchTest, RecordRoundTripsThroughJsonWriter)
+{
+    bench::Record record{"unit", "dotp/VexRiscv", "makespan", 3.25,
+                         "stages", "abc1234"};
+    std::string line = bench::renderRecordLine(record);
+    bench::Record parsed;
+    ASSERT_TRUE(bench::parseRecordLine(line, parsed)) << line;
+    EXPECT_EQ(parsed.bench, record.bench);
+    EXPECT_EQ(parsed.name, record.name);
+    EXPECT_EQ(parsed.metric, record.metric);
+    EXPECT_DOUBLE_EQ(parsed.value, record.value);
+    EXPECT_EQ(parsed.unit, record.unit);
+    EXPECT_EQ(parsed.commit, record.commit);
+
+    // Escaping round-trips too.
+    bench::Record odd{"unit", "name \"q\"", "metric", -1.5, "u", "c"};
+    bench::Record odd_parsed;
+    ASSERT_TRUE(bench::parseRecordLine(bench::renderRecordLine(odd),
+                                       odd_parsed));
+    EXPECT_EQ(odd_parsed.name, odd.name);
+    EXPECT_DOUBLE_EQ(odd_parsed.value, -1.5);
+}
+
+TEST_F(ObsBenchTest, WriterWritesJsonLinesFile)
+{
+    std::string path = ::testing::TempDir() + "/ln_bench_report.json";
+    ::setenv("LONGNAIL_BENCH_REPORT", path.c_str(), 1);
+    ::setenv("LONGNAIL_COMMIT", "deadbee", 1);
+    std::remove(path.c_str());
+    {
+        bench::ReportWriter writer("unit");
+        writer.add("point", "metric", 42.0, "count");
+        EXPECT_EQ(writer.path(), path);
+    } // destructor flushes
+    ::unsetenv("LONGNAIL_BENCH_REPORT");
+    ::unsetenv("LONGNAIL_COMMIT");
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    bench::Record parsed;
+    ASSERT_TRUE(bench::parseRecordLine(line, parsed)) << line;
+    EXPECT_EQ(parsed.bench, "unit");
+    EXPECT_EQ(parsed.name, "point");
+    EXPECT_DOUBLE_EQ(parsed.value, 42.0);
+    EXPECT_EQ(parsed.commit, "deadbee");
+    EXPECT_FALSE(std::getline(in, line)); // exactly one record
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -21,6 +21,12 @@
  *     --Werror[=CODE]    promote all warnings (or one LN code) to
  *                        errors
  *     --no-warn=CODE     suppress warnings with the given LN code
+ *     --trace-json=FILE  write a Chrome trace-event JSON of the
+ *                        compile (open in Perfetto / chrome://tracing;
+ *                        see docs/observability.md)
+ *     --stats=FILE       dump the metrics registry as YAML; FILE '-'
+ *                        prints a human-readable table to stdout
+ *     --quiet            suppress advisory warn/inform output
  *
  * Exit codes (deterministic, see docs/failure-model.md):
  *   0  success
@@ -42,6 +48,8 @@
 
 #include "asic/flow.hh"
 #include "driver/longnail.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
 #include "support/failpoint.hh"
 
 using namespace longnail;
@@ -99,6 +107,8 @@ printUsage()
                  "[--report]\n"
                  "                [--lint] [--verify-ir] "
                  "[--Werror[=CODE]] [--no-warn=CODE]\n"
+                 "                [--trace-json=FILE] [--stats=FILE|-] "
+                 "[--quiet]\n"
                  "                <input.core_desc>\n");
 }
 
@@ -114,6 +124,7 @@ run(int argc, char **argv)
 {
     driver::CompileOptions options;
     std::string input, target, out_dir = ".", datasheet_path;
+    std::string trace_path, stats_path;
     bool to_stdout = false, report = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -167,6 +178,16 @@ run(int argc, char **argv)
         } else if (arg.rfind("--no-warn=", 0) == 0) {
             options.suppressedWarningCodes.push_back(
                 arg.substr(std::strlen("--no-warn=")));
+        } else if (arg.rfind("--trace-json=", 0) == 0) {
+            trace_path = arg.substr(std::strlen("--trace-json="));
+        } else if (arg == "--trace-json") {
+            trace_path = next();
+        } else if (arg.rfind("--stats=", 0) == 0) {
+            stats_path = arg.substr(std::strlen("--stats="));
+        } else if (arg == "--stats") {
+            stats_path = next();
+        } else if (arg == "--quiet") {
+            setQuiet(true);
         } else if (arg == "--help" || arg == "-h") {
             usage();
         } else if (!arg.empty() && arg[0] == '-') {
@@ -201,8 +222,32 @@ run(int argc, char **argv)
         options.datasheet = &custom_sheet;
     }
 
+    // Observability (docs/observability.md): either flag switches the
+    // process-wide instrumentation on; with both off every span and
+    // counter in the pipeline stays a near-no-op.
+    bool observing = !trace_path.empty() || !stats_path.empty();
+    if (observing) {
+        obs::setEnabled(true);
+        obs::Tracer::instance().clear();
+        obs::Registry::instance().clear();
+    }
+
     driver::CompiledIsax compiled =
         driver::compile(readFile(input), target, options);
+
+    // Dump trace/stats before exiting: observability must also cover
+    // failed compiles (that is when you need it most).
+    if (!trace_path.empty())
+        writeFile(trace_path, obs::Tracer::instance().toChromeJson());
+    if (!stats_path.empty()) {
+        if (stats_path == "-")
+            std::printf("%s",
+                        obs::Registry::instance().toTable().c_str());
+        else
+            writeFile(stats_path,
+                      obs::Registry::instance().toYaml());
+    }
+
     if (!compiled.ok()) {
         std::fprintf(stderr, "%s", compiled.errors.c_str());
         if (compiled.diags.hasErrorCodePrefix("LN4"))
@@ -241,6 +286,18 @@ run(int argc, char **argv)
     if (report) {
         std::printf("\n%s on %s\n", compiled.name.c_str(),
                     compiled.coreName.c_str());
+        std::printf("  scheduler: %s, %llu LP work units consumed, "
+                    "%u fallback event%s\n",
+                    compiled.report.chosenScheduler.c_str(),
+                    static_cast<unsigned long long>(
+                        compiled.report.lpWorkUnits),
+                    compiled.report.fallbackEvents,
+                    compiled.report.fallbackEvents == 1 ? "" : "s");
+        std::printf("  phases (%.2f ms):", compiled.report.totalWallMs());
+        for (const auto &entry : compiled.report.phases)
+            std::printf(" %s=%.2fms", entry.name.c_str(),
+                        entry.wallMs);
+        std::printf("\n");
         std::vector<const hwgen::GeneratedModule *> modules;
         for (const auto &unit : compiled.units) {
             modules.push_back(&unit.module);
