@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Translation-validation bench (docs/translation-validation.md):
+ * compiles every catalog ISAX for VexRiscv with --validate semantics
+ * and reports, per ISAX, how many units were checked and symbolically
+ * proved, the wall time of the validate phase, and its share of the
+ * whole compile. The catalog guarantee -- every unit proved, nothing
+ * refuted -- is asserted here too, so a regression turns the bench red
+ * before it skews the numbers.
+ */
+
+#include <cstdio>
+
+#include "bench/report.hh"
+#include "driver/isax_catalog.hh"
+#include "driver/longnail.hh"
+
+using namespace longnail;
+using namespace longnail::driver;
+
+int
+main()
+{
+    std::printf("=== Translation validation across the ISAX catalog "
+                "(VexRiscv) ===\n\n");
+    std::printf("%-16s %6s %7s %8s %12s %9s\n", "isax", "units",
+                "proved", "refuted", "validate_ms", "overhead");
+
+    bench::ReportWriter report("tv");
+    int failures = 0;
+    for (const auto &entry : catalog::allIsaxes()) {
+        CompileOptions options;
+        options.coreName = "VexRiscv";
+        options.validate = true;
+        CompiledIsax compiled = compileCatalogIsax(entry.name, options);
+        if (!compiled.ok()) {
+            std::fprintf(stderr, "%s: %s\n", entry.name.c_str(),
+                         compiled.errors.c_str());
+            ++failures;
+            continue;
+        }
+        const PhaseReport &r = compiled.report;
+        const PhaseReport::Entry *phase = r.findPhase("validate");
+        double validate_ms = phase ? phase->wallMs : 0.0;
+        double total_ms = r.totalWallMs();
+        double overhead =
+            total_ms > 0.0 ? 100.0 * validate_ms / total_ms : 0.0;
+
+        std::printf("%-16s %6u %7u %8u %12.2f %8.1f%%\n",
+                    entry.name.c_str(), r.tvUnitsChecked, r.tvProved,
+                    r.tvRefuted, validate_ms, overhead);
+
+        std::string point = entry.name + "/VexRiscv";
+        report.add(point, "tv_units_checked", r.tvUnitsChecked,
+                   "units");
+        report.add(point, "tv_units_proved", r.tvProved, "units");
+        report.add(point, "tv_validate_time", validate_ms, "ms");
+        report.add(point, "tv_overhead", overhead, "percent");
+
+        if (r.tvProved != r.tvUnitsChecked || r.tvRefuted != 0) {
+            std::fprintf(stderr,
+                         "%s: catalog guarantee violated (%u/%u "
+                         "proved, %u refuted)\n",
+                         entry.name.c_str(), r.tvProved,
+                         r.tvUnitsChecked, r.tvRefuted);
+            ++failures;
+        }
+    }
+    if (failures) {
+        std::fprintf(stderr, "\n%d ISAX(es) failed validation\n",
+                     failures);
+        return 1;
+    }
+    std::printf("\nAll catalog units symbolically proved; no "
+                "co-simulation fallback needed.\n");
+    return 0;
+}

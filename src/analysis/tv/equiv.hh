@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Translation validation, part 2: bit-precise LIL <-> netlist
+ * equivalence (docs/translation-validation.md).
+ *
+ * checkEquivalence() evaluates both the LIL graph and the generated
+ * rtl::Module symbolically into one shared canonical term DAG
+ * (analysis/tv/terms.hh) under the isolated-execution environment of
+ * hwgen/runner.cc: stall inputs are 0, interface read ports are shared
+ * free variables, pipeline registers are transparent. Each interface
+ * output (write data/valid, memory address, register index) becomes a
+ * proof obligation: the netlist term and the LIL term must hash-cons
+ * to the same id.
+ *
+ * When an obligation does not reduce to syntactic equality, the
+ * checker falls back to directed random co-simulation
+ * (hwgen::runIsolated vs. lil::interpret):
+ *
+ *   LN4501  co-simulation diverged -- the netlist is NOT equivalent;
+ *           the diagnostic carries a concrete counterexample (error)
+ *   LN4502  symbolically unproved but all co-simulation trials agree
+ *           (warning; the rewrite system is incomplete, e.g. for
+ *           reassociated arithmetic)
+ */
+
+#ifndef LONGNAIL_ANALYSIS_TV_EQUIV_HH
+#define LONGNAIL_ANALYSIS_TV_EQUIV_HH
+
+#include "coredsl/module.hh"
+#include "hwgen/hwgen.hh"
+#include "lil/lil.hh"
+#include "support/diagnostics.hh"
+
+namespace longnail {
+namespace analysis {
+namespace tv {
+
+struct EquivOptions
+{
+    /** Co-simulation trials when the symbolic proof is inconclusive. */
+    unsigned cosimTrials = 24;
+};
+
+/** Outcome of one equivalence check. */
+struct EquivResult
+{
+    unsigned outputsChecked = 0;
+    unsigned outputsProved = 0;
+    /** Every obligation reduced to the same canonical term. */
+    bool proved = false;
+    /** Co-simulation produced a concrete counterexample. */
+    bool refuted = false;
+    /** Simulated module cycles spent searching for counterexamples. */
+    uint64_t cexCycles = 0;
+    /** Term-DAG size after both sides were evaluated. */
+    size_t termDagSize = 0;
+};
+
+/**
+ * Prove @p module equivalent to @p graph, or refute it with a
+ * counterexample. @p isa supplies the custom-register shapes for
+ * co-simulation. Emits LN45xx diagnostics into @p diags.
+ */
+EquivResult checkEquivalence(const lil::LilGraph &graph,
+                             const hwgen::GeneratedModule &module,
+                             const coredsl::ElaboratedIsa &isa,
+                             DiagnosticEngine &diags,
+                             const EquivOptions &options = {});
+
+} // namespace tv
+} // namespace analysis
+} // namespace longnail
+
+#endif // LONGNAIL_ANALYSIS_TV_EQUIV_HH

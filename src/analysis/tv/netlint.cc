@@ -1,0 +1,241 @@
+#include "analysis/tv/netlint.hh"
+
+#include <vector>
+
+namespace longnail {
+namespace analysis {
+namespace tv {
+
+using rtl::invalidNet;
+using rtl::NetId;
+using rtl::NodeKind;
+
+namespace {
+
+std::string
+where(const rtl::Module &module, const rtl::Node &node, size_t index)
+{
+    std::string s = std::string(rtl::nodeKindName(node.kind)) +
+                    " node #" + std::to_string(index);
+    if (node.result < module.numNets() &&
+        !module.netName(node.result).empty())
+        s += " ('" + module.netName(node.result) + "')";
+    return s;
+}
+
+/** Per-kind operand/result width rules (LN4602). Empty = no finding. */
+std::string
+widthRule(const rtl::Module &m, const rtl::Node &node)
+{
+    auto w = [&](NetId net) { return m.widthOf(net); };
+    unsigned rw = w(node.result);
+    const auto &ops = node.operands;
+    switch (node.kind) {
+      case NodeKind::Add:
+      case NodeKind::Sub:
+      case NodeKind::Mul:
+      case NodeKind::DivU:
+      case NodeKind::DivS:
+      case NodeKind::ModU:
+      case NodeKind::ModS:
+      case NodeKind::And:
+      case NodeKind::Or:
+      case NodeKind::Xor:
+        if (ops.size() != 2)
+            return "expects exactly two operands";
+        if (w(ops[0]) != rw || w(ops[1]) != rw)
+            return "operand widths " + std::to_string(w(ops[0])) +
+                   "/" + std::to_string(w(ops[1])) +
+                   " do not match result width " + std::to_string(rw);
+        break;
+      case NodeKind::Shl:
+      case NodeKind::ShrU:
+      case NodeKind::ShrS:
+        if (ops.size() != 2)
+            return "expects exactly two operands";
+        if (w(ops[0]) != rw)
+            return "shifted value width " + std::to_string(w(ops[0])) +
+                   " does not match result width " + std::to_string(rw);
+        break;
+      case NodeKind::ICmp:
+        if (ops.size() != 2)
+            return "expects exactly two operands";
+        if (rw != 1)
+            return "result must be one bit";
+        if (w(ops[0]) != w(ops[1]))
+            return "compares operands of widths " +
+                   std::to_string(w(ops[0])) + " and " +
+                   std::to_string(w(ops[1]));
+        break;
+      case NodeKind::Mux:
+        if (ops.size() != 3)
+            return "expects select, then, else operands";
+        if (w(ops[0]) != 1)
+            return "select must be one bit";
+        if (w(ops[1]) != rw || w(ops[2]) != rw)
+            return "arm widths " + std::to_string(w(ops[1])) + "/" +
+                   std::to_string(w(ops[2])) +
+                   " do not match result width " + std::to_string(rw);
+        break;
+      case NodeKind::Extract:
+        if (ops.size() != 1)
+            return "expects exactly one operand";
+        if (node.lo + rw > w(ops[0]))
+            return "extracts bits [" + std::to_string(node.lo) + "+:" +
+                   std::to_string(rw) + "] from a " +
+                   std::to_string(w(ops[0])) + "-bit operand";
+        break;
+      case NodeKind::Concat: {
+        if (ops.size() < 2)
+            return "expects at least two operands";
+        unsigned sum = 0;
+        for (NetId op : ops)
+            sum += w(op);
+        if (sum != rw)
+            return "operand widths sum to " + std::to_string(sum) +
+                   ", result is " + std::to_string(rw) + " bits";
+        break;
+      }
+      case NodeKind::Replicate:
+        if (ops.size() != 1 || w(ops[0]) != 1)
+            return "expects a single one-bit operand";
+        break;
+      case NodeKind::Rom:
+        if (ops.size() != 1)
+            return "expects exactly one index operand";
+        break;
+      case NodeKind::Register:
+        if (ops.empty() || ops.size() > 2)
+            return "expects data [, enable] operands";
+        if (w(ops[0]) != rw)
+            return "data width " + std::to_string(w(ops[0])) +
+                   " does not match register width " +
+                   std::to_string(rw);
+        if (ops.size() == 2 && w(ops[1]) != 1)
+            return "enable must be one bit";
+        break;
+      case NodeKind::Input:
+      case NodeKind::Constant:
+        if (!ops.empty())
+            return "expects no operands";
+        break;
+    }
+    return "";
+}
+
+} // namespace
+
+NetlistLintResult
+lintNetlist(const rtl::Module &module, DiagnosticEngine &diags)
+{
+    NetlistLintResult result;
+    const std::string in = " in module '" + module.name() + "'";
+    auto err = [&](const std::string &code, const std::string &msg) {
+        ++result.errors;
+        diags.error(SourceLoc{}, code, msg + in);
+    };
+
+    size_t num_nets = module.numNets();
+    const auto &nodes = module.nodes();
+
+    // Driver map: defOrder[net] = index of the defining node.
+    constexpr size_t undriven = ~size_t(0);
+    std::vector<size_t> def_order(num_nets, undriven);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const rtl::Node &node = nodes[i];
+        if (node.result >= num_nets) {
+            err("LN4603", where(module, node, i) +
+                              " drives an out-of-range net");
+            continue;
+        }
+        if (def_order[node.result] != undriven)
+            err("LN4603",
+                "net " + std::to_string(node.result) +
+                    " is driven by both node #" +
+                    std::to_string(def_order[node.result]) + " and " +
+                    where(module, node, i));
+        else
+            def_order[node.result] = i;
+    }
+
+    // Operand checks: every use must refer to an earlier driver
+    // (Registers included -- hwgen never emits a feedback path; a
+    // later driver in this topologically ordered IR means a
+    // combinational loop once emitted as Verilog `assign`s).
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const rtl::Node &node = nodes[i];
+        for (NetId op : node.operands) {
+            if (op >= num_nets || def_order[op] == undriven) {
+                err("LN4603", where(module, node, i) +
+                                  " reads undriven net " +
+                                  std::to_string(op));
+            } else if (def_order[op] >= i) {
+                err("LN4601",
+                    where(module, node, i) + " reads net " +
+                        std::to_string(op) +
+                        " whose driver comes later (node #" +
+                        std::to_string(def_order[op]) +
+                        "): combinational loop");
+            }
+        }
+    }
+
+    // Width rules are only meaningful over valid nets.
+    if (result.errors == 0) {
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            std::string finding = widthRule(module, nodes[i]);
+            if (!finding.empty())
+                err("LN4602",
+                    where(module, nodes[i], i) + " " + finding);
+        }
+    }
+
+    // Output bindings.
+    for (const rtl::OutputPort &port : module.outputs()) {
+        if (port.net >= num_nets || def_order[port.net] == undriven)
+            err("LN4603", "output port '" + port.name +
+                              "' is bound to an undriven net");
+    }
+
+    // LN4604: reverse reachability from the output ports. Inputs are
+    // exempt (an interface port a unit never reads is normal), and so
+    // are constants (free literals hwgen interns eagerly); all other
+    // unreachable nodes are logic hwgen built for nothing.
+    if (result.errors == 0) {
+        std::vector<bool> live(nodes.size(), false);
+        std::vector<size_t> work;
+        for (const rtl::OutputPort &port : module.outputs()) {
+            size_t def = def_order[port.net];
+            if (!live[def]) {
+                live[def] = true;
+                work.push_back(def);
+            }
+        }
+        while (!work.empty()) {
+            size_t i = work.back();
+            work.pop_back();
+            for (NetId op : nodes[i].operands) {
+                size_t def = def_order[op];
+                if (!live[def]) {
+                    live[def] = true;
+                    work.push_back(def);
+                }
+            }
+        }
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            if (live[i] || nodes[i].kind == NodeKind::Input ||
+                nodes[i].kind == NodeKind::Constant)
+                continue;
+            ++result.deadNodes;
+            diags.warning(SourceLoc{}, "LN4604",
+                          where(module, nodes[i], i) +
+                              " drives no output: dead logic" + in);
+        }
+    }
+
+    return result;
+}
+
+} // namespace tv
+} // namespace analysis
+} // namespace longnail

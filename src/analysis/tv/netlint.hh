@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Translation validation, part 3: structural lints over the generated
+ * rtl::Module netlist (docs/translation-validation.md).
+ *
+ * These go beyond rtl::Module::verify() (which hwgen already runs):
+ * they produce LN-coded diagnostics per finding instead of a single
+ * pass/fail string, and add driver analysis and dead-logic detection.
+ *
+ * Findings (docs/failure-model.md):
+ *   LN4601  net used before its driver is defined -- in a
+ *           topologically ordered netlist this is a combinational
+ *           loop or a corrupted node order (error)
+ *   LN4602  operand/result width rule violated for the node kind
+ *           (error)
+ *   LN4603  undriven, multiply-driven or out-of-range net; output
+ *           port bound to an invalid net (error)
+ *   LN4604  dead logic: a node (other than an input port or a
+ *           constant) whose result no output transitively depends on
+ *           (warning)
+ */
+
+#ifndef LONGNAIL_ANALYSIS_TV_NETLINT_HH
+#define LONGNAIL_ANALYSIS_TV_NETLINT_HH
+
+#include "rtl/netlist.hh"
+#include "support/diagnostics.hh"
+
+namespace longnail {
+namespace analysis {
+namespace tv {
+
+/** Outcome counters of one netlist lint pass. */
+struct NetlistLintResult
+{
+    unsigned errors = 0;
+    unsigned deadNodes = 0;
+
+    bool ok() const { return errors == 0; }
+};
+
+/** Lint @p module, emitting LN46xx diagnostics into @p diags. */
+NetlistLintResult lintNetlist(const rtl::Module &module,
+                              DiagnosticEngine &diags);
+
+} // namespace tv
+} // namespace analysis
+} // namespace longnail
+
+#endif // LONGNAIL_ANALYSIS_TV_NETLINT_HH

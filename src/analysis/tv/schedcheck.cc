@@ -1,0 +1,181 @@
+#include "analysis/tv/schedcheck.hh"
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "scaiev/interface.hh"
+
+namespace longnail {
+namespace analysis {
+namespace tv {
+
+using scaiev::SubInterface;
+
+namespace {
+
+/** Stage window an operation must be scheduled into, re-derived from
+ * the datasheet rules (Secs. 4.2/4.4) without consulting the solver's
+ * OperatorType. */
+struct Window
+{
+    int earliest = 0;
+    int latest = sched::noUpperBound;
+};
+
+Window
+windowOf(const ir::Operation &op, bool is_always,
+         const scaiev::Datasheet &core)
+{
+    Window w;
+    auto iface = scaiev::subInterfaceFor(op.kind());
+    if (!iface)
+        return w;
+    if (is_always) {
+        // Sec. 4.4: always-blocks run entirely in stage 0.
+        w.latest = 0;
+        return w;
+    }
+    const scaiev::InterfaceTiming &t = core.timing(*iface);
+    w.earliest = t.earliest;
+    w.latest = scaiev::supportsLateVariants(*iface) ? sched::noUpperBound
+                                                    : t.latest;
+    return w;
+}
+
+/** Result latency of an operation, re-derived from the technology
+ * library and the datasheet. */
+unsigned
+latencyOf(const ir::Operation &op, const scaiev::Datasheet &core,
+          const sched::TechLibrary &tech)
+{
+    unsigned latency = tech.timing(op).latency;
+    if (auto iface = scaiev::subInterfaceFor(op.kind()))
+        latency = std::max(latency, core.timing(*iface).latency);
+    return latency;
+}
+
+std::string
+describe(const ir::Operation &op)
+{
+    return std::string(op.name());
+}
+
+} // namespace
+
+ScheduleCheckResult
+checkSchedule(const lil::LilGraph &graph,
+              const sched::BuiltProblem &built,
+              const scaiev::Datasheet &core,
+              const sched::TechLibrary &tech,
+              sched::ScheduleQuality quality, DiagnosticEngine &diags)
+{
+    ScheduleCheckResult result;
+    auto flag = [&](const ir::Operation *op, const std::string &code,
+                    const std::string &msg) {
+        ++result.violations;
+        diags.error(op ? op->loc() : SourceLoc{}, code,
+                    "schedule for '" + graph.name + "': " + msg);
+    };
+
+    // LN4401: every operation must carry a non-negative start time.
+    for (const auto &op : graph.graph.ops()) {
+        int start = built.startTimeOf(op.get());
+        if (start < 0)
+            flag(op.get(), "LN4401",
+                 "operation '" + describe(*op) +
+                     "' has no scheduled start time");
+    }
+    if (result.violations)
+        return result; // start times below would be meaningless
+
+    // LN4402: def-use latency; edges come from the LIL graph itself,
+    // not from the solver's dependence list.
+    for (const auto &op : graph.graph.ops()) {
+        int use = built.startTimeOf(op.get());
+        for (unsigned i = 0; i < op->numOperands(); ++i) {
+            const ir::Operation *def = op->operand(i)->owner;
+            int def_start = built.startTimeOf(def);
+            int lat = int(latencyOf(*def, core, tech));
+            ++result.edgesChecked;
+            if (use < def_start + lat)
+                flag(op.get(), "LN4402",
+                     "'" + describe(*op) + "' at stage " +
+                         std::to_string(use) + " uses '" +
+                         describe(*def) + "' scheduled at stage " +
+                         std::to_string(def_start) + " with latency " +
+                         std::to_string(lat));
+        }
+    }
+
+    // LN4403: datasheet stage windows.
+    for (const auto &op : graph.graph.ops()) {
+        Window w = windowOf(*op, graph.isAlways, core);
+        int start = built.startTimeOf(op.get());
+        if (start < w.earliest || start > w.latest)
+            flag(op.get(), "LN4403",
+                 "interface op '" + describe(*op) + "' at stage " +
+                     std::to_string(start) +
+                     " outside its datasheet window [" +
+                     std::to_string(w.earliest) + ", " +
+                     (w.latest == sched::noUpperBound
+                          ? std::string("inf")
+                          : std::to_string(w.latest)) +
+                     "]");
+    }
+
+    // LN4404: combinational chains. Re-derive the chain-breaking edges
+    // through the pure algorithm and require each broken edge to span a
+    // register boundary. FallbackRelaxed schedules abandon C5 by
+    // design (docs/failure-model.md), so the check is informational
+    // noise there.
+    if (quality != sched::ScheduleQuality::FallbackRelaxed) {
+        for (const sched::Dependence &edge :
+             sched::deriveChainBreakers(built.problem)) {
+            const ir::Operation *from = built.irOps.at(edge.from);
+            const ir::Operation *to = built.irOps.at(edge.to);
+            int span = built.startTimeOf(to) - built.startTimeOf(from);
+            int lat = int(latencyOf(*from, core, tech));
+            if (span < lat + 1) {
+                ++result.chainWarnings;
+                diags.warning(
+                    to ? to->loc() : SourceLoc{}, "LN4404",
+                    "schedule for '" + graph.name +
+                        "': combinational chain from '" +
+                        describe(*from) + "' into '" + describe(*to) +
+                        "' is not broken; the cycle-time target of " +
+                        std::to_string(built.problem.cycleTime()) +
+                        " ns may be missed");
+            }
+        }
+    }
+
+    // LN4405: SCAIE-V instantiates each (interface, register) pair at
+    // most once per instruction; hwgen relies on this to give ports
+    // unique names.
+    std::map<std::pair<SubInterface, std::string>,
+             const ir::Operation *>
+        iface_uses;
+    for (const auto &op : graph.graph.ops()) {
+        auto iface = scaiev::subInterfaceFor(op->kind());
+        if (!iface)
+            continue;
+        std::string reg;
+        if (op->hasAttr("reg"))
+            reg = op->strAttr("reg");
+        auto [it, inserted] =
+            iface_uses.emplace(std::make_pair(*iface, reg), op.get());
+        if (!inserted)
+            flag(op.get(), "LN4405",
+                 "interface '" + std::string(op->name()) +
+                     (reg.empty() ? "" : "' on register '" + reg) +
+                     "' used more than once in one instruction "
+                     "(SCAIE-V once-per-instruction rule)");
+    }
+
+    return result;
+}
+
+} // namespace tv
+} // namespace analysis
+} // namespace longnail

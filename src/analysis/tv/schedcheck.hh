@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Translation validation, part 1: schedule legality re-checking
+ * (docs/translation-validation.md).
+ *
+ * checkSchedule() audits a solved scheduling problem *independently* of
+ * the solver: the dependence latencies, interface stage windows and
+ * chain-breaking edges are re-derived from the LIL graph, the core
+ * datasheet and the technology library through code paths separate from
+ * the ILP model construction, so a bug in the solver or in the fallback
+ * chain cannot silently vouch for itself.
+ *
+ * Findings (docs/failure-model.md):
+ *   LN4401  operation unscheduled or at a negative start time (error)
+ *   LN4402  dependence/latency violation between def and use (error)
+ *   LN4403  interface op outside its datasheet stage window (error)
+ *   LN4404  combinational chain exceeds the cycle time (warning;
+ *           skipped for FallbackRelaxed schedules, which give up
+ *           chain-breaking by design)
+ *   LN4405  SCAIE-V once-per-instruction rule violated (error)
+ */
+
+#ifndef LONGNAIL_ANALYSIS_TV_SCHEDCHECK_HH
+#define LONGNAIL_ANALYSIS_TV_SCHEDCHECK_HH
+
+#include "lil/lil.hh"
+#include "scaiev/datasheet.hh"
+#include "sched/scheduler.hh"
+#include "sched/techlib.hh"
+#include "support/diagnostics.hh"
+
+namespace longnail {
+namespace analysis {
+namespace tv {
+
+/** Outcome counters of one schedule audit. */
+struct ScheduleCheckResult
+{
+    unsigned edgesChecked = 0;
+    /** LN4401/02/03/05 errors. */
+    unsigned violations = 0;
+    /** LN4404 chaining warnings (advisory; fmax, not correctness). */
+    unsigned chainWarnings = 0;
+
+    bool ok() const { return violations == 0; }
+};
+
+/**
+ * Re-verify the start times recorded in @p built against @p graph,
+ * @p core and @p tech. @p quality selects which guarantees the
+ * schedule claims (FallbackRelaxed schedules are exempt from the
+ * LN4404 chaining check). Emits LN44xx diagnostics into @p diags.
+ */
+ScheduleCheckResult checkSchedule(const lil::LilGraph &graph,
+                                  const sched::BuiltProblem &built,
+                                  const scaiev::Datasheet &core,
+                                  const sched::TechLibrary &tech,
+                                  sched::ScheduleQuality quality,
+                                  DiagnosticEngine &diags);
+
+} // namespace tv
+} // namespace analysis
+} // namespace longnail
+
+#endif // LONGNAIL_ANALYSIS_TV_SCHEDCHECK_HH

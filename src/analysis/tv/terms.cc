@@ -1,0 +1,391 @@
+#include "analysis/tv/terms.hh"
+
+#include <algorithm>
+
+#include "ir/eval.hh"
+#include "support/logging.hh"
+
+namespace longnail {
+namespace analysis {
+namespace tv {
+
+const char *
+termKindName(TermKind kind)
+{
+    switch (kind) {
+      case TermKind::Var: return "var";
+      case TermKind::Const: return "const";
+      case TermKind::Add: return "add";
+      case TermKind::Sub: return "sub";
+      case TermKind::Mul: return "mul";
+      case TermKind::DivU: return "divu";
+      case TermKind::DivS: return "divs";
+      case TermKind::ModU: return "modu";
+      case TermKind::ModS: return "mods";
+      case TermKind::And: return "and";
+      case TermKind::Or: return "or";
+      case TermKind::Xor: return "xor";
+      case TermKind::Shl: return "shl";
+      case TermKind::ShrU: return "shru";
+      case TermKind::ShrS: return "shrs";
+      case TermKind::ICmp: return "icmp";
+      case TermKind::Mux: return "mux";
+      case TermKind::Extract: return "extract";
+      case TermKind::Concat: return "concat";
+      case TermKind::Replicate: return "replicate";
+      case TermKind::Rom: return "rom";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+isCommutative(TermKind kind)
+{
+    switch (kind) {
+      case TermKind::Add:
+      case TermKind::Mul:
+      case TermKind::And:
+      case TermKind::Or:
+      case TermKind::Xor:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * The shift-amount clamping shared by rtl/sim.cc and ir/eval.cc: an
+ * amount with more than 32 active bits saturates to the value width,
+ * and the effective amount never exceeds the value width.
+ */
+unsigned
+clampShiftAmount(const ApInt &amount, unsigned value_width)
+{
+    uint64_t raw = amount.activeBits() > 32 ? value_width
+                                            : amount.toUint64();
+    return unsigned(std::min<uint64_t>(raw, value_width));
+}
+
+} // namespace
+
+bool
+TermBuilder::Key::operator<(const Key &rhs) const
+{
+    if (kind != rhs.kind)
+        return kind < rhs.kind;
+    if (width != rhs.width)
+        return width < rhs.width;
+    if (operands != rhs.operands)
+        return operands < rhs.operands;
+    return payload < rhs.payload;
+}
+
+TermId
+TermBuilder::intern(Term term)
+{
+    Key key;
+    key.kind = term.kind;
+    key.width = term.width;
+    key.operands = term.operands;
+    switch (term.kind) {
+      case TermKind::Const:
+        key.payload = term.cval.toStringUnsigned(16);
+        break;
+      case TermKind::Var:
+        key.payload = term.var;
+        break;
+      case TermKind::ICmp:
+        key.payload = ir::icmpPredName(term.pred);
+        break;
+      case TermKind::Extract:
+        key.payload = std::to_string(term.lo);
+        break;
+      case TermKind::Rom:
+        for (const ApInt &v : term.romValues)
+            key.payload += v.toStringUnsigned(16) + ",";
+        break;
+      default:
+        break;
+    }
+    auto [it, inserted] =
+        interned_.emplace(std::move(key), TermId(terms_.size()));
+    if (inserted)
+        terms_.push_back(std::move(term));
+    return it->second;
+}
+
+TermId
+TermBuilder::var(const std::string &name, unsigned width)
+{
+    Term t;
+    t.kind = TermKind::Var;
+    t.width = width;
+    t.var = name;
+    return intern(std::move(t));
+}
+
+TermId
+TermBuilder::opaque(unsigned width)
+{
+    // A variable with a name no port mapping can produce, unique per
+    // call: structurally incomparable to everything else.
+    return var("!opaque#" + std::to_string(nextOpaque_++), width);
+}
+
+TermId
+TermBuilder::constant(const ApInt &value)
+{
+    Term t;
+    t.kind = TermKind::Const;
+    t.width = value.width();
+    t.cval = value;
+    return intern(std::move(t));
+}
+
+TermId
+TermBuilder::icmp(ir::ICmpPred pred, TermId lhs, TermId rhs)
+{
+    // Fold and rewrite here; intern carries the predicate payload.
+    if (isConst(lhs) && isConst(rhs))
+        return constant(
+            ApInt(1, ir::applyICmp(pred, constOf(lhs), constOf(rhs))));
+    if (lhs == rhs) {
+        switch (pred) {
+          case ir::ICmpPred::Eq:
+          case ir::ICmpPred::Ule:
+          case ir::ICmpPred::Uge:
+          case ir::ICmpPred::Sle:
+          case ir::ICmpPred::Sge:
+            return constant(ApInt(1, 1));
+          case ir::ICmpPred::Ne:
+          case ir::ICmpPred::Ult:
+          case ir::ICmpPred::Ugt:
+          case ir::ICmpPred::Slt:
+          case ir::ICmpPred::Sgt:
+            return constant(ApInt(1, 0));
+        }
+    }
+    // Eq/Ne are symmetric: order the operands.
+    if ((pred == ir::ICmpPred::Eq || pred == ir::ICmpPred::Ne) &&
+        rhs < lhs)
+        std::swap(lhs, rhs);
+    Term t;
+    t.kind = TermKind::ICmp;
+    t.width = 1;
+    t.operands = {lhs, rhs};
+    t.pred = pred;
+    return intern(std::move(t));
+}
+
+TermId
+TermBuilder::extract(TermId value, unsigned lo, unsigned count)
+{
+    const Term &v = terms_.at(value);
+    if (v.kind == TermKind::Const)
+        return constant(v.cval.extract(lo, count));
+    if (lo == 0 && count == v.width)
+        return value;
+    Term t;
+    t.kind = TermKind::Extract;
+    t.width = count;
+    t.operands = {value};
+    t.lo = lo;
+    return intern(std::move(t));
+}
+
+TermId
+TermBuilder::rom(std::vector<ApInt> values, unsigned width, TermId index)
+{
+    const Term &idx = terms_.at(index);
+    if (idx.kind == TermKind::Const) {
+        uint64_t i = idx.cval.activeBits() > 63 ? values.size()
+                                                : idx.cval.toUint64();
+        if (i >= values.size())
+            return constant(ApInt(width, 0));
+        return constant(values[i].zextOrTrunc(width));
+    }
+    Term t;
+    t.kind = TermKind::Rom;
+    t.width = width;
+    t.operands = {index};
+    t.romValues = std::move(values);
+    return intern(std::move(t));
+}
+
+TermId
+TermBuilder::make(TermKind kind, unsigned width,
+                  std::vector<TermId> operands)
+{
+    switch (kind) {
+      case TermKind::Var:
+      case TermKind::Const:
+      case TermKind::ICmp:
+      case TermKind::Extract:
+      case TermKind::Rom:
+        LN_PANIC("use the dedicated TermBuilder entry point for ",
+                 termKindName(kind));
+      default:
+        break;
+    }
+
+    bool all_const = true;
+    for (TermId op : operands)
+        all_const &= isConst(op);
+
+    // Constant folding, mirroring rtl/sim.cc evaluation exactly.
+    if (all_const && !operands.empty()) {
+        auto c = [&](unsigned i) -> const ApInt & {
+            return constOf(operands[i]);
+        };
+        switch (kind) {
+          case TermKind::Add: return constant(c(0) + c(1));
+          case TermKind::Sub: return constant(c(0) - c(1));
+          case TermKind::Mul: return constant(c(0) * c(1));
+          case TermKind::DivU:
+            return constant(c(1).isZero() ? ApInt(width, 0)
+                                          : c(0).udiv(c(1)));
+          case TermKind::DivS:
+            return constant(c(1).isZero() ? ApInt(width, 0)
+                                          : c(0).sdiv(c(1)));
+          case TermKind::ModU:
+            return constant(c(1).isZero() ? ApInt(width, 0)
+                                          : c(0).urem(c(1)));
+          case TermKind::ModS:
+            return constant(c(1).isZero() ? ApInt(width, 0)
+                                          : c(0).srem(c(1)));
+          case TermKind::And: return constant(c(0) & c(1));
+          case TermKind::Or: return constant(c(0) | c(1));
+          case TermKind::Xor: return constant(c(0) ^ c(1));
+          case TermKind::Shl:
+            return constant(
+                c(0).shl(clampShiftAmount(c(1), c(0).width())));
+          case TermKind::ShrU:
+            return constant(
+                c(0).lshr(clampShiftAmount(c(1), c(0).width())));
+          case TermKind::ShrS:
+            return constant(
+                c(0).ashr(clampShiftAmount(c(1), c(0).width())));
+          case TermKind::Mux:
+            return c(0).isZero() ? operands[2] : operands[1];
+          case TermKind::Concat: {
+            ApInt acc = c(unsigned(operands.size() - 1));
+            for (size_t i = operands.size() - 1; i-- > 0;)
+                acc = c(unsigned(i)).concat(acc);
+            return constant(acc);
+          }
+          case TermKind::Replicate:
+            return constant(c(0).isZero() ? ApInt(width, 0)
+                                          : ApInt::allOnes(width));
+          default:
+            break;
+        }
+    }
+
+    // Local identity rewrites (x op neutral-element, idempotence).
+    auto zero = [&](TermId id) {
+        return isConst(id) && constOf(id).isZero();
+    };
+    auto one = [&](TermId id) {
+        return isConst(id) && constOf(id) == ApInt(constOf(id).width(), 1);
+    };
+    auto ones = [&](TermId id) {
+        return isConst(id) && constOf(id).isAllOnes();
+    };
+    switch (kind) {
+      case TermKind::Add:
+        if (zero(operands[0])) return operands[1];
+        if (zero(operands[1])) return operands[0];
+        break;
+      case TermKind::Sub:
+        if (zero(operands[1])) return operands[0];
+        if (operands[0] == operands[1])
+            return constant(ApInt(width, 0));
+        break;
+      case TermKind::Mul:
+        if (zero(operands[0]) || zero(operands[1]))
+            return constant(ApInt(width, 0));
+        if (one(operands[0])) return operands[1];
+        if (one(operands[1])) return operands[0];
+        break;
+      case TermKind::And:
+        if (zero(operands[0]) || zero(operands[1]))
+            return constant(ApInt(width, 0));
+        if (ones(operands[0])) return operands[1];
+        if (ones(operands[1])) return operands[0];
+        if (operands[0] == operands[1]) return operands[0];
+        break;
+      case TermKind::Or:
+        if (zero(operands[0])) return operands[1];
+        if (zero(operands[1])) return operands[0];
+        if (ones(operands[0]) || ones(operands[1]))
+            return constant(ApInt::allOnes(width));
+        if (operands[0] == operands[1]) return operands[0];
+        break;
+      case TermKind::Xor:
+        if (zero(operands[0])) return operands[1];
+        if (zero(operands[1])) return operands[0];
+        if (operands[0] == operands[1])
+            return constant(ApInt(width, 0));
+        break;
+      case TermKind::Shl:
+      case TermKind::ShrU:
+      case TermKind::ShrS:
+        if (zero(operands[1])) return operands[0];
+        break;
+      case TermKind::Mux:
+        if (isConst(operands[0]))
+            return constOf(operands[0]).isZero() ? operands[2]
+                                                 : operands[1];
+        if (operands[1] == operands[2]) return operands[1];
+        break;
+      case TermKind::Replicate:
+        if (width == 1) return operands[0];
+        break;
+      default:
+        break;
+    }
+
+    if (isCommutative(kind) && operands.size() == 2 &&
+        operands[1] < operands[0])
+        std::swap(operands[0], operands[1]);
+
+    Term t;
+    t.kind = kind;
+    t.width = width;
+    t.operands = std::move(operands);
+    return intern(std::move(t));
+}
+
+std::string
+TermBuilder::render(TermId id, unsigned max_depth) const
+{
+    const Term &t = terms_.at(id);
+    switch (t.kind) {
+      case TermKind::Var:
+        return t.var;
+      case TermKind::Const:
+        return "0x" + t.cval.toStringUnsigned(16) + ":" +
+               std::to_string(t.width);
+      default:
+        break;
+    }
+    if (max_depth == 0)
+        return "...";
+    std::string out = "(";
+    out += termKindName(t.kind);
+    if (t.kind == TermKind::ICmp)
+        out += std::string(".") + ir::icmpPredName(t.pred);
+    if (t.kind == TermKind::Extract)
+        out += "[" + std::to_string(t.lo) + "+:" +
+               std::to_string(t.width) + "]";
+    for (TermId op : t.operands)
+        out += " " + render(op, max_depth - 1);
+    out += ")";
+    return out;
+}
+
+} // namespace tv
+} // namespace analysis
+} // namespace longnail

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Canonical bitvector term DAG for translation validation
+ * (docs/translation-validation.md).
+ *
+ * Both sides of the equivalence check — the scheduled rtl::Module
+ * netlist and the LIL graph it was generated from — are evaluated
+ * into terms owned by one shared TermBuilder. The builder
+ * hash-conses structurally identical terms, folds constants with
+ * exactly the rtl::Simulator / ir::evaluate() semantics (shift
+ * amounts >= width saturate, division by zero yields 0, ROM
+ * out-of-range reads yield 0), sorts the operands of commutative
+ * operators, and applies local identity rewrites (x+0, x&x,
+ * mux(c,a,b), ...). Two values are proved equal when they reduce to
+ * the same TermId; anything else falls back to co-simulation.
+ */
+
+#ifndef LONGNAIL_ANALYSIS_TV_TERMS_HH
+#define LONGNAIL_ANALYSIS_TV_TERMS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hh"
+#include "support/apint.hh"
+
+namespace longnail {
+namespace analysis {
+namespace tv {
+
+/** Index of a term inside its TermBuilder. */
+using TermId = uint32_t;
+constexpr TermId invalidTerm = ~TermId(0);
+
+/** Operator of a term node (mirrors rtl::NodeKind's pure subset). */
+enum class TermKind
+{
+    Var,      ///< free variable (an architectural input)
+    Const,    ///< literal
+    Add,
+    Sub,
+    Mul,
+    DivU,
+    DivS,
+    ModU,
+    ModS,
+    And,
+    Or,
+    Xor,
+    Shl,
+    ShrU,
+    ShrS,
+    ICmp,     ///< pred attr
+    Mux,      ///< operands: sel(1), then, else
+    Extract,  ///< lo attr
+    Concat,   ///< operand 0 is the high part
+    Replicate,///< 1-bit operand replicated to the term width
+    Rom,      ///< values attr; operand: index
+};
+
+const char *termKindName(TermKind kind);
+
+/** One node of the term DAG. */
+struct Term
+{
+    TermKind kind = TermKind::Const;
+    unsigned width = 1;
+    std::vector<TermId> operands;
+    ApInt cval{1, 0};        ///< Const payload
+    std::string var;         ///< Var name
+    ir::ICmpPred pred = ir::ICmpPred::Eq;
+    unsigned lo = 0;         ///< Extract offset
+    std::vector<ApInt> romValues;
+};
+
+/**
+ * Owns the term DAG and guarantees the canonical-form invariant: any
+ * two calls that build structurally equal (post-rewrite) terms return
+ * the same TermId.
+ */
+class TermBuilder
+{
+  public:
+    /** Free variable; the same (name, width) always returns the same
+     * id, so both evaluation sides share input symbols. */
+    TermId var(const std::string &name, unsigned width);
+
+    /** A fresh variable no other term can equal (used for values the
+     * checker cannot model, e.g. a register with a symbolic enable). */
+    TermId opaque(unsigned width);
+
+    TermId constant(const ApInt &value);
+
+    /**
+     * Generic canonicalizing constructor for the computational kinds.
+     * Applies constant folding, identity rewrites and commutative
+     * operand sorting before hash-consing.
+     */
+    TermId make(TermKind kind, unsigned width,
+                std::vector<TermId> operands);
+
+    TermId icmp(ir::ICmpPred pred, TermId lhs, TermId rhs);
+    TermId extract(TermId value, unsigned lo, unsigned count);
+    TermId rom(std::vector<ApInt> values, unsigned width, TermId index);
+
+    const Term &term(TermId id) const { return terms_.at(id); }
+    size_t size() const { return terms_.size(); }
+
+    /** Bounded-depth s-expression rendering for diagnostics. */
+    std::string render(TermId id, unsigned max_depth = 4) const;
+
+  private:
+    /** Structural key for hash-consing. */
+    struct Key
+    {
+        TermKind kind;
+        unsigned width;
+        std::vector<TermId> operands;
+        std::string payload; ///< cval/var/pred/lo/rom, serialized
+
+        bool operator<(const Key &rhs) const;
+    };
+
+    TermId intern(Term term);
+    const ApInt &constOf(TermId id) const { return terms_[id].cval; }
+    bool isConst(TermId id) const
+    {
+        return terms_[id].kind == TermKind::Const;
+    }
+
+    std::vector<Term> terms_;
+    std::map<Key, TermId> interned_;
+    unsigned nextOpaque_ = 0;
+};
+
+} // namespace tv
+} // namespace analysis
+} // namespace longnail
+
+#endif // LONGNAIL_ANALYSIS_TV_TERMS_HH

@@ -1,0 +1,44 @@
+#include "analysis/tv/tv.hh"
+
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+
+namespace longnail {
+namespace analysis {
+namespace tv {
+
+UnitResult
+validateUnit(const lil::LilGraph &graph,
+             const sched::BuiltProblem &built,
+             const hwgen::GeneratedModule &module,
+             const scaiev::Datasheet &core,
+             const sched::TechLibrary &tech,
+             sched::ScheduleQuality quality,
+             const coredsl::ElaboratedIsa &isa,
+             DiagnosticEngine &diags, const TvOptions &options)
+{
+    UnitResult result;
+    {
+        obs::TraceSpan span("tv.schedcheck");
+        result.schedule =
+            checkSchedule(graph, built, core, tech, quality, diags);
+    }
+    {
+        obs::TraceSpan span("tv.netlint");
+        result.netlist = lintNetlist(module.module, diags);
+    }
+    {
+        obs::TraceSpan span("tv.equiv");
+        result.equiv = checkEquivalence(graph, module, isa, diags,
+                                        options.equiv);
+    }
+    obs::count("tv.sched_edges_checked", result.schedule.edgesChecked);
+    obs::count("tv.outputs_checked", result.equiv.outputsChecked);
+    obs::count("tv.outputs_proved", result.equiv.outputsProved);
+    obs::count("tv.term_dag_nodes", result.equiv.termDagSize);
+    return result;
+}
+
+} // namespace tv
+} // namespace analysis
+} // namespace longnail

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Translation validation of one compiled unit
+ * (docs/translation-validation.md): the entry point the driver runs
+ * behind `longnail --validate` / CompileOptions::validate.
+ *
+ * Composes the three independent checkers over one (LIL graph,
+ * schedule, netlist) triple:
+ *   1. schedule legality      (analysis/tv/schedcheck.hh, LN44xx)
+ *   2. LIL<->netlist equivalence (analysis/tv/equiv.hh,   LN45xx)
+ *   3. netlist lints          (analysis/tv/netlint.hh,    LN46xx)
+ */
+
+#ifndef LONGNAIL_ANALYSIS_TV_TV_HH
+#define LONGNAIL_ANALYSIS_TV_TV_HH
+
+#include "analysis/tv/equiv.hh"
+#include "analysis/tv/netlint.hh"
+#include "analysis/tv/schedcheck.hh"
+
+namespace longnail {
+namespace analysis {
+namespace tv {
+
+struct TvOptions
+{
+    EquivOptions equiv;
+};
+
+/** Combined result of validating one compiled unit. */
+struct UnitResult
+{
+    ScheduleCheckResult schedule;
+    EquivResult equiv;
+    NetlistLintResult netlist;
+
+    /** Every checker passed and the equivalence was proved
+     * symbolically (an LN4502-only unit is ok() but not proved). */
+    bool proved() const
+    {
+        return ok() && equiv.proved;
+    }
+    /** No error-severity finding. */
+    bool ok() const
+    {
+        return schedule.ok() && !equiv.refuted && netlist.ok();
+    }
+};
+
+/**
+ * Validate the translation of @p graph into @p module under the
+ * schedule in @p built. Emits LN44xx/LN45xx/LN46xx diagnostics into
+ * @p diags; the caller decides whether errors abort the compile.
+ */
+UnitResult validateUnit(const lil::LilGraph &graph,
+                        const sched::BuiltProblem &built,
+                        const hwgen::GeneratedModule &module,
+                        const scaiev::Datasheet &core,
+                        const sched::TechLibrary &tech,
+                        sched::ScheduleQuality quality,
+                        const coredsl::ElaboratedIsa &isa,
+                        DiagnosticEngine &diags,
+                        const TvOptions &options = {});
+
+} // namespace tv
+} // namespace analysis
+} // namespace longnail
+
+#endif // LONGNAIL_ANALYSIS_TV_TV_HH

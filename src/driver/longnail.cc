@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "analysis/lint.hh"
+#include "analysis/tv/tv.hh"
 #include "analysis/verifier.hh"
 #include "driver/isax_catalog.hh"
 #include "hir/transforms.hh"
@@ -353,6 +354,11 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
             verify_err.find("chaining") == std::string::npos)
             LN_PANIC("invalid schedule for ", graph->name, ": ",
                      verify_err);
+        // The scheduling rewrites (chain breaking, zero-delay-op
+        // sinking) must leave the LIL graph itself untouched; re-run
+        // the IR verifier here under LONGNAIL_VERIFY_IR to close the
+        // verifier gap between LIL lowering and hardware generation.
+        analysis::verifyAfterTransform(graph->graph, "sched");
 
         CompiledUnit unit;
         unit.name = graph->name;
@@ -395,6 +401,39 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
             fn.mask = graph->maskString;
             fn.schedule = hwgen::scheduleEntries(unit.module);
             result.config.functionality.push_back(std::move(fn));
+        }
+
+        // Translation validation (docs/translation-validation.md):
+        // independently re-check the schedule against the datasheet
+        // rules, lint the generated netlist, and prove it equivalent
+        // to the LIL graph it was generated from.
+        if (options.validate) {
+            DiagnosticEngine::ContextScope tv_scope(
+                diags, Phase::Validate, "LN4501");
+            PhaseTimer timer(result.report, "validate");
+            timer.span().arg("graph", graph->name);
+            if (failpoint::fire("validate") != failpoint::Mode::Off) {
+                diags.error({}, "LN4902",
+                            "injected fault at failpoint 'validate'");
+                return;
+            }
+            analysis::tv::UnitResult tv = analysis::tv::validateUnit(
+                *graph, built, unit.module, *sheet, tech,
+                outcome.quality, *result.isa, diags);
+            ++result.report.tvUnitsChecked;
+            if (tv.proved())
+                ++result.report.tvProved;
+            if (!tv.ok())
+                ++result.report.tvRefuted;
+            result.report.tvCexCycles += tv.equiv.cexCycles;
+            obs::count("tv.units_checked");
+            if (tv.proved())
+                obs::count("tv.proved");
+            if (!tv.ok())
+                obs::count("tv.refuted");
+            obs::count("tv.cex_cycles", tv.equiv.cexCycles);
+            if (diags.hasErrors())
+                return;
         }
 
         result.units.push_back(std::move(unit));

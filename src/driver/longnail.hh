@@ -57,6 +57,10 @@ struct CompileOptions
     /** Re-run the IR verifier after every HIR transform, in addition
      * to the analysis phase (also: LONGNAIL_VERIFY_IR). */
     bool verifyIr = false;
+    /** Run per-unit translation validation (CLI: --validate): schedule
+     * legality re-checking, LIL<->netlist equivalence and netlist
+     * lints (docs/translation-validation.md). */
+    bool validate = false;
     /** Promote all warnings to errors (CLI: --Werror). */
     bool warningsAsErrors = false;
     /** Promote only these LN codes to errors (CLI: --Werror=CODE). */
@@ -101,6 +105,17 @@ struct PhaseReport
     uint64_t lpWorkUnits = 0;
     /** Times the scheduler fallback chain degraded one step. */
     unsigned fallbackEvents = 0;
+
+    /** Translation-validation tallies (populated when
+     * CompileOptions::validate is set; see
+     * docs/translation-validation.md). */
+    unsigned tvUnitsChecked = 0;
+    /** Units whose netlist was symbolically proved equivalent. */
+    unsigned tvProved = 0;
+    /** Units refuted (counterexample or legality violation). */
+    unsigned tvRefuted = 0;
+    /** Simulated cycles spent on co-simulation counterexample search. */
+    uint64_t tvCexCycles = 0;
 
     /** Delta of the global obs counter registry over this compile;
      * empty unless obs::enabled() was set. */

@@ -146,6 +146,18 @@ Module::addRegister(NetId d, NetId enable, const ApInt &init)
     return net;
 }
 
+void
+Module::rebindOutput(const std::string &name, NetId net)
+{
+    for (auto &port : outputs_) {
+        if (port.name == name) {
+            port.net = net;
+            return;
+        }
+    }
+    LN_PANIC("no output port named ", name);
+}
+
 std::optional<NetId>
 Module::findInput(const std::string &name) const
 {

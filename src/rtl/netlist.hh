@@ -105,6 +105,15 @@ class Module
     unsigned widthOf(NetId net) const { return netWidths_.at(net); }
     size_t numNets() const { return netWidths_.size(); }
     const std::vector<Node> &nodes() const { return nodes_; }
+    /**
+     * Mutable node access. Exists for fault seeding in the
+     * translation-validation tests (swap an operand, change a kind);
+     * production code never mutates a built module.
+     */
+    Node &node(size_t index) { return nodes_.at(index); }
+    /** Re-bind an existing output port to a different net (fault
+     * seeding; panics when the port does not exist). */
+    void rebindOutput(const std::string &name, NetId net);
     const std::vector<OutputPort> &outputs() const { return outputs_; }
     /** Input ports in declaration order: (name, net). */
     const std::vector<std::pair<std::string, NetId>> &inputs() const

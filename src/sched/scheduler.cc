@@ -85,12 +85,13 @@ buildProblem(const lil::LilGraph &graph, const scaiev::Datasheet &core,
     return built;
 }
 
-void
-computeChainBreakers(ChainingProblem &problem)
+std::vector<Dependence>
+deriveChainBreakers(const ChainingProblem &problem)
 {
+    std::vector<Dependence> breakers;
     double cycle = problem.cycleTime();
     if (cycle <= 0.0)
-        return;
+        return breakers;
 
     size_t n = problem.numOperations();
     std::vector<std::vector<unsigned>> preds(n);
@@ -124,7 +125,7 @@ computeChainBreakers(ChainingProblem &problem)
                     problem.operatorTypeOf(problem.operation(p));
                 if (contrib + d > cycle && ptype.latency == 0 &&
                     contrib > 0.0) {
-                    problem.addChainBreaker(p, i);
+                    breakers.push_back({p, i});
                 } else {
                     remaining = std::max(remaining, contrib);
                 }
@@ -134,6 +135,14 @@ computeChainBreakers(ChainingProblem &problem)
             acc[i] = max_contrib + d;
         }
     }
+    return breakers;
+}
+
+void
+computeChainBreakers(ChainingProblem &problem)
+{
+    for (const Dependence &b : deriveChainBreakers(problem))
+        problem.addChainBreaker(b.from, b.to);
 }
 
 namespace {

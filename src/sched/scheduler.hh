@@ -60,6 +60,15 @@ BuiltProblem buildProblem(const lil::LilGraph &graph,
 void computeChainBreakers(ChainingProblem &problem);
 
 /**
+ * Pure form of computeChainBreakers(): derive the chain-breaking edges
+ * without mutating @p problem. computeChainBreakers() is implemented on
+ * top of this; the translation-validation schedule checker
+ * (src/analysis/tv/schedcheck.cc) re-derives the edges through the same
+ * algorithm to audit schedules independently of the solver.
+ */
+std::vector<Dependence> deriveChainBreakers(const ChainingProblem &problem);
+
+/**
  * Solve the ILP of Fig. 7 exactly (objective: sum of start times plus
  * lifetimes, constraints C1-C5). @p lp_work_limit bounds the LP
  * solver's deterministic work counter (0 = unlimited); exhausting it

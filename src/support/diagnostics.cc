@@ -84,6 +84,7 @@ phaseName(Phase phase)
       case Phase::Sched: return "sched";
       case Phase::HwGen: return "hwgen";
       case Phase::Scaiev: return "scaiev";
+      case Phase::Validate: return "validate";
       case Phase::Driver: return "driver";
     }
     return "none";

@@ -55,6 +55,7 @@ enum class Phase
     Sched,
     HwGen,
     Scaiev,
+    Validate,
     Driver,
 };
 

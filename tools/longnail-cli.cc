@@ -17,6 +17,10 @@
  *     --stdout           print artifacts instead of writing files
  *     --report           print the schedule and ASIC summary
  *     --lint             stop after static analysis; print findings
+ *     --validate         translation validation: re-check every
+ *                        schedule and prove each netlist equivalent
+ *                        to its LIL graph (LN44xx/45xx/46xx; see
+ *                        docs/translation-validation.md)
  *     --verify-ir        re-verify the IR after every transform
  *     --Werror[=CODE]    promote all warnings (or one LN code) to
  *                        errors
@@ -34,7 +38,7 @@
  *   2  frontend error (parse/sema/lowering, LN1xxx)
  *   3  scheduling error (LN2xxx)
  *   4  I/O error (unreadable input, bad datasheet, unwritable output)
- *   5  lint error (static analysis, LN4xxx)
+ *   5  lint error (static analysis and translation validation, LN4xxx)
  *
  * The tool never terminates via an uncaught exception; unexpected
  * failures are reported and mapped onto the codes above.
@@ -105,7 +109,7 @@ printUsage()
                  "[--cycle-time NS]\n"
                  "                [--max-errors N] [-o DIR] [--stdout] "
                  "[--report]\n"
-                 "                [--lint] [--verify-ir] "
+                 "                [--lint] [--validate] [--verify-ir] "
                  "[--Werror[=CODE]] [--no-warn=CODE]\n"
                  "                [--trace-json=FILE] [--stats=FILE|-] "
                  "[--quiet]\n"
@@ -168,6 +172,8 @@ run(int argc, char **argv)
             report = true;
         } else if (arg == "--lint") {
             options.lintOnly = true;
+        } else if (arg == "--validate") {
+            options.validate = true;
         } else if (arg == "--verify-ir") {
             options.verifyIr = true;
         } else if (arg == "--Werror") {
@@ -293,6 +299,15 @@ run(int argc, char **argv)
                         compiled.report.lpWorkUnits),
                     compiled.report.fallbackEvents,
                     compiled.report.fallbackEvents == 1 ? "" : "s");
+        if (options.validate)
+            std::printf("  validation: %u unit%s checked, %u proved, "
+                        "%u refuted, %llu cex cycles\n",
+                        compiled.report.tvUnitsChecked,
+                        compiled.report.tvUnitsChecked == 1 ? "" : "s",
+                        compiled.report.tvProved,
+                        compiled.report.tvRefuted,
+                        static_cast<unsigned long long>(
+                            compiled.report.tvCexCycles));
         std::printf("  phases (%.2f ms):", compiled.report.totalWallMs());
         for (const auto &entry : compiled.report.phases)
             std::printf(" %s=%.2fms", entry.name.c_str(),
