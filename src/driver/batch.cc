@@ -1,0 +1,243 @@
+#include "driver/batch.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "driver/isax_catalog.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "support/threadpool.hh"
+
+namespace longnail {
+namespace driver {
+
+namespace {
+
+/** Render a cache-event advisory in the standard diagnostic format
+ * (a scratch engine keeps the formatting in one place). Cache events
+ * are environment-dependent, so they bypass the unit's --Werror
+ * policy: a flaky disk must never fail a --Werror build. */
+CompileSummary::DiagLine
+cacheEventWarning(const std::string &code, const std::string &message)
+{
+    DiagnosticEngine engine;
+    DiagnosticEngine::ContextScope scope(engine, Phase::Driver, code);
+    engine.warning({}, code, message);
+    return {Severity::Warning, code, engine.all().front().str()};
+}
+
+} // namespace
+
+bool
+BatchResult::allOk() const
+{
+    return okCount() == units.size();
+}
+
+size_t
+BatchResult::okCount() const
+{
+    size_t n = 0;
+    for (const auto &unit : units)
+        if (unit.ok)
+            ++n;
+    return n;
+}
+
+std::shared_ptr<const scaiev::Datasheet>
+SharedInputs::datasheetFor(const std::string &core)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sheets_.find(core);
+    if (it != sheets_.end())
+        return it->second;
+    // The built-in registry owns the sheet; the shared_ptr only shares
+    // the lookup, not ownership.
+    const scaiev::Datasheet *sheet = scaiev::Datasheet::findCore(core);
+    auto shared = std::shared_ptr<const scaiev::Datasheet>(
+        sheet, [](const scaiev::Datasheet *) {});
+    if (!sheet)
+        shared = nullptr;
+    sheets_.emplace(core, shared);
+    return shared;
+}
+
+std::shared_ptr<const sched::TechLibrary>
+SharedInputs::techlibFor(sched::TimingMode mode)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = techs_.find(int(mode));
+    if (it != techs_.end())
+        return it->second;
+    auto tech = std::make_shared<const sched::TechLibrary>(mode);
+    techs_.emplace(int(mode), tech);
+    return tech;
+}
+
+const std::vector<std::string> &
+builtinCores()
+{
+    static const std::vector<std::string> cores = {
+        "ORCA", "Piccolo", "PicoRV32", "VexRiscv"};
+    return cores;
+}
+
+std::vector<BatchRequest>
+catalogBatchRequests(const std::vector<std::string> &cores,
+                     const CompileOptions &base)
+{
+    std::vector<BatchRequest> requests;
+    for (const auto &isax : catalog::allIsaxes()) {
+        for (const auto &core : cores) {
+            BatchRequest req;
+            req.unitName = isax.name + "@" + core;
+            req.source = isax.source;
+            req.target = isax.target;
+            req.options = base;
+            req.options.coreName = core;
+            requests.push_back(std::move(req));
+        }
+    }
+    return requests;
+}
+
+BatchResult
+compileBatch(std::vector<BatchRequest> requests,
+             const BatchOptions &options)
+{
+    auto batch_start = std::chrono::steady_clock::now();
+    obs::TraceSpan batch_span("batch");
+
+    // Deterministic processing and result order: sort by unit name up
+    // front (stable, so duplicate names keep their submission order).
+    // Every worker writes only its own pre-sized slot; the final
+    // vector is identical for any jobs value.
+    std::stable_sort(requests.begin(), requests.end(),
+                     [](const BatchRequest &a, const BatchRequest &b) {
+                         return a.unitName < b.unitName;
+                     });
+
+    BatchResult result;
+    result.units.resize(requests.size());
+    SharedInputs shared;
+
+    auto compile_one = [&](size_t i) {
+        const BatchRequest &req = requests[i];
+        BatchUnitOutcome &out = result.units[i];
+        out.unitName = req.unitName;
+
+        std::string key;
+        if (!options.cacheDir.empty()) {
+            key = cacheKey(req.source, req.target, req.options);
+            CompileSummary cached;
+            switch (cacheLoad(options.cacheDir, key, cached)) {
+            case CacheLookup::Hit:
+                out.summary = std::move(cached);
+                out.ok = out.summary.ok;
+                out.fromCache = true;
+                return;
+            case CacheLookup::Miss:
+                break;
+            case CacheLookup::Corrupt:
+                out.cacheCorrupt = true;
+                break;
+            case CacheLookup::Injected:
+                out.cacheInjected = true;
+                break;
+            }
+        }
+
+        // Shared read-only inputs, parsed/constructed once per batch.
+        CompileOptions opts = req.options;
+        auto tech = shared.techlibFor(opts.timingMode);
+        opts.techlib = tech.get();
+        std::shared_ptr<const scaiev::Datasheet> sheet;
+        if (!opts.datasheet) {
+            sheet = shared.datasheetFor(opts.coreName);
+            if (sheet)
+                opts.datasheet = sheet.get();
+        }
+
+        auto full = std::make_shared<CompiledIsax>(
+            compile(req.source, req.target, opts));
+        out.summary = summarize(*full);
+        out.ok = full->ok();
+        out.full = std::move(full);
+
+        // Store before decorating: cache events describe THIS run's
+        // lookup, so they must never be replayed from the cache.
+        if (out.ok && !options.cacheDir.empty())
+            out.cacheStored = cacheStore(options.cacheDir, key,
+                                         out.summary,
+                                         options.cacheMaxEntries);
+
+        // Fail-soft cache events surface as LN-coded advisories at the
+        // front of the unit's diagnostics (they happened first).
+        if (out.cacheCorrupt)
+            out.summary.diags.insert(
+                out.summary.diags.begin(),
+                cacheEventWarning(
+                    "LN3010", "corrupted cache entry for '" +
+                                  req.unitName + "': recompiled"));
+        if (out.cacheInjected)
+            out.summary.diags.insert(
+                out.summary.diags.begin(),
+                cacheEventWarning(
+                    "LN3903", "injected fault at failpoint 'cache': "
+                              "treated as a miss for '" +
+                                  req.unitName + "'"));
+    };
+
+    unsigned jobs = options.jobs;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    jobs = unsigned(std::min<size_t>(jobs, std::max<size_t>(
+                                               requests.size(), 1)));
+
+    if (jobs <= 1) {
+        for (size_t i = 0; i < requests.size(); ++i)
+            compile_one(i);
+    } else {
+        ThreadPool pool(jobs);
+        for (size_t i = 0; i < requests.size(); ++i)
+            pool.submit([&compile_one, i] { compile_one(i); });
+        pool.wait();
+    }
+
+    // Deterministic stats, aggregated from the outcomes after the
+    // join (no racy increments during the run).
+    for (const auto &unit : result.units) {
+        if (unit.fromCache) {
+            ++result.stats.cacheHits;
+        } else if (!options.cacheDir.empty()) {
+            ++result.stats.cacheMisses;
+            if (unit.cacheCorrupt)
+                ++result.stats.cacheCorrupt;
+        }
+        if (unit.cacheStored)
+            ++result.stats.cacheStores;
+    }
+    result.stats.wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - batch_start)
+            .count();
+
+    if (obs::enabled()) {
+        obs::count("batch.units", result.units.size());
+        obs::gauge("batch.jobs", double(jobs));
+        obs::count("cache.hits", result.stats.cacheHits);
+        obs::count("cache.misses", result.stats.cacheMisses);
+        obs::count("cache.stores", result.stats.cacheStores);
+        obs::count("cache.corrupt", result.stats.cacheCorrupt);
+    }
+    batch_span.arg("units", std::to_string(result.units.size()));
+    batch_span.arg("jobs", std::to_string(jobs));
+    return result;
+}
+
+} // namespace driver
+} // namespace longnail

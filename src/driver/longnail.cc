@@ -294,8 +294,14 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
     if (options.lintOnly)
         return;
 
-    // Schedule and generate hardware per functionality.
-    sched::TechLibrary tech(options.timingMode);
+    // Schedule and generate hardware per functionality. The technology
+    // characterization is shared across a batch when the caller
+    // memoized one (CompileOptions::techlib); it is read-only here.
+    std::optional<sched::TechLibrary> local_tech;
+    if (!options.techlib)
+        local_tech.emplace(options.timingMode);
+    const sched::TechLibrary &tech =
+        options.techlib ? *options.techlib : *local_tech;
     result.config.isaxName = result.name;
     result.config.coreName = options.coreName;
 
@@ -467,38 +473,33 @@ compile(const std::string &source, const std::string &target,
     std::optional<analysis::ScopedVerifyIr> verify_scope;
     if (options.verifyIr)
         verify_scope.emplace(true);
-    // Counter snapshot before/after: the compile's own delta lands in
+    // Per-thread counter delta: the compile's own increments land in
     // report.counters (only when obs is on; compiles stay zero-cost
-    // otherwise).
-    std::map<std::string, uint64_t> counters_before;
-    if (obs::enabled())
-        counters_before = obs::Registry::instance().counters();
+    // otherwise). Thread-confined, so concurrent compiles in a batch
+    // cannot pollute each other's report the way a global registry
+    // before/after snapshot would.
     {
-        obs::TraceSpan compile_span("compile");
-        compile_span.arg("core", options.coreName);
-        try {
-            compileInto(result, diags, source, target, options);
-        } catch (const std::exception &e) {
-            DiagnosticEngine::ContextScope scope(diags, Phase::Driver,
-                                                 "LN3009");
-            diags.error({}, "LN3009",
-                        std::string("internal error: ") + e.what());
+        obs::ScopedCounterDelta delta_scope;
+        {
+            obs::TraceSpan compile_span("compile");
+            compile_span.arg("core", options.coreName);
+            try {
+                compileInto(result, diags, source, target, options);
+            } catch (const std::exception &e) {
+                DiagnosticEngine::ContextScope scope(diags, Phase::Driver,
+                                                     "LN3009");
+                diags.error({}, "LN3009",
+                            std::string("internal error: ") + e.what());
+            }
+            compile_span.arg("isax", result.name);
+            compile_span.arg("status",
+                             diags.hasErrors() ? "error" : "ok");
         }
-        compile_span.arg("isax", result.name);
-        compile_span.arg("status",
-                         diags.hasErrors() ? "error" : "ok");
-    }
-    if (obs::enabled()) {
-        obs::count("driver.compiles");
-        if (diags.hasErrors())
-            obs::count("driver.compile_errors");
-        for (const auto &[name, value] :
-             obs::Registry::instance().counters()) {
-            auto it = counters_before.find(name);
-            uint64_t before = it == counters_before.end() ? 0
-                                                          : it->second;
-            if (value > before)
-                result.report.counters[name] = value - before;
+        if (obs::enabled()) {
+            obs::count("driver.compiles");
+            if (diags.hasErrors())
+                obs::count("driver.compile_errors");
+            result.report.counters = delta_scope.deltas();
         }
     }
     if (diags.hasErrors())

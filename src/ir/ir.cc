@@ -8,8 +8,6 @@
 namespace longnail {
 namespace ir {
 
-unsigned Graph::nextValueId_ = 0;
-
 std::string
 WireType::str() const
 {

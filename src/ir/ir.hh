@@ -269,7 +269,9 @@ class Graph
 
     std::deque<std::unique_ptr<Operation>> ops_;
     SourceLoc defaultLoc_;
-    static unsigned nextValueId_;
+    // Per-graph so concurrent compiles never share mutable state; ids are
+    // debugging labels only (print/verify/panic messages), never artifacts.
+    unsigned nextValueId_ = 0;
 };
 
 } // namespace ir

@@ -85,6 +85,41 @@ class Registry
     std::map<std::string, HistogramStats> histograms_;
 };
 
+/**
+ * Captures the counter increments made by the *current thread* while
+ * the object is in scope (they still reach the global Registry too).
+ *
+ * This is how per-compile counter deltas stay correct under parallel
+ * batch compilation: each worker wraps its compile in a scope, so a
+ * PhaseReport only sees the increments of its own thread instead of a
+ * global before/after snapshot polluted by concurrent compiles.
+ * Scopes nest (inner increments propagate to enclosing scopes on the
+ * same thread) and must be destroyed on the thread that created them,
+ * in LIFO order -- the natural stack discipline.
+ */
+class ScopedCounterDelta
+{
+  public:
+    ScopedCounterDelta();
+    ~ScopedCounterDelta();
+    ScopedCounterDelta(const ScopedCounterDelta &) = delete;
+    ScopedCounterDelta &operator=(const ScopedCounterDelta &) = delete;
+
+    /** Increments recorded by this thread so far, by counter name. */
+    const std::map<std::string, uint64_t> &deltas() const
+    {
+        return deltas_;
+    }
+
+    /** Called by Registry::addCounter: credit @p delta to every scope
+     * active on the calling thread. */
+    static void recordOnThread(const std::string &name, uint64_t delta);
+
+  private:
+    std::map<std::string, uint64_t> deltas_;
+    ScopedCounterDelta *prev_ = nullptr;
+};
+
 /** Increment a counter by @p delta (no-op when obs is disabled). */
 inline void
 count(const char *name, uint64_t delta = 1)

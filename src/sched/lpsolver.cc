@@ -104,10 +104,14 @@ class FlowNetwork
 
 /**
  * Detect primal infeasibility: contradictory difference constraints
- * form a negative cycle in the shortest-path formulation.
+ * form a negative cycle in the shortest-path formulation. When the
+ * check converges (no cycle), the final distances double as a feasible
+ * point -- t_i = dist[i] - dist[ref] meets every constraint and bound
+ * -- which is written to @p feasible_out for warm-starting re-solves.
  */
 bool
-hasNegativeCycle(const DifferenceLP &lp, uint64_t &work)
+hasNegativeCycle(const DifferenceLP &lp, uint64_t &work,
+                 std::vector<int> *feasible_out = nullptr)
 {
     unsigned n = lp.numVars();
     unsigned ref = n;
@@ -130,22 +134,59 @@ hasNegativeCycle(const DifferenceLP &lp, uint64_t &work)
                 changed = true;
             }
         }
-        if (!changed)
+        if (!changed) {
+            if (feasible_out) {
+                feasible_out->resize(n);
+                for (unsigned i = 0; i < n; ++i)
+                    (*feasible_out)[i] = int(dist[i] - dist[ref]);
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Does @p t satisfy every constraint and bound of @p lp? */
+bool
+isFeasiblePoint(const DifferenceLP &lp, const std::vector<int> &t)
+{
+    for (unsigned i = 0; i < lp.numVars(); ++i) {
+        if (t[i] < lp.lower[i])
+            return false;
+        if (lp.upper[i] != DifferenceLP::unbounded && t[i] > lp.upper[i])
             return false;
     }
+    for (const auto &c : lp.constraints)
+        if (int64_t(t[c.j]) - int64_t(t[c.i]) < int64_t(c.c))
+            return false;
     return true;
 }
 
 } // namespace
 
 LPResult
-solveDifferenceLP(const DifferenceLP &lp, uint64_t work_limit)
+solveDifferenceLP(const DifferenceLP &lp, uint64_t work_limit,
+                  const std::vector<int> *warm_start)
 {
     LPResult result;
     auto over_budget = [&]() {
         return work_limit != 0 && result.workUnits > work_limit;
     };
-    if (hasNegativeCycle(lp, result.workUnits)) {
+    // Feasibility. A valid warm-start hint is a witness that settles it
+    // in one validation pass; otherwise (or when the hint turns out to
+    // be stale) fall back to the Bellman-Ford negative-cycle check,
+    // whose converged distances yield a feasible point of our own.
+    bool feasible_known = false;
+    if (warm_start && warm_start->size() == lp.numVars()) {
+        ++result.workUnits;
+        if (isFeasiblePoint(lp, *warm_start)) {
+            result.feasiblePoint = *warm_start;
+            result.warmStarted = true;
+            feasible_known = true;
+        }
+    }
+    if (!feasible_known &&
+        hasNegativeCycle(lp, result.workUnits, &result.feasiblePoint)) {
         result.status = LPResult::Status::Infeasible;
         return result;
     }

@@ -69,6 +69,15 @@ struct LPResult
     int64_t objective = 0;
     /** Deterministic work units spent (queue pops / edge relaxations). */
     uint64_t workUnits = 0;
+    /**
+     * A (generally non-optimal) point satisfying every constraint and
+     * bound, available whenever feasibility was established -- even on
+     * BudgetExhausted. Callers re-solving a related instance (e.g. the
+     * scheduler fallback chain) pass it back as @p warm_start.
+     */
+    std::vector<int> feasiblePoint;
+    /** True when @p warm_start was accepted as a feasibility witness. */
+    bool warmStarted = false;
 };
 
 /**
@@ -77,9 +86,17 @@ struct LPResult
  * is BudgetExhausted and no values are produced, letting callers fall
  * back to a heuristic scheduler instead of waiting on a pathological
  * instance.
+ *
+ * @p warm_start, when non-null and feasible for @p lp, serves as a
+ * feasibility witness: the up-to-(n+2)-iteration Bellman-Ford
+ * negative-cycle check is replaced by a single validation pass (one
+ * work unit), cutting the work spent on re-solves of closely related
+ * instances. An infeasible or wrongly-sized hint is ignored (the full
+ * check runs as usual); correctness never depends on the hint.
  */
 LPResult solveDifferenceLP(const DifferenceLP &lp,
-                           uint64_t work_limit = 0);
+                           uint64_t work_limit = 0,
+                           const std::vector<int> *warm_start = nullptr);
 
 } // namespace sched
 } // namespace longnail

@@ -161,32 +161,15 @@ objectiveWeights(const LongnailProblem &problem)
     return w;
 }
 
-} // namespace
-
-std::string
-scheduleOptimal(LongnailProblem &problem, uint64_t lp_work_limit,
-                uint64_t *work_units_out)
+/**
+ * Shared LP skeleton of Fig. 7: bounds (C3/C4), dependences (C1) and
+ * optionally the chain breakers (C5). Objective weights are left at
+ * zero for the caller to fill in.
+ */
+DifferenceLP
+buildScheduleLP(const LongnailProblem &problem, bool with_chain_breakers)
 {
-    if (work_units_out)
-        *work_units_out = 0;
-    std::string input_error = problem.checkInput();
-    if (!input_error.empty())
-        return input_error;
-
-    if (failpoint::fire("sched-optimal") != failpoint::Mode::Off)
-        return "injected fault at failpoint 'sched-optimal'";
-
     DifferenceLP lp(problem.numOperations());
-    lp.weights = objectiveWeights(problem);
-    // Secondary objective: among the (often many) optima of Fig. 7's
-    // objective, prefer *later* start times -- values are then produced
-    // closer to their consumers, which saves pipeline registers (and
-    // matches the paper's Fig. 5d, where the operand reads happen in
-    // stage 2 rather than the earliest possible stage). The primary
-    // objective is scaled so it always dominates.
-    constexpr int64_t primaryScale = 1024;
-    for (auto &w : lp.weights)
-        w = w * primaryScale - 1;
     for (unsigned i = 0; i < problem.numOperations(); ++i) {
         const OperatorType &type =
             problem.operatorTypeOf(problem.operation(i));
@@ -200,21 +183,61 @@ scheduleOptimal(LongnailProblem &problem, uint64_t lp_work_limit,
             problem.operatorTypeOf(problem.operation(dep.from));
         lp.addConstraint(dep.from, dep.to, int(type.latency));
     }
-    for (const auto &dep : problem.chainBreakers()) { // C5
-        const OperatorType &type =
-            problem.operatorTypeOf(problem.operation(dep.from));
-        lp.addConstraint(dep.from, dep.to, int(type.latency) + 1);
-    }
+    if (with_chain_breakers)
+        for (const auto &dep : problem.chainBreakers()) { // C5
+            const OperatorType &type =
+                problem.operatorTypeOf(problem.operation(dep.from));
+            lp.addConstraint(dep.from, dep.to, int(type.latency) + 1);
+        }
+    return lp;
+}
 
-    LPResult result = solveDifferenceLP(lp, lp_work_limit);
-    if (work_units_out)
-        *work_units_out = result.workUnits;
+/** Count one LP solve's deterministic work into the obs registry. */
+void
+countLPSolve(const LPResult &result)
+{
     // LP "iterations" are the solver's deterministic work units (queue
     // pops / edge relaxations); see src/sched/lpsolver.hh.
     obs::count("sched.lp_solves");
     obs::count("sched.lp_iterations", result.workUnits);
     obs::observe("sched.lp_iterations_per_solve",
                  double(result.workUnits));
+}
+
+} // namespace
+
+std::string
+scheduleOptimal(LongnailProblem &problem, uint64_t lp_work_limit,
+                uint64_t *work_units_out, std::vector<int> *feasible_out)
+{
+    if (work_units_out)
+        *work_units_out = 0;
+    std::string input_error = problem.checkInput();
+    if (!input_error.empty())
+        return input_error;
+
+    if (failpoint::fire("sched-optimal") != failpoint::Mode::Off)
+        return "injected fault at failpoint 'sched-optimal'";
+
+    DifferenceLP lp = buildScheduleLP(problem,
+                                      /*with_chain_breakers=*/true);
+    lp.weights = objectiveWeights(problem);
+    // Secondary objective: among the (often many) optima of Fig. 7's
+    // objective, prefer *later* start times -- values are then produced
+    // closer to their consumers, which saves pipeline registers (and
+    // matches the paper's Fig. 5d, where the operand reads happen in
+    // stage 2 rather than the earliest possible stage). The primary
+    // objective is scaled so it always dominates.
+    constexpr int64_t primaryScale = 1024;
+    for (auto &w : lp.weights)
+        w = w * primaryScale - 1;
+
+    LPResult result = solveDifferenceLP(lp, lp_work_limit);
+    if (work_units_out)
+        *work_units_out = result.workUnits;
+    if (feasible_out)
+        *feasible_out = result.feasiblePoint;
+    countLPSolve(result);
     if (result.status == LPResult::Status::Infeasible)
         return "no feasible schedule: the interface windows and "
                "dependences are contradictory";
@@ -223,6 +246,50 @@ scheduleOptimal(LongnailProblem &problem, uint64_t lp_work_limit,
     if (result.status == LPResult::Status::BudgetExhausted)
         return "scheduling budget exhausted after " +
                std::to_string(result.workUnits) + " LP work units";
+
+    for (unsigned i = 0; i < problem.numOperations(); ++i)
+        problem.operation(i).startTime = result.values[i];
+    problem.computeStartTimesInCycle();
+    return "";
+}
+
+std::string
+scheduleAsapLP(LongnailProblem &problem, bool honor_chain_breakers,
+               const std::vector<int> *warm_start, uint64_t lp_work_limit)
+{
+    std::string input_error = problem.checkInput();
+    if (!input_error.empty())
+        return input_error;
+
+    DifferenceLP lp = buildScheduleLP(problem, honor_chain_breakers);
+    // All-ones objective: the feasible region of a difference system is
+    // meet-closed (the componentwise minimum of two feasible points is
+    // feasible), so minimizing sum t_i has a *unique* optimum -- the
+    // least feasible point, which is exactly the fixpoint
+    // scheduleAsap() computes. The LP route exists purely so a
+    // feasible point saved from the optimal attempt can warm-start the
+    // fallback re-solve; the schedule it produces is identical.
+    lp.weights.assign(problem.numOperations(), 1);
+
+    if (warm_start)
+        obs::count("sched.lp_warm_starts");
+    LPResult result = solveDifferenceLP(lp, lp_work_limit, warm_start);
+    countLPSolve(result);
+    if (result.warmStarted)
+        obs::count("sched.lp_warm_start_hits");
+    if (result.status != LPResult::Status::Optimal) {
+        // Callers fall back to scheduleAsap(), which re-derives the
+        // precise legacy infeasibility message.
+        switch (result.status) {
+        case LPResult::Status::Infeasible:
+            return "asap-lp: infeasible";
+        case LPResult::Status::BudgetExhausted:
+            return "asap-lp: budget exhausted after " +
+                   std::to_string(result.workUnits) + " LP work units";
+        default:
+            return "asap-lp: unbounded (internal error)";
+        }
+    }
 
     for (unsigned i = 0; i < problem.numOperations(); ++i)
         problem.operation(i).startTime = result.values[i];
@@ -299,10 +366,11 @@ scheduleWithFallback(LongnailProblem &problem,
     // --stats dump always reports it (zero is a result, not absence).
     obs::count("sched.fallback_events", 0);
     std::string optimal_error;
+    std::vector<int> warm;
     {
         obs::TraceSpan span("sched.optimal");
         optimal_error = scheduleOptimal(problem, budget.lpWorkLimit,
-                                        &outcome.lpWorkUnits);
+                                        &outcome.lpWorkUnits, &warm);
         span.arg("status", optimal_error.empty() ? "ok"
                                                  : optimal_error);
     }
@@ -313,14 +381,26 @@ scheduleWithFallback(LongnailProblem &problem,
     }
 
     // The fallback chain fires: make each step observable (the chain
-    // used to degrade silently; see ISSUE 3).
+    // used to degrade silently; see ISSUE 3). When the optimal attempt
+    // got as far as proving feasibility (e.g. it exhausted its budget
+    // in the simplex phase), its feasible point warm-starts the ASAP
+    // re-solves below -- the LP route produces the identical least
+    // fixpoint, just without re-running the Bellman-Ford feasibility
+    // pass. The list scheduler stays on as safety net.
+    const std::vector<int> *warm_ptr = warm.empty() ? nullptr : &warm;
     obs::count("sched.fallback_events");
     outcome.fallbackReason = optimal_error;
     outcome.quality = ScheduleQuality::Fallback;
     std::string asap_error;
     {
         obs::TraceSpan span("sched.fallback.asap");
-        asap_error = scheduleAsap(problem);
+        asap_error = "unattempted";
+        if (warm_ptr)
+            asap_error = scheduleAsapLP(problem,
+                                        /*honor_chain_breakers=*/true,
+                                        warm_ptr, budget.lpWorkLimit);
+        if (!asap_error.empty())
+            asap_error = scheduleAsap(problem);
         span.arg("status", asap_error.empty() ? "ok" : asap_error);
     }
     if (asap_error.empty()) {
@@ -331,13 +411,21 @@ scheduleWithFallback(LongnailProblem &problem,
     // Last resort: drop the C5 chain breakers. Dependences and
     // interface windows still hold, so the schedule is architecturally
     // correct; only the combinational chain length (fmax) may suffer.
+    // The warm point satisfies the relaxed system too (a constraint
+    // subset), so it warm-starts this re-solve as well.
     obs::count("sched.fallback_events");
     outcome.quality = ScheduleQuality::FallbackRelaxed;
     std::string relaxed_error;
     {
         obs::TraceSpan span("sched.fallback.asap-relaxed");
-        relaxed_error =
-            scheduleAsap(problem, /*honor_chain_breakers=*/false);
+        relaxed_error = "unattempted";
+        if (warm_ptr)
+            relaxed_error =
+                scheduleAsapLP(problem, /*honor_chain_breakers=*/false,
+                               warm_ptr, budget.lpWorkLimit);
+        if (!relaxed_error.empty())
+            relaxed_error =
+                scheduleAsap(problem, /*honor_chain_breakers=*/false);
         span.arg("status",
                  relaxed_error.empty() ? "ok" : relaxed_error);
     }

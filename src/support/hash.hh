@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Content hashing for the compilation cache (docs/batch-compilation.md).
+ *
+ * A streaming SHA-256 implementation (FIPS 180-4) with no external
+ * dependencies. The artifact cache keys every compile by the digest of
+ * its complete input closure -- CoreDSL source, virtual datasheet,
+ * technology library mode, CompileOptions and the compiler version --
+ * so two compiles share a cache entry exactly when they are guaranteed
+ * to produce byte-identical artifacts.
+ */
+
+#ifndef LONGNAIL_SUPPORT_HASH_HH
+#define LONGNAIL_SUPPORT_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace longnail {
+namespace hash {
+
+/** Incremental SHA-256 (FIPS 180-4). */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p len bytes. */
+    void update(const void *data, size_t len);
+    void update(const std::string &s) { update(s.data(), s.size()); }
+
+    /**
+     * Absorb one length-delimited field: the field's size followed by
+     * its bytes. Prevents ambiguity between adjacent fields ("ab"+"c"
+     * vs "a"+"bc") when hashing a record of strings.
+     */
+    void updateField(const std::string &s);
+
+    /** Finalize and return the digest as 64 lowercase hex chars.
+     * The object must not be updated afterwards. */
+    std::string hexDigest();
+
+  private:
+    void processBlock(const uint8_t *block);
+
+    uint32_t state_[8];
+    uint64_t totalBytes_ = 0;
+    uint8_t buffer_[64];
+    size_t bufferLen_ = 0;
+};
+
+/** One-shot convenience: hex SHA-256 of @p data. */
+std::string sha256Hex(const std::string &data);
+
+} // namespace hash
+} // namespace longnail
+
+#endif // LONGNAIL_SUPPORT_HASH_HH

@@ -1,0 +1,121 @@
+#include "support/threadpool.hh"
+
+namespace longnail {
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    queues_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(cvMutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(idleMutex_);
+        ++outstanding_;
+    }
+    size_t target;
+    {
+        std::lock_guard<std::mutex> lock(cvMutex_);
+        target = nextQueue_++ % queues_.size();
+        ++gen_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    cv_.notify_all();
+}
+
+bool ThreadPool::tryRunOne(size_t self)
+{
+    std::function<void()> task;
+    // Own queue first (back = most recently pushed), then steal the
+    // oldest task from any other worker.
+    {
+        WorkerQueue &q = *queues_[self];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.tasks.empty()) {
+            task = std::move(q.tasks.back());
+            q.tasks.pop_back();
+        }
+    }
+    if (!task) {
+        for (size_t off = 1; off < queues_.size() && !task; ++off) {
+            WorkerQueue &q = *queues_[(self + off) % queues_.size()];
+            std::lock_guard<std::mutex> lock(q.mutex);
+            if (!q.tasks.empty()) {
+                task = std::move(q.tasks.front());
+                q.tasks.pop_front();
+            }
+        }
+    }
+    if (!task)
+        return false;
+
+    try {
+        task();
+    } catch (...) {
+        // Tasks are expected to capture their own failures; a stray
+        // exception must not tear down the pool.
+    }
+    {
+        std::lock_guard<std::mutex> lock(idleMutex_);
+        --outstanding_;
+    }
+    idleCv_.notify_all();
+    return true;
+}
+
+void ThreadPool::workerLoop(size_t index)
+{
+    for (;;) {
+        // Snapshot gen_ BEFORE scanning. A submit that lands during
+        // the scan bumps gen_, so the post-scan check below rescans
+        // instead of sleeping past the new task.
+        uint64_t seenGen;
+        {
+            std::lock_guard<std::mutex> lock(cvMutex_);
+            seenGen = gen_;
+        }
+        while (tryRunOne(index)) {
+        }
+        std::unique_lock<std::mutex> lock(cvMutex_);
+        if (stop_)
+            return;
+        if (gen_ != seenGen)
+            continue;
+        cv_.wait(lock, [&] { return stop_ || gen_ != seenGen; });
+        if (stop_)
+            return;
+    }
+}
+
+void ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(idleMutex_);
+    idleCv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+} // namespace longnail

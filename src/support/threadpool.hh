@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Work-stealing thread pool for batch compilation
+ * (docs/batch-compilation.md).
+ *
+ * Each worker owns a deque: it pushes and pops its own work at the
+ * back (LIFO, cache-friendly) and steals from other workers' fronts
+ * (FIFO, grabs the oldest -- typically largest -- task). Tasks must
+ * not throw; a catch-all in the worker loop swallows anything that
+ * escapes so one bad unit cannot take down the batch.
+ *
+ * Determinism note: the pool executes tasks in a nondeterministic
+ * order by design. Batch compilation keeps its outputs deterministic
+ * by routing every task's results into a pre-sized slot vector and
+ * emitting them sorted after wait() returns.
+ */
+
+#ifndef LONGNAIL_SUPPORT_THREADPOOL_HH
+#define LONGNAIL_SUPPORT_THREADPOOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace longnail {
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers; 0 means one per hardware thread. */
+    explicit ThreadPool(size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task. Safe to call from any thread, including workers. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished running. */
+    void wait();
+
+    size_t threadCount() const { return workers_.size(); }
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(size_t index);
+    bool tryRunOne(size_t self);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    // Sleep/wake protocol: submit() bumps gen_ under cvMutex_ and
+    // notifies; workers re-scan all queues whenever gen_ moved, so a
+    // task enqueued between a failed scan and the wait cannot be lost.
+    std::mutex cvMutex_;
+    std::condition_variable cv_;
+    uint64_t gen_ = 0;
+    bool stop_ = false;
+
+    std::mutex idleMutex_;
+    std::condition_variable idleCv_;
+    size_t outstanding_ = 0; // guarded by idleMutex_
+
+    std::size_t nextQueue_ = 0; // round-robin submit target; cvMutex_
+};
+
+} // namespace longnail
+
+#endif // LONGNAIL_SUPPORT_THREADPOOL_HH

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "bench/report.hh"
 #include "driver/longnail.hh"
@@ -329,6 +330,43 @@ TEST_F(ObsBenchTest, WriterWritesJsonLinesFile)
     EXPECT_EQ(parsed.commit, "deadbee");
     EXPECT_FALSE(std::getline(in, line)); // exactly one record
     std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread counter attribution (batch compilation support)
+// ---------------------------------------------------------------------------
+
+using ObsDeltaTest = ObsFixture;
+
+TEST_F(ObsDeltaTest, ScopedDeltaSeesOnlyItsOwnThread)
+{
+    obs::ScopedEnable on;
+    obs::ScopedCounterDelta scope;
+    obs::count("delta.test", 2);
+    std::thread other([] { obs::count("delta.test", 40); });
+    other.join();
+    obs::count("delta.test");
+
+    // The scope attributes only this thread's increments; the global
+    // registry still sees everything.
+    auto it = scope.deltas().find("delta.test");
+    ASSERT_NE(it, scope.deltas().end());
+    EXPECT_EQ(it->second, 3u);
+    EXPECT_EQ(obs::Registry::instance().counters().at("delta.test"),
+              43u);
+}
+
+TEST_F(ObsDeltaTest, ScopesNestAndBothCapture)
+{
+    obs::ScopedEnable on;
+    obs::ScopedCounterDelta outer;
+    obs::count("delta.nest");
+    {
+        obs::ScopedCounterDelta inner;
+        obs::count("delta.nest", 4);
+        EXPECT_EQ(inner.deltas().at("delta.nest"), 4u);
+    }
+    EXPECT_EQ(outer.deltas().at("delta.nest"), 5u);
 }
 
 } // namespace

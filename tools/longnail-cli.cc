@@ -3,7 +3,7 @@
  * The Longnail command-line tool: CoreDSL in, SystemVerilog + SCAIE-V
  * configuration out (the end-to-end flow of Fig. 9).
  *
- *   longnail [options] <input.core_desc>
+ *   longnail [options] <input.core_desc>...
  *     --core NAME        target core: ORCA, Piccolo, PicoRV32,
  *                        VexRiscv (default VexRiscv)
  *     --datasheet FILE   virtual datasheet (YAML) for a custom core
@@ -32,6 +32,21 @@
  *                        prints a human-readable table to stdout
  *     --quiet            suppress advisory warn/inform output
  *
+ * Batch compilation (docs/batch-compilation.md) -- active when more
+ * than one input is given or any of the following flags appears:
+ *     --jobs=N, -jN      compile units on N worker threads (0 = one
+ *                        per hardware thread; default 1)
+ *     --cores A,B,...    compile every input for several cores; units
+ *                        are named "<input-stem>@<core>"
+ *     --cache-dir DIR    content-addressed artifact cache: replay
+ *                        units whose full input closure is unchanged
+ *     --cache-limit N    LRU-evict cache entries beyond N (0 = keep
+ *                        all)
+ * Batch output ordering is deterministic: artifacts, diagnostics and
+ * the exit code are byte-identical for any --jobs value. Artifacts
+ * land in <out-dir>/<unit-key>/; per-unit diagnostics are prefixed
+ * "[unit-key] " on stderr.
+ *
  * Exit codes (deterministic, see docs/failure-model.md):
  *   0  success
  *   1  usage error
@@ -46,11 +61,14 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "asic/flow.hh"
+#include "driver/batch.hh"
 #include "driver/longnail.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
@@ -113,7 +131,10 @@ printUsage()
                  "[--Werror[=CODE]] [--no-warn=CODE]\n"
                  "                [--trace-json=FILE] [--stats=FILE|-] "
                  "[--quiet]\n"
-                 "                <input.core_desc>\n");
+                 "                [--jobs=N|-jN] [--cores A,B,...] "
+                 "[--cache-dir DIR]\n"
+                 "                [--cache-limit N]\n"
+                 "                <input.core_desc>...\n");
 }
 
 [[noreturn]] void
@@ -123,13 +144,184 @@ usage()
     throw CliError{exitUsage, ""};
 }
 
+/**
+ * Exit code of a failed batch unit, mirroring the single-compile
+ * mapping: LN4xxx errors -> lint, else LN2xxx -> schedule, else
+ * frontend. The batch exit code comes from the first failing unit in
+ * sorted order, so it is the same for any --jobs value.
+ */
+int
+batchExitCode(const driver::CompileSummary &summary)
+{
+    bool schedule = false;
+    for (const auto &diag : summary.diags) {
+        if (diag.severity != Severity::Error)
+            continue;
+        if (diag.code.rfind("LN4", 0) == 0)
+            return exitLint;
+        if (diag.code.rfind("LN2", 0) == 0)
+            schedule = true;
+    }
+    return schedule ? exitSchedule : exitFrontend;
+}
+
+/**
+ * Batch mode (docs/batch-compilation.md): every input crossed with
+ * every core, compiled via driver::compileBatch(). All user-visible
+ * output is rendered from the sorted result vector after the join, so
+ * stdout, stderr, written artifacts and the exit code are
+ * byte-identical for any --jobs value.
+ */
+int
+runBatch(const std::vector<std::string> &inputs,
+         const std::string &target,
+         const driver::CompileOptions &base,
+         const std::string &cores_arg, const std::string &cache_dir,
+         size_t cache_limit, unsigned jobs,
+         const std::string &out_dir, bool to_stdout, bool report)
+{
+    std::vector<std::string> cores;
+    if (cores_arg.empty()) {
+        cores.push_back(base.coreName);
+    } else {
+        size_t start = 0;
+        for (;;) {
+            size_t comma = cores_arg.find(',', start);
+            std::string core =
+                cores_arg.substr(start, comma == std::string::npos
+                                            ? std::string::npos
+                                            : comma - start);
+            if (core.empty())
+                usage();
+            cores.push_back(core);
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+    }
+
+    // Read every input up front: an unreadable file aborts the whole
+    // batch with exit 4 before any compile starts, deterministically.
+    std::vector<driver::BatchRequest> requests;
+    for (const auto &path : inputs) {
+        std::string source = readFile(path);
+        std::string stem = std::filesystem::path(path).stem().string();
+        for (const auto &core : cores) {
+            driver::BatchRequest req;
+            req.unitName = stem + "@" + core;
+            req.source = source;
+            req.target = target;
+            req.options = base;
+            req.options.coreName = core;
+            requests.push_back(std::move(req));
+        }
+    }
+
+    driver::BatchOptions batch_options;
+    batch_options.jobs = jobs;
+    batch_options.cacheDir = cache_dir;
+    batch_options.cacheMaxEntries = cache_limit;
+    driver::BatchResult result =
+        driver::compileBatch(std::move(requests), batch_options);
+
+    // Sorted, post-join emission. Failed units print every diagnostic
+    // (the batch equivalent of the single-compile error block);
+    // successful ones print their warnings, as the single path does.
+    for (const auto &unit : result.units) {
+        const driver::CompileSummary &summary = unit.summary;
+        for (const auto &diag : summary.diags)
+            if (!unit.ok || diag.severity == Severity::Warning)
+                std::fprintf(stderr, "[%s] %s\n", unit.unitName.c_str(),
+                             diag.rendered.c_str());
+
+        if (!unit.ok || base.lintOnly)
+            continue;
+        if (to_stdout) {
+            std::printf("// ===== %s =====\n", unit.unitName.c_str());
+            for (const auto &u : summary.units)
+                std::printf("%s\n", u.systemVerilog.c_str());
+            std::printf("%s", summary.configYaml.c_str());
+        } else {
+            std::string dir = out_dir + "/" + unit.unitName;
+            std::error_code ec;
+            std::filesystem::create_directories(dir, ec);
+            if (ec)
+                throw CliError{exitIo, "cannot create '" + dir + "'"};
+            for (const auto &u : summary.units)
+                writeFile(dir + "/" + u.name + ".sv", u.systemVerilog);
+            writeFile(dir + "/" + summary.isaxName + ".scaiev.yaml",
+                      summary.configYaml);
+        }
+    }
+
+    for (const auto &unit : result.units)
+        std::printf("%s: %s\n", unit.unitName.c_str(),
+                    unit.ok ? "ok" : "failed");
+    std::printf("batch: %zu/%zu ok\n", result.okCount(),
+                result.units.size());
+
+    if (report) {
+        // Deterministic fields only: no wall times, no ASIC numbers
+        // (they vary run to run and would break -j1 vs -jN diffing).
+        for (const auto &unit : result.units) {
+            if (!unit.ok)
+                continue;
+            const driver::CompileSummary &summary = unit.summary;
+            std::printf("\n%s\n", unit.unitName.c_str());
+            std::printf("  scheduler: %s, %llu LP work units consumed, "
+                        "%u fallback event%s\n",
+                        summary.chosenScheduler.c_str(),
+                        static_cast<unsigned long long>(
+                            summary.lpWorkUnits),
+                        summary.fallbackEvents,
+                        summary.fallbackEvents == 1 ? "" : "s");
+            for (const auto &u : summary.units)
+                std::printf("  %-16s %s, stages %d..%d, %u pipeline "
+                            "registers, objective %.0f, %s schedule\n",
+                            u.name.c_str(),
+                            u.isAlways ? "always" : "instruction",
+                            u.firstStage, u.lastStage, u.numRegisters,
+                            u.objective, u.quality.c_str());
+        }
+    }
+
+    if (!cache_dir.empty())
+        inform("cache: ", result.stats.cacheHits, " hit(s), ",
+               result.stats.cacheMisses, " miss(es), ",
+               result.stats.cacheStores, " store(s), ",
+               result.stats.cacheCorrupt, " corrupt");
+
+    for (const auto &unit : result.units)
+        if (!unit.ok)
+            return batchExitCode(unit.summary);
+    return exitOk;
+}
+
 int
 run(int argc, char **argv)
 {
     driver::CompileOptions options;
     std::string input, target, out_dir = ".", datasheet_path;
     std::string trace_path, stats_path;
+    std::vector<std::string> inputs;
+    std::string cores_arg, cache_dir;
+    unsigned long jobs = 1, cache_limit = 0;
+    bool jobs_given = false;
     bool to_stdout = false, report = false;
+
+    auto parseCount = [](const std::string &text) -> unsigned long {
+        try {
+            size_t pos = 0;
+            unsigned long value = std::stoul(text, &pos);
+            if (pos != text.size())
+                usage();
+            return value;
+        } catch (const CliError &) {
+            throw;
+        } catch (const std::exception &) {
+            usage();
+        }
+    };
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -194,18 +386,50 @@ run(int argc, char **argv)
             stats_path = next();
         } else if (arg == "--quiet") {
             setQuiet(true);
+        } else if (arg == "--jobs") {
+            jobs = parseCount(next());
+            jobs_given = true;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = parseCount(arg.substr(std::strlen("--jobs=")));
+            jobs_given = true;
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+            jobs = parseCount(arg.substr(2));
+            jobs_given = true;
+        } else if (arg == "--cores") {
+            cores_arg = next();
+        } else if (arg.rfind("--cores=", 0) == 0) {
+            cores_arg = arg.substr(std::strlen("--cores="));
+        } else if (arg == "--cache-dir") {
+            cache_dir = next();
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            cache_dir = arg.substr(std::strlen("--cache-dir="));
+        } else if (arg == "--cache-limit") {
+            cache_limit = parseCount(next());
+        } else if (arg.rfind("--cache-limit=", 0) == 0) {
+            cache_limit =
+                parseCount(arg.substr(std::strlen("--cache-limit=")));
         } else if (arg == "--help" || arg == "-h") {
             usage();
         } else if (!arg.empty() && arg[0] == '-') {
             usage();
-        } else if (input.empty()) {
-            input = arg;
         } else {
-            usage();
+            inputs.push_back(arg);
         }
     }
-    if (input.empty())
+    if (inputs.empty())
         usage();
+
+    // Batch mode engages when any batch-only flag appears or several
+    // inputs are given; otherwise the classic single-compile path runs
+    // unchanged.
+    bool batch_mode = inputs.size() > 1 || jobs_given ||
+                      !cache_dir.empty() || !cores_arg.empty();
+    if (!batch_mode)
+        input = inputs.front();
+    if (batch_mode && !cores_arg.empty() && !datasheet_path.empty())
+        throw CliError{exitUsage,
+                       "--datasheet cannot be combined with --cores "
+                       "(a datasheet pins the core)"};
 
     scaiev::Datasheet custom_sheet;
     if (!datasheet_path.empty()) {
@@ -236,6 +460,24 @@ run(int argc, char **argv)
         obs::setEnabled(true);
         obs::Tracer::instance().clear();
         obs::Registry::instance().clear();
+    }
+
+    if (batch_mode) {
+        int code = runBatch(inputs, target, options, cores_arg,
+                            cache_dir, size_t(cache_limit),
+                            unsigned(jobs), out_dir, to_stdout, report);
+        if (!trace_path.empty())
+            writeFile(trace_path,
+                      obs::Tracer::instance().toChromeJson());
+        if (!stats_path.empty()) {
+            if (stats_path == "-")
+                std::printf(
+                    "%s", obs::Registry::instance().toTable().c_str());
+            else
+                writeFile(stats_path,
+                          obs::Registry::instance().toYaml());
+        }
+        return code;
     }
 
     driver::CompiledIsax compiled =
