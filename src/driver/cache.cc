@@ -130,7 +130,10 @@ class EntryReader
         uint64_t len = num(tag);
         if (failed_)
             return "";
-        if (pos_ + len + 1 > bytes_.size())
+        // len comes from the (possibly corrupt) entry, so the naive
+        // check `pos_ + len + 1 > size` can wrap around; compare
+        // against the remaining bytes instead.
+        if (pos_ >= bytes_.size() || len > bytes_.size() - pos_ - 1)
             return fail();
         std::string data = bytes_.substr(pos_, size_t(len));
         pos_ += size_t(len);
@@ -276,6 +279,23 @@ entryPath(const std::string &dir, const std::string &key)
     return fs::path(dir) / (key + entrySuffix);
 }
 
+/**
+ * True when any failpoint other than the cache harness's own "cache"
+ * site is armed. Such compiles may succeed fail-soft with degraded
+ * artifacts (e.g. a fallback schedule), which must neither be stored
+ * nor replayed: a later clean run would silently get the degraded
+ * SystemVerilog (and vice versa), breaking the byte-identical-artifacts
+ * guarantee (docs/batch-compilation.md).
+ */
+bool
+faultInjectionActive()
+{
+    for (const std::string &name : failpoint::armedNames())
+        if (name != "cache")
+            return true;
+    return false;
+}
+
 /** Remove least-recently-used entries until at most @p max remain. */
 void
 evictLRU(const std::string &dir, size_t max)
@@ -385,7 +405,7 @@ CacheLookup
 cacheLoad(const std::string &dir, const std::string &key,
           CompileSummary &out)
 {
-    if (dir.empty())
+    if (dir.empty() || faultInjectionActive())
         return CacheLookup::Miss;
     if (failpoint::fire("cache") != failpoint::Mode::Off)
         return CacheLookup::Injected;
@@ -411,7 +431,7 @@ bool
 cacheStore(const std::string &dir, const std::string &key,
            const CompileSummary &summary, size_t max_entries)
 {
-    if (dir.empty())
+    if (dir.empty() || faultInjectionActive())
         return false;
     std::error_code ec;
     fs::create_directories(dir, ec);

@@ -114,7 +114,10 @@ enum class CacheLookup
 
 /**
  * Look up @p key in @p dir. On Hit fills @p out and refreshes the
- * entry's mtime (the eviction clock). Never throws.
+ * entry's mtime (the eviction clock). Never throws. Reports Miss
+ * unconditionally while any failpoint other than `cache` is armed:
+ * fault-injected runs can produce degraded fail-soft artifacts, so
+ * they never read (or write, see cacheStore) the cache.
  */
 CacheLookup cacheLoad(const std::string &dir, const std::string &key,
                       CompileSummary &out);
@@ -123,6 +126,8 @@ CacheLookup cacheLoad(const std::string &dir, const std::string &key,
  * Atomically store @p summary under @p key, then -- when
  * @p max_entries > 0 -- evict least-recently-used entries (by mtime)
  * down to the limit. Only successful compiles should be stored.
+ * A no-op while any failpoint other than `cache` is armed (see
+ * cacheLoad).
  * @return false on I/O failure (non-fatal; the batch continues).
  */
 bool cacheStore(const std::string &dir, const std::string &key,

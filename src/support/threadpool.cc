@@ -39,11 +39,19 @@ void ThreadPool::submit(std::function<void()> task)
     {
         std::lock_guard<std::mutex> lock(cvMutex_);
         target = nextQueue_++ % queues_.size();
-        ++gen_;
     }
     {
         std::lock_guard<std::mutex> lock(queues_[target]->mutex);
         queues_[target]->tasks.push_back(std::move(task));
+    }
+    // Bump gen_ only AFTER the task is in the queue: a worker that
+    // snapshots the new generation under cvMutex_ is then guaranteed
+    // to find the task when it rescans. Bumping before the push lets a
+    // worker observe the new gen_, miss the not-yet-pushed task, and
+    // sleep through the notify with outstanding_ > 0 (lost wakeup).
+    {
+        std::lock_guard<std::mutex> lock(cvMutex_);
+        ++gen_;
     }
     cv_.notify_all();
 }

@@ -61,9 +61,12 @@ class ThreadPool
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
     std::vector<std::thread> workers_;
 
-    // Sleep/wake protocol: submit() bumps gen_ under cvMutex_ and
-    // notifies; workers re-scan all queues whenever gen_ moved, so a
-    // task enqueued between a failed scan and the wait cannot be lost.
+    // Sleep/wake protocol: submit() enqueues the task FIRST, then
+    // bumps gen_ under cvMutex_ and notifies; workers re-scan all
+    // queues whenever gen_ moved, so a task enqueued between a failed
+    // scan and the wait cannot be lost. (The enqueue-before-bump order
+    // is load-bearing: a worker that sees the new generation must be
+    // able to find the task on rescan.)
     std::mutex cvMutex_;
     std::condition_variable cv_;
     uint64_t gen_ = 0;

@@ -131,6 +131,22 @@ TEST(ThreadPool, TasksMaySubmitTasks)
     EXPECT_EQ(count.load(), 40);
 }
 
+TEST(ThreadPool, SingleTaskSubmitWaitNeverHangs)
+{
+    // Regression: submit() used to publish the wake-up generation
+    // before enqueuing the task, so a worker could observe the new
+    // generation, miss the task on its scan, and sleep through the
+    // notify -- hanging wait() forever. A lone task per round is the
+    // worst case (no second submit to rescue the sleeper).
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 2000; ++round) {
+        pool.submit([&count] { count.fetch_add(1); });
+        pool.wait();
+    }
+    EXPECT_EQ(count.load(), 2000);
+}
+
 TEST(ThreadPool, SwallowsExceptions)
 {
     ThreadPool pool(2);
@@ -339,6 +355,57 @@ TEST(Cache, FailpointForcesMiss)
     // Disarmed again: entries are intact and replay normally.
     BatchResult result = compileBatch(smallBatch(), options);
     EXPECT_EQ(result.stats.cacheHits, 4u);
+}
+
+TEST(Cache, HugeBlobLengthEntryIsCorrupt)
+{
+    std::string dir = scratchDir("hugeblob");
+    const auto *entry = catalog::findIsax("zol");
+    ASSERT_NE(entry, nullptr);
+    CompileOptions options;
+    std::string key = cacheKey(entry->source, entry->target, options);
+    {
+        // A blob length of 2^64-1 used to wrap the reader's bounds
+        // check (pos + len + 1 overflows to a small value) and keep
+        // parsing over already-consumed bytes; it must classify the
+        // entry as corrupt instead.
+        std::ofstream out(dir + "/" + key + ".lnc", std::ios::binary);
+        out << "LNCACHE 1\nisax 18446744073709551615\n\n";
+    }
+    CompileSummary out;
+    EXPECT_EQ(cacheLoad(dir, key, out), CacheLookup::Corrupt);
+}
+
+TEST(Cache, FaultInjectionBypassesCache)
+{
+    std::string dir = scratchDir("faultbypass");
+    BatchOptions options;
+    options.cacheDir = dir;
+    options.jobs = 1; // failpoint state is process-global
+
+    std::string clean = fingerprint(compileBatch(smallBatch(), options));
+    ASSERT_EQ(cacheEntryCount(dir), 4u);
+
+    {
+        // With a scheduler failpoint armed, compiles succeed fail-soft
+        // with degraded fallback artifacts. Those must neither be
+        // served from the clean cache nor stored under the clean key.
+        failpoint::Scoped scoped("sched-optimal",
+                                 failpoint::Mode::Fail);
+        BatchResult injected = compileBatch(smallBatch(), options);
+        EXPECT_TRUE(injected.allOk());
+        EXPECT_EQ(injected.stats.cacheHits, 0u);
+        EXPECT_EQ(injected.stats.cacheStores, 0u);
+        for (const auto &unit : injected.units)
+            EXPECT_FALSE(unit.fromCache);
+        EXPECT_NE(fingerprint(injected), clean);
+    }
+
+    // The clean entries survived untouched and replay clean artifacts.
+    EXPECT_EQ(cacheEntryCount(dir), 4u);
+    BatchResult warm = compileBatch(smallBatch(), options);
+    EXPECT_EQ(warm.stats.cacheHits, 4u);
+    EXPECT_EQ(fingerprint(warm), clean);
 }
 
 // ---------------------------------------------------------------------------
