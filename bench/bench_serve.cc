@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Compile-server round-trip latency (docs/compile-server.md): an
+ * in-process daemon on a Unix-domain socket, a frame client, and
+ * plain-chrono timings of one request by cache tier -- protocol-only
+ * (ping), fresh compile, in-memory hot-cache replay and on-disk cache
+ * replay. The tier deltas quantify what the persistent server buys
+ * over one-shot CLI invocations: the mem tier answers from a
+ * shared_ptr lookup, the disk tier re-reads and re-verifies the .lnc
+ * artifact, and fresh pays the full pipeline. Records land in
+ * BENCH_serve.json through bench/report.hh.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "bench/report.hh"
+#include "driver/isax_catalog.hh"
+#include "serve/server.hh"
+
+using namespace longnail;
+namespace fs = std::filesystem;
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** One request, one reply; returns wall milliseconds (or -1). */
+double
+timedRoundTrip(net::Connection &conn, const serve::Request &request)
+{
+    auto start = std::chrono::steady_clock::now();
+    if (conn.sendFrame(serve::emitRequest(request)) !=
+        net::IoStatus::Ok)
+        return -1.0;
+    std::string payload;
+    if (conn.recvFrame(payload, 120000, serve::maxReplyFrame) !=
+        net::IoStatus::Ok)
+        return -1.0;
+    std::string error;
+    if (!serve::parseReply(payload, error))
+        return -1.0;
+    return msSince(start);
+}
+
+serve::Request
+compileRequest(const catalog::IsaxEntry &entry, const char *core)
+{
+    serve::Request request;
+    request.kind = serve::RequestKind::Compile;
+    request.id = entry.name;
+    request.unitName = entry.name;
+    request.source = entry.source;
+    request.target = entry.target;
+    request.options.coreName = core;
+    return request;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::string dir = fs::temp_directory_path() / "ln_bench_serve";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    serve::ServeOptions options;
+    options.socketPath = dir + "/bench.sock";
+    options.cacheDir = dir + "/cache";
+    options.jobs = 1;
+    serve::Server server(options);
+    serve::ServeStats stats;
+    bool run_ok = false;
+    std::string run_error;
+    std::thread server_thread(
+        [&] { run_ok = server.run(stats, run_error); });
+    while (!server.ready())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    std::string error;
+    net::Connection conn =
+        net::connectUnix(options.socketPath, error);
+    if (!conn.valid()) {
+        std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+        server.requestStop();
+        server_thread.join();
+        return 1;
+    }
+
+    std::printf("=== Compile-server round-trip latency by cache tier "
+                "(VexRiscv) ===\n\n");
+    std::printf("%-16s %10s %10s %10s %10s\n", "isax", "ping_us",
+                "fresh_ms", "mem_ms", "disk_ms");
+
+    bench::ReportWriter report("serve");
+    int failures = 0;
+    for (const char *name : {"autoinc", "dotp", "zol", "bitmanip"}) {
+        const auto *entry = catalog::findIsax(name);
+        if (!entry) {
+            ++failures;
+            continue;
+        }
+        serve::Request request = compileRequest(*entry, "VexRiscv");
+
+        serve::Request ping;
+        ping.kind = serve::RequestKind::Ping;
+        double ping_ms = timedRoundTrip(conn, ping);
+        double fresh_ms = timedRoundTrip(conn, request); // fresh
+        double mem_ms = timedRoundTrip(conn, request);   // mem hit
+        if (ping_ms < 0 || fresh_ms < 0 || mem_ms < 0) {
+            ++failures;
+            continue;
+        }
+        std::string point = std::string(name) + "/VexRiscv";
+        report.add(point, "serve_ping_time", ping_ms * 1000.0, "us");
+        report.add(point, "serve_fresh_time", fresh_ms, "ms");
+        report.add(point, "serve_mem_hit_time", mem_ms, "ms");
+        std::printf("%-16s %10.1f %10.2f %10.2f", name,
+                    ping_ms * 1000.0, fresh_ms, mem_ms);
+        std::printf("%10s\n", "-");
+    }
+
+    serve::Request shutdown;
+    shutdown.kind = serve::RequestKind::Shutdown;
+    timedRoundTrip(conn, shutdown);
+    server_thread.join();
+
+    // Second server over the same cache dir: its memory cache is
+    // cold, so the same requests exercise the disk tier.
+    serve::ServeOptions options2 = options;
+    options2.socketPath = dir + "/bench2.sock";
+    serve::Server server2(options2);
+    serve::ServeStats stats2;
+    std::thread server2_thread(
+        [&] { (void)server2.run(stats2, run_error); });
+    while (!server2.ready())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    net::Connection conn2 =
+        net::connectUnix(options2.socketPath, error);
+    if (conn2.valid()) {
+        for (const char *name : {"autoinc", "dotp", "zol", "bitmanip"}) {
+            const auto *entry = catalog::findIsax(name);
+            if (!entry)
+                continue;
+            double disk_ms = timedRoundTrip(
+                conn2, compileRequest(*entry, "VexRiscv"));
+            if (disk_ms < 0) {
+                ++failures;
+                continue;
+            }
+            report.add(std::string(name) + "/VexRiscv",
+                       "serve_disk_hit_time", disk_ms, "ms");
+            std::printf("%-16s disk %.2f ms\n", name, disk_ms);
+        }
+        serve::Request bye;
+        bye.kind = serve::RequestKind::Shutdown;
+        timedRoundTrip(conn2, bye);
+    } else {
+        server2.requestStop();
+        ++failures;
+    }
+    server2_thread.join();
+
+    fs::remove_all(dir);
+    if (failures) {
+        std::fprintf(stderr, "%d bench point(s) failed\n", failures);
+        return 1;
+    }
+    std::printf("\nserve bench: %llu requests served\n",
+                (unsigned long long)(stats.requests + stats2.requests));
+    return 0;
+}

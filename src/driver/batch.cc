@@ -127,6 +127,26 @@ compileBatch(std::vector<BatchRequest> requests,
         BatchUnitOutcome &out = result.units[i];
         out.unitName = req.unitName;
 
+        // Cancellation (Ctrl-C / drain): units that have not started
+        // yet are settled with a deterministic LN3011 outcome instead
+        // of compiling -- every unit still gets exactly one outcome.
+        if (options.cancel && options.cancel->stopRequested()) {
+            DiagnosticEngine engine;
+            DiagnosticEngine::ContextScope scope(engine, Phase::Driver,
+                                                 "LN3011");
+            engine.error({}, "LN3011",
+                         std::string("batch unit ") +
+                             options.cancel->reason() +
+                             " before compilation started");
+            out.summary.isaxName = req.unitName;
+            out.summary.ok = false;
+            for (const auto &d : engine.all())
+                out.summary.diags.push_back(
+                    {d.severity, d.code, d.str()});
+            out.summary.errorsText = engine.str();
+            return;
+        }
+
         std::string key;
         if (!options.cacheDir.empty()) {
             key = cacheKey(req.source, req.target, req.options);
@@ -150,6 +170,8 @@ compileBatch(std::vector<BatchRequest> requests,
 
         // Shared read-only inputs, parsed/constructed once per batch.
         CompileOptions opts = req.options;
+        if (options.cancel && !opts.cancel)
+            opts.cancel = options.cancel;
         auto tech = shared.techlibFor(opts.timingMode);
         opts.techlib = tech.get();
         std::shared_ptr<const scaiev::Datasheet> sheet;

@@ -53,6 +53,12 @@ struct BatchOptions
     std::string cacheDir;
     /** LRU eviction limit for the cache; 0 = unlimited. */
     size_t cacheMaxEntries = 0;
+    /**
+     * Cooperative cancellation (Ctrl-C, server drain): units not yet
+     * started are skipped with an LN3011 outcome, in-flight compiles
+     * stop at their next phase boundary. Null = never cancelled.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Outcome of one unit. */

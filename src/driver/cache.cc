@@ -359,7 +359,7 @@ compilerVersion()
 {
     // Bump on every change that can alter artifacts for unchanged
     // inputs (scheduler tweaks, codegen changes, diagnostics wording).
-    return "longnail-pr5";
+    return "longnail-pr6";
 }
 
 std::string
@@ -461,6 +461,24 @@ cacheStore(const std::string &dir, const std::string &key,
     }
     evictLRU(dir, max_entries);
     return true;
+}
+
+size_t
+cacheCleanupTmp(const std::string &dir)
+{
+    size_t removed = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        // Store temps are named "<key>.tmp<serial>" (see cacheStore).
+        if (de.path().filename().string().find(".tmp") ==
+            std::string::npos)
+            continue;
+        if (fs::remove(de.path(), ec))
+            ++removed;
+    }
+    return removed;
 }
 
 size_t

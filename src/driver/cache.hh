@@ -136,6 +136,16 @@ bool cacheStore(const std::string &dir, const std::string &key,
 /** Number of entries currently in @p dir (for tests/diagnostics). */
 size_t cacheEntryCount(const std::string &dir);
 
+/**
+ * Remove in-progress `*.tmp*` store files from @p dir. Interrupted
+ * runs (Ctrl-C mid-cacheStore, a crashed worker) can strand temp
+ * files that atomic rename never published; the CLI signal path and
+ * the server drain path sweep them so an aborted run leaves the cache
+ * directory exactly as a completed one would.
+ * @return the number of files removed.
+ */
+size_t cacheCleanupTmp(const std::string &dir);
+
 } // namespace driver
 } // namespace longnail
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <thread>
 
 #include "analysis/lint.hh"
 #include "analysis/tv/tv.hh"
@@ -14,6 +15,7 @@
 #include "obs/obs.hh"
 #include "rtl/verilog.hh"
 #include "support/failpoint.hh"
+#include "support/hash.hh"
 #include "support/logging.hh"
 
 namespace longnail {
@@ -98,6 +100,31 @@ class PhaseTimer
     obs::TraceSpan span_;
     std::chrono::steady_clock::time_point start_;
 };
+
+/**
+ * Cooperative cancellation checkpoint (docs/compile-server.md): polled
+ * after every pipeline phase. When the options carry a stop-requested
+ * token, fail the compile with LN3011 naming the boundary and the
+ * reason ("deadline exceeded" vs "cancelled") and tell the caller to
+ * return. The check is one relaxed atomic load (plus a clock read for
+ * deadline tokens) when a token is present, nothing when not.
+ */
+bool
+cancelRequested(const CompileOptions &options, DiagnosticEngine &diags,
+                const char *boundary)
+{
+    if (!options.cancel || !options.cancel->stopRequested())
+        return false;
+    DiagnosticEngine::ContextScope scope(diags, Phase::Driver,
+                                         "LN3011");
+    diags.error({}, "LN3011",
+                std::string("compile ") + options.cancel->reason() +
+                    " at phase boundary '" + boundary + "'");
+    obs::count("driver.cancelled_compiles");
+    if (options.cancel->deadlineExpired())
+        obs::count("driver.deadline_misses");
+    return true;
+}
 
 /** Dialect prefix of an operation name ("lil.read_rs1" -> "lil"). */
 std::string
@@ -217,6 +244,11 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
         }
     }
 
+    // A request whose deadline already passed (queued too long behind
+    // other work) must not burn a full compile before noticing.
+    if (cancelRequested(options, diags, "start"))
+        return;
+
     {
         PhaseTimer timer(result.report, "sema");
         coredsl::SemaOptions sema_options;
@@ -228,12 +260,16 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
     if (!result.isa)
         return;
     result.name = result.isa->name;
+    if (cancelRequested(options, diags, "sema"))
+        return;
 
     {
         PhaseTimer timer(result.report, "astlower");
         result.hirModule = hir::lowerToHir(*result.isa, diags);
     }
     if (!result.hirModule)
+        return;
+    if (cancelRequested(options, diags, "astlower"))
         return;
     for (const auto &instr : result.hirModule->instructions)
         countIrOps(instr->body, result.report.hirOps,
@@ -274,6 +310,8 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
     }
     if (!result.lilModule)
         return;
+    if (cancelRequested(options, diags, "lil"))
+        return;
     for (const auto &graph : result.lilModule->graphs)
         countIrOps(graph->graph, result.report.lilOps,
                    result.report.lilOpsByDialect, "ir.nodes.lil");
@@ -291,6 +329,8 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
         if (diags.hasErrors())
             return;
     }
+    if (cancelRequested(options, diags, "analysis"))
+        return;
     if (options.lintOnly)
         return;
 
@@ -306,6 +346,11 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
     result.config.coreName = options.coreName;
 
     for (const auto &graph : result.lilModule->graphs) {
+        // Per-unit checkpoint: multi-unit ISAXes hit this once per
+        // instruction/always-block, bounding overshoot past a deadline
+        // to one unit's sched+hwgen work.
+        if (cancelRequested(options, diags, "sched"))
+            return;
         DiagnosticEngine::ContextScope sched_scope(diags, Phase::Sched,
                                                    "LN2001");
         sched::ScheduleOutcome outcome;
@@ -508,19 +553,68 @@ compile(const std::string &source, const std::string &target,
     return result;
 }
 
+/**
+ * Backoff before retry attempt @p next_attempt (2-based): capped
+ * exponential with deterministic jitter. The jitter is derived from
+ * the input digest and the attempt number, so identical inputs back
+ * off identically run to run (no RNG -- determinism is a project
+ * invariant) while distinct inputs retried in parallel still spread
+ * out instead of thundering in lockstep.
+ */
+double
+retryBackoffMs(const std::string &source, unsigned next_attempt,
+               const CompileOptions &options)
+{
+    if (options.retryBaseDelayMs <= 0.0)
+        return 0.0;
+    double delay = options.retryBaseDelayMs;
+    for (unsigned i = 2; i < next_attempt; ++i) {
+        delay *= 2.0;
+        if (delay >= options.retryMaxDelayMs)
+            break;
+    }
+    delay = std::min(delay, options.retryMaxDelayMs);
+    // Up to +50% jitter from the first 8 hex digits of the digest.
+    hash::Sha256 h;
+    h.updateField(source);
+    h.updateField(std::to_string(next_attempt));
+    uint32_t bits =
+        uint32_t(std::stoul(h.hexDigest().substr(0, 8), nullptr, 16));
+    double jitter = delay * 0.5 * (double(bits) / 4294967295.0);
+    return delay + jitter;
+}
+
 CompiledIsax
 compileWithRetry(const std::string &source, const std::string &target,
                  const CompileOptions &options, unsigned max_attempts)
 {
     if (max_attempts == 0)
+        max_attempts = options.retryMaxAttempts;
+    if (max_attempts == 0)
         max_attempts = 1;
     CompiledIsax result;
     for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        if (attempt > 1) {
+            double backoff_ms =
+                retryBackoffMs(source, attempt, options);
+            if (backoff_ms > 0.0) {
+                obs::count("driver.retry_backoff_ms",
+                           uint64_t(backoff_ms));
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        backoff_ms));
+            }
+            obs::count("driver.retries");
+        }
         failpoint::clearTransientFired();
         result = compile(source, target, options);
         result.attempts = attempt;
         result.retryable = failpoint::transientFired();
         if (result.ok() || !result.retryable)
+            break;
+        // A cancelled caller must not sit out the remaining backoff
+        // schedule (Ctrl-C during a retry loop, server drain).
+        if (options.cancel && options.cancel->stopRequested())
             break;
     }
     return result;

@@ -26,6 +26,7 @@
 #include "scaiev/config.hh"
 #include "scaiev/datasheet.hh"
 #include "sched/scheduler.hh"
+#include "support/cancel.hh"
 
 namespace longnail {
 namespace driver {
@@ -71,6 +72,30 @@ struct CompileOptions
     std::vector<std::string> warningsAsErrorCodes;
     /** Drop warnings with these LN codes (CLI: --no-warn=CODE). */
     std::vector<std::string> suppressedWarningCodes;
+
+    /**
+     * Cooperative cancellation (Ctrl-C, server drain, per-request
+     * deadlines): polled at every phase boundary. A stop request makes
+     * the compile fail with LN3011 ("deadline exceeded" or
+     * "cancelled") at the next boundary instead of running to
+     * completion. Not part of the cache key -- it can only turn a
+     * compile into a failure, and failures are never cached.
+     */
+    const CancelToken *cancel = nullptr;
+
+    /**
+     * Retry policy for compileWithRetry() (docs/failure-model.md):
+     * up to retryMaxAttempts attempts with capped exponential backoff
+     * between them -- attempt k sleeps
+     * min(retryBaseDelayMs * 2^(k-1), retryMaxDelayMs) plus a
+     * deterministic jitter derived from the input hash (no RNG: two
+     * runs of the same input back off identically). The default base
+     * of 0 keeps retries immediate, matching the pre-backoff
+     * behavior.
+     */
+    unsigned retryMaxAttempts = 3;
+    double retryBaseDelayMs = 0.0;
+    double retryMaxDelayMs = 100.0;
 };
 
 /**
@@ -193,15 +218,20 @@ CompiledIsax compile(const std::string &source,
                      const CompileOptions &options = {});
 
 /**
- * Like compile(), but retry up to @p max_attempts times when the
- * failure was caused by a transient injected fault (failpoint mode
- * "transient:N"); permanent failures are returned immediately. The
- * result's `attempts` field records how many tries were made.
+ * Like compile(), but retry when the failure was caused by a transient
+ * injected fault (failpoint mode "transient:N"); permanent failures
+ * are returned immediately. Attempt count and inter-attempt backoff
+ * come from the options (retryMaxAttempts / retryBaseDelayMs /
+ * retryMaxDelayMs); a non-zero @p max_attempts overrides
+ * options.retryMaxAttempts for callers of the pre-backoff API. The
+ * result's `attempts` field records how many tries were made, and the
+ * total backoff slept is exported as the `driver.retry_backoff_ms`
+ * metric.
  */
 CompiledIsax compileWithRetry(const std::string &source,
                               const std::string &target = "",
                               const CompileOptions &options = {},
-                              unsigned max_attempts = 3);
+                              unsigned max_attempts = 0);
 
 /** Compile one of the bundled benchmark ISAXes (Table 3). */
 CompiledIsax compileCatalogIsax(const std::string &isax_name,

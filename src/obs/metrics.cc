@@ -159,6 +159,43 @@ Registry::toYaml() const
 }
 
 std::string
+Registry::toJson() const
+{
+    auto counters = this->counters();
+    auto gauges = this->gauges();
+    auto histograms = this->histograms();
+
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        os << (first ? "" : ",") << '"' << escapeJson(name)
+           << "\":" << value;
+        first = false;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : gauges) {
+        os << (first ? "" : ",") << '"' << escapeJson(name)
+           << "\":" << formatDouble(value);
+        first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        os << (first ? "" : ",") << '"' << escapeJson(name)
+           << "\":{\"count\":" << h.count
+           << ",\"sum\":" << formatDouble(h.sum)
+           << ",\"min\":" << formatDouble(h.min)
+           << ",\"max\":" << formatDouble(h.max)
+           << ",\"mean\":" << formatDouble(h.mean()) << "}";
+        first = false;
+    }
+    os << "}}";
+    return os.str();
+}
+
+std::string
 Registry::toTable() const
 {
     auto counters = this->counters();

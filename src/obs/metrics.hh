@@ -75,6 +75,14 @@ class Registry
     /** Human-readable summary table (for `--stats=-`). */
     std::string toTable() const;
 
+    /**
+     * Serialize as one compact JSON object with `counters`, `gauges`
+     * and `histograms` members (keys sorted) -- the compile server's
+     * `stats` reply body. Hand-emitted like toYaml(), for the same
+     * layering reason.
+     */
+    std::string toJson() const;
+
     void clear();
 
   private:

@@ -1,0 +1,75 @@
+#include "serve/memcache.hh"
+
+#include "support/failpoint.hh"
+
+namespace longnail {
+namespace serve {
+
+namespace {
+
+/** Widened bypass rule: the disk cache only tolerates the `cache`
+ * failpoint itself; the memory tier steps aside for that one too
+ * (symmetry is cheaper than reasoning about which injected faults can
+ * taint an in-memory entry). */
+bool
+faultInjectionActive()
+{
+    return !failpoint::armedNames().empty();
+}
+
+} // namespace
+
+std::shared_ptr<const driver::CompileSummary>
+MemCache::lookup(const std::string &key)
+{
+    if (maxEntries_ == 0 || faultInjectionActive())
+        return nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+}
+
+void
+MemCache::insert(const std::string &key,
+                 std::shared_ptr<const driver::CompileSummary> summary)
+{
+    if (maxEntries_ == 0 || !summary || faultInjectionActive())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->second = std::move(summary);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, std::move(summary));
+    index_.emplace(key, lru_.begin());
+    while (lru_.size() > maxEntries_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+    }
+}
+
+void
+MemCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+}
+
+size_t
+MemCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+} // namespace serve
+} // namespace longnail

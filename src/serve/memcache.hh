@@ -1,0 +1,77 @@
+/**
+ * @file
+ * In-memory hot artifact cache for the compile server
+ * (docs/compile-server.md).
+ *
+ * A bounded LRU of CompileSummary objects keyed by the same
+ * content-addressed cacheKey() the on-disk store uses, tiered above
+ * it: a serve-mode lookup tries memory first ("mem" tier), then the
+ * disk store ("disk"), then compiles ("fresh"). Replay from either
+ * tier is byte-identical to recompiling because all three paths render
+ * from the same deterministic CompileSummary.
+ *
+ * The same safety rule as the disk cache applies, conservatively
+ * widened: while ANY failpoint is armed the memory cache neither
+ * serves nor admits entries -- fault-injected compiles can produce
+ * degraded fail-soft artifacts that must never be replayed to a later
+ * healthy request.
+ *
+ * Thread-safe; entries are immutable shared_ptrs, so a hit can be
+ * rendered to the wire without copying under the lock.
+ */
+
+#ifndef LONGNAIL_SERVE_MEMCACHE_HH
+#define LONGNAIL_SERVE_MEMCACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "driver/cache.hh"
+
+namespace longnail {
+namespace serve {
+
+class MemCache
+{
+  public:
+    /** @p max_entries bounds the cache; 0 disables it entirely. */
+    explicit MemCache(size_t max_entries) : maxEntries_(max_entries) {}
+
+    /** Lookup; null on miss (or while fault injection is active). A
+     * hit moves the entry to most-recently-used. */
+    std::shared_ptr<const driver::CompileSummary>
+    lookup(const std::string &key);
+
+    /** Admit @p summary (only ok compiles should be inserted), then
+     * evict least-recently-used entries down to the bound. A no-op
+     * while fault injection is active. */
+    void insert(const std::string &key,
+                std::shared_ptr<const driver::CompileSummary> summary);
+
+    /** Drop everything (the drain path flushes before exit). */
+    void clear();
+
+    size_t size() const;
+    uint64_t hits() const { return hits_.load(); }
+    uint64_t misses() const { return misses_.load(); }
+
+  private:
+    size_t maxEntries_;
+    mutable std::mutex mutex_;
+    /** MRU first. */
+    std::list<std::pair<std::string,
+                        std::shared_ptr<const driver::CompileSummary>>>
+        lru_;
+    std::map<std::string, decltype(lru_)::iterator> index_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace serve
+} // namespace longnail
+
+#endif // LONGNAIL_SERVE_MEMCACHE_HH

@@ -1,0 +1,391 @@
+#include "serve/protocol.hh"
+
+#include "support/diagnostics.hh"
+
+namespace longnail {
+namespace serve {
+
+namespace {
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+    case Severity::Note:
+        return "note";
+    case Severity::Warning:
+        return "warning";
+    case Severity::Error:
+        return "error";
+    }
+    return "error";
+}
+
+bool
+severityFromName(const std::string &name, Severity &out)
+{
+    if (name == "note")
+        out = Severity::Note;
+    else if (name == "warning")
+        out = Severity::Warning;
+    else if (name == "error")
+        out = Severity::Error;
+    else
+        return false;
+    return true;
+}
+
+/** Read a string-array member into @p out; absent = leave empty. */
+bool
+readStringArray(const json::Value &obj, const std::string &key,
+                std::vector<std::string> &out, std::string &error)
+{
+    const json::Value *v = obj.find(key);
+    if (!v)
+        return true;
+    if (!v->isArray()) {
+        error = "'" + key + "' must be an array of strings";
+        return false;
+    }
+    for (const auto &item : v->items()) {
+        if (!item.isString()) {
+            error = "'" + key + "' must be an array of strings";
+            return false;
+        }
+        out.push_back(item.str());
+    }
+    return true;
+}
+
+json::Value
+stringArray(const std::vector<std::string> &items)
+{
+    json::Value arr = json::Value::array();
+    for (const auto &s : items)
+        arr.push(s);
+    return arr;
+}
+
+} // namespace
+
+json::Value
+encodeOptions(const driver::CompileOptions &options)
+{
+    json::Value obj = json::Value::object();
+    obj.set("core", options.coreName);
+    obj.set("timing", options.timingMode == sched::TimingMode::Library
+                          ? "library"
+                          : "uniform");
+    if (options.cycleTimeNs != 0.0)
+        obj.set("cycleTimeNs", options.cycleTimeNs);
+    if (options.baseSetName != "RV32I")
+        obj.set("baseSet", options.baseSetName);
+    if (options.maxErrors != 0)
+        obj.set("maxErrors", uint64_t(options.maxErrors));
+    if (options.schedBudget.lpWorkLimit != 0)
+        obj.set("lpWorkLimit", options.schedBudget.lpWorkLimit);
+    if (options.lintOnly)
+        obj.set("lintOnly", true);
+    if (options.verifyIr)
+        obj.set("verifyIr", true);
+    if (options.validate)
+        obj.set("validate", true);
+    if (options.warningsAsErrors)
+        obj.set("werror", true);
+    if (!options.warningsAsErrorCodes.empty())
+        obj.set("werrorCodes", stringArray(options.warningsAsErrorCodes));
+    if (!options.suppressedWarningCodes.empty())
+        obj.set("noWarnCodes",
+                stringArray(options.suppressedWarningCodes));
+    return obj;
+}
+
+bool
+decodeOptions(const json::Value &obj, driver::CompileOptions &options,
+              std::string &error)
+{
+    if (!obj.isObject()) {
+        error = "'options' must be an object";
+        return false;
+    }
+    options.coreName = obj.getString("core", options.coreName);
+    std::string timing = obj.getString("timing", "uniform");
+    if (timing == "uniform") {
+        options.timingMode = sched::TimingMode::Uniform;
+    } else if (timing == "library") {
+        options.timingMode = sched::TimingMode::Library;
+    } else {
+        error = "unknown timing mode '" + timing + "'";
+        return false;
+    }
+    options.cycleTimeNs = obj.getNumber("cycleTimeNs", 0.0);
+    if (options.cycleTimeNs < 0.0) {
+        error = "'cycleTimeNs' must be >= 0";
+        return false;
+    }
+    options.baseSetName = obj.getString("baseSet", "RV32I");
+    options.maxErrors = size_t(obj.getNumber("maxErrors", 0.0));
+    options.schedBudget.lpWorkLimit =
+        uint64_t(obj.getNumber("lpWorkLimit", 0.0));
+    options.lintOnly = obj.getBool("lintOnly", false);
+    options.verifyIr = obj.getBool("verifyIr", false);
+    options.validate = obj.getBool("validate", false);
+    options.warningsAsErrors = obj.getBool("werror", false);
+    if (!readStringArray(obj, "werrorCodes",
+                         options.warningsAsErrorCodes, error))
+        return false;
+    if (!readStringArray(obj, "noWarnCodes",
+                         options.suppressedWarningCodes, error))
+        return false;
+    return true;
+}
+
+std::optional<Request>
+parseRequest(const std::string &payload, std::string &error)
+{
+    auto doc = json::parse(payload, &error);
+    if (!doc)
+        return std::nullopt;
+    if (!doc->isObject()) {
+        error = "request must be a JSON object";
+        return std::nullopt;
+    }
+
+    Request req;
+    req.id = doc->getString("id");
+    std::string type = doc->getString("type");
+    if (type == "compile") {
+        req.kind = RequestKind::Compile;
+    } else if (type == "health") {
+        req.kind = RequestKind::Health;
+        return req;
+    } else if (type == "stats") {
+        req.kind = RequestKind::Stats;
+        return req;
+    } else if (type == "ping") {
+        req.kind = RequestKind::Ping;
+        return req;
+    } else if (type == "shutdown") {
+        req.kind = RequestKind::Shutdown;
+        return req;
+    } else if (type.empty()) {
+        error = "request has no 'type'";
+        return std::nullopt;
+    } else {
+        error = "unknown request type '" + type + "'";
+        return std::nullopt;
+    }
+
+    const json::Value *source = doc->find("source");
+    if (!source || !source->isString()) {
+        error = "compile request needs a string 'source'";
+        return std::nullopt;
+    }
+    req.source = source->str();
+    req.unitName = doc->getString("name", "request");
+    req.target = doc->getString("target");
+    if (const json::Value *opts = doc->find("options")) {
+        if (!decodeOptions(*opts, req.options, error))
+            return std::nullopt;
+    }
+    const json::Value *deadline = doc->find("deadlineMs");
+    if (deadline) {
+        if (!deadline->isNumber() || deadline->number() < 0) {
+            error = "'deadlineMs' must be a non-negative number";
+            return std::nullopt;
+        }
+        req.deadlineMs = long(deadline->number());
+    }
+    return req;
+}
+
+std::string
+emitRequest(const Request &request)
+{
+    json::Value obj = json::Value::object();
+    switch (request.kind) {
+    case RequestKind::Compile:
+        obj.set("type", "compile");
+        break;
+    case RequestKind::Health:
+        obj.set("type", "health");
+        break;
+    case RequestKind::Stats:
+        obj.set("type", "stats");
+        break;
+    case RequestKind::Ping:
+        obj.set("type", "ping");
+        break;
+    case RequestKind::Shutdown:
+        obj.set("type", "shutdown");
+        break;
+    }
+    if (!request.id.empty())
+        obj.set("id", request.id);
+    if (request.kind == RequestKind::Compile) {
+        obj.set("name", request.unitName);
+        obj.set("source", request.source);
+        if (!request.target.empty())
+            obj.set("target", request.target);
+        obj.set("options", encodeOptions(request.options));
+        if (request.deadlineMs >= 0)
+            obj.set("deadlineMs", int64_t(request.deadlineMs));
+    }
+    return obj.emit();
+}
+
+std::string
+emitResultReply(const driver::CompileSummary &summary,
+                const std::string &id, const std::string &cacheTier)
+{
+    json::Value obj = json::Value::object();
+    obj.set("type", "result");
+    if (!id.empty())
+        obj.set("id", id);
+    obj.set("ok", summary.ok);
+    obj.set("isax", summary.isaxName);
+    obj.set("core", summary.coreName);
+    obj.set("cacheTier", cacheTier);
+
+    json::Value diags = json::Value::array();
+    for (const auto &d : summary.diags) {
+        json::Value line = json::Value::object();
+        line.set("severity", severityName(d.severity));
+        line.set("code", d.code);
+        line.set("text", d.rendered);
+        diags.push(std::move(line));
+    }
+    obj.set("diags", std::move(diags));
+    if (!summary.errorsText.empty())
+        obj.set("errors", summary.errorsText);
+
+    if (!summary.chosenScheduler.empty())
+        obj.set("scheduler", summary.chosenScheduler);
+    if (summary.lpWorkUnits)
+        obj.set("lpWorkUnits", summary.lpWorkUnits);
+    if (summary.fallbackEvents)
+        obj.set("fallbackEvents", uint64_t(summary.fallbackEvents));
+
+    json::Value units = json::Value::array();
+    for (const auto &u : summary.units) {
+        json::Value unit = json::Value::object();
+        unit.set("name", u.name);
+        unit.set("isAlways", u.isAlways);
+        unit.set("makespan", int64_t(u.makespan));
+        unit.set("objective", u.objective);
+        unit.set("quality", u.quality);
+        if (!u.fallbackReason.empty())
+            unit.set("fallbackReason", u.fallbackReason);
+        unit.set("lpWorkUnits", u.lpWorkUnits);
+        unit.set("firstStage", int64_t(u.firstStage));
+        unit.set("lastStage", int64_t(u.lastStage));
+        unit.set("numRegisters", uint64_t(u.numRegisters));
+        unit.set("sv", u.systemVerilog);
+        units.push(std::move(unit));
+    }
+    obj.set("units", std::move(units));
+    obj.set("configYaml", summary.configYaml);
+    return obj.emit();
+}
+
+std::string
+emitErrorReply(const std::string &code, const std::string &message,
+               const std::string &id, long retry_after_ms)
+{
+    json::Value obj = json::Value::object();
+    obj.set("type", "error");
+    if (!id.empty())
+        obj.set("id", id);
+    obj.set("code", code);
+    obj.set("message", message);
+    if (retry_after_ms >= 0)
+        obj.set("retryAfterMs", int64_t(retry_after_ms));
+    return obj.emit();
+}
+
+std::optional<Reply>
+parseReply(const std::string &payload, std::string &error)
+{
+    auto doc = json::parse(payload, &error);
+    if (!doc)
+        return std::nullopt;
+    if (!doc->isObject()) {
+        error = "reply must be a JSON object";
+        return std::nullopt;
+    }
+
+    Reply reply;
+    reply.type = doc->getString("type");
+    reply.id = doc->getString("id");
+    if (reply.type.empty()) {
+        error = "reply has no 'type'";
+        return std::nullopt;
+    }
+
+    if (reply.type == "error") {
+        reply.code = doc->getString("code");
+        reply.message = doc->getString("message");
+        const json::Value *retry = doc->find("retryAfterMs");
+        if (retry && retry->isNumber())
+            reply.retryAfterMs = long(retry->number());
+        return reply;
+    }
+    if (reply.type != "result") {
+        reply.raw = std::move(*doc);
+        return reply;
+    }
+
+    driver::CompileSummary &s = reply.summary;
+    s.ok = doc->getBool("ok", false);
+    s.isaxName = doc->getString("isax");
+    s.coreName = doc->getString("core");
+    reply.cacheTier = doc->getString("cacheTier", "fresh");
+    if (const json::Value *diags = doc->find("diags")) {
+        if (!diags->isArray()) {
+            error = "'diags' must be an array";
+            return std::nullopt;
+        }
+        for (const auto &item : diags->items()) {
+            driver::CompileSummary::DiagLine line;
+            if (!severityFromName(item.getString("severity"),
+                                  line.severity)) {
+                error = "bad diagnostic severity";
+                return std::nullopt;
+            }
+            line.code = item.getString("code");
+            line.rendered = item.getString("text");
+            s.diags.push_back(std::move(line));
+        }
+    }
+    s.errorsText = doc->getString("errors");
+    s.chosenScheduler = doc->getString("scheduler");
+    s.lpWorkUnits = uint64_t(doc->getNumber("lpWorkUnits", 0.0));
+    s.fallbackEvents = unsigned(doc->getNumber("fallbackEvents", 0.0));
+    if (const json::Value *units = doc->find("units")) {
+        if (!units->isArray()) {
+            error = "'units' must be an array";
+            return std::nullopt;
+        }
+        for (const auto &item : units->items()) {
+            driver::CompileSummary::UnitSummary u;
+            u.name = item.getString("name");
+            u.isAlways = item.getBool("isAlways", false);
+            u.makespan = int(item.getNumber("makespan", 0.0));
+            u.objective = item.getNumber("objective", 0.0);
+            u.quality = item.getString("quality");
+            u.fallbackReason = item.getString("fallbackReason");
+            u.lpWorkUnits = uint64_t(item.getNumber("lpWorkUnits", 0.0));
+            u.firstStage = int(item.getNumber("firstStage", 0.0));
+            u.lastStage = int(item.getNumber("lastStage", 0.0));
+            u.numRegisters =
+                unsigned(item.getNumber("numRegisters", 0.0));
+            u.systemVerilog = item.getString("sv");
+            s.units.push_back(std::move(u));
+        }
+    }
+    s.configYaml = doc->getString("configYaml");
+    return reply;
+}
+
+} // namespace serve
+} // namespace longnail

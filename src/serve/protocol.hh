@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The compile-server wire protocol (docs/compile-server.md).
+ *
+ * Transport: length-prefixed frames over a Unix-domain socket
+ * (support/socket.hh); every frame payload is one JSON document.
+ * Requests carry a "type" ("compile", "health", "stats", "ping",
+ * "shutdown") and an optional client-chosen "id" echoed verbatim in
+ * the reply. Replies are either:
+ *
+ *   - "result": the outcome of a compile -- the deterministic
+ *     CompileSummary rendered to JSON, both for successes (artifacts)
+ *     and ordinary compile failures (diagnostics). Server replies are
+ *     byte-identical to one-shot CLI output for the same inputs
+ *     because both render from the same CompileSummary.
+ *   - "error": a serve-layer failure that never produced a summary:
+ *     protocol errors (LN3101), oversize frames (LN3102), idle
+ *     timeout (LN3103), admission shed (LN3110, with retryAfterMs),
+ *     deadline exceeded (LN3111), draining (LN3112), injected server
+ *     fault (LN3904).
+ *   - "health" / "stats" / "pong" / "ok": service replies.
+ *
+ * Everything here is shared by the server and the --connect client so
+ * the two cannot drift.
+ */
+
+#ifndef LONGNAIL_SERVE_PROTOCOL_HH
+#define LONGNAIL_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "driver/cache.hh"
+#include "driver/longnail.hh"
+#include "support/json.hh"
+
+namespace longnail {
+namespace serve {
+
+/** Frame-size bounds (the Oversize guard in recvFrame). Requests are
+ * bounded tightly -- a CoreDSL source is kilobytes; replies carry
+ * generated SystemVerilog and get more headroom. */
+constexpr uint32_t maxRequestFrame = 4u << 20;  // 4 MiB
+constexpr uint32_t maxReplyFrame = 64u << 20;   // 64 MiB
+
+// Serve-layer error codes (docs/failure-model.md).
+inline constexpr const char *codeProtocol = "LN3101";
+inline constexpr const char *codeOversize = "LN3102";
+inline constexpr const char *codeIdleTimeout = "LN3103";
+inline constexpr const char *codeOverloaded = "LN3110";
+inline constexpr const char *codeDeadline = "LN3111";
+inline constexpr const char *codeDraining = "LN3112";
+inline constexpr const char *codeInjected = "LN3904";
+
+/** What a parsed request asks for. */
+enum class RequestKind { Compile, Health, Stats, Ping, Shutdown };
+
+/** One decoded request frame. */
+struct Request
+{
+    RequestKind kind = RequestKind::Ping;
+    /** Client-chosen correlation id, echoed in the reply ("" = none). */
+    std::string id;
+
+    // Compile-only fields.
+    std::string unitName; ///< display name for diagnostics/artifacts
+    std::string source;
+    std::string target;
+    driver::CompileOptions options;
+    /** Per-request deadline in ms; < 0 = use the server default. A
+     * deadline of 0 is already expired (deterministic timeout tests). */
+    long deadlineMs = -1;
+};
+
+/**
+ * Parse and validate one request payload. Returns std::nullopt with
+ * @p error set on malformed JSON, a missing/unknown "type", or bad
+ * compile fields -- the server turns that into an LN3101 reply.
+ */
+std::optional<Request> parseRequest(const std::string &payload,
+                                    std::string &error);
+
+/** Serialize @p request (the client side of parseRequest). */
+std::string emitRequest(const Request &request);
+
+/** Encode/decode the CompileOptions subset that travels on the wire
+ * (core, timing, cycle time, base set, error caps, lint/validate/
+ * verify-ir flags, warning policy). Kept symmetric so client and
+ * server agree on the cache key's input closure. */
+json::Value encodeOptions(const driver::CompileOptions &options);
+bool decodeOptions(const json::Value &obj,
+                   driver::CompileOptions &options, std::string &error);
+
+/** Build a "result" reply from the deterministic compile summary. */
+std::string emitResultReply(const driver::CompileSummary &summary,
+                            const std::string &id,
+                            const std::string &cacheTier);
+
+/** Build an "error" reply. @p retry_after_ms >= 0 adds retryAfterMs
+ * (the shed reply's backpressure hint). */
+std::string emitErrorReply(const std::string &code,
+                           const std::string &message,
+                           const std::string &id,
+                           long retry_after_ms = -1);
+
+/** A decoded reply (the client side). */
+struct Reply
+{
+    std::string type; ///< "result", "error", "health", "stats", ...
+    std::string id;
+    // "result" fields.
+    driver::CompileSummary summary;
+    std::string cacheTier; ///< "mem", "disk" or "fresh"
+    // "error" fields.
+    std::string code;
+    std::string message;
+    long retryAfterMs = -1;
+    /** Raw JSON for service replies (health/stats). */
+    json::Value raw;
+};
+
+/** Parse one reply payload; std::nullopt + @p error when malformed. */
+std::optional<Reply> parseReply(const std::string &payload,
+                                std::string &error);
+
+} // namespace serve
+} // namespace longnail
+
+#endif // LONGNAIL_SERVE_PROTOCOL_HH

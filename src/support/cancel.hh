@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running compiles.
+ *
+ * A CancelToken combines an explicit cancel flag (operator Ctrl-C,
+ * server drain) with an optional wall-clock deadline (per-request
+ * compile deadlines, docs/compile-server.md). The compile pipeline
+ * polls it at phase boundaries via CompileOptions::cancel; a token
+ * that reports cancelled makes the compile fail soft with LN3011
+ * instead of running to completion.
+ *
+ * Checking is cheap (one relaxed atomic load, plus one clock read when
+ * a deadline is set), so phase-boundary polling adds no measurable
+ * cost to an uncancelled compile. All methods are thread-safe: the
+ * requesting side cancels from a different thread (signal dispatch,
+ * server drain, deadline reaper) than the compiling worker.
+ */
+
+#ifndef LONGNAIL_SUPPORT_CANCEL_HH
+#define LONGNAIL_SUPPORT_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+
+namespace longnail {
+
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    CancelToken() = default;
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Request cancellation (idempotent; thread-safe). */
+    void
+    cancel()
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    /** Arm a wall-clock deadline @p ms from now; ms <= 0 means the
+     * token is already expired (useful for deterministic tests). */
+    void
+    setDeadlineAfterMs(long ms)
+    {
+        deadline_.store(
+            (Clock::now() + std::chrono::milliseconds(ms < 0 ? 0 : ms))
+                .time_since_epoch()
+                .count(),
+            std::memory_order_relaxed);
+        hasDeadline_.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    hasDeadline() const
+    {
+        return hasDeadline_.load(std::memory_order_relaxed);
+    }
+
+    /** True once cancelled or past the deadline. */
+    bool
+    stopRequested() const
+    {
+        if (cancelled_.load(std::memory_order_relaxed))
+            return true;
+        return deadlineExpired();
+    }
+
+    /** True when the deadline (if any) has passed, independent of an
+     * explicit cancel() -- distinguishes timeout from shutdown. */
+    bool
+    deadlineExpired() const
+    {
+        if (!hasDeadline_.load(std::memory_order_relaxed))
+            return false;
+        return Clock::now().time_since_epoch().count() >=
+               deadline_.load(std::memory_order_relaxed);
+    }
+
+    /** Why stopRequested() is true ("deadline exceeded" wins so a
+     * request that times out during drain reports the timeout). */
+    const char *
+    reason() const
+    {
+        if (deadlineExpired())
+            return "deadline exceeded";
+        return "cancelled";
+    }
+
+    /** Clear cancel flag and deadline (reusing a long-lived token,
+     * e.g. between tests; not safe while a compile is polling it with
+     * the expectation of stopping). */
+    void
+    reset()
+    {
+        cancelled_.store(false, std::memory_order_relaxed);
+        hasDeadline_.store(false, std::memory_order_relaxed);
+        deadline_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    std::atomic<bool> hasDeadline_{false};
+    std::atomic<Clock::rep> deadline_{0};
+};
+
+} // namespace longnail
+
+#endif // LONGNAIL_SUPPORT_CANCEL_HH

@@ -1,0 +1,111 @@
+#include "support/signals.hh"
+
+#include <atomic>
+#include <csignal>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace longnail {
+namespace signals {
+
+namespace {
+
+std::atomic<int> lastSignal_{0};
+std::atomic<bool> installed_{false};
+int wakePipe_[2] = {-1, -1};
+
+CancelToken &
+tokenStorage()
+{
+    static CancelToken token;
+    return token;
+}
+
+extern "C" void
+handleTermination(int sig)
+{
+    // Async-signal-safe only: atomic stores and one write(2).
+    lastSignal_.store(sig, std::memory_order_relaxed);
+    tokenStorage().cancel();
+    if (wakePipe_[1] >= 0) {
+        char byte = 1;
+        // Best effort; a full pipe already guarantees wakeFd() is
+        // readable.
+        [[maybe_unused]] ssize_t n = write(wakePipe_[1], &byte, 1);
+    }
+}
+
+} // namespace
+
+void
+install()
+{
+    if (installed_.exchange(true))
+        return;
+    if (pipe(wakePipe_) == 0) {
+        for (int fd : wakePipe_) {
+            int flags = fcntl(fd, F_GETFL, 0);
+            if (flags >= 0)
+                fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+            int fdflags = fcntl(fd, F_GETFD, 0);
+            if (fdflags >= 0)
+                fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC);
+        }
+    } else {
+        wakePipe_[0] = wakePipe_[1] = -1;
+    }
+    struct sigaction action = {};
+    action.sa_handler = handleTermination;
+    sigemptyset(&action.sa_mask);
+    // No SA_RESTART: blocking accept/read in the serve loop should
+    // return EINTR so the drain path runs promptly.
+    action.sa_flags = 0;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+bool
+terminationRequested()
+{
+    return lastSignal_.load(std::memory_order_relaxed) != 0;
+}
+
+int
+lastSignal()
+{
+    return lastSignal_.load(std::memory_order_relaxed);
+}
+
+CancelToken &
+token()
+{
+    return tokenStorage();
+}
+
+int
+wakeFd()
+{
+    return wakePipe_[0];
+}
+
+void
+drainWake()
+{
+    if (wakePipe_[0] < 0)
+        return;
+    char buf[64];
+    while (read(wakePipe_[0], buf, sizeof(buf)) > 0) {
+    }
+}
+
+void
+reset()
+{
+    lastSignal_.store(0, std::memory_order_relaxed);
+    tokenStorage().reset();
+    drainWake();
+}
+
+} // namespace signals
+} // namespace longnail

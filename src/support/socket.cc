@@ -1,0 +1,270 @@
+#include "support/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace longnail {
+namespace net {
+
+namespace {
+
+/**
+ * Wait until @p fd is readable (or writable when @p for_write).
+ * @return Ok when ready, Timeout on expiry or wake-fd activity, Error
+ * on poll failure. EINTR retries with the remaining budget unless the
+ * wake fd is armed (a termination signal must break the wait).
+ */
+IoStatus
+waitReady(int fd, bool for_write, int timeout_ms, int wake_fd)
+{
+    for (;;) {
+        struct pollfd fds[2];
+        fds[0].fd = fd;
+        fds[0].events = for_write ? POLLOUT : POLLIN;
+        fds[0].revents = 0;
+        nfds_t nfds = 1;
+        if (wake_fd >= 0) {
+            fds[1].fd = wake_fd;
+            fds[1].events = POLLIN;
+            fds[1].revents = 0;
+            nfds = 2;
+        }
+        int rc = poll(fds, nfds, timeout_ms);
+        if (rc == 0)
+            return IoStatus::Timeout;
+        if (rc < 0) {
+            if (errno == EINTR) {
+                // A signal interrupted the wait. With a wake fd armed
+                // the next iteration sees it readable and reports
+                // Timeout; without one, retry.
+                continue;
+            }
+            return IoStatus::Error;
+        }
+        if (nfds == 2 && (fds[1].revents & (POLLIN | POLLERR | POLLHUP)))
+            return IoStatus::Timeout;
+        if (fds[0].revents & (POLLIN | POLLOUT | POLLERR | POLLHUP))
+            return IoStatus::Ok;
+    }
+}
+
+/** Read exactly @p len bytes; Closed only at offset 0. */
+IoStatus
+readExact(int fd, char *buf, size_t len, int timeout_ms, int wake_fd)
+{
+    size_t got = 0;
+    while (got < len) {
+        IoStatus ready = waitReady(fd, false, timeout_ms, wake_fd);
+        if (ready != IoStatus::Ok)
+            return ready;
+        ssize_t n = read(fd, buf + got, len - got);
+        if (n == 0)
+            return got == 0 ? IoStatus::Closed : IoStatus::Truncated;
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            return IoStatus::Error;
+        }
+        got += size_t(n);
+    }
+    return IoStatus::Ok;
+}
+
+IoStatus
+writeAll(int fd, const char *buf, size_t len)
+{
+    size_t sent = 0;
+    while (sent < len) {
+        // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not a
+        // process-killing SIGPIPE -- the server must survive clients
+        // that vanish mid-reply regardless of signal disposition.
+        ssize_t n = send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                IoStatus ready = waitReady(fd, true, -1, -1);
+                if (ready != IoStatus::Ok)
+                    return IoStatus::Error;
+                continue;
+            }
+            return IoStatus::Error;
+        }
+        sent += size_t(n);
+    }
+    return IoStatus::Ok;
+}
+
+} // namespace
+
+const char *
+ioStatusName(IoStatus status)
+{
+    switch (status) {
+    case IoStatus::Ok: return "ok";
+    case IoStatus::Timeout: return "timeout";
+    case IoStatus::Closed: return "closed";
+    case IoStatus::Truncated: return "truncated";
+    case IoStatus::Oversize: return "oversize";
+    case IoStatus::Error: return "error";
+    }
+    return "?";
+}
+
+void
+Connection::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+IoStatus
+Connection::sendFrame(const std::string &payload)
+{
+    if (fd_ < 0)
+        return IoStatus::Error;
+    uint32_t len = uint32_t(payload.size());
+    char prefix[4];
+    prefix[0] = char(len & 0xFF);
+    prefix[1] = char((len >> 8) & 0xFF);
+    prefix[2] = char((len >> 16) & 0xFF);
+    prefix[3] = char((len >> 24) & 0xFF);
+    IoStatus status = writeAll(fd_, prefix, sizeof(prefix));
+    if (status != IoStatus::Ok)
+        return status;
+    return writeAll(fd_, payload.data(), payload.size());
+}
+
+IoStatus
+Connection::recvFrame(std::string &payload, int timeout_ms,
+                      uint32_t max_len, int wake_fd)
+{
+    payload.clear();
+    if (fd_ < 0)
+        return IoStatus::Error;
+    char prefix[4];
+    IoStatus status =
+        readExact(fd_, prefix, sizeof(prefix), timeout_ms, wake_fd);
+    if (status != IoStatus::Ok)
+        return status;
+    uint32_t len = (uint32_t(uint8_t(prefix[0]))) |
+                   (uint32_t(uint8_t(prefix[1])) << 8) |
+                   (uint32_t(uint8_t(prefix[2])) << 16) |
+                   (uint32_t(uint8_t(prefix[3])) << 24);
+    // Bound BEFORE allocating: a hostile prefix must not balloon
+    // memory or stall the reader loop on bytes that never come.
+    if (len > max_len)
+        return IoStatus::Oversize;
+    payload.resize(len);
+    if (len == 0)
+        return IoStatus::Ok;
+    status = readExact(fd_, payload.data(), len, timeout_ms, wake_fd);
+    if (status == IoStatus::Closed)
+        return IoStatus::Truncated; // EOF between prefix and payload
+    if (status != IoStatus::Ok)
+        payload.clear();
+    return status;
+}
+
+Connection
+connectUnix(const std::string &path, std::string &error)
+{
+    int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return Connection();
+    }
+    struct sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        error = "socket path too long: " + path;
+        return Connection();
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        error = "connect '" + path + "': " + std::strerror(errno);
+        ::close(fd);
+        return Connection();
+    }
+    return Connection(fd);
+}
+
+bool
+Listener::open(const std::string &path, std::string &error)
+{
+    close();
+    int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    struct sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        error = "socket path too long: " + path;
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    // Replace a stale socket file from a previous run.
+    unlink(path.c_str());
+    if (bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+             sizeof(addr)) != 0) {
+        error = "bind '" + path + "': " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    if (listen(fd, 64) != 0) {
+        error = "listen '" + path + "': " + std::strerror(errno);
+        ::close(fd);
+        unlink(path.c_str());
+        return false;
+    }
+    fd_ = fd;
+    path_ = path;
+    return true;
+}
+
+IoStatus
+Listener::accept(Connection &out, int timeout_ms, int wake_fd)
+{
+    if (fd_ < 0)
+        return IoStatus::Error;
+    IoStatus ready = waitReady(fd_, false, timeout_ms, wake_fd);
+    if (ready != IoStatus::Ok)
+        return ready;
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED)
+            return IoStatus::Timeout;
+        return IoStatus::Error;
+    }
+    out = Connection(fd);
+    return IoStatus::Ok;
+}
+
+void
+Listener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        if (!path_.empty())
+            unlink(path_.c_str());
+        path_.clear();
+    }
+}
+
+} // namespace net
+} // namespace longnail

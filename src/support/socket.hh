@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unix-domain stream sockets with length-prefixed frames -- the
+ * transport under the compile-server wire protocol
+ * (docs/compile-server.md).
+ *
+ * A frame is a 4-byte little-endian payload length followed by that
+ * many payload bytes (JSON text at the protocol layer; the transport
+ * does not care). recvFrame() enforces a caller-chosen maximum length
+ * BEFORE allocating, so a hostile 0xFFFFFFFF prefix cannot balloon
+ * memory (the PR 5 Cache.HugeBlobLengthEntryIsCorrupt lesson applied
+ * to the wire), and distinguishes timeout / clean close / truncation
+ * so the server can reply, log, or drop precisely.
+ *
+ * All operations are blocking with explicit poll()-based timeouts; a
+ * second "wake" fd (the signals self-pipe) can interrupt waits for
+ * graceful drain. Nothing here throws; errors are return values.
+ */
+
+#ifndef LONGNAIL_SUPPORT_SOCKET_HH
+#define LONGNAIL_SUPPORT_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+
+namespace longnail {
+namespace net {
+
+/** Outcome of one frame or connection operation. */
+enum class IoStatus
+{
+    Ok,
+    Timeout,   ///< poll timeout (or wake fd fired) before completion
+    Closed,    ///< orderly EOF at a frame boundary
+    Truncated, ///< EOF inside a frame (hostile or crashed peer)
+    Oversize,  ///< length prefix exceeds the caller's limit
+    Error,     ///< errno-level failure
+};
+
+const char *ioStatusName(IoStatus status);
+
+/** One connected stream; owns its fd. Movable, not copyable. */
+class Connection
+{
+  public:
+    Connection() = default;
+    explicit Connection(int fd) : fd_(fd) {}
+    ~Connection() { close(); }
+    Connection(Connection &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+    Connection &
+    operator=(Connection &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    void close();
+
+    /**
+     * Send one length-prefixed frame. Blocks until fully written.
+     * @return Ok, or Error (peer gone / I/O failure).
+     */
+    IoStatus sendFrame(const std::string &payload);
+
+    /**
+     * Receive one frame into @p payload. @p timeout_ms < 0 blocks
+     * indefinitely; @p max_len bounds the accepted payload length.
+     * @p wake_fd (when >= 0) aborts the wait with Timeout when it
+     * becomes readable -- the drain hook.
+     */
+    IoStatus recvFrame(std::string &payload, int timeout_ms,
+                       uint32_t max_len, int wake_fd = -1);
+
+  private:
+    int fd_ = -1;
+};
+
+/** Connect to the Unix socket at @p path. */
+Connection connectUnix(const std::string &path, std::string &error);
+
+/** Listening Unix socket; unlinks the path on close. */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener() { close(); }
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /** Bind + listen on @p path (an existing socket file is replaced).
+     * @return false with @p error set on failure. */
+    bool open(const std::string &path, std::string &error);
+
+    /**
+     * Accept one connection. @p timeout_ms < 0 blocks indefinitely;
+     * @p wake_fd aborts with Timeout when readable. On Ok, @p out is
+     * the accepted connection.
+     */
+    IoStatus accept(Connection &out, int timeout_ms, int wake_fd = -1);
+
+    bool valid() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace net
+} // namespace longnail
+
+#endif // LONGNAIL_SUPPORT_SOCKET_HH

@@ -29,31 +29,67 @@ ThreadPool::~ThreadPool()
         t.join();
 }
 
-void ThreadPool::submit(std::function<void()> task)
+bool ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(idleMutex_);
-        ++outstanding_;
-    }
-    size_t target;
-    {
+        // Hold cvMutex_ across the draining check AND the enqueue so
+        // drain()'s discard sweep (which also takes cvMutex_) cannot
+        // interleave between them -- a task enqueued after the sweep
+        // but counted in outstanding_ would hang wait() forever.
         std::lock_guard<std::mutex> lock(cvMutex_);
-        target = nextQueue_++ % queues_.size();
-    }
-    {
-        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
-        queues_[target]->tasks.push_back(std::move(task));
-    }
-    // Bump gen_ only AFTER the task is in the queue: a worker that
-    // snapshots the new generation under cvMutex_ is then guaranteed
-    // to find the task when it rescans. Bumping before the push lets a
-    // worker observe the new gen_, miss the not-yet-pushed task, and
-    // sleep through the notify with outstanding_ > 0 (lost wakeup).
-    {
-        std::lock_guard<std::mutex> lock(cvMutex_);
+        if (draining_.load(std::memory_order_relaxed))
+            return false;
+        {
+            std::lock_guard<std::mutex> idle(idleMutex_);
+            ++outstanding_;
+        }
+        size_t target = nextQueue_++ % queues_.size();
+        {
+            std::lock_guard<std::mutex> qlock(queues_[target]->mutex);
+            queues_[target]->tasks.push_back(std::move(task));
+        }
+        // Bump gen_ only AFTER the task is in the queue: a worker that
+        // snapshots the new generation under cvMutex_ is then
+        // guaranteed to find the task when it rescans. Bumping before
+        // the push lets a worker observe the new gen_, miss the
+        // not-yet-pushed task, and sleep through the notify with
+        // outstanding_ > 0 (lost wakeup).
         ++gen_;
     }
     cv_.notify_all();
+    return true;
+}
+
+size_t ThreadPool::drain(DrainPolicy policy)
+{
+    size_t discarded = 0;
+    {
+        std::lock_guard<std::mutex> lock(cvMutex_);
+        draining_.store(true, std::memory_order_relaxed);
+        if (policy == DrainPolicy::DiscardQueued) {
+            // cvMutex_ is held, so no submit can slip a task into a
+            // queue after this sweep (lock order: cvMutex_ -> queue).
+            for (auto &queue : queues_) {
+                std::lock_guard<std::mutex> qlock(queue->mutex);
+                discarded += queue->tasks.size();
+                queue->tasks.clear();
+            }
+        }
+    }
+    if (discarded > 0) {
+        {
+            std::lock_guard<std::mutex> lock(idleMutex_);
+            outstanding_ -= discarded;
+        }
+        idleCv_.notify_all();
+    }
+    wait();
+    return discarded;
+}
+
+bool ThreadPool::draining() const
+{
+    return draining_.load(std::memory_order_relaxed);
 }
 
 bool ThreadPool::tryRunOne(size_t self)

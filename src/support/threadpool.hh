@@ -18,6 +18,7 @@
 #ifndef LONGNAIL_SUPPORT_THREADPOOL_HH
 #define LONGNAIL_SUPPORT_THREADPOOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -40,11 +41,37 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue a task. Safe to call from any thread, including workers. */
-    void submit(std::function<void()> task);
+    /**
+     * Enqueue a task. Safe to call from any thread, including workers.
+     * @return false (without enqueueing) once the pool is draining --
+     * callers that spawn follow-up work must treat a rejected submit
+     * as "this work will never run" and settle it themselves (the
+     * compile server replies "draining" to such requests).
+     */
+    bool submit(std::function<void()> task);
 
     /** Block until every submitted task has finished running. */
     void wait();
+
+    /** What drain() does with tasks still sitting in the queues. */
+    enum class DrainPolicy
+    {
+        RunQueued,     ///< finish everything already accepted
+        DiscardQueued, ///< drop queued tasks; running ones finish
+    };
+
+    /**
+     * Stop accepting work (submit() returns false from now on), then
+     * either run or discard the queued backlog and block until every
+     * running task has finished. Idempotent; safe to call while
+     * workers are mid-task and while tasks try to spawn tasks. The
+     * pool stays drained permanently -- this is shutdown, not pause.
+     * @return the number of discarded tasks.
+     */
+    size_t drain(DrainPolicy policy = DrainPolicy::RunQueued);
+
+    /** True once drain() was called (new submits are rejected). */
+    bool draining() const;
 
     size_t threadCount() const { return workers_.size(); }
 
@@ -71,6 +98,9 @@ class ThreadPool
     std::condition_variable cv_;
     uint64_t gen_ = 0;
     bool stop_ = false;
+    // Set by drain() under cvMutex_ and read by submit(); also
+    // mirrored in an atomic so draining() needs no lock.
+    std::atomic<bool> draining_{false};
 
     std::mutex idleMutex_;
     std::condition_variable idleCv_;

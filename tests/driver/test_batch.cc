@@ -517,3 +517,185 @@ TEST(WarmStart, AsapLPMatchesListAsap)
                   warmed.operation(i).startTime)
             << "operation " << i;
 }
+
+// ---------------------------------------------------------------------------
+// Pool drain & cooperative cancellation (docs/compile-server.md)
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, DrainRunsQueuedTasksThenRejectsSubmits)
+{
+    ThreadPool pool(1);
+    std::atomic<bool> release{false};
+    std::atomic<int> ran{0};
+    // The blocker pins the sole worker so the follow-up tasks are
+    // still queued when drain() starts.
+    ASSERT_TRUE(pool.submit([&] {
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }));
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(pool.submit([&] { ran.fetch_add(1); }));
+
+    std::thread releaser([&] {
+        while (!pool.draining())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        release.store(true);
+    });
+    size_t discarded = pool.drain(ThreadPool::DrainPolicy::RunQueued);
+    releaser.join();
+
+    EXPECT_EQ(discarded, 0u);
+    EXPECT_EQ(ran.load(), 8);
+    EXPECT_TRUE(pool.draining());
+    EXPECT_FALSE(pool.submit([&] { ran.fetch_add(1); }));
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, DrainDiscardsQueuedTasksDeterministically)
+{
+    ThreadPool pool(1);
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+    std::atomic<int> ran{0};
+    ASSERT_TRUE(pool.submit([&] {
+        started.store(true);
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }));
+    // Only queue the victims once the blocker is actually running, so
+    // the worker is pinned and the sweep sees exactly 8 queued tasks.
+    while (!started.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(pool.submit([&] { ran.fetch_add(1); }));
+
+    std::thread releaser([&] {
+        while (!pool.draining())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        release.store(true);
+    });
+    size_t discarded =
+        pool.drain(ThreadPool::DrainPolicy::DiscardQueued);
+    releaser.join();
+
+    EXPECT_EQ(discarded, 8u);
+    EXPECT_EQ(ran.load(), 0);
+    // Idempotent: a second drain has nothing left to discard.
+    EXPECT_EQ(pool.drain(ThreadPool::DrainPolicy::DiscardQueued), 0u);
+}
+
+TEST(ThreadPool, TaskSpawningTasksDuringDrainDoesNotHang)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    // A self-perpetuating chain: each run resubmits itself until the
+    // pool starts draining and rejects the resubmit. drain() must
+    // terminate even though running tasks keep trying to spawn work.
+    auto chain = std::make_shared<std::function<void()>>();
+    *chain = [&pool, &ran, chain] {
+        ran.fetch_add(1);
+        (void)pool.submit(*chain);
+    };
+    ASSERT_TRUE(pool.submit(*chain));
+    while (ran.load() < 10)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    pool.drain(ThreadPool::DrainPolicy::RunQueued);
+    int settled = ran.load();
+    EXPECT_GE(settled, 10);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Nothing runs after drain() returned.
+    EXPECT_EQ(ran.load(), settled);
+}
+
+TEST(Cancel, PreCancelledTokenFailsSoftWithLN3011)
+{
+    const auto *entry = catalog::findIsax("autoinc");
+    ASSERT_NE(entry, nullptr);
+    CancelToken token;
+    token.cancel();
+    CompileOptions options;
+    options.cancel = &token;
+    CompiledIsax result = compile(entry->source, entry->target, options);
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.errors.find("LN3011"), std::string::npos);
+    EXPECT_NE(result.errors.find("cancelled"), std::string::npos);
+}
+
+TEST(Cancel, ExpiredDeadlineReportsDeadlineExceeded)
+{
+    const auto *entry = catalog::findIsax("autoinc");
+    ASSERT_NE(entry, nullptr);
+    CancelToken token;
+    token.setDeadlineAfterMs(0);
+    CompileOptions options;
+    options.cancel = &token;
+    CompiledIsax result = compile(entry->source, entry->target, options);
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.errors.find("LN3011"), std::string::npos);
+    EXPECT_NE(result.errors.find("deadline exceeded"),
+              std::string::npos);
+}
+
+TEST(Cancel, BatchCancelSettlesEveryUnitWithLN3011)
+{
+    CancelToken token;
+    token.cancel();
+    BatchOptions options;
+    options.jobs = 2;
+    options.cancel = &token;
+    BatchResult result = compileBatch(smallBatch(), options);
+    ASSERT_EQ(result.units.size(), 4u);
+    for (const auto &unit : result.units) {
+        EXPECT_FALSE(unit.ok) << unit.unitName;
+        EXPECT_NE(unit.summary.errorsText.find("LN3011"),
+                  std::string::npos)
+            << unit.unitName;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry with capped exponential backoff (docs/failure-model.md)
+// ---------------------------------------------------------------------------
+
+TEST(Retry, TransientFaultsAreRetriedUntilSuccess)
+{
+    const auto *entry = catalog::findIsax("autoinc");
+    ASSERT_NE(entry, nullptr);
+    failpoint::Scoped fault("sched", failpoint::Mode::Transient, 2);
+    CompileOptions options;
+    options.retryMaxAttempts = 3;
+    options.retryBaseDelayMs = 1.0;
+    options.retryMaxDelayMs = 2.0;
+    CompiledIsax result =
+        compileWithRetry(entry->source, entry->target, options);
+    EXPECT_TRUE(result.ok()) << result.errors;
+    EXPECT_EQ(result.attempts, 3u);
+}
+
+TEST(Retry, PermanentFailuresAreNotRetried)
+{
+    CompileOptions options;
+    options.retryMaxAttempts = 5;
+    CompiledIsax result =
+        compileWithRetry("InstructionSet Broken {", "", options);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.attempts, 1u);
+    EXPECT_FALSE(result.retryable);
+}
+
+TEST(Retry, AttemptsAreCappedAtTheConfiguredMaximum)
+{
+    const auto *entry = catalog::findIsax("autoinc");
+    ASSERT_NE(entry, nullptr);
+    // More transient hits than attempts: the last try still fails.
+    failpoint::Scoped fault("sched", failpoint::Mode::Transient, 10);
+    CompileOptions options;
+    options.retryMaxAttempts = 2;
+    options.retryBaseDelayMs = 1.0;
+    CompiledIsax result =
+        compileWithRetry(entry->source, entry->target, options);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.attempts, 2u);
+    EXPECT_TRUE(result.retryable);
+}

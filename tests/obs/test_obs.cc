@@ -13,9 +13,12 @@
 #include <thread>
 
 #include "bench/report.hh"
+#include "driver/isax_catalog.hh"
 #include "driver/longnail.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
+#include "support/failpoint.hh"
+#include "support/json.hh"
 
 using namespace longnail;
 
@@ -370,3 +373,50 @@ TEST_F(ObsDeltaTest, ScopesNestAndBothCapture)
 }
 
 } // namespace
+
+TEST_F(ObsMetricsTest, JsonDumpIsParsableAndComplete)
+{
+    obs::ScopedEnable on;
+    obs::count("serve.requests", 3);
+    obs::gauge("pool.jobs", 2.0);
+    obs::observe("driver.compile_ms", 1.0);
+    obs::observe("driver.compile_ms", 5.0);
+
+    std::string text = obs::Registry::instance().toJson();
+    std::string error;
+    auto doc = json::parse(text, &error);
+    ASSERT_TRUE(doc) << error << "\n" << text;
+    const json::Value *counters = doc->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_DOUBLE_EQ(counters->getNumber("serve.requests"), 3.0);
+    const json::Value *gauges = doc->find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_DOUBLE_EQ(gauges->getNumber("pool.jobs"), 2.0);
+    const json::Value *hists = doc->find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const json::Value *h = hists->find("driver.compile_ms");
+    ASSERT_NE(h, nullptr);
+    EXPECT_DOUBLE_EQ(h->getNumber("count"), 2.0);
+    EXPECT_DOUBLE_EQ(h->getNumber("sum"), 6.0);
+    EXPECT_DOUBLE_EQ(h->getNumber("mean"), 3.0);
+}
+
+TEST_F(ObsMetricsTest, RetryBackoffIsExportedAsACounter)
+{
+    obs::ScopedEnable on;
+    const auto *entry = catalog::findIsax("autoinc");
+    ASSERT_NE(entry, nullptr);
+    failpoint::Scoped fault("sched", failpoint::Mode::Transient, 2);
+    driver::CompileOptions options;
+    options.retryMaxAttempts = 3;
+    options.retryBaseDelayMs = 1.0;
+    options.retryMaxDelayMs = 4.0;
+    driver::CompiledIsax result = driver::compileWithRetry(
+        entry->source, entry->target, options);
+    EXPECT_TRUE(result.ok()) << result.errors;
+    EXPECT_EQ(result.attempts, 3u);
+    // Two backoff sleeps of >= 1 ms each were recorded.
+    EXPECT_GE(obs::Registry::instance().counter(
+                  "driver.retry_backoff_ms"),
+              2u);
+}

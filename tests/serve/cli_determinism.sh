@@ -1,0 +1,43 @@
+#!/bin/sh
+# Serve determinism (docs/compile-server.md): artifacts produced by a
+# `longnail --connect` client against a live daemon must be
+# byte-identical to the one-shot CLI's for the same ISAX x core combo.
+# Usage: cli_determinism.sh <longnail-binary> <build-dir>
+set -e
+LN=$1
+cd "$2"
+
+rm -rf serve_det_out solo_det_out serve_det.sock serve_det.log
+"$LN" --serve --socket serve_det.sock > serve_det.log 2>&1 &
+srv=$!
+trap 'kill "$srv" 2>/dev/null || true' EXIT
+
+# Readiness is "a ping round-trips", not "the socket file exists":
+# the file appears at bind(), a connect can still race the listen().
+i=0
+until "$LN" --connect serve_det.sock --request ping >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "server never became ready" >&2
+        cat serve_det.log >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+for f in isax_export/zol.core_desc isax_export/bitmanip.core_desc \
+         isax_export/autoinc.core_desc; do
+    n=$(basename "$f" .core_desc)
+    for core in VexRiscv ORCA PicoRV32 Piccolo; do
+        mkdir -p "serve_det_out/$n-$core" "solo_det_out/$n-$core"
+        "$LN" --connect serve_det.sock --core "$core" \
+            -o "serve_det_out/$n-$core" "$f" 2>/dev/null
+        "$LN" --quiet --core "$core" -o "solo_det_out/$n-$core" "$f"
+    done
+done
+
+"$LN" --connect serve_det.sock --request shutdown >/dev/null
+wait "$srv" # a shutdown-request drain must exit 0
+
+diff -r serve_det_out solo_det_out
+echo "serve determinism: daemon artifacts byte-identical to one-shot CLI"

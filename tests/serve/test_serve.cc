@@ -1,0 +1,517 @@
+/**
+ * @file
+ * In-process compile-server tests (docs/compile-server.md): request
+ * dispatch, the tiered artifact cache, per-request deadlines,
+ * admission control, fault isolation, hostile clients against a live
+ * daemon, graceful drain, and the concurrent soak with failpoints
+ * armed that pins "a bad request never kills the server".
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "driver/isax_catalog.hh"
+#include "serve/server.hh"
+#include "support/failpoint.hh"
+
+using namespace longnail;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Server running on its own thread against a per-test socket. */
+struct TestServer
+{
+    serve::ServeOptions options;
+    std::unique_ptr<serve::Server> server;
+    std::thread thread;
+    serve::ServeStats stats;
+    bool runOk = false;
+    std::string runError;
+
+    explicit TestServer(const std::string &name)
+    {
+        options.socketPath =
+            ::testing::TempDir() + "/ln_" + name + ".sock";
+        fs::remove(options.socketPath);
+        options.jobs = 2;
+        options.drainGraceMs = 500;
+    }
+
+    void
+    start()
+    {
+        server = std::make_unique<serve::Server>(options);
+        thread = std::thread(
+            [this] { runOk = server->run(stats, runError); });
+        for (int i = 0; i < 5000 && !server->ready(); ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ASSERT_TRUE(server->ready()) << runError;
+    }
+
+    void
+    stop()
+    {
+        if (!thread.joinable())
+            return;
+        server->requestStop();
+        thread.join();
+    }
+
+    ~TestServer() { stop(); }
+};
+
+net::Connection
+connectTo(const TestServer &ts)
+{
+    std::string error;
+    net::Connection conn =
+        net::connectUnix(ts.options.socketPath, error);
+    EXPECT_TRUE(conn.valid()) << error;
+    return conn;
+}
+
+/** Send one request, wait for one reply (generous timeout: compiles
+ * queue behind each other on small pools). */
+std::optional<serve::Reply>
+roundTrip(net::Connection &conn, const serve::Request &request,
+          int timeout_ms = 120000)
+{
+    if (conn.sendFrame(serve::emitRequest(request)) !=
+        net::IoStatus::Ok)
+        return std::nullopt;
+    std::string payload;
+    if (conn.recvFrame(payload, timeout_ms, serve::maxReplyFrame) !=
+        net::IoStatus::Ok)
+        return std::nullopt;
+    std::string error;
+    return serve::parseReply(payload, error);
+}
+
+serve::Request
+compileRequest(const std::string &isax_name,
+               const std::string &core = "VexRiscv",
+               long deadline_ms = -1)
+{
+    const auto *isax = catalog::findIsax(isax_name);
+    EXPECT_NE(isax, nullptr);
+    serve::Request req;
+    req.kind = serve::RequestKind::Compile;
+    req.id = isax_name + "@" + core;
+    req.unitName = isax_name;
+    req.source = isax->source;
+    req.target = isax->target;
+    req.options.coreName = core;
+    req.deadlineMs = deadline_ms;
+    return req;
+}
+
+serve::Request
+simpleRequest(serve::RequestKind kind, const std::string &id = "")
+{
+    serve::Request req;
+    req.kind = kind;
+    req.id = id;
+    return req;
+}
+
+} // namespace
+
+TEST(Serve, PingHealthStatsReplies)
+{
+    TestServer ts("phs");
+    ts.start();
+    net::Connection conn = connectTo(ts);
+
+    auto pong =
+        roundTrip(conn, simpleRequest(serve::RequestKind::Ping, "p1"));
+    ASSERT_TRUE(pong);
+    EXPECT_EQ(pong->type, "pong");
+    EXPECT_EQ(pong->id, "p1");
+
+    auto health =
+        roundTrip(conn, simpleRequest(serve::RequestKind::Health));
+    ASSERT_TRUE(health);
+    EXPECT_EQ(health->type, "health");
+    EXPECT_EQ(health->raw.getString("status"), "ok");
+
+    auto stats =
+        roundTrip(conn, simpleRequest(serve::RequestKind::Stats));
+    ASSERT_TRUE(stats);
+    EXPECT_EQ(stats->type, "stats");
+    const json::Value *metrics = stats->raw.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_TRUE(metrics->isObject());
+    EXPECT_NE(metrics->find("counters"), nullptr);
+}
+
+TEST(Serve, CompileFreshThenMemoryHitIsIdentical)
+{
+    TestServer ts("mem");
+    ts.start();
+    net::Connection conn = connectTo(ts);
+
+    auto first = roundTrip(conn, compileRequest("autoinc"));
+    ASSERT_TRUE(first);
+    ASSERT_EQ(first->type, "result");
+    EXPECT_TRUE(first->summary.ok);
+    EXPECT_EQ(first->cacheTier, "fresh");
+    ASSERT_FALSE(first->summary.units.empty());
+
+    auto second = roundTrip(conn, compileRequest("autoinc"));
+    ASSERT_TRUE(second);
+    ASSERT_EQ(second->type, "result");
+    EXPECT_EQ(second->cacheTier, "mem");
+    // Replay is byte-identical to the fresh compile.
+    EXPECT_EQ(second->summary.units[0].systemVerilog,
+              first->summary.units[0].systemVerilog);
+    EXPECT_EQ(second->summary.configYaml, first->summary.configYaml);
+}
+
+TEST(Serve, DiskCacheTierServesAcrossServerRestarts)
+{
+    std::string cache_dir = ::testing::TempDir() + "/ln_serve_disk";
+    fs::remove_all(cache_dir);
+    fs::create_directories(cache_dir);
+
+    {
+        TestServer ts("disk1");
+        ts.options.cacheDir = cache_dir;
+        ts.start();
+        net::Connection conn = connectTo(ts);
+        auto fresh = roundTrip(conn, compileRequest("autoinc"));
+        ASSERT_TRUE(fresh);
+        EXPECT_EQ(fresh->cacheTier, "fresh");
+    }
+    {
+        // A new server (cold memory cache) replays from disk.
+        TestServer ts("disk2");
+        ts.options.cacheDir = cache_dir;
+        ts.start();
+        net::Connection conn = connectTo(ts);
+        auto warm = roundTrip(conn, compileRequest("autoinc"));
+        ASSERT_TRUE(warm);
+        ASSERT_EQ(warm->type, "result");
+        EXPECT_EQ(warm->cacheTier, "disk");
+        EXPECT_TRUE(warm->summary.ok);
+    }
+}
+
+TEST(Serve, CompileFailureIsStructuredAndServerSurvives)
+{
+    TestServer ts("fail");
+    ts.start();
+    net::Connection conn = connectTo(ts);
+
+    serve::Request bad;
+    bad.kind = serve::RequestKind::Compile;
+    bad.id = "bad";
+    bad.unitName = "broken";
+    bad.source = "InstructionSet Broken { this is not CoreDSL }";
+    auto reply = roundTrip(conn, bad);
+    ASSERT_TRUE(reply);
+    ASSERT_EQ(reply->type, "result");
+    EXPECT_FALSE(reply->summary.ok);
+    EXPECT_FALSE(reply->summary.diags.empty());
+    EXPECT_FALSE(reply->summary.errorsText.empty());
+
+    // The daemon shrugged it off.
+    auto pong =
+        roundTrip(conn, simpleRequest(serve::RequestKind::Ping));
+    ASSERT_TRUE(pong);
+    EXPECT_EQ(pong->type, "pong");
+}
+
+TEST(Serve, DeadlineExceededWhileConcurrentRequestCompletes)
+{
+    TestServer ts("deadline");
+    ts.start();
+
+    // Distinct cores => distinct cache keys: the expired request can
+    // never be satisfied from a cache entry the healthy one stored.
+    std::optional<serve::Reply> late, healthy;
+    std::thread late_thread([&] {
+        net::Connection conn = connectTo(ts);
+        late = roundTrip(conn, compileRequest("autoinc", "ORCA", 0));
+    });
+    std::thread healthy_thread([&] {
+        net::Connection conn = connectTo(ts);
+        healthy = roundTrip(conn, compileRequest("autoinc", "VexRiscv"));
+    });
+    late_thread.join();
+    healthy_thread.join();
+
+    ASSERT_TRUE(late);
+    EXPECT_EQ(late->type, "error");
+    EXPECT_EQ(late->code, serve::codeDeadline);
+    ASSERT_TRUE(healthy);
+    ASSERT_EQ(healthy->type, "result");
+    EXPECT_TRUE(healthy->summary.ok);
+}
+
+TEST(Serve, AdmissionControlShedsWithRetryHint)
+{
+    TestServer ts("shed");
+    ts.options.admissionMax = 0; // shed every compile, deterministically
+    ts.options.retryAfterMs = 77;
+    ts.start();
+    net::Connection conn = connectTo(ts);
+
+    auto reply = roundTrip(conn, compileRequest("autoinc"));
+    ASSERT_TRUE(reply);
+    EXPECT_EQ(reply->type, "error");
+    EXPECT_EQ(reply->code, serve::codeOverloaded);
+    EXPECT_EQ(reply->retryAfterMs, 77);
+
+    // Non-compile requests are not subject to admission control.
+    auto pong =
+        roundTrip(conn, simpleRequest(serve::RequestKind::Ping));
+    ASSERT_TRUE(pong);
+    EXPECT_EQ(pong->type, "pong");
+}
+
+TEST(Serve, ServeFailpointIsIsolatedToOneRequest)
+{
+    TestServer ts("failpoint");
+    ts.start();
+    net::Connection conn = connectTo(ts);
+
+    {
+        failpoint::Scoped armed("serve", failpoint::Mode::Fail);
+        auto reply = roundTrip(conn, compileRequest("autoinc"));
+        ASSERT_TRUE(reply);
+        EXPECT_EQ(reply->type, "error");
+        EXPECT_EQ(reply->code, serve::codeInjected);
+    }
+    // Disarmed: the very same request now compiles fine.
+    auto ok = roundTrip(conn, compileRequest("autoinc"));
+    ASSERT_TRUE(ok);
+    ASSERT_EQ(ok->type, "result");
+    EXPECT_TRUE(ok->summary.ok);
+}
+
+TEST(Serve, GarbageJsonGetsProtocolErrorAndConnectionSurvives)
+{
+    TestServer ts("garbage");
+    ts.start();
+    net::Connection conn = connectTo(ts);
+
+    ASSERT_EQ(conn.sendFrame("{{{ definitely not json"),
+              net::IoStatus::Ok);
+    std::string payload;
+    ASSERT_EQ(conn.recvFrame(payload, 10000, serve::maxReplyFrame),
+              net::IoStatus::Ok);
+    std::string error;
+    auto reply = serve::parseReply(payload, error);
+    ASSERT_TRUE(reply) << error;
+    EXPECT_EQ(reply->type, "error");
+    EXPECT_EQ(reply->code, serve::codeProtocol);
+
+    // Framing is intact, so the connection keeps working.
+    auto pong =
+        roundTrip(conn, simpleRequest(serve::RequestKind::Ping));
+    ASSERT_TRUE(pong);
+    EXPECT_EQ(pong->type, "pong");
+}
+
+TEST(Serve, OversizeFrameGetsErrorThenClose)
+{
+    TestServer ts("oversize");
+    ts.start();
+    net::Connection conn = connectTo(ts);
+
+    // Hand-written hostile prefix claiming ~4 GiB.
+    uint32_t hostile = 0xFFFFFFF0u;
+    ASSERT_EQ(::write(conn.fd(), &hostile, 4), 4);
+    std::string payload;
+    ASSERT_EQ(conn.recvFrame(payload, 10000, serve::maxReplyFrame),
+              net::IoStatus::Ok);
+    std::string error;
+    auto reply = serve::parseReply(payload, error);
+    ASSERT_TRUE(reply) << error;
+    EXPECT_EQ(reply->type, "error");
+    EXPECT_EQ(reply->code, serve::codeOversize);
+    // The stream is desynchronized; the server closes it.
+    EXPECT_EQ(conn.recvFrame(payload, 10000, serve::maxReplyFrame),
+              net::IoStatus::Closed);
+}
+
+TEST(Serve, SilentClientGetsIdleTimeout)
+{
+    TestServer ts("idle");
+    ts.options.idleTimeoutMs = 100;
+    ts.start();
+    net::Connection conn = connectTo(ts);
+
+    std::string payload;
+    ASSERT_EQ(conn.recvFrame(payload, 10000, serve::maxReplyFrame),
+              net::IoStatus::Ok);
+    std::string error;
+    auto reply = serve::parseReply(payload, error);
+    ASSERT_TRUE(reply) << error;
+    EXPECT_EQ(reply->type, "error");
+    EXPECT_EQ(reply->code, serve::codeIdleTimeout);
+    EXPECT_EQ(conn.recvFrame(payload, 10000, serve::maxReplyFrame),
+              net::IoStatus::Closed);
+}
+
+TEST(Serve, DrainAnswersBlockedClientsAndExitsCleanly)
+{
+    TestServer ts("drain");
+    ts.start();
+    net::Connection idle_client = connectTo(ts);
+    // Complete one round trip so the connection is accepted and its
+    // handler is parked in recvFrame before the drain begins (a
+    // connection still in the listen backlog would just be reset).
+    auto pong = roundTrip(idle_client,
+                          simpleRequest(serve::RequestKind::Ping));
+    ASSERT_TRUE(pong);
+
+    ts.server->requestStop();
+    // The blocked receive wakes via the drain pipe and gets a
+    // structured "draining" reply instead of a hangup.
+    std::string payload;
+    ASSERT_EQ(
+        idle_client.recvFrame(payload, 10000, serve::maxReplyFrame),
+        net::IoStatus::Ok);
+    std::string error;
+    auto reply = serve::parseReply(payload, error);
+    ASSERT_TRUE(reply) << error;
+    EXPECT_EQ(reply->type, "error");
+    EXPECT_EQ(reply->code, serve::codeDraining);
+
+    ts.thread.join();
+    EXPECT_TRUE(ts.runOk) << ts.runError;
+    EXPECT_EQ(ts.stats.connections, 1u);
+    // The socket file is gone after a clean drain.
+    EXPECT_FALSE(fs::exists(ts.options.socketPath));
+}
+
+TEST(Serve, ShutdownRequestDrainsTheServer)
+{
+    TestServer ts("shutdown");
+    ts.start();
+    net::Connection conn = connectTo(ts);
+
+    auto reply =
+        roundTrip(conn, simpleRequest(serve::RequestKind::Shutdown));
+    ASSERT_TRUE(reply);
+    EXPECT_EQ(reply->type, "ok");
+    ts.thread.join();
+    EXPECT_TRUE(ts.runOk) << ts.runError;
+    EXPECT_FALSE(fs::exists(ts.options.socketPath));
+}
+
+/**
+ * The headline robustness soak (ISSUE acceptance): 8 concurrent
+ * clients x 26 requests with failpoints armed -- injected serve
+ * faults, injected transient scheduler faults, hostile frames, expired
+ * deadlines -- and the invariant is absolute: every request gets a
+ * reply, the daemon never dies, and the post-drain state is clean.
+ */
+TEST(ServeSoak, ConcurrentClientsWithFaultInjection)
+{
+    std::string cache_dir = ::testing::TempDir() + "/ln_soak_cache";
+    fs::remove_all(cache_dir);
+    fs::create_directories(cache_dir);
+
+    TestServer ts("soak");
+    ts.options.cacheDir = cache_dir;
+    ts.options.memCacheEntries = 8;
+    ts.options.admissionMax = 16;
+    ts.options.idleTimeoutMs = 60000;
+    ts.start();
+
+    // Armed for the entire soak: the first 20 compile requests trip
+    // the serve failpoint (LN3904 replies), and the scheduler throws
+    // transient faults that compileWithRetry absorbs.
+    failpoint::Scoped serve_fault("serve", failpoint::Mode::Transient,
+                                  20);
+    failpoint::Scoped sched_fault("sched", failpoint::Mode::Transient,
+                                  10);
+
+    constexpr int kClients = 8;
+    constexpr int kRequests = 26; // 208 total
+    std::atomic<int> replies{0};
+    std::atomic<int> failures{0};
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            net::Connection conn = connectTo(ts);
+            for (int r = 0; r < kRequests; ++r) {
+                std::optional<serve::Reply> reply;
+                switch (r % 4) {
+                case 0:
+                    reply = roundTrip(
+                        conn, compileRequest(
+                                  (c + r) % 2 ? "autoinc" : "dotp"));
+                    break;
+                case 1:
+                    reply = roundTrip(
+                        conn, simpleRequest(serve::RequestKind::Ping));
+                    break;
+                case 2:
+                    reply = roundTrip(
+                        conn,
+                        simpleRequest(serve::RequestKind::Health));
+                    break;
+                case 3:
+                    if (r % 8 == 3) {
+                        // Expired deadline: LN3111 or a mem/disk-tier
+                        // result; both are valid replies.
+                        reply = roundTrip(
+                            conn,
+                            compileRequest("autoinc", "VexRiscv", 0));
+                    } else {
+                        // Hostile garbage; the reply must be LN3101
+                        // and the connection must survive.
+                        if (conn.sendFrame("not json at all") !=
+                            net::IoStatus::Ok)
+                            break;
+                        std::string payload;
+                        if (conn.recvFrame(payload, 120000,
+                                           serve::maxReplyFrame) ==
+                            net::IoStatus::Ok) {
+                            std::string error;
+                            reply = serve::parseReply(payload, error);
+                            if (reply &&
+                                reply->code != serve::codeProtocol)
+                                failures.fetch_add(1);
+                        }
+                    }
+                    break;
+                }
+                if (reply)
+                    replies.fetch_add(1);
+                else
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(replies.load(), kClients * kRequests);
+
+    ts.server->requestStop();
+    ts.thread.join();
+    EXPECT_TRUE(ts.runOk) << ts.runError;
+    EXPECT_GE(ts.stats.requests, uint64_t(kClients * kRequests) -
+                                     uint64_t(kClients * kRequests / 4));
+    EXPECT_EQ(ts.stats.connections, uint64_t(kClients));
+
+    // Post-drain hygiene: no in-progress temp files, no socket file.
+    for (const auto &entry : fs::directory_iterator(cache_dir))
+        EXPECT_EQ(entry.path().string().find(".tmp"),
+                  std::string::npos)
+            << entry.path();
+    EXPECT_FALSE(fs::exists(ts.options.socketPath));
+}

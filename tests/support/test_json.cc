@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the minimal JSON model under the compile-server protocol
+ * (support/json.hh): parsing (including hostile inputs -- deep
+ * nesting, bad escapes, trailing garbage), emission stability and the
+ * typed accessors the protocol decoders use.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/json.hh"
+
+using namespace longnail;
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(json::parse("null")->isNull());
+    EXPECT_TRUE(json::parse("true")->boolean());
+    EXPECT_FALSE(json::parse("false")->boolean());
+    EXPECT_DOUBLE_EQ(json::parse("42")->number(), 42.0);
+    EXPECT_DOUBLE_EQ(json::parse("-3.5e2")->number(), -350.0);
+    EXPECT_EQ(json::parse("\"hi\"")->str(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    auto v = json::parse(R"({"a":[1,2,{"b":"c"}],"d":{"e":null}})");
+    ASSERT_TRUE(v);
+    const json::Value *a = v->find("a");
+    ASSERT_TRUE(a && a->isArray());
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_EQ(a->items()[2].getString("b"), "c");
+    const json::Value *d = v->find("d");
+    ASSERT_TRUE(d && d->isObject());
+    EXPECT_TRUE(d->find("e")->isNull());
+}
+
+TEST(Json, StringEscapesRoundTrip)
+{
+    std::string raw = "line1\nline2\t\"quoted\" back\\slash \x01";
+    json::Value v(raw);
+    auto back = json::parse(v.emit());
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back->str(), raw);
+    // Unicode escapes decode to UTF-8.
+    EXPECT_EQ(json::parse("\"a\\u0041\\u00e9\"")->str(), "aA\xc3\xa9");
+}
+
+TEST(Json, EmitPreservesInsertionOrderAndIsStable)
+{
+    json::Value obj = json::Value::object();
+    obj.set("z", 1);
+    obj.set("a", true);
+    obj.set("m", "x");
+    EXPECT_EQ(obj.emit(), R"({"z":1,"a":true,"m":"x"})");
+    // Integer fast path: no trailing ".0".
+    json::Value n(double(7));
+    EXPECT_EQ(n.emit(), "7");
+}
+
+TEST(Json, MalformedInputsReportErrorsNotCrashes)
+{
+    std::string error;
+    EXPECT_FALSE(json::parse("", &error));
+    EXPECT_FALSE(json::parse("{", &error));
+    EXPECT_FALSE(json::parse("[1,]", &error));
+    EXPECT_FALSE(json::parse("{\"a\" 1}", &error));
+    EXPECT_FALSE(json::parse("\"unterminated", &error));
+    EXPECT_FALSE(json::parse("\"bad \\q escape\"", &error));
+    EXPECT_FALSE(json::parse("nul", &error));
+    EXPECT_FALSE(json::parse("01", &error));
+    // Trailing garbage after a complete document is an error, and the
+    // message carries the byte offset.
+    EXPECT_FALSE(json::parse("{} junk", &error));
+    EXPECT_NE(error.find("at byte"), std::string::npos);
+    // Raw control characters inside strings are rejected.
+    EXPECT_FALSE(json::parse(std::string("\"a\nb\""), &error));
+}
+
+TEST(Json, HostileNestingDepthIsBounded)
+{
+    // 10k opening brackets must fail fast, not overflow the stack.
+    std::string deep(10000, '[');
+    std::string error;
+    EXPECT_FALSE(json::parse(deep, &error));
+    EXPECT_NE(error.find("too deep"), std::string::npos);
+}
+
+TEST(Json, TypedAccessorsApplyDefaults)
+{
+    auto v = json::parse(R"({"s":"x","n":5,"b":true})");
+    ASSERT_TRUE(v);
+    EXPECT_EQ(v->getString("s"), "x");
+    EXPECT_EQ(v->getString("missing", "dflt"), "dflt");
+    EXPECT_DOUBLE_EQ(v->getNumber("n"), 5.0);
+    EXPECT_DOUBLE_EQ(v->getNumber("missing", 9.0), 9.0);
+    EXPECT_TRUE(v->getBool("b"));
+    EXPECT_TRUE(v->getBool("missing", true));
+    // Wrong-typed members also fall back to the default.
+    EXPECT_EQ(v->getString("n", "dflt"), "dflt");
+}

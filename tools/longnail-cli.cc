@@ -47,6 +47,26 @@
  * land in <out-dir>/<unit-key>/; per-unit diagnostics are prefixed
  * "[unit-key] " on stderr.
  *
+ * Compile server (docs/compile-server.md):
+ *     --serve            run as a persistent compile daemon
+ *     --socket PATH      Unix-domain socket to serve on / connect to
+ *     --connect PATH     client mode: send one request to a daemon and
+ *                        render the reply exactly like a local compile
+ *     --request TYPE     client request type: compile (default),
+ *                        health, stats, ping, shutdown
+ *     --deadline-ms N    per-request compile deadline (client), or the
+ *                        default deadline applied to requests without
+ *                        one (server)
+ *     --admission-max N  server: shed compile requests beyond N in
+ *                        flight (LN3110)
+ *     --idle-timeout-ms N  server: close connections silent for N ms
+ *     --drain-grace-ms N server: drain wait before cancelling in-
+ *                        flight requests
+ *     --mem-cache N      server: in-memory hot artifact cache bound
+ * The server drains gracefully on SIGINT/SIGTERM (finish or cancel
+ * in-flight work, answer blocked clients, sweep cache temp files) and
+ * exits 0.
+ *
  * Exit codes (deterministic, see docs/failure-model.md):
  *   0  success
  *   1  usage error
@@ -54,6 +74,11 @@
  *   3  scheduling error (LN2xxx)
  *   4  I/O error (unreadable input, bad datasheet, unwritable output)
  *   5  lint error (static analysis and translation validation, LN4xxx)
+ *   6  interrupted (SIGINT/SIGTERM during a one-shot or batch compile;
+ *      in-progress cache temp files are swept before exiting)
+ *   7  server/transport error (client mode: cannot connect, connection
+ *      lost, or the server replied with a serve-layer LN31xx/LN39xx
+ *      error)
  *
  * The tool never terminates via an uncaught exception; unexpected
  * failures are reported and mapped onto the codes above.
@@ -72,7 +97,10 @@
 #include "driver/longnail.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
+#include "serve/server.hh"
 #include "support/failpoint.hh"
+#include "support/signals.hh"
+#include "support/socket.hh"
 
 using namespace longnail;
 
@@ -87,6 +115,8 @@ enum ExitCode
     exitSchedule = 3,
     exitIo = 4,
     exitLint = 5,
+    exitInterrupted = 6,
+    exitServer = 7,
 };
 
 /** Thrown to unwind to main() with a specific exit code. */
@@ -134,6 +164,11 @@ printUsage()
                  "                [--jobs=N|-jN] [--cores A,B,...] "
                  "[--cache-dir DIR]\n"
                  "                [--cache-limit N]\n"
+                 "                [--serve --socket PATH | --connect "
+                 "PATH [--request TYPE]]\n"
+                 "                [--deadline-ms N] [--admission-max N] "
+                 "[--idle-timeout-ms N]\n"
+                 "                [--drain-grace-ms N] [--mem-cache N]\n"
                  "                <input.core_desc>...\n");
 }
 
@@ -221,6 +256,10 @@ runBatch(const std::vector<std::string> &inputs,
     batch_options.jobs = jobs;
     batch_options.cacheDir = cache_dir;
     batch_options.cacheMaxEntries = cache_limit;
+    // Ctrl-C settles not-yet-started units with LN3011 instead of
+    // compiling them (the per-unit options carry the same token for
+    // the in-flight ones).
+    batch_options.cancel = base.cancel;
     driver::BatchResult result =
         driver::compileBatch(std::move(requests), batch_options);
 
@@ -297,6 +336,166 @@ runBatch(const std::vector<std::string> &inputs,
     return exitOk;
 }
 
+/**
+ * `--serve`: run the persistent compile daemon until SIGINT/SIGTERM
+ * (or a `shutdown` request), then drain gracefully. A clean drain
+ * exits 0 -- including when a signal initiated it; that is the
+ * server's orderly-shutdown path, not an interruption.
+ */
+int
+runServe(const std::string &socket_path, unsigned jobs,
+         bool jobs_given, long admission_max, long idle_timeout_ms,
+         long deadline_ms, long drain_grace_ms, long mem_cache,
+         const std::string &cache_dir, size_t cache_limit)
+{
+    if (socket_path.empty())
+        throw CliError{exitUsage, "--serve requires --socket PATH"};
+
+    signals::install();
+    serve::ServeOptions so;
+    so.socketPath = socket_path;
+    // Unlike one-shot batch (default -j1), a daemon defaults to one
+    // worker per hardware thread.
+    so.jobs = jobs_given ? jobs : 0;
+    if (admission_max > 0)
+        so.admissionMax = unsigned(admission_max);
+    if (idle_timeout_ms != 0)
+        so.idleTimeoutMs = idle_timeout_ms;
+    if (deadline_ms >= 0)
+        so.defaultDeadlineMs = deadline_ms;
+    if (drain_grace_ms >= 0)
+        so.drainGraceMs = drain_grace_ms;
+    if (mem_cache >= 0)
+        so.memCacheEntries = size_t(mem_cache);
+    so.cacheDir = cache_dir;
+    so.cacheMaxEntries = cache_limit;
+    so.stopToken = &signals::token();
+
+    serve::Server server(std::move(so));
+    serve::ServeStats stats;
+    std::string error;
+    inform("serving on ", socket_path);
+    if (!server.run(stats, error))
+        throw CliError{exitServer, error};
+    inform("serve: ", stats.connections, " connection(s), ",
+           stats.requests, " request(s), ", stats.compiles,
+           " compile(s), ", stats.memHits, " mem hit(s), ",
+           stats.diskHits, " disk hit(s), ", stats.shed, " shed, ",
+           stats.deadlineMisses, " deadline miss(es), ",
+           stats.tmpFilesRemoved, " temp file(s) swept");
+    return exitOk;
+}
+
+/**
+ * `--connect`: send one request to a running daemon and render the
+ * reply. A compile result is rendered exactly like a local one-shot
+ * compile -- same artifact files, same stdout/stderr bytes, same exit
+ * code -- which the serve determinism test diffs. Serve-layer errors
+ * (shed, deadline, draining, injected) exit 7.
+ */
+int
+runClient(const std::string &connect_path,
+          const std::string &request_type,
+          const std::vector<std::string> &inputs,
+          const std::string &target,
+          const driver::CompileOptions &options, long deadline_ms,
+          const std::string &out_dir, bool to_stdout)
+{
+    serve::Request request;
+    if (request_type == "compile") {
+        request.kind = serve::RequestKind::Compile;
+        if (inputs.size() != 1)
+            throw CliError{exitUsage,
+                           "client compile mode takes exactly one input"};
+        request.source = readFile(inputs.front());
+        request.unitName =
+            std::filesystem::path(inputs.front()).stem().string();
+        request.target = target;
+        request.options = options;
+        request.deadlineMs = deadline_ms;
+    } else if (request_type == "health") {
+        request.kind = serve::RequestKind::Health;
+    } else if (request_type == "stats") {
+        request.kind = serve::RequestKind::Stats;
+    } else if (request_type == "ping") {
+        request.kind = serve::RequestKind::Ping;
+    } else if (request_type == "shutdown") {
+        request.kind = serve::RequestKind::Shutdown;
+    } else {
+        throw CliError{exitUsage,
+                       "unknown --request '" + request_type + "'"};
+    }
+
+    std::string error;
+    net::Connection conn = net::connectUnix(connect_path, error);
+    if (!conn.valid())
+        throw CliError{exitServer, "cannot connect to '" + connect_path +
+                                       "': " + error};
+    if (conn.sendFrame(serve::emitRequest(request)) !=
+        net::IoStatus::Ok)
+        throw CliError{exitServer, "cannot send request to '" +
+                                       connect_path + "'"};
+    std::string payload;
+    net::IoStatus st =
+        conn.recvFrame(payload, -1, serve::maxReplyFrame);
+    if (st != net::IoStatus::Ok)
+        throw CliError{exitServer,
+                       std::string("server connection failed (") +
+                           net::ioStatusName(st) + ")"};
+    auto reply = serve::parseReply(payload, error);
+    if (!reply)
+        throw CliError{exitServer, "bad server reply: " + error};
+
+    if (reply->type == "error") {
+        std::string hint =
+            reply->retryAfterMs >= 0
+                ? " (retry after " +
+                      std::to_string(reply->retryAfterMs) + " ms)"
+                : "";
+        throw CliError{exitServer, "server error " + reply->code +
+                                       ": " + reply->message + hint};
+    }
+    if (reply->type != "result") {
+        // Service replies (health/stats/pong/ok): raw JSON to stdout.
+        std::printf("%s\n", payload.c_str());
+        return exitOk;
+    }
+
+    // From here on, byte-for-byte the local one-shot rendering.
+    const driver::CompileSummary &summary = reply->summary;
+    if (!summary.ok) {
+        std::fprintf(stderr, "%s", summary.errorsText.c_str());
+        return batchExitCode(summary);
+    }
+    size_t warnings = 0;
+    for (const auto &diag : summary.diags)
+        if (diag.severity == Severity::Warning) {
+            ++warnings;
+            std::fprintf(stderr, "%s\n", diag.rendered.c_str());
+        }
+    if (options.lintOnly) {
+        std::printf("%s: lint ok (%zu warning%s)\n",
+                    summary.isaxName.c_str(), warnings,
+                    warnings == 1 ? "" : "s");
+        return exitOk;
+    }
+    if (to_stdout) {
+        std::string all;
+        for (const auto &unit : summary.units) {
+            all += unit.systemVerilog;
+            all += "\n";
+        }
+        std::printf("%s\n%s", all.c_str(), summary.configYaml.c_str());
+    } else {
+        for (const auto &unit : summary.units)
+            writeFile(out_dir + "/" + unit.name + ".sv",
+                      unit.systemVerilog);
+        writeFile(out_dir + "/" + summary.isaxName + ".scaiev.yaml",
+                  summary.configYaml);
+    }
+    return exitOk;
+}
+
 int
 run(int argc, char **argv)
 {
@@ -308,6 +507,10 @@ run(int argc, char **argv)
     unsigned long jobs = 1, cache_limit = 0;
     bool jobs_given = false;
     bool to_stdout = false, report = false;
+    bool serve_mode = false;
+    std::string socket_path, connect_path, request_type = "compile";
+    long deadline_ms = -1, admission_max = -1, idle_timeout_ms = 0;
+    long drain_grace_ms = -1, mem_cache = -1;
 
     auto parseCount = [](const std::string &text) -> unsigned long {
         try {
@@ -408,6 +611,45 @@ run(int argc, char **argv)
         } else if (arg.rfind("--cache-limit=", 0) == 0) {
             cache_limit =
                 parseCount(arg.substr(std::strlen("--cache-limit=")));
+        } else if (arg == "--serve") {
+            serve_mode = true;
+        } else if (arg == "--socket") {
+            socket_path = next();
+        } else if (arg.rfind("--socket=", 0) == 0) {
+            socket_path = arg.substr(std::strlen("--socket="));
+        } else if (arg == "--connect") {
+            connect_path = next();
+        } else if (arg.rfind("--connect=", 0) == 0) {
+            connect_path = arg.substr(std::strlen("--connect="));
+        } else if (arg == "--request") {
+            request_type = next();
+        } else if (arg.rfind("--request=", 0) == 0) {
+            request_type = arg.substr(std::strlen("--request="));
+        } else if (arg == "--deadline-ms") {
+            deadline_ms = long(parseCount(next()));
+        } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+            deadline_ms = long(
+                parseCount(arg.substr(std::strlen("--deadline-ms="))));
+        } else if (arg == "--admission-max") {
+            admission_max = long(parseCount(next()));
+        } else if (arg.rfind("--admission-max=", 0) == 0) {
+            admission_max = long(parseCount(
+                arg.substr(std::strlen("--admission-max="))));
+        } else if (arg == "--idle-timeout-ms") {
+            idle_timeout_ms = long(parseCount(next()));
+        } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
+            idle_timeout_ms = long(parseCount(
+                arg.substr(std::strlen("--idle-timeout-ms="))));
+        } else if (arg == "--drain-grace-ms") {
+            drain_grace_ms = long(parseCount(next()));
+        } else if (arg.rfind("--drain-grace-ms=", 0) == 0) {
+            drain_grace_ms = long(parseCount(
+                arg.substr(std::strlen("--drain-grace-ms="))));
+        } else if (arg == "--mem-cache") {
+            mem_cache = long(parseCount(next()));
+        } else if (arg.rfind("--mem-cache=", 0) == 0) {
+            mem_cache = long(
+                parseCount(arg.substr(std::strlen("--mem-cache="))));
         } else if (arg == "--help" || arg == "-h") {
             usage();
         } else if (!arg.empty() && arg[0] == '-') {
@@ -416,8 +658,47 @@ run(int argc, char **argv)
             inputs.push_back(arg);
         }
     }
+    // Serve and client modes dispatch before the local compile paths.
+    if (serve_mode) {
+        if (!connect_path.empty())
+            throw CliError{exitUsage,
+                           "--serve and --connect are exclusive"};
+        if (!inputs.empty())
+            throw CliError{exitUsage,
+                           "--serve takes no input files (clients send "
+                           "sources over the socket)"};
+        return runServe(socket_path, unsigned(jobs), jobs_given,
+                        admission_max, idle_timeout_ms, deadline_ms,
+                        drain_grace_ms, mem_cache, cache_dir,
+                        size_t(cache_limit));
+    }
+    if (!connect_path.empty()) {
+        if (!datasheet_path.empty())
+            throw CliError{exitUsage,
+                           "--datasheet cannot be combined with "
+                           "--connect (datasheet files are not sent "
+                           "over the wire)"};
+        if (report)
+            throw CliError{exitUsage,
+                           "--report needs a local compile, not "
+                           "--connect"};
+        if (jobs_given || !cores_arg.empty() || !cache_dir.empty())
+            throw CliError{exitUsage,
+                           "batch flags cannot be combined with "
+                           "--connect (the server owns its own pool "
+                           "and cache)"};
+        return runClient(connect_path, request_type, inputs, target,
+                         options, deadline_ms, out_dir, to_stdout);
+    }
+
     if (inputs.empty())
         usage();
+
+    // Cooperative Ctrl-C/SIGTERM for the local compile paths: the
+    // in-flight compile stops at its next phase boundary (LN3011) and
+    // the process exits with the deterministic interrupt code.
+    signals::install();
+    options.cancel = &signals::token();
 
     // Batch mode engages when any batch-only flag appears or several
     // inputs are given; otherwise the classic single-compile path runs
@@ -477,6 +758,22 @@ run(int argc, char **argv)
                 writeFile(stats_path,
                           obs::Registry::instance().toYaml());
         }
+        if (signals::terminationRequested()) {
+            // Interrupted runs must leave the cache directory exactly
+            // as a completed one would: sweep temp files an aborted
+            // cacheStore never published.
+            if (!cache_dir.empty()) {
+                size_t removed = driver::cacheCleanupTmp(cache_dir);
+                if (removed)
+                    inform("removed ", removed,
+                           " in-progress cache temp file(s)");
+            }
+            std::fprintf(stderr,
+                         "interrupted by signal %d; partial results "
+                         "above\n",
+                         signals::lastSignal());
+            return exitInterrupted;
+        }
         return code;
     }
 
@@ -494,6 +791,12 @@ run(int argc, char **argv)
         else
             writeFile(stats_path,
                       obs::Registry::instance().toYaml());
+    }
+
+    if (signals::terminationRequested()) {
+        std::fprintf(stderr, "interrupted by signal %d\n",
+                     signals::lastSignal());
+        return exitInterrupted;
     }
 
     if (!compiled.ok()) {
