@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Pass-pipeline bench (docs/pass-pipeline.md): compiles every catalog
+ * ISAX for VexRiscv at -O0 and -O1 and reports, per ISAX, the LIL node
+ * count before/after optimization, the pass rewrite count, and the
+ * cell-area proxy of the generated modules under the physical
+ * technology library. A regression that makes -O1 *grow* any ISAX's
+ * module area — or stop shrinking the catalog's total node count —
+ * turns the bench red instead of silently skewing the numbers. (Node
+ * count alone is not a per-ISAX criterion: narrowing trades a few
+ * extract/concat scaffolding nodes for cheaper arithmetic, which can
+ * grow the count while shrinking the hardware — dotp does exactly
+ * that.)
+ */
+
+#include <cstdio>
+
+#include "asic/flow.hh"
+#include "bench/report.hh"
+#include "driver/isax_catalog.hh"
+#include "driver/longnail.hh"
+#include "scaiev/datasheet.hh"
+
+using namespace longnail;
+using namespace longnail::driver;
+
+namespace {
+
+double
+totalModuleAreaUm2(const asic::AsicFlow &flow, const CompiledIsax &c)
+{
+    double area = 0.0;
+    for (const CompiledUnit &unit : c.units)
+        area += flow.moduleAreaUm2(unit.module);
+    return area;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== -O1 pass pipeline across the ISAX catalog "
+                "(VexRiscv) ===\n\n");
+    std::printf("%-16s %9s %9s %9s %10s %10s\n", "isax", "nodes_O0",
+                "nodes_O1", "rewrites", "area_O0", "area_O1");
+
+    scaiev::Datasheet core = scaiev::Datasheet::forCore("VexRiscv");
+    asic::AsicFlow flow(core);
+    bench::ReportWriter report("passes");
+    int failures = 0;
+    size_t total_before = 0, total_after = 0;
+
+    for (const auto &entry : catalog::allIsaxes()) {
+        CompileOptions base;
+        base.coreName = "VexRiscv";
+        CompiledIsax o0 = compileCatalogIsax(entry.name, base);
+
+        CompileOptions opt = base;
+        opt.optLevel = 1;
+        CompiledIsax o1 = compileCatalogIsax(entry.name, opt);
+
+        if (!o0.ok() || !o1.ok()) {
+            std::fprintf(stderr, "%s: %s\n", entry.name.c_str(),
+                         (!o0.ok() ? o0 : o1).errors.c_str());
+            ++failures;
+            continue;
+        }
+
+        size_t nodes_o0 = o0.report.lilOps;
+        size_t nodes_o1 = o1.report.lilOpsOptimized;
+        double area_o0 = totalModuleAreaUm2(flow, o0);
+        double area_o1 = totalModuleAreaUm2(flow, o1);
+        total_before += nodes_o0;
+        total_after += nodes_o1;
+
+        std::printf("%-16s %9zu %9zu %9llu %10.1f %10.1f\n",
+                    entry.name.c_str(), nodes_o0, nodes_o1,
+                    (unsigned long long)o1.report.passRewrites,
+                    area_o0, area_o1);
+
+        std::string point = entry.name + "/VexRiscv";
+        report.add(point, "lil_nodes_O0", double(nodes_o0), "nodes");
+        report.add(point, "lil_nodes_O1", double(nodes_o1), "nodes");
+        report.add(point, "pass_rewrites",
+                   double(o1.report.passRewrites), "rewrites");
+        report.add(point, "module_area_O0", area_o0, "um2");
+        report.add(point, "module_area_O1", area_o1, "um2");
+
+        // Allow for float noise in the area accumulation.
+        if (area_o1 > area_o0 * 1.0001) {
+            std::fprintf(stderr,
+                         "%s: -O1 grew the module area "
+                         "(%.1f -> %.1f um2)\n",
+                         entry.name.c_str(), area_o0, area_o1);
+            ++failures;
+        }
+    }
+
+    double reduction =
+        total_before
+            ? 100.0 * double(total_before - total_after) / total_before
+            : 0.0;
+    std::printf("\ncatalog total: %zu -> %zu LIL nodes (-%.1f%%)\n",
+                total_before, total_after, reduction);
+    report.add("catalog", "lil_node_reduction", reduction, "percent");
+
+    if (total_after >= total_before) {
+        std::fprintf(stderr,
+                     "-O1 did not shrink the catalog's LIL at all\n");
+        ++failures;
+    }
+    return failures ? 1 : 0;
+}

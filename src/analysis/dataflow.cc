@@ -302,6 +302,139 @@ RangeLattice::transfer(const Operation &op,
             out = ValueRange::full(1);
         break;
       }
+      case OpKind::CombSub: {
+        if (op.numOperands() != 2)
+            break;
+        const ValueRange &a = operands[0], &b = operands[1];
+        // No borrow: the subtrahend never exceeds the minuend, so the
+        // modular subtraction coincides with the integer one.
+        if (bounded(b.umax) && a.umin >= b.umax) {
+            out.umin = a.umin - b.umax;
+            if (bounded(a.umax))
+                out.umax = a.umax - b.umin;
+        }
+        break;
+      }
+      case OpKind::CombMul: {
+        if (op.numOperands() != 2)
+            break;
+        const ValueRange &a = operands[0], &b = operands[1];
+        uint64_t limit = ValueRange::maxFor(rw);
+        if (bounded(a.umax) && bounded(b.umax) && bounded(limit)) {
+            unsigned __int128 p = (unsigned __int128)a.umax * b.umax;
+            // No wrap: the largest product fits the result width.
+            if (p <= limit) {
+                out.umin = a.umin * b.umin;
+                out.umax = uint64_t(p);
+            }
+        }
+        break;
+      }
+      case OpKind::CombShl: {
+        if (op.numOperands() != 2)
+            break;
+        const ValueRange &a = operands[0], &amt = operands[1];
+        if (amt.umin >= rw) {
+            // Overshift: every data bit is discarded (amounts clamp
+            // to the width, and shl by the width yields zero).
+            out = ValueRange::exact(ApInt(rw, 0));
+        } else if (amt.constant && bounded(a.umax)) {
+            uint64_t c = amt.umin;
+            uint64_t limit = ValueRange::maxFor(rw);
+            if (c < 64 && bounded(limit)) {
+                unsigned __int128 hi = (unsigned __int128)a.umax << c;
+                if (hi <= limit) {
+                    out.umin = a.umin << c;
+                    out.umax = uint64_t(hi);
+                }
+            }
+        }
+        break;
+      }
+      case OpKind::CombShrU: {
+        if (op.numOperands() != 2)
+            break;
+        const ValueRange &a = operands[0], &amt = operands[1];
+        if (amt.umin >= rw) {
+            out = ValueRange::exact(ApInt(rw, 0));
+            break;
+        }
+        uint64_t shift = std::min<uint64_t>(amt.umin, 63);
+        uint64_t amax =
+            bounded(a.umax) ? a.umax : ValueRange::maxFor(rw);
+        if (bounded(amax))
+            out.umax = amax >> shift;
+        break;
+      }
+      case OpKind::CombDivU: {
+        if (op.numOperands() != 2)
+            break;
+        const ValueRange &a = operands[0], &b = operands[1];
+        // Only when the divisor is provably nonzero (division by zero
+        // is left unspecified by the evaluator).
+        if (b.umin >= 1) {
+            uint64_t amax =
+                bounded(a.umax) ? a.umax : ValueRange::maxFor(rw);
+            if (bounded(amax))
+                out.umax = amax / b.umin;
+            if (bounded(b.umax))
+                out.umin = a.umin / b.umax;
+        }
+        break;
+      }
+      case OpKind::CombModU: {
+        if (op.numOperands() != 2)
+            break;
+        const ValueRange &a = operands[0], &b = operands[1];
+        if (b.umin >= 1 && bounded(b.umax)) {
+            out.umax = b.umax - 1;
+            if (bounded(a.umax))
+                out.umax = std::min(out.umax, a.umax);
+        }
+        break;
+      }
+      case OpKind::CombReplicate: {
+        if (op.numOperands() != 1)
+            break;
+        const ValueRange &a = operands[0];
+        if (a.umax == 0)
+            out = ValueRange::exact(ApInt(rw, 0));
+        else if (a.umin >= 1)
+            out = ValueRange::exact(ApInt::allOnes(rw));
+        break;
+      }
+      case OpKind::CoredslRom:
+      case OpKind::CombRom: {
+        if (!op.hasAttr("values"))
+            break;
+        const auto &values = op.romAttr("values");
+        if (values.empty())
+            break;
+        if (op.numOperands() == 0) {
+            out = ValueRange::exact(values[0].zextOrTrunc(rw));
+            break;
+        }
+        uint64_t lo = UINT64_MAX, hi = 0;
+        bool all_fit = true;
+        for (const auto &v : values) {
+            if (!fitsUint64(v)) {
+                all_fit = false;
+                break;
+            }
+            uint64_t u = v.zextOrTrunc(64).toUint64();
+            lo = std::min(lo, u);
+            hi = std::max(hi, u);
+        }
+        if (!all_fit)
+            break;
+        // Out-of-range indices read as zero, so zero joins the table
+        // unless the index is provably within it.
+        const ValueRange &idx = operands[0];
+        bool in_range = bounded(idx.umax) && idx.umax < values.size();
+        out.umin = in_range ? lo : 0;
+        out.umax = hi;
+        break;
+      }
       default:
         break;
     }
@@ -313,6 +446,213 @@ computeRanges(const ir::Graph &graph)
 {
     RangeLattice lattice;
     return ForwardDataflow<ValueRange>(lattice).run(graph);
+}
+
+// --------------------------------------------------------------------
+// DemandedBitsLattice
+// --------------------------------------------------------------------
+
+namespace {
+
+/** Mask with the low @p k bits of a @p width-bit value set. */
+ApInt
+lowMask(unsigned width, unsigned k)
+{
+    if (k >= width)
+        return ApInt::allOnes(width);
+    if (k == 0)
+        return ApInt(width, 0);
+    return ApInt::allOnes(k).zext(width);
+}
+
+/** The constant an operand is defined by, if any. */
+const ApInt *
+constantOf(const Value *v)
+{
+    const Operation *def = v->owner;
+    if (def && (def->kind() == OpKind::CombConstant ||
+                def->kind() == OpKind::HwConstant) &&
+        def->hasAttr("value"))
+        return &def->apAttr("value");
+    return nullptr;
+}
+
+} // namespace
+
+DemandedBits
+DemandedBitsLattice::top(const Value &value) const
+{
+    return DemandedBits::none(value.type.width);
+}
+
+DemandedBits
+DemandedBitsLattice::join(const DemandedBits &a,
+                          const DemandedBits &b) const
+{
+    if (a.mask.width() != b.mask.width())
+        return DemandedBits::all(std::max(a.mask.width(),
+                                          b.mask.width()));
+    return DemandedBits{a.mask | b.mask};
+}
+
+bool
+DemandedBitsLattice::equal(const DemandedBits &a,
+                           const DemandedBits &b) const
+{
+    return a.mask.width() == b.mask.width() && a.mask == b.mask;
+}
+
+std::vector<DemandedBits>
+DemandedBitsLattice::transferBackward(
+    const Operation &op, const std::vector<DemandedBits> &results) const
+{
+    if (op.numOperands() == 0)
+        return {};
+
+    auto widthOf = [&](unsigned i) {
+        return op.operand(i)->type.width;
+    };
+    auto demandAll = [&] {
+        std::vector<DemandedBits> out;
+        out.reserve(op.numOperands());
+        for (unsigned i = 0; i < op.numOperands(); ++i)
+            out.push_back(DemandedBits::all(widthOf(i)));
+        return out;
+    };
+    auto demandNone = [&] {
+        std::vector<DemandedBits> out;
+        out.reserve(op.numOperands());
+        for (unsigned i = 0; i < op.numOperands(); ++i)
+            out.push_back(DemandedBits::none(widthOf(i)));
+        return out;
+    };
+
+    // Result-less ops (interface writes, terminators) root the
+    // analysis: everything they consume feeds an observable.
+    if (op.numResults() == 0)
+        return demandAll();
+    if (op.numResults() != 1)
+        return demandAll();
+
+    // A memory read is architecturally observable through its address
+    // and enable even when the loaded data is dead; a custom-register
+    // read is not (reading has no side effect).
+    if (op.kind() == OpKind::LilReadMem)
+        return demandAll();
+
+    const ApInt &R = results[0].mask;
+    if (R.isZero())
+        return demandNone();
+    unsigned k = R.activeBits();
+
+    switch (op.kind()) {
+      case OpKind::CombAdd:
+      case OpKind::CombSub:
+      case OpKind::CombMul: {
+        if (op.numOperands() != 2)
+            return demandAll();
+        // Carries ripple upward only: result bit i depends on operand
+        // bits [0, i], so only the low activeBits(R) matter.
+        DemandedBits d{lowMask(widthOf(0), k)};
+        return {d, DemandedBits{lowMask(widthOf(1), k)}};
+      }
+      case OpKind::CombAnd: {
+        if (op.numOperands() != 2)
+            return demandAll();
+        const ApInt *c0 = constantOf(op.operand(0));
+        const ApInt *c1 = constantOf(op.operand(1));
+        // Bits masked off by a constant zero are never demanded.
+        ApInt d0 = c1 ? (R & *c1) : R;
+        ApInt d1 = c0 ? (R & *c0) : R;
+        return {DemandedBits{d0}, DemandedBits{d1}};
+      }
+      case OpKind::CombOr: {
+        if (op.numOperands() != 2)
+            return demandAll();
+        const ApInt *c0 = constantOf(op.operand(0));
+        const ApInt *c1 = constantOf(op.operand(1));
+        // Bits forced to one by a constant hide the other operand.
+        ApInt d0 = c1 ? (R & ~*c1) : R;
+        ApInt d1 = c0 ? (R & ~*c0) : R;
+        return {DemandedBits{d0}, DemandedBits{d1}};
+      }
+      case OpKind::CombXor: {
+        if (op.numOperands() != 2)
+            return demandAll();
+        return {DemandedBits{R}, DemandedBits{R}};
+      }
+      case OpKind::CombShl: {
+        if (op.numOperands() != 2)
+            return demandAll();
+        unsigned w0 = widthOf(0);
+        DemandedBits amount = DemandedBits::all(widthOf(1));
+        if (const ApInt *c = constantOf(op.operand(1))) {
+            // Amounts clamp to the width; an overshift discards all.
+            uint64_t amt = c->activeBits() > 32
+                               ? w0
+                               : c->zextOrTrunc(64).toUint64();
+            if (amt >= w0)
+                return {DemandedBits::none(w0), amount};
+            return {DemandedBits{R.lshr(unsigned(amt))}, amount};
+        }
+        // Unknown amount only moves bits up, so source bits at or
+        // above the highest demanded result bit stay dead.
+        return {DemandedBits{lowMask(w0, k)}, amount};
+      }
+      case OpKind::CombShrU: {
+        if (op.numOperands() != 2)
+            return demandAll();
+        unsigned w0 = widthOf(0);
+        DemandedBits amount = DemandedBits::all(widthOf(1));
+        if (const ApInt *c = constantOf(op.operand(1))) {
+            uint64_t amt = c->activeBits() > 32
+                               ? w0
+                               : c->zextOrTrunc(64).toUint64();
+            if (amt >= w0)
+                return {DemandedBits::none(w0), amount};
+            return {DemandedBits{R.shl(unsigned(amt))}, amount};
+        }
+        return {DemandedBits::all(w0), amount};
+      }
+      case OpKind::CombMux: {
+        if (op.numOperands() != 3)
+            return demandAll();
+        return {DemandedBits::all(widthOf(0)), DemandedBits{R},
+                DemandedBits{R}};
+      }
+      case OpKind::CombExtract: {
+        if (op.numOperands() != 1 || !op.hasAttr("lo"))
+            return demandAll();
+        unsigned lo = unsigned(op.intAttr("lo"));
+        unsigned w0 = widthOf(0);
+        return {DemandedBits{R.zextOrTrunc(w0).shl(lo)}};
+      }
+      case OpKind::CombConcat: {
+        if (op.numOperands() != 2)
+            return demandAll();
+        // Operand 0 is the high part.
+        unsigned w0 = widthOf(0), w1 = widthOf(1);
+        return {DemandedBits{R.extract(w1, w0)},
+                DemandedBits{R.extract(0, w1)}};
+      }
+      case OpKind::CombReplicate: {
+        if (op.numOperands() != 1)
+            return demandAll();
+        return {DemandedBits::all(widthOf(0))};
+      }
+      default:
+        // Shift-right-signed (the sign bit splats everywhere),
+        // division/remainder, comparisons, ROM indexing and every
+        // coredsl/hwarith kind: conservatively demand everything.
+        return demandAll();
+    }
+}
+
+std::map<const Value *, DemandedBits>
+computeDemandedBits(const ir::Graph &graph)
+{
+    DemandedBitsLattice lattice;
+    return BackwardDataflow<DemandedBits>(lattice).run(graph);
 }
 
 // --------------------------------------------------------------------

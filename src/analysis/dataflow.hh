@@ -1,18 +1,26 @@
 /**
  * @file
- * A small forward dataflow engine over behavior graphs, plus the two
- * lattices the lint checks are built on (docs/static-analysis.md).
+ * A small bidirectional sparse dataflow engine over behavior graphs,
+ * plus the lattices the lint checks and optimization passes are built
+ * on (docs/static-analysis.md, docs/pass-pipeline.md).
  *
  * Behaviors are straight-line SSA, so "dataflow" here is a sparse
- * fixpoint over the SSA value graph: a worklist of operations is
- * drained, each op's transfer function maps operand states to result
- * states, and users of changed values are re-queued. Spawn subgraphs
- * are analyzed together with their enclosing graph (their operands may
- * reference outer values).
+ * fixpoint over the SSA value graph. A forward analysis drains a
+ * worklist of operations front-to-back: each op's transfer function
+ * maps operand states to result states and users of changed values are
+ * re-queued. A backward analysis drains the worklist back-to-front
+ * over use-def edges: each op's backward transfer maps the states of
+ * its results to the demand it places on its operands, and the
+ * *defining* op of a changed operand is re-queued. Ops without results
+ * (interface writes, terminators) are the roots of a backward
+ * analysis: they are transferred with an empty result-state vector and
+ * seed the fixpoint. Spawn subgraphs are analyzed together with their
+ * enclosing graph (their operands may reference outer values).
  *
  * A lattice plugs in through the Lattice<State> interface: top(),
- * join(), equal() and the per-op transfer(). States must form a
- * finite-height semilattice under join for termination.
+ * join(), equal() and the per-op transfer() / transferBackward().
+ * States must form a finite-height semilattice under join for
+ * termination.
  */
 
 #ifndef LONGNAIL_ANALYSIS_DATAFLOW_HH
@@ -29,6 +37,13 @@
 
 namespace longnail {
 namespace analysis {
+
+/** Propagation direction of a sparse dataflow run. */
+enum class Direction
+{
+    Forward,  ///< def-use edges: operand states -> result states
+    Backward, ///< use-def edges: result states -> operand demands
+};
 
 /** The abstract-domain interface of the dataflow engine. */
 template <typename State>
@@ -47,11 +62,38 @@ class Lattice
 
     /**
      * Abstractly execute @p op on @p operand_states (one entry per
-     * operand, in order). Must return one state per result.
+     * operand, in order). Must return one state per result. Only
+     * called for Direction::Forward runs; the default keeps every
+     * result at top so backward-only lattices need not override it.
      */
     virtual std::vector<State>
     transfer(const ir::Operation &op,
-             const std::vector<State> &operand_states) const = 0;
+             const std::vector<State> & /*operand_states*/) const
+    {
+        std::vector<State> out;
+        out.reserve(op.numResults());
+        for (unsigned r = 0; r < op.numResults(); ++r)
+            out.push_back(top(*op.result(r)));
+        return out;
+    }
+
+    /**
+     * Abstract reverse execution of @p op: given the joined states of
+     * its results (one entry per result; empty for result-less ops,
+     * which root the analysis), return the contribution @p op makes to
+     * each operand's state (one entry per operand). Contributions are
+     * *joined* into the operand states across all users. Only called
+     * for Direction::Backward runs; the default contributes nothing
+     * (an empty vector leaves every operand untouched).
+     */
+    virtual std::vector<State>
+    transferBackward(const ir::Operation &op,
+                     const std::vector<State> &result_states) const
+    {
+        (void)op;
+        (void)result_states;
+        return {};
+    }
 };
 
 /**
@@ -59,11 +101,11 @@ class Lattice
  * subgraphs) and returns the final per-value states.
  */
 template <typename State>
-class ForwardDataflow
+class SparseDataflow
 {
   public:
-    explicit ForwardDataflow(const Lattice<State> &lattice)
-        : lattice_(lattice)
+    SparseDataflow(const Lattice<State> &lattice, Direction direction)
+        : lattice_(lattice), direction_(direction)
     {}
 
     std::map<const ir::Value *, State>
@@ -71,7 +113,14 @@ class ForwardDataflow
     {
         ops_.clear();
         collect(graph);
+        return direction_ == Direction::Forward ? runForward()
+                                                : runBackward();
+    }
 
+  private:
+    std::map<const ir::Value *, State>
+    runForward()
+    {
         // Map each value to the op indices using it, so only affected
         // transfers re-run after a state change.
         std::map<const ir::Value *, std::vector<size_t>> users;
@@ -127,7 +176,68 @@ class ForwardDataflow
         return states;
     }
 
-  private:
+    std::map<const ir::Value *, State>
+    runBackward()
+    {
+        // Map each value to the index of its defining op, so a changed
+        // operand demand re-queues exactly the transfer that can
+        // propagate it further up the use-def chain.
+        std::map<const ir::Value *, size_t> def;
+        for (size_t i = 0; i < ops_.size(); ++i)
+            for (unsigned r = 0; r < ops_[i]->numResults(); ++r)
+                def[ops_[i]->result(r)] = i;
+
+        std::map<const ir::Value *, State> states;
+        auto stateOf = [&](const ir::Value *v) -> State {
+            auto it = states.find(v);
+            if (it != states.end())
+                return it->second;
+            return lattice_.top(*v);
+        };
+
+        // Drain back-to-front: uses are visited before defs, so the
+        // first sweep already sees each result's full demand
+        // (use-before-def in reverse program order).
+        std::set<size_t> worklist;
+        for (size_t i = 0; i < ops_.size(); ++i)
+            worklist.insert(i);
+
+        while (!worklist.empty()) {
+            auto last = std::prev(worklist.end());
+            size_t idx = *last;
+            worklist.erase(last);
+            const ir::Operation &op = *ops_[idx];
+
+            std::vector<State> result_states;
+            result_states.reserve(op.numResults());
+            for (unsigned r = 0; r < op.numResults(); ++r)
+                result_states.push_back(stateOf(op.result(r)));
+
+            std::vector<State> demands =
+                lattice_.transferBackward(op, result_states);
+            for (unsigned i = 0;
+                 i < op.numOperands() && i < demands.size(); ++i) {
+                const ir::Value *v = op.operand(i);
+                State merged = demands[i];
+                auto it = states.find(v);
+                if (it != states.end()) {
+                    merged = lattice_.join(it->second, merged);
+                    if (lattice_.equal(it->second, merged))
+                        continue;
+                    it->second = merged;
+                } else {
+                    if (lattice_.equal(merged, lattice_.top(*v)))
+                        continue;
+                    states.emplace(v, merged);
+                }
+                auto d = def.find(v);
+                if (d != def.end())
+                    worklist.insert(d->second);
+            }
+        }
+        return states;
+    }
+
     void
     collect(const ir::Graph &graph)
     {
@@ -139,7 +249,28 @@ class ForwardDataflow
     }
 
     const Lattice<State> &lattice_;
+    Direction direction_;
     std::vector<const ir::Operation *> ops_;
+};
+
+/** The classic forward engine, now a thin wrapper over SparseDataflow. */
+template <typename State>
+class ForwardDataflow : public SparseDataflow<State>
+{
+  public:
+    explicit ForwardDataflow(const Lattice<State> &lattice)
+        : SparseDataflow<State>(lattice, Direction::Forward)
+    {}
+};
+
+/** Backward counterpart, propagating demands over use-def edges. */
+template <typename State>
+class BackwardDataflow : public SparseDataflow<State>
+{
+  public:
+    explicit BackwardDataflow(const Lattice<State> &lattice)
+        : SparseDataflow<State>(lattice, Direction::Backward)
+    {}
 };
 
 // --------------------------------------------------------------------
@@ -193,6 +324,59 @@ computeRanges(const ir::Graph &graph);
  */
 std::optional<bool> icmpOutcome(ir::ICmpPred pred, const ValueRange &lhs,
                                 const ValueRange &rhs);
+
+// --------------------------------------------------------------------
+// Demanded-bits lattice (backward)
+// --------------------------------------------------------------------
+
+/**
+ * Abstract value of the demanded-bits analysis: a mask as wide as the
+ * value with a 1 wherever some observable behavior (an interface
+ * write, a memory access, ...) may depend on that bit. Top is the
+ * all-zero mask — nothing demanded — and join is bitwise OR, so the
+ * analysis starts optimistic and only bits with a concrete use-chain
+ * to an observable end up set. A value whose mask has k < width active
+ * bits can be narrowed to k bits without changing any observable.
+ */
+struct DemandedBits
+{
+    ApInt mask = ApInt(1, 0);
+
+    static DemandedBits none(unsigned width)
+    {
+        return DemandedBits{ApInt(width, 0)};
+    }
+    static DemandedBits all(unsigned width)
+    {
+        return DemandedBits{ApInt::allOnes(width)};
+    }
+
+    bool anyDemanded() const { return !mask.isZero(); }
+    bool operator==(const DemandedBits &rhs) const = default;
+};
+
+/**
+ * Backward lattice computing which bits of each value can influence
+ * an observable effect. Conservative for operations without a precise
+ * rule (they demand every bit of every operand).
+ */
+class DemandedBitsLattice : public Lattice<DemandedBits>
+{
+  public:
+    DemandedBits top(const ir::Value &value) const override;
+    DemandedBits join(const DemandedBits &a,
+                      const DemandedBits &b) const override;
+    bool equal(const DemandedBits &a,
+               const DemandedBits &b) const override;
+    std::vector<DemandedBits>
+    transferBackward(const ir::Operation &op,
+                     const std::vector<DemandedBits> &results)
+        const override;
+};
+
+/** Convenience: solve the demanded-bits lattice over @p graph. */
+std::map<const ir::Value *, DemandedBits>
+computeDemandedBits(const ir::Graph &graph);
 
 // --------------------------------------------------------------------
 // Definite-initialization lattice

@@ -192,6 +192,30 @@ checkLilGraph(const lil::LilGraph &graph,
                               "' never executes (its predicate is "
                               "always false)");
     });
+
+    // LN4105: shift amounts that are provably at least the operand
+    // width. Amounts clamp to the width, so such a shift discards
+    // every data bit — almost always an off-by-one in the amount
+    // expression or a width mix-up.
+    forEachOp(graph.graph, [&](const Operation &op) {
+        bool is_shift = op.kind() == OpKind::CombShl ||
+                        op.kind() == OpKind::CombShrU ||
+                        op.kind() == OpKind::CombShrS;
+        if (!is_shift || op.numOperands() != 2 || op.numResults() != 1)
+            return;
+        unsigned width = op.result()->type.width;
+        auto it = ranges.find(op.operand(1));
+        if (it == ranges.end() || it->second.umin < width)
+            return;
+        bool arith = op.kind() == OpKind::CombShrS;
+        diags.warning(
+            op.loc(), "LN4105",
+            std::string("shift amount in '") + graph.name +
+                "' is always >= the operand width (" +
+                std::to_string(width) + "): " + op.name() +
+                (arith ? " always yields just copies of the sign bit"
+                       : " always yields 0"));
+    });
 }
 
 // --------------------------------------------------------------------

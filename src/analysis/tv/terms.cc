@@ -68,6 +68,17 @@ clampShiftAmount(const ApInt &amount, unsigned value_width)
     return unsigned(std::min<uint64_t>(raw, value_width));
 }
 
+/** Mask with the low @p k bits of a @p width-bit value set. */
+ApInt
+maskLow(unsigned width, unsigned k)
+{
+    if (k >= width)
+        return ApInt::allOnes(width);
+    if (k == 0)
+        return ApInt(width, 0);
+    return ApInt::allOnes(k).zext(width);
+}
+
 } // namespace
 
 bool
@@ -167,6 +178,11 @@ TermBuilder::icmp(ir::ICmpPred pred, TermId lhs, TermId rhs)
             return constant(ApInt(1, 0));
         }
     }
+    // Range reasoning: comparisons the graph-side RangeLattice can
+    // decide also fold here, so range-driven dead-code elimination
+    // proves symbolically rather than falling back to co-simulation.
+    if (auto outcome = icmpOutcome(pred, rangeOf(lhs), rangeOf(rhs)))
+        return constant(ApInt(1, *outcome ? 1 : 0));
     // Eq/Ne are symmetric: order the operands.
     if ((pred == ir::ICmpPred::Eq || pred == ir::ICmpPred::Ne) &&
         rhs < lhs)
@@ -182,11 +198,82 @@ TermBuilder::icmp(ir::ICmpPred pred, TermId lhs, TermId rhs)
 TermId
 TermBuilder::extract(TermId value, unsigned lo, unsigned count)
 {
-    const Term &v = terms_.at(value);
-    if (v.kind == TermKind::Const)
-        return constant(v.cval.extract(lo, count));
-    if (lo == 0 && count == v.width)
+    // Memoize up front: the structural rewrites below recurse into
+    // both operands of shared subterms, and on a DAG the same slice
+    // request repeats once per path to the subterm.
+    auto memo_key = std::make_tuple(value, lo, count);
+    auto memo = extractMemo_.find(memo_key);
+    if (memo != extractMemo_.end())
+        return memo->second;
+    TermId out = extractImpl(value, lo, count);
+    extractMemo_.emplace(memo_key, out);
+    return out;
+}
+
+TermId
+TermBuilder::extractImpl(TermId value, unsigned lo, unsigned count)
+{
+    // Copy: the recursive rewrites below may grow terms_ and
+    // invalidate references into it.
+    const TermKind vkind = terms_.at(value).kind;
+    const unsigned vwidth = terms_.at(value).width;
+    const unsigned vlo = terms_.at(value).lo;
+    const std::vector<TermId> vops = terms_.at(value).operands;
+
+    if (vkind == TermKind::Const)
+        return constant(constOf(value).extract(lo, count));
+    if (lo == 0 && count == vwidth)
         return value;
+
+    // Slices fold through slices, concatenations and bit-parallel or
+    // carry-rippling operators, so a computation narrowed by the pass
+    // pipeline (docs/pass-pipeline.md) reduces to the same term as
+    // the wide original it replaced.
+    switch (vkind) {
+      case TermKind::Extract:
+        return extract(vops[0], vlo + lo, count);
+      case TermKind::Concat: {
+        unsigned w1 = terms_.at(vops[1]).width;
+        if (lo + count <= w1)
+            return extract(vops[1], lo, count);
+        if (lo >= w1)
+            return extract(vops[0], lo - w1, count);
+        TermId hi = extract(vops[0], 0, lo + count - w1);
+        TermId low = extract(vops[1], lo, w1 - lo);
+        return make(TermKind::Concat, count, {hi, low});
+      }
+      case TermKind::And:
+      case TermKind::Or:
+      case TermKind::Xor:
+        return make(vkind, count,
+                    {extract(vops[0], lo, count),
+                     extract(vops[1], lo, count)});
+      case TermKind::Mux:
+        return make(TermKind::Mux, count,
+                    {vops[0], extract(vops[1], lo, count),
+                     extract(vops[2], lo, count)});
+      case TermKind::Replicate:
+        return make(TermKind::Replicate, count, {vops[0]});
+      case TermKind::Add:
+      case TermKind::Sub:
+      case TermKind::Mul:
+      case TermKind::Shl:
+        // Low bits depend only on low operand bits (carries ripple
+        // upward). The shift case holds at any width because amounts
+        // clamp to the value width on both sides: an amount >= count
+        // zeroes the low `count` bits of the wide shift too.
+        if (lo == 0) {
+            TermId a = extract(vops[0], 0, count);
+            TermId b = vkind == TermKind::Shl
+                           ? vops[1]
+                           : extract(vops[1], 0, count);
+            return make(vkind, count, {a, b});
+        }
+        break;
+      default:
+        break;
+    }
+
     Term t;
     t.kind = TermKind::Extract;
     t.width = count;
@@ -347,6 +434,70 @@ TermBuilder::make(TermKind kind, unsigned width,
         break;
     }
 
+    // Strength/shape canonicalizations: power-of-two multiplicative
+    // operators become shifts/masks and constant masks narrow the
+    // computation they guard, so the graph-side strength reduction and
+    // bitwidth narrowing rewrites (src/passes/) reduce to the same
+    // canonical term as the code they replaced.
+    auto powerOfTwo = [&](TermId id) -> std::optional<unsigned> {
+        if (!isConst(id))
+            return std::nullopt;
+        const ApInt &c = constOf(id);
+        unsigned k = c.activeBits();
+        if (k == 0 || c != ApInt::oneBit(c.width(), k - 1))
+            return std::nullopt;
+        return k - 1;
+    };
+    switch (kind) {
+      case TermKind::Mul:
+        for (unsigned i = 0; i < 2; ++i)
+            if (auto s = powerOfTwo(operands[i]))
+                return make(TermKind::Shl, width,
+                            {operands[1 - i],
+                             constant(ApInt(width, *s))});
+        break;
+      case TermKind::DivU:
+        if (auto s = powerOfTwo(operands[1]))
+            return make(TermKind::ShrU, width,
+                        {operands[0], constant(ApInt(width, *s))});
+        break;
+      case TermKind::ModU:
+        if (auto s = powerOfTwo(operands[1])) {
+            if (*s == 0)
+                return constant(ApInt(width, 0));
+            return make(TermKind::And, width,
+                        {operands[0], constant(maskLow(width, *s))});
+        }
+        break;
+      case TermKind::And:
+        for (unsigned i = 0; i < 2; ++i) {
+            if (!isConst(operands[i]) || isConst(operands[1 - i]))
+                continue;
+            ApInt c = constOf(operands[i]);
+            unsigned k = c.activeBits();
+            // High bits of the mask are zero: only the low k bits of
+            // the other operand can reach the result.
+            if (k == 0 || k >= width)
+                continue;
+            TermId low = make(TermKind::And, k,
+                              {extract(operands[1 - i], 0, k),
+                               constant(c.extract(0, k))});
+            return make(TermKind::Concat, width,
+                        {constant(ApInt(width - k, 0)), low});
+        }
+        break;
+      case TermKind::Shl:
+      case TermKind::ShrU:
+        // Overshift: amounts clamp to the width and every data bit is
+        // discarded (shrs keeps the sign fill and stays symbolic).
+        if (isConst(operands[1]) &&
+            clampShiftAmount(constOf(operands[1]), width) >= width)
+            return constant(ApInt(width, 0));
+        break;
+      default:
+        break;
+    }
+
     if (isCommutative(kind) && operands.size() == 2 &&
         operands[1] < operands[0])
         std::swap(operands[0], operands[1]);
@@ -356,6 +507,187 @@ TermBuilder::make(TermKind kind, unsigned width,
     t.width = width;
     t.operands = std::move(operands);
     return intern(std::move(t));
+}
+
+ValueRange
+TermBuilder::rangeOf(TermId id)
+{
+    auto hit = ranges_.find(id);
+    if (hit != ranges_.end())
+        return hit->second;
+
+    auto boundedMax = [](uint64_t umax) { return umax != UINT64_MAX; };
+    auto satAdd = [](uint64_t a, uint64_t b) {
+        return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+    };
+
+    // Copy the node: recursive rangeOf calls do not grow terms_, but
+    // keeping a value avoids any aliasing surprise.
+    const Term t = terms_.at(id);
+    const unsigned w = t.width;
+    ValueRange out = ValueRange::full(w);
+
+    switch (t.kind) {
+      case TermKind::Const:
+        out = ValueRange::exact(t.cval);
+        break;
+      case TermKind::Add: {
+        ValueRange a = rangeOf(t.operands[0]);
+        ValueRange b = rangeOf(t.operands[1]);
+        if (boundedMax(a.umax) && boundedMax(b.umax)) {
+            uint64_t smax = satAdd(a.umax, b.umax);
+            if (boundedMax(smax) && smax <= ValueRange::maxFor(w)) {
+                out.umin = satAdd(a.umin, b.umin);
+                out.umax = smax;
+            }
+        }
+        break;
+      }
+      case TermKind::Sub: {
+        ValueRange a = rangeOf(t.operands[0]);
+        ValueRange b = rangeOf(t.operands[1]);
+        if (boundedMax(b.umax) && a.umin >= b.umax) {
+            out.umin = a.umin - b.umax;
+            if (boundedMax(a.umax))
+                out.umax = a.umax - b.umin;
+        }
+        break;
+      }
+      case TermKind::Mul: {
+        ValueRange a = rangeOf(t.operands[0]);
+        ValueRange b = rangeOf(t.operands[1]);
+        uint64_t limit = ValueRange::maxFor(w);
+        if (boundedMax(a.umax) && boundedMax(b.umax) &&
+            boundedMax(limit)) {
+            unsigned __int128 p = (unsigned __int128)a.umax * b.umax;
+            if (p <= limit) {
+                out.umin = a.umin * b.umin;
+                out.umax = uint64_t(p);
+            }
+        }
+        break;
+      }
+      case TermKind::And: {
+        ValueRange a = rangeOf(t.operands[0]);
+        ValueRange b = rangeOf(t.operands[1]);
+        out.umin = 0;
+        out.umax = std::min(a.umax, b.umax);
+        break;
+      }
+      case TermKind::Or:
+      case TermKind::Xor: {
+        ValueRange a = rangeOf(t.operands[0]);
+        ValueRange b = rangeOf(t.operands[1]);
+        out.umin = t.kind == TermKind::Or ? std::max(a.umin, b.umin)
+                                          : 0;
+        if (boundedMax(a.umax) && boundedMax(b.umax))
+            out.umax = std::min(ValueRange::maxFor(w),
+                                satAdd(a.umax, b.umax));
+        break;
+      }
+      case TermKind::ShrU: {
+        ValueRange a = rangeOf(t.operands[0]);
+        ValueRange amt = rangeOf(t.operands[1]);
+        uint64_t shift = std::min<uint64_t>(amt.umin, 63);
+        uint64_t amax =
+            boundedMax(a.umax) ? a.umax : ValueRange::maxFor(w);
+        if (boundedMax(amax))
+            out.umax = amax >> shift;
+        break;
+      }
+      case TermKind::Shl: {
+        ValueRange a = rangeOf(t.operands[0]);
+        ValueRange amt = rangeOf(t.operands[1]);
+        uint64_t limit = ValueRange::maxFor(w);
+        if (amt.constant && boundedMax(a.umax) && amt.umin < 64 &&
+            boundedMax(limit)) {
+            unsigned __int128 hi = (unsigned __int128)a.umax
+                                   << amt.umin;
+            if (hi <= limit) {
+                out.umin = a.umin << amt.umin;
+                out.umax = uint64_t(hi);
+            }
+        }
+        break;
+      }
+      case TermKind::DivU: {
+        ValueRange a = rangeOf(t.operands[0]);
+        ValueRange b = rangeOf(t.operands[1]);
+        if (b.umin >= 1) {
+            uint64_t amax =
+                boundedMax(a.umax) ? a.umax : ValueRange::maxFor(w);
+            if (boundedMax(amax))
+                out.umax = amax / b.umin;
+            if (boundedMax(b.umax))
+                out.umin = a.umin / b.umax;
+        }
+        break;
+      }
+      case TermKind::ModU: {
+        ValueRange a = rangeOf(t.operands[0]);
+        ValueRange b = rangeOf(t.operands[1]);
+        if (b.umin >= 1 && boundedMax(b.umax)) {
+            out.umax = b.umax - 1;
+            if (boundedMax(a.umax))
+                out.umax = std::min(out.umax, a.umax);
+        }
+        break;
+      }
+      case TermKind::Mux: {
+        ValueRange a = rangeOf(t.operands[1]);
+        ValueRange b = rangeOf(t.operands[2]);
+        out.umin = std::min(a.umin, b.umin);
+        out.umax = std::max(a.umax, b.umax);
+        break;
+      }
+      case TermKind::Extract: {
+        ValueRange a = rangeOf(t.operands[0]);
+        if (t.lo == 0 && boundedMax(a.umax) &&
+            a.umax <= ValueRange::maxFor(w)) {
+            out.umin = a.umin;
+            out.umax = a.umax;
+        }
+        break;
+      }
+      case TermKind::Concat: {
+        if (w > 64)
+            break;
+        ValueRange hi = rangeOf(t.operands[0]);
+        ValueRange lo = rangeOf(t.operands[1]);
+        unsigned lo_width = terms_.at(t.operands[1]).width;
+        out.umin = (hi.umin << lo_width) + lo.umin;
+        out.umax = (hi.umax << lo_width) + lo.umax;
+        break;
+      }
+      case TermKind::Rom: {
+        if (t.romValues.empty())
+            break;
+        uint64_t lo = UINT64_MAX, hi = 0;
+        bool all_fit = true;
+        for (const ApInt &v : t.romValues) {
+            if (v.activeBits() > 64) {
+                all_fit = false;
+                break;
+            }
+            uint64_t u = v.zextOrTrunc(64).toUint64();
+            lo = std::min(lo, u);
+            hi = std::max(hi, u);
+        }
+        if (!all_fit)
+            break;
+        ValueRange idx = rangeOf(t.operands[0]);
+        bool in_range =
+            boundedMax(idx.umax) && idx.umax < t.romValues.size();
+        out.umin = in_range ? lo : 0;
+        out.umax = hi;
+        break;
+      }
+      default:
+        break;
+    }
+
+    ranges_[id] = out;
+    return out;
 }
 
 std::string

@@ -21,8 +21,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "analysis/dataflow.hh"
 #include "ir/ir.hh"
 #include "support/apint.hh"
 
@@ -102,6 +104,10 @@ class TermBuilder
                 std::vector<TermId> operands);
 
     TermId icmp(ir::ICmpPred pred, TermId lhs, TermId rhs);
+    /** Memoized: extraction recurses structurally through shared
+     * sub-DAGs, and without the cache the same (value, lo, count)
+     * slice is recomputed once per path — exponential on deeply
+     * chained graphs like an unrolled sqrt. */
     TermId extract(TermId value, unsigned lo, unsigned count);
     TermId rom(std::vector<ApInt> values, unsigned width, TermId index);
 
@@ -124,14 +130,26 @@ class TermBuilder
     };
 
     TermId intern(Term term);
+    TermId extractImpl(TermId value, unsigned lo, unsigned count);
     const ApInt &constOf(TermId id) const { return terms_[id].cval; }
     bool isConst(TermId id) const
     {
         return terms_[id].kind == TermKind::Const;
     }
 
+    /**
+     * Structural unsigned range of a term, memoized; mirrors the
+     * RangeLattice transfer rules so comparisons the graph-side range
+     * analysis decides also fold here (range-driven dead-code
+     * elimination then proves symbolically, docs/pass-pipeline.md).
+     */
+    ValueRange rangeOf(TermId id);
+
     std::vector<Term> terms_;
     std::map<Key, TermId> interned_;
+    std::map<TermId, ValueRange> ranges_;
+    std::map<std::tuple<TermId, unsigned, unsigned>, TermId>
+        extractMemo_;
     unsigned nextOpaque_ = 0;
 };
 

@@ -359,7 +359,7 @@ compilerVersion()
 {
     // Bump on every change that can alter artifacts for unchanged
     // inputs (scheduler tweaks, codegen changes, diagnostics wording).
-    return "longnail-pr6";
+    return "longnail-pr7";
 }
 
 std::string
@@ -390,6 +390,10 @@ cacheKey(const std::string &source, const std::string &target,
     flags += options.validate ? '1' : '0';
     flags += options.warningsAsErrors ? '1' : '0';
     h.updateField(flags);
+    // -O0 and -O1 produce different artifacts for the same source
+    // (dumpAnalysisFile deliberately stays out: a debug dump must not
+    // fragment the cache).
+    h.updateField(std::to_string(options.optLevel));
     auto sorted = [](std::vector<std::string> v) {
         std::sort(v.begin(), v.end());
         return v;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <optional>
 #include <thread>
 
@@ -13,6 +14,7 @@
 #include "ir/ir.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
+#include "passes/passes.hh"
 #include "rtl/verilog.hh"
 #include "support/failpoint.hh"
 #include "support/hash.hh"
@@ -333,6 +335,46 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
         return;
     if (options.lintOnly)
         return;
+
+    // Optimization pipeline (docs/pass-pipeline.md): -O1 runs the
+    // verified passes over every non-spawn LIL graph before any
+    // scheduling; each application is re-proved under --validate
+    // (refutations surface as LN4501 errors and abort the compile).
+    if (options.optLevel >= 1) {
+        PhaseTimer timer(result.report, "passes");
+        DiagnosticEngine::ContextScope scope(diags, Phase::Validate,
+                                             "LN4501");
+        passes::PipelineOptions popts;
+        popts.validate = options.validate;
+        passes::PipelineResult pres =
+            passes::runPipeline(*result.lilModule, popts, diags);
+        result.report.passRewrites = pres.totalRewrites;
+        result.report.passProved = pres.proved;
+        result.report.passCosimAgreed = pres.cosimAgreed;
+        obs::count("passes.rewrites", pres.totalRewrites);
+        if (pres.refuted || diags.hasErrors())
+            return;
+    }
+    for (const auto &graph : result.lilModule->graphs) {
+        std::map<std::string, size_t> unused;
+        countIrOps(graph->graph, result.report.lilOpsOptimized, unused,
+                   "ir.nodes.lil_opt");
+    }
+    if (cancelRequested(options, diags, "passes"))
+        return;
+
+    // Analysis-state dump (debug aid; deliberately after the passes so
+    // the states describe the module that scheduling will consume).
+    if (!options.dumpAnalysisFile.empty()) {
+        std::ofstream dump(options.dumpAnalysisFile);
+        if (!dump) {
+            diags.error({}, "LN3012",
+                        "cannot write --dump-analysis file '" +
+                            options.dumpAnalysisFile + "'");
+            return;
+        }
+        passes::writeAnalysisDump(*result.lilModule, dump);
+    }
 
     // Schedule and generate hardware per functionality. The technology
     // characterization is shared across a batch when the caller

@@ -55,6 +55,21 @@ struct CompileOptions
      * the heuristic scheduler (see docs/failure-model.md). */
     sched::ScheduleBudget schedBudget;
 
+    /**
+     * Optimization level (CLI: -O0/-O1). 0 compiles the LIL exactly as
+     * lowered; 1 runs the verified pass pipeline (simplify, CSE,
+     * bitwidth narrowing, DCE — docs/pass-pipeline.md) over every
+     * non-spawn graph before scheduling. Part of the cache key.
+     */
+    unsigned optLevel = 0;
+    /**
+     * When non-empty, write a YAML dump of the per-value range and
+     * demanded-bits states of every LIL graph to this file (CLI:
+     * --dump-analysis=FILE). Debug-only: not part of the cache key, so
+     * it is only honored on fresh (non-cache-replayed) compiles.
+     */
+    std::string dumpAnalysisFile;
+
     /** Stop after the static-analysis phase (CLI: --lint); the result
      * carries the elaborated ISA, HIR/LIL modules and all lint
      * diagnostics, but no schedule or hardware. */
@@ -134,6 +149,17 @@ struct PhaseReport
     uint64_t lpWorkUnits = 0;
     /** Times the scheduler fallback chain degraded one step. */
     unsigned fallbackEvents = 0;
+
+    /** Pass-pipeline tallies (populated when CompileOptions::optLevel
+     * >= 1; see docs/pass-pipeline.md). */
+    uint64_t passRewrites = 0;
+    /** Pass applications proved equal by the canonical term checker. */
+    unsigned passProved = 0;
+    /** Pass applications accepted by co-simulation agreement only. */
+    unsigned passCosimAgreed = 0;
+    /** Top-level LIL op count after the pass pipeline (equals lilOps
+     * at -O0 or when no pass fired). */
+    size_t lilOpsOptimized = 0;
 
     /** Translation-validation tallies (populated when
      * CompileOptions::validate is set; see

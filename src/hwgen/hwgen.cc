@@ -135,6 +135,12 @@ class Generator
             int use_at = stageOf(op.get());
             for (unsigned i = 0; i < op->numOperands(); ++i) {
                 const ir::Operation *def = op->operand(i)->owner;
+                // Constants are timeless wiring (see pipeTo): a
+                // boundary only they cross needs no register, and its
+                // stall gate would be dead logic (LN4604).
+                if (def->kind() == OpKind::CombConstant ||
+                    def->kind() == OpKind::HwConstant)
+                    continue;
                 const sched::OperatorType &def_type =
                     built_.problem.operatorTypeOf(built_.problem.operation(
                         built_.indexOf.at(def)));

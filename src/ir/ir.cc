@@ -189,6 +189,15 @@ Operation::morphToConstant(const ApInt &value, bool comb_level)
     setAttr("value", value.zextOrTrunc(result()->type.width));
 }
 
+void
+Operation::morph(OpKind kind, std::vector<Value *> operands)
+{
+    kind_ = kind;
+    operands_ = std::move(operands);
+    attrs_.clear();
+    subgraph_.reset();
+}
+
 Operation *
 Graph::append(OpKind kind, std::vector<Value *> operands,
               std::vector<WireType> result_types)
@@ -213,6 +222,31 @@ Graph::appendWithSubgraph(OpKind kind)
     Operation *op = append(kind, {}, {});
     op->subgraph_ = std::make_unique<Graph>();
     return op;
+}
+
+Operation *
+Graph::insertBefore(const Operation *anchor, OpKind kind,
+                    std::vector<Value *> operands,
+                    std::vector<WireType> result_types)
+{
+    auto it = ops_.begin();
+    for (; it != ops_.end(); ++it)
+        if (it->get() == anchor)
+            break;
+    if (it == ops_.end())
+        LN_PANIC("insertBefore: anchor op is not in this graph");
+
+    auto op = std::make_unique<Operation>(kind, std::move(operands));
+    for (unsigned i = 0; i < result_types.size(); ++i) {
+        auto v = std::make_unique<Value>();
+        v->owner = op.get();
+        v->resultIndex = i;
+        v->type = result_types[i];
+        v->id = nextValueId_++;
+        op->results_.push_back(std::move(v));
+    }
+    op->loc_ = anchor->loc();
+    return ops_.insert(it, std::move(op))->get();
 }
 
 namespace {

@@ -198,6 +198,15 @@ class Operation
      */
     void morphToConstant(const ApInt &value, bool comb_level);
 
+    /**
+     * Rewrite this operation in place to @p kind over @p operands,
+     * keeping its results (Value pointers stay valid, so users are
+     * unaffected). Attributes and any subgraph are dropped; the caller
+     * re-sets whatever the new kind requires. The optimization passes
+     * use this to swap an op's implementation without re-linking users.
+     */
+    void morph(OpKind kind, std::vector<Value *> operands);
+
   private:
     friend class Graph;
 
@@ -227,6 +236,17 @@ class Graph
 
     /** Append a spawn-style op owning a fresh nested graph. */
     Operation *appendWithSubgraph(OpKind kind);
+
+    /**
+     * Insert a new operation immediately before @p anchor, which must
+     * be a top-level operation of this graph. Operations are
+     * heap-allocated, so existing Value* / Operation* pointers stay
+     * valid across the deque insertion. The new op inherits @p anchor's
+     * source location (it computes on behalf of the anchored op).
+     */
+    Operation *insertBefore(const Operation *anchor, OpKind kind,
+                            std::vector<Value *> operands,
+                            std::vector<WireType> result_types);
 
     /**
      * Source location stamped onto subsequently appended operations.

@@ -1,0 +1,106 @@
+#include "passes/internal.hh"
+
+#include <algorithm>
+
+namespace longnail {
+namespace passes {
+namespace detail {
+
+using ir::OpKind;
+
+void
+replaceAllUses(ir::Graph &graph, ir::Value *from, ir::Value *to)
+{
+    for (const auto &op : graph.ops()) {
+        op->replaceUsesOf(from, to);
+        if (op->subgraph())
+            replaceAllUses(*op->subgraph(), from, to);
+    }
+}
+
+namespace {
+
+void
+collectUsed(const ir::Graph &graph, std::set<const ir::Value *> &used)
+{
+    for (const auto &op : graph.ops()) {
+        for (const ir::Value *v : op->operands())
+            used.insert(v);
+        if (op->subgraph())
+            collectUsed(*op->subgraph(), used);
+    }
+}
+
+} // namespace
+
+std::set<const ir::Value *>
+usedValues(const ir::Graph &graph)
+{
+    std::set<const ir::Value *> used;
+    collectUsed(graph, used);
+    return used;
+}
+
+const ApInt *
+definingConstant(const ir::Value *v)
+{
+    const ir::Operation *def = v->owner;
+    if (def &&
+        (def->kind() == OpKind::CombConstant ||
+         def->kind() == OpKind::HwConstant) &&
+        def->hasAttr("value"))
+        return &def->apAttr("value");
+    return nullptr;
+}
+
+std::optional<unsigned>
+log2OfPowerOfTwo(const ApInt &value)
+{
+    unsigned k = value.activeBits();
+    if (k == 0 || value != ApInt::oneBit(value.width(), k - 1))
+        return std::nullopt;
+    return k - 1;
+}
+
+bool
+isCombKind(ir::OpKind kind)
+{
+    switch (kind) {
+      case OpKind::CombConstant:
+      case OpKind::CombAdd:
+      case OpKind::CombSub:
+      case OpKind::CombMul:
+      case OpKind::CombDivU:
+      case OpKind::CombDivS:
+      case OpKind::CombModU:
+      case OpKind::CombModS:
+      case OpKind::CombAnd:
+      case OpKind::CombOr:
+      case OpKind::CombXor:
+      case OpKind::CombShl:
+      case OpKind::CombShrU:
+      case OpKind::CombShrS:
+      case OpKind::CombICmp:
+      case OpKind::CombMux:
+      case OpKind::CombExtract:
+      case OpKind::CombConcat:
+      case OpKind::CombReplicate:
+      case OpKind::CombRom:
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+clampedShiftAmount(const ApInt &amount, unsigned value_width)
+{
+    uint64_t raw = amount.activeBits() > 32
+                       ? value_width
+                       : amount.zextOrTrunc(64).toUint64();
+    return unsigned(std::min<uint64_t>(raw, value_width));
+}
+
+} // namespace detail
+} // namespace passes
+} // namespace longnail

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * dce: dead-code elimination over one LIL graph. Three cooperating
+ * steps, iterated to a fixpoint:
+ *
+ *  - interface writes whose predicate is provably constant-false (the
+ *    LN4104 lint findings) are deleted outright — lil::interpret()
+ *    never applies them;
+ *  - a lil.read_mem whose predicate is constant-false becomes the
+ *    constant 0 its interpretation already is (the read itself is
+ *    observable through mem_read_used, so only the provably-disabled
+ *    form may disappear);
+ *  - pure computations and input/register reads with no remaining
+ *    users are swept, including lil.write_cust_reg_addr ops whose
+ *    register has lost every data write.
+ *
+ * customRegsRead/Written are recomputed at the end so the scheduler
+ * and the core's hazard logic see the post-DCE interface.
+ */
+
+#include <set>
+#include <string>
+
+#include "analysis/dataflow.hh"
+#include "ir/eval.hh"
+#include "passes/internal.hh"
+#include "passes/passes.hh"
+
+namespace longnail {
+namespace passes {
+
+using ir::OpKind;
+
+namespace {
+
+/** Index of the predicate operand of an interface op, or -1. */
+int
+predOperandIndex(const ir::Operation &op)
+{
+    switch (op.kind()) {
+      case OpKind::LilWriteRd:
+      case OpKind::LilWritePC:
+      case OpKind::LilWriteCustRegData:
+        return op.numOperands() == 2 ? 1 : -1;
+      case OpKind::LilWriteMem:
+        return op.numOperands() == 3 ? 2 : -1;
+      case OpKind::LilReadMem:
+        return op.numOperands() == 2 ? 1 : -1;
+      default:
+        return -1;
+    }
+}
+
+/** True for result-producing ops that are removable when unused. */
+bool
+isRemovableWhenUnused(OpKind kind)
+{
+    if (ir::isPureComputation(kind))
+        return true;
+    switch (kind) {
+      // Reading an input or a custom register has no observable
+      // effect in lil::interpret(); lil.read_mem does (mem_read_used)
+      // and must survive.
+      case OpKind::LilInstrWord:
+      case OpKind::LilReadRs1:
+      case OpKind::LilReadRs2:
+      case OpKind::LilReadPC:
+      case OpKind::LilReadCustReg:
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+dceSweep(ir::Graph &graph)
+{
+    unsigned removed = 0;
+    auto ranges = analysis::computeRanges(graph);
+
+    // Disabled interface ops first: writes disappear, reads become
+    // the 0 they already evaluate to. Collect before mutating: the
+    // removal below invalidates the op list being walked.
+    std::set<const ir::Operation *> disabled_writes;
+    for (const auto &op : graph.ops()) {
+        int pi = predOperandIndex(*op);
+        if (pi < 0)
+            continue;
+        auto rit = ranges.find(op->operand(unsigned(pi)));
+        if (rit == ranges.end() || !rit->second.isConstZero())
+            continue;
+        if (op->kind() == OpKind::LilReadMem)
+            op->morphToConstant(ApInt(op->result()->type.width, 0),
+                                true);
+        else
+            disabled_writes.insert(op.get());
+        ++removed;
+    }
+    graph.removeIf([&](const ir::Operation &o) {
+        return disabled_writes.count(&o) != 0;
+    });
+
+    // Address writes for registers that no longer have any data write
+    // are unobservable (the pending index only matters to a write).
+    std::set<std::string> data_written;
+    for (const auto &op : graph.ops())
+        if (op->kind() == OpKind::LilWriteCustRegData)
+            data_written.insert(op->strAttr("reg"));
+    graph.removeIf([&](const ir::Operation &o) {
+        bool dead = o.kind() == OpKind::LilWriteCustRegAddr &&
+                    !data_written.count(o.strAttr("reg"));
+        removed += dead;
+        return dead;
+    });
+
+    // Unused pure computations and reads, innermost-first via
+    // iteration (removing a user can free its operands' defs).
+    for (;;) {
+        auto used = detail::usedValues(graph);
+        unsigned swept = 0;
+        graph.removeIf([&](const ir::Operation &o) {
+            if (!isRemovableWhenUnused(o.kind()))
+                return false;
+            for (unsigned r = 0; r < o.numResults(); ++r)
+                if (used.count(o.result(r)))
+                    return false;
+            ++swept;
+            return true;
+        });
+        if (!swept)
+            break;
+        removed += swept;
+    }
+    return removed;
+}
+
+} // namespace
+
+unsigned
+runDce(lil::LilGraph &graph)
+{
+    unsigned total = 0;
+    for (;;) {
+        unsigned n = dceSweep(graph.graph);
+        total += n;
+        if (!n)
+            break;
+    }
+
+    // Keep the cross-layer register interface honest after removals.
+    std::set<std::string> reads, writes;
+    for (const auto &op : graph.graph.ops()) {
+        if (op->kind() == OpKind::LilReadCustReg)
+            reads.insert(op->strAttr("reg"));
+        if (op->kind() == OpKind::LilWriteCustRegData)
+            writes.insert(op->strAttr("reg"));
+    }
+    graph.customRegsRead.assign(reads.begin(), reads.end());
+    graph.customRegsWritten.assign(writes.begin(), writes.end());
+    return total;
+}
+
+} // namespace passes
+} // namespace longnail

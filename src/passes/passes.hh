@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The -O1 optimization pipeline over LIL graphs
+ * (docs/pass-pipeline.md): analysis-driven rewrites in which every
+ * pass application is re-proved against the graph it transformed.
+ *
+ * Four passes run in order, iterated to a fixpoint:
+ *
+ *   simplify   constant folding via the range lattice, identity
+ *              rewrites and power-of-two strength reduction
+ *   cse        common-subexpression elimination keyed by the same
+ *              structural discipline as the hash-consed term DAG
+ *   narrow     bitwidth narrowing where range ∧ demanded-bits proves
+ *              the high bits are dead
+ *   dce        deletion of interface ops with constant-false
+ *              predicates (the LN4104 findings) and of unused pure
+ *              computations
+ *
+ * When validation is enabled, the pass manager captures the graph's
+ * observable signature — the guarded rd/pc/mem/custom-register
+ * effects, mirroring lil::interpret() — as canonical terms before
+ * each pass, and compares after: term-equal signatures are a symbolic
+ * proof; otherwise the golden interpreter re-runs a deterministic
+ * input battery, and any divergence refutes the pass (LN4501) and
+ * aborts the compile.
+ */
+
+#ifndef LONGNAIL_PASSES_PASSES_HH
+#define LONGNAIL_PASSES_PASSES_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "lil/lil.hh"
+#include "support/diagnostics.hh"
+
+namespace longnail {
+namespace passes {
+
+/** Pipeline configuration. */
+struct PipelineOptions
+{
+    /** Re-prove every pass application (set from --validate). */
+    bool validate = false;
+    /** Fixpoint cap: full pass-order sweeps per graph. */
+    unsigned maxIterations = 4;
+    /** Golden-interpreter trials when a symbolic proof falls through. */
+    unsigned cosimTrials = 6;
+};
+
+/** Aggregate outcome of one pipeline run over a module. */
+struct PipelineResult
+{
+    uint64_t totalRewrites = 0;
+    /** Pass applications proved equal by the term checker. */
+    unsigned proved = 0;
+    /** Pass applications accepted by co-simulation agreement only. */
+    unsigned cosimAgreed = 0;
+    /** A pass application changed observable behavior (LN4501). */
+    bool refuted = false;
+};
+
+/**
+ * Run the -O1 pipeline over every non-spawn graph of @p mod.
+ * Diagnostics (the LN4501 refutation) go to @p diags; on refutation
+ * the pipeline stops immediately, leaving the module in its
+ * last-verified state only up to the offending pass.
+ */
+PipelineResult runPipeline(lil::LilModule &mod,
+                           const PipelineOptions &options,
+                           DiagnosticEngine &diags);
+
+// Individual passes, exposed for the idempotence tests. Each returns
+// the number of rewrites applied.
+unsigned runSimplify(lil::LilGraph &graph);
+unsigned runCse(lil::LilGraph &graph);
+unsigned runNarrow(lil::LilGraph &graph);
+unsigned runDce(lil::LilGraph &graph);
+
+/**
+ * Write a YAML dump of the per-value range and demanded-bits states
+ * of every graph in @p mod (CLI: --dump-analysis=FILE). Ordering is
+ * stable: graphs in module order, values by ascending id.
+ */
+void writeAnalysisDump(const lil::LilModule &mod, std::ostream &os);
+
+} // namespace passes
+} // namespace longnail
+
+#endif // LONGNAIL_PASSES_PASSES_HH

@@ -84,6 +84,8 @@ encodeOptions(const driver::CompileOptions &options)
         obj.set("maxErrors", uint64_t(options.maxErrors));
     if (options.schedBudget.lpWorkLimit != 0)
         obj.set("lpWorkLimit", options.schedBudget.lpWorkLimit);
+    if (options.optLevel != 0)
+        obj.set("optLevel", uint64_t(options.optLevel));
     if (options.lintOnly)
         obj.set("lintOnly", true);
     if (options.verifyIr)
@@ -127,6 +129,12 @@ decodeOptions(const json::Value &obj, driver::CompileOptions &options,
     options.maxErrors = size_t(obj.getNumber("maxErrors", 0.0));
     options.schedBudget.lpWorkLimit =
         uint64_t(obj.getNumber("lpWorkLimit", 0.0));
+    double opt_level = obj.getNumber("optLevel", 0.0);
+    if (opt_level < 0.0 || opt_level > 1.0) {
+        error = "'optLevel' must be 0 or 1";
+        return false;
+    }
+    options.optLevel = unsigned(opt_level);
     options.lintOnly = obj.getBool("lintOnly", false);
     options.verifyIr = obj.getBool("verifyIr", false);
     options.validate = obj.getBool("validate", false);

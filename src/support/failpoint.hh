@@ -4,7 +4,10 @@
  *
  * A failpoint is a named site in the code (one per phase boundary:
  * "parse", "sema", "astlower", "analysis", "lil", "sched",
- * "sched-optimal", "hwgen", "scaiev-config", "validate") that is normally inert. Tests or operators
+ * "sched-optimal", "hwgen", "scaiev-config", "validate", plus
+ * "passes", which injects a deliberate miscompile into the -O1
+ * pipeline for the signature checker to catch) that is normally
+ * inert. Tests or operators
  * arm it programmatically (arm()) or through the environment:
  *
  *   LONGNAIL_FAILPOINTS="sema=fail;sched=transient:2"

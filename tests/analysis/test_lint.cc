@@ -103,6 +103,9 @@ TEST(Lint, FixtureReportsAllFindingFamiliesAtTheRightLines)
     // Overlap with the RV32I base ADD, reported at base_clash (line 56).
     EXPECT_TRUE(hasWarningAtLine(compiled, "LN4202", 56))
         << compiled.diags.str();
+    // Shift amount provably >= the 32-bit operand width, line 71.
+    EXPECT_TRUE(hasWarningAtLine(compiled, "LN4105", 71))
+        << compiled.diags.str();
 
     // The codes are distinct and none was promoted to an error.
     EXPECT_FALSE(compiled.diags.hasErrorCodePrefix("LN4"));

@@ -36,6 +36,18 @@ for f in isax_export/zol.core_desc isax_export/bitmanip.core_desc \
     done
 done
 
+# -O1 artifacts must be identical through the daemon too: the opt
+# level travels in the compile request and in the cache key, so a
+# served -O1 compile may not alias a cached -O0 artifact.
+for core in VexRiscv ORCA; do
+    mkdir -p "serve_det_out/zol-$core-O1" "solo_det_out/zol-$core-O1"
+    "$LN" --connect serve_det.sock -O1 --core "$core" \
+        -o "serve_det_out/zol-$core-O1" isax_export/zol.core_desc \
+        2>/dev/null
+    "$LN" --quiet -O1 --core "$core" -o "solo_det_out/zol-$core-O1" \
+        isax_export/zol.core_desc
+done
+
 "$LN" --connect serve_det.sock --request shutdown >/dev/null
 wait "$srv" # a shutdown-request drain must exit 0
 

@@ -16,6 +16,12 @@
  *     -o DIR             output directory (default: .)
  *     --stdout           print artifacts instead of writing files
  *     --report           print the schedule and ASIC summary
+ *     -O0 / -O1          optimization level (default -O0; -O1 runs
+ *                        the verified pass pipeline, see
+ *                        docs/pass-pipeline.md)
+ *     --dump-analysis=FILE
+ *                        write a YAML dump of the per-value range and
+ *                        demanded-bits analysis states
  *     --lint             stop after static analysis; print findings
  *     --validate         translation validation: re-check every
  *                        schedule and prove each netlist equivalent
@@ -157,6 +163,7 @@ printUsage()
                  "[--cycle-time NS]\n"
                  "                [--max-errors N] [-o DIR] [--stdout] "
                  "[--report]\n"
+                 "                [-O0|-O1] [--dump-analysis=FILE]\n"
                  "                [--lint] [--validate] [--verify-ir] "
                  "[--Werror[=CODE]] [--no-warn=CODE]\n"
                  "                [--trace-json=FILE] [--stats=FILE|-] "
@@ -565,6 +572,15 @@ run(int argc, char **argv)
             to_stdout = true;
         } else if (arg == "--report") {
             report = true;
+        } else if (arg == "-O0") {
+            options.optLevel = 0;
+        } else if (arg == "-O1") {
+            options.optLevel = 1;
+        } else if (arg.rfind("--dump-analysis=", 0) == 0) {
+            options.dumpAnalysisFile =
+                arg.substr(std::strlen("--dump-analysis="));
+            if (options.dumpAnalysisFile.empty())
+                usage();
         } else if (arg == "--lint") {
             options.lintOnly = true;
         } else if (arg == "--validate") {
