@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "driver/isax_catalog.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "support/threadpool.hh"
@@ -126,6 +127,27 @@ compileBatch(std::vector<BatchRequest> requests,
         const BatchRequest &req = requests[i];
         BatchUnitOutcome &out = result.units[i];
         out.unitName = req.unitName;
+
+        // Request id per sorted slot: "r1" is the first unit in name
+        // order no matter which worker runs it or how many jobs there
+        // are, so log records correlate deterministically across runs.
+        obs::RequestScope rid_scope("r" + std::to_string(i + 1));
+        obs::logEvent(obs::LogLevel::Info, "batch.unit",
+                      {{"name", req.unitName}});
+        struct DoneLog
+        {
+            const BatchUnitOutcome &out;
+            ~DoneLog()
+            {
+                if (!obs::EventLog::instance().active())
+                    return;
+                obs::logEvent(
+                    obs::LogLevel::Info, "batch.unit.done",
+                    {{"name", out.unitName},
+                     {"outcome", out.ok ? "ok" : "compile-error"},
+                     {"fromCache", out.fromCache ? "yes" : "no"}});
+            }
+        } done_log{out};
 
         // Cancellation (Ctrl-C / drain): units that have not started
         // yet are settled with a deterministic LN3011 outcome instead

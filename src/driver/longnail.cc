@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <optional>
 #include <thread>
@@ -12,6 +13,8 @@
 #include "driver/isax_catalog.hh"
 #include "hir/transforms.hh"
 #include "ir/ir.hh"
+#include "obs/flightrec.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "passes/passes.hh"
@@ -89,6 +92,13 @@ class PhaseTimer
             obs::gaugeMax(("rss.peak_kb." + name_).c_str(),
                           double(obs::peakRssKb()));
         }
+        if (obs::EventLog::instance().active()) {
+            char ms_text[32];
+            std::snprintf(ms_text, sizeof(ms_text), "%.3f", ms);
+            obs::logEvent(obs::LogLevel::Debug, "phase",
+                          {{"name", name_}, {"ms", ms_text}});
+        }
+        obs::flightrec::note("phase", name_);
     }
 
     PhaseTimer(const PhaseTimer &) = delete;
@@ -123,8 +133,18 @@ cancelRequested(const CompileOptions &options, DiagnosticEngine &diags,
                 std::string("compile ") + options.cancel->reason() +
                     " at phase boundary '" + boundary + "'");
     obs::count("driver.cancelled_compiles");
-    if (options.cancel->deadlineExpired())
+    obs::logEvent(obs::LogLevel::Warn, "compile.cancelled",
+                  {{"boundary", boundary},
+                   {"reason", options.cancel->reason()}});
+    obs::flightrec::note("cancel", std::string(options.cancel->reason()) +
+                                       " at " + boundary);
+    if (options.cancel->deadlineExpired()) {
         obs::count("driver.deadline_misses");
+        // A deadline firing mid-pipeline is exactly the moment the
+        // flight recorder exists for: capture the lead-up while the
+        // rings still hold it.
+        obs::flightrec::writePostmortem("deadline");
+    }
     return true;
 }
 
@@ -522,8 +542,13 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
             obs::count("tv.units_checked");
             if (tv.proved())
                 obs::count("tv.proved");
-            if (!tv.ok())
+            if (!tv.ok()) {
                 obs::count("tv.refuted");
+                obs::logEvent(obs::LogLevel::Error, "tv.refuted",
+                              {{"unit", graph->name}});
+                obs::flightrec::note("tv-refuted", graph->name);
+                obs::flightrec::writePostmortem("tv-refuted");
+            }
             obs::count("tv.cex_cycles", tv.equiv.cexCycles);
             if (diags.hasErrors())
                 return;

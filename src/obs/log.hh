@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Compiler-wide observability, part 3: the structured event log.
+ *
+ * One process-global EventLog writes leveled JSONL records -- one JSON
+ * object per line -- to a file (or stderr for `--log=-`). Every record
+ * carries a monotone timestamp (microseconds since the process trace
+ * epoch, the same clock the Tracer uses), a level, an event name, and
+ * the request id of the calling thread's obs::RequestScope, so
+ *
+ *   grep '"rid":"c4711-1"' serve.log
+ *
+ * reconstructs one request end to end: client send, server dispatch,
+ * admission, cache tier, every pipeline phase, reply outcome.
+ *
+ * Records are rate-limited per event name (a 1-second window; excess
+ * records are counted and surfaced as one `log.suppressed` record when
+ * the window rolls) so a pathological client cannot turn the log into
+ * a disk-filling amplifier. logEvent() is one relaxed atomic load when
+ * no log is open -- the default -- so instrumented paths stay at
+ * near-zero cost, mirroring the obs::enabled() discipline.
+ *
+ * Log output is advisory: it is never part of the deterministic
+ * artifact surface (timestamps and thread interleavings vary run to
+ * run), which is why the determinism suites diff artifacts and stdout
+ * but not log files.
+ */
+
+#ifndef LONGNAIL_OBS_LOG_HH
+#define LONGNAIL_OBS_LOG_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace longnail {
+namespace obs {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+const char *logLevelName(LogLevel level);
+
+/** One key/value field of a log record (values are logged as JSON
+ * strings; callers format numbers themselves). */
+using LogField = std::pair<std::string, std::string>;
+
+class EventLog
+{
+  public:
+    static EventLog &instance();
+
+    /**
+     * Open the log sink: a file path, or "-" for stderr. Honors
+     * $LONGNAIL_LOG_LEVEL (debug|info|warn|error; default info).
+     * @return false with @p error set when the file cannot be opened.
+     */
+    bool open(const std::string &path, std::string &error);
+
+    /** Flush and close; logEvent() becomes a no-op again. */
+    void close();
+
+    /** True when a sink is open (one relaxed atomic load). */
+    bool active() const
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
+
+    void setLevel(LogLevel level);
+    LogLevel level() const;
+
+    /** Per-event-name records allowed per one-second window;
+     * 0 = unlimited. Default 1000. */
+    void setRateLimit(uint64_t max_per_sec);
+
+    /** Write one record (drops below-level and rate-limited ones). */
+    void write(LogLevel level, const std::string &event,
+               const std::vector<LogField> &fields);
+
+    uint64_t linesWritten() const;
+    uint64_t linesSuppressed() const;
+
+  private:
+    EventLog() = default;
+
+    /** Per-event-name rate-limit window. */
+    struct Window
+    {
+        int64_t startSec = -1;
+        uint64_t count = 0;
+        uint64_t suppressed = 0;
+    };
+
+    void emitLocked(LogLevel level, const std::string &event,
+                    const std::vector<LogField> &fields);
+
+    std::atomic<bool> active_{false};
+    std::atomic<int> level_{int(LogLevel::Info)};
+    mutable std::mutex mutex_;
+    std::FILE *file_ = nullptr; // owned unless == stderr
+    uint64_t rateLimit_ = 1000;
+    std::map<std::string, Window> windows_;
+    uint64_t written_ = 0;
+    uint64_t suppressed_ = 0;
+};
+
+/**
+ * Instrumentation entry point: write one structured record to the
+ * process event log. The current thread's request id (obs::currentRid)
+ * is attached automatically. A no-op (one atomic load) when no log is
+ * open.
+ */
+void logEvent(LogLevel level, const char *event,
+              std::initializer_list<LogField> fields = {});
+
+} // namespace obs
+} // namespace longnail
+
+#endif // LONGNAIL_OBS_LOG_HH

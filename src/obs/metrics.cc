@@ -1,6 +1,7 @@
 #include "obs/metrics.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -73,6 +74,23 @@ Registry::observe(const std::string &name, double value)
     }
     ++h.count;
     h.sum += value;
+    if (h.samples.size() < HistogramStats::sampleCapacity)
+        h.samples.push_back(value);
+}
+
+double
+HistogramStats::quantile(double p) const
+{
+    if (samples.empty())
+        return 0.0;
+    std::vector<double> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    p = std::min(1.0, std::max(0.0, p));
+    // Nearest-rank: 1-based rank ceil(p*n), clamped to [1, n].
+    size_t rank = size_t(std::max(1.0, std::ceil(p * double(sorted.size()))));
+    if (rank > sorted.size())
+        rank = sorted.size();
+    return sorted[rank - 1];
 }
 
 std::map<std::string, uint64_t>
@@ -153,7 +171,10 @@ Registry::toYaml() const
            << ", sum: " << formatDouble(h.sum)
            << ", min: " << formatDouble(h.min)
            << ", max: " << formatDouble(h.max)
-           << ", mean: " << formatDouble(h.mean()) << "}\n";
+           << ", mean: " << formatDouble(h.mean())
+           << ", p50: " << formatDouble(h.quantile(0.5))
+           << ", p95: " << formatDouble(h.quantile(0.95))
+           << ", p99: " << formatDouble(h.quantile(0.99)) << "}\n";
     }
     return os.str();
 }
@@ -188,10 +209,63 @@ Registry::toJson() const
            << ",\"sum\":" << formatDouble(h.sum)
            << ",\"min\":" << formatDouble(h.min)
            << ",\"max\":" << formatDouble(h.max)
-           << ",\"mean\":" << formatDouble(h.mean()) << "}";
+           << ",\"mean\":" << formatDouble(h.mean())
+           << ",\"p50\":" << formatDouble(h.quantile(0.5))
+           << ",\"p95\":" << formatDouble(h.quantile(0.95))
+           << ",\"p99\":" << formatDouble(h.quantile(0.99)) << "}";
         first = false;
     }
     os << "}}";
+    return os.str();
+}
+
+namespace {
+
+/** Map a dotted metric name onto the Prometheus charset. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "longnail_";
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+Registry::toPrometheus() const
+{
+    auto counters = this->counters();
+    auto gauges = this->gauges();
+    auto histograms = this->histograms();
+
+    std::ostringstream os;
+    for (const auto &[name, value] : counters) {
+        std::string prom = promName(name) + "_total";
+        os << "# TYPE " << prom << " counter\n";
+        os << prom << " " << value << "\n";
+    }
+    for (const auto &[name, value] : gauges) {
+        std::string prom = promName(name);
+        os << "# TYPE " << prom << " gauge\n";
+        os << prom << " " << formatDouble(value) << "\n";
+    }
+    for (const auto &[name, h] : histograms) {
+        std::string prom = promName(name);
+        os << "# TYPE " << prom << " summary\n";
+        os << prom << "{quantile=\"0.5\"} "
+           << formatDouble(h.quantile(0.5)) << "\n";
+        os << prom << "{quantile=\"0.95\"} "
+           << formatDouble(h.quantile(0.95)) << "\n";
+        os << prom << "{quantile=\"0.99\"} "
+           << formatDouble(h.quantile(0.99)) << "\n";
+        os << prom << "_sum " << formatDouble(h.sum) << "\n";
+        os << prom << "_count " << h.count << "\n";
+    }
     return os.str();
 }
 
@@ -224,12 +298,17 @@ Registry::toTable() const
     if (!histograms.empty()) {
         os << "histograms"
               "                                      count"
-              "         mean          max\n";
+              "         mean          p50          p95"
+              "          p99          max\n";
         for (const auto &[name, h] : histograms) {
             std::snprintf(buf, sizeof(buf),
-                          "  %-44s %6llu %12s %12s\n", name.c_str(),
+                          "  %-44s %6llu %12s %12s %12s %12s %12s\n",
+                          name.c_str(),
                           static_cast<unsigned long long>(h.count),
                           formatDouble(h.mean()).c_str(),
+                          formatDouble(h.quantile(0.5)).c_str(),
+                          formatDouble(h.quantile(0.95)).c_str(),
+                          formatDouble(h.quantile(0.99)).c_str(),
                           formatDouble(h.max).c_str());
             os << buf;
         }

@@ -42,7 +42,21 @@ struct HistogramStats
     double min = 0.0;
     double max = 0.0;
 
+    /** Retained raw observations, capped at sampleCapacity (after
+     * which new observations still update count/sum/min/max but are
+     * not stored; quantiles then describe the first N samples). */
+    std::vector<double> samples;
+
+    static constexpr size_t sampleCapacity = 4096;
+
     double mean() const { return count ? sum / double(count) : 0.0; }
+
+    /**
+     * Nearest-rank quantile over the retained samples: the smallest
+     * value v such that at least ceil(p * n) samples are <= v. p is
+     * clamped to [0, 1]; 0 when no samples are retained.
+     */
+    double quantile(double p) const;
 };
 
 /** Process-global metrics store; all methods are thread-safe. */
@@ -82,6 +96,15 @@ class Registry
      * layering reason.
      */
     std::string toJson() const;
+
+    /**
+     * Serialize as Prometheus text exposition format (version 0.0.4):
+     * counters as `longnail_<name>_total`, gauges as gauges, and
+     * histograms as summaries (quantile="0.5/0.95/0.99" series plus
+     * `_sum`/`_count`). Dotted metric names are sanitized to the
+     * Prometheus charset (`phase.sema.ms` -> `longnail_phase_sema_ms`).
+     */
+    std::string toPrometheus() const;
 
     void clear();
 

@@ -161,6 +161,11 @@ parseRequest(const std::string &payload, std::string &error)
 
     Request req;
     req.id = doc->getString("id");
+    // Observability context travels on every request kind, so read it
+    // before the type dispatch below returns early.
+    req.rid = doc->getString("rid");
+    req.traceId = doc->getString("traceId");
+    req.spanId = doc->getString("spanId");
     std::string type = doc->getString("type");
     if (type == "compile") {
         req.kind = RequestKind::Compile;
@@ -169,6 +174,12 @@ parseRequest(const std::string &payload, std::string &error)
         return req;
     } else if (type == "stats") {
         req.kind = RequestKind::Stats;
+        return req;
+    } else if (type == "metrics") {
+        req.kind = RequestKind::Metrics;
+        return req;
+    } else if (type == "dump") {
+        req.kind = RequestKind::Dump;
         return req;
     } else if (type == "ping") {
         req.kind = RequestKind::Ping;
@@ -221,6 +232,12 @@ emitRequest(const Request &request)
     case RequestKind::Stats:
         obj.set("type", "stats");
         break;
+    case RequestKind::Metrics:
+        obj.set("type", "metrics");
+        break;
+    case RequestKind::Dump:
+        obj.set("type", "dump");
+        break;
     case RequestKind::Ping:
         obj.set("type", "ping");
         break;
@@ -230,6 +247,12 @@ emitRequest(const Request &request)
     }
     if (!request.id.empty())
         obj.set("id", request.id);
+    if (!request.rid.empty())
+        obj.set("rid", request.rid);
+    if (!request.traceId.empty())
+        obj.set("traceId", request.traceId);
+    if (!request.spanId.empty())
+        obj.set("spanId", request.spanId);
     if (request.kind == RequestKind::Compile) {
         obj.set("name", request.unitName);
         obj.set("source", request.source);
@@ -244,12 +267,15 @@ emitRequest(const Request &request)
 
 std::string
 emitResultReply(const driver::CompileSummary &summary,
-                const std::string &id, const std::string &cacheTier)
+                const std::string &id, const std::string &cacheTier,
+                const std::string &rid)
 {
     json::Value obj = json::Value::object();
     obj.set("type", "result");
     if (!id.empty())
         obj.set("id", id);
+    if (!rid.empty())
+        obj.set("rid", rid);
     obj.set("ok", summary.ok);
     obj.set("isax", summary.isaxName);
     obj.set("core", summary.coreName);
@@ -298,12 +324,15 @@ emitResultReply(const driver::CompileSummary &summary,
 
 std::string
 emitErrorReply(const std::string &code, const std::string &message,
-               const std::string &id, long retry_after_ms)
+               const std::string &id, long retry_after_ms,
+               const std::string &rid)
 {
     json::Value obj = json::Value::object();
     obj.set("type", "error");
     if (!id.empty())
         obj.set("id", id);
+    if (!rid.empty())
+        obj.set("rid", rid);
     obj.set("code", code);
     obj.set("message", message);
     if (retry_after_ms >= 0)
@@ -325,6 +354,7 @@ parseReply(const std::string &payload, std::string &error)
     Reply reply;
     reply.type = doc->getString("type");
     reply.id = doc->getString("id");
+    reply.rid = doc->getString("rid");
     if (reply.type.empty()) {
         error = "reply has no 'type'";
         return std::nullopt;

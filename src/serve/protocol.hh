@@ -4,9 +4,14 @@
  *
  * Transport: length-prefixed frames over a Unix-domain socket
  * (support/socket.hh); every frame payload is one JSON document.
- * Requests carry a "type" ("compile", "health", "stats", "ping",
- * "shutdown") and an optional client-chosen "id" echoed verbatim in
- * the reply. Replies are either:
+ * Requests carry a "type" ("compile", "health", "stats", "metrics",
+ * "dump", "ping", "shutdown") and an optional client-chosen "id"
+ * echoed verbatim in the reply. Every request may also carry an
+ * observability context: "rid" (the end-to-end request id; the server
+ * mints one when absent and echoes it in the reply either way) and a
+ * client trace context "traceId"/"spanId" that becomes the parent of
+ * the server-side request span (docs/observability.md). Replies are
+ * either:
  *
  *   - "result": the outcome of a compile -- the deterministic
  *     CompileSummary rendered to JSON, both for successes (artifacts)
@@ -18,7 +23,8 @@
  *     timeout (LN3103), admission shed (LN3110, with retryAfterMs),
  *     deadline exceeded (LN3111), draining (LN3112), injected server
  *     fault (LN3904).
- *   - "health" / "stats" / "pong" / "ok": service replies.
+ *   - "health" / "stats" / "metrics" / "dump" / "pong" / "ok":
+ *     service replies.
  *
  * Everything here is shared by the server and the --connect client so
  * the two cannot drift.
@@ -54,7 +60,16 @@ inline constexpr const char *codeDraining = "LN3112";
 inline constexpr const char *codeInjected = "LN3904";
 
 /** What a parsed request asks for. */
-enum class RequestKind { Compile, Health, Stats, Ping, Shutdown };
+enum class RequestKind
+{
+    Compile,
+    Health,
+    Stats,
+    Metrics, ///< Prometheus text exposition of the server's Registry
+    Dump,    ///< on-demand flight-recorder postmortem
+    Ping,
+    Shutdown
+};
 
 /** One decoded request frame. */
 struct Request
@@ -62,6 +77,14 @@ struct Request
     RequestKind kind = RequestKind::Ping;
     /** Client-chosen correlation id, echoed in the reply ("" = none). */
     std::string id;
+
+    // Observability context (any request kind; all optional).
+    /** End-to-end request id; server mints "s<n>" when empty. */
+    std::string rid;
+    /** Client trace context: the server request span is parented under
+     * this client span in the merged Chrome trace. */
+    std::string traceId;
+    std::string spanId;
 
     // Compile-only fields.
     std::string unitName; ///< display name for diagnostics/artifacts
@@ -92,23 +115,29 @@ json::Value encodeOptions(const driver::CompileOptions &options);
 bool decodeOptions(const json::Value &obj,
                    driver::CompileOptions &options, std::string &error);
 
-/** Build a "result" reply from the deterministic compile summary. */
+/** Build a "result" reply from the deterministic compile summary.
+ * @p rid, when non-empty, is echoed so the client can correlate the
+ * reply with the server's log records. */
 std::string emitResultReply(const driver::CompileSummary &summary,
                             const std::string &id,
-                            const std::string &cacheTier);
+                            const std::string &cacheTier,
+                            const std::string &rid = "");
 
 /** Build an "error" reply. @p retry_after_ms >= 0 adds retryAfterMs
  * (the shed reply's backpressure hint). */
 std::string emitErrorReply(const std::string &code,
                            const std::string &message,
                            const std::string &id,
-                           long retry_after_ms = -1);
+                           long retry_after_ms = -1,
+                           const std::string &rid = "");
 
 /** A decoded reply (the client side). */
 struct Reply
 {
     std::string type; ///< "result", "error", "health", "stats", ...
     std::string id;
+    /** Request id the server processed this request under. */
+    std::string rid;
     // "result" fields.
     driver::CompileSummary summary;
     std::string cacheTier; ///< "mem", "disk" or "fresh"

@@ -4,8 +4,11 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <fstream>
 
 #include "driver/cache.hh"
+#include "obs/flightrec.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "support/failpoint.hh"
@@ -23,6 +26,28 @@ elapsedMs(Clock::time_point since)
     return std::chrono::duration_cast<std::chrono::milliseconds>(
                Clock::now() - since)
         .count();
+}
+
+const char *
+requestKindName(RequestKind kind)
+{
+    switch (kind) {
+    case RequestKind::Compile:
+        return "compile";
+    case RequestKind::Health:
+        return "health";
+    case RequestKind::Stats:
+        return "stats";
+    case RequestKind::Metrics:
+        return "metrics";
+    case RequestKind::Dump:
+        return "dump";
+    case RequestKind::Ping:
+        return "ping";
+    case RequestKind::Shutdown:
+        return "shutdown";
+    }
+    return "unknown";
 }
 
 } // namespace
@@ -74,9 +99,28 @@ Server::run(ServeStats &stats, std::string &error)
     // without it would make that reply permanently empty.
     obs::setEnabled(true);
 
+    if (!options_.logPath.empty()) {
+        std::string log_error;
+        if (!obs::EventLog::instance().open(options_.logPath, log_error)) {
+            error = "serve: " + log_error;
+            return false;
+        }
+        ownsEventLog_ = true;
+    }
+    if (!options_.postmortemDir.empty()) {
+        obs::flightrec::setPostmortemDir(options_.postmortemDir);
+        obs::flightrec::installCrashHandler();
+    }
+
     pool_ = std::make_unique<ThreadPool>(options_.jobs);
     ready_.store(true);
     obs::count("serve.started");
+    obs::logEvent(obs::LogLevel::Info, "serve.start",
+                  {{"socket", options_.socketPath},
+                   {"jobs", std::to_string(pool_->threadCount())},
+                   {"admissionMax",
+                    std::to_string(options_.admissionMax)}});
+    obs::flightrec::note("serve", "start " + options_.socketPath);
 
     while (!draining_.load()) {
         if (options_.stopToken && options_.stopToken->stopRequested())
@@ -155,6 +199,29 @@ Server::shutdownPhase(ServeStats &stats)
     stats.protocolErrors = protocolErrors_.load();
     stats.idleTimeouts = idleTimeouts_.load();
     stats.injectedFaults = injectedFaults_.load();
+
+    obs::logEvent(obs::LogLevel::Info, "serve.stop",
+                  {{"requests", std::to_string(stats.requests)},
+                   {"compiles", std::to_string(stats.compiles)},
+                   {"shed", std::to_string(stats.shed)},
+                   {"deadlineMisses",
+                    std::to_string(stats.deadlineMisses)}});
+    obs::flightrec::note("serve", "stop");
+
+    // Observability artifacts are written after the last worker is
+    // gone, so the trace and exposition are complete snapshots.
+    if (!options_.tracePath.empty()) {
+        std::ofstream out(options_.tracePath, std::ios::binary);
+        if (out)
+            out << obs::Tracer::instance().toChromeJson();
+    }
+    if (!options_.metricsPath.empty()) {
+        std::ofstream out(options_.metricsPath, std::ios::binary);
+        if (out)
+            out << obs::Registry::instance().toPrometheus();
+    }
+    if (ownsEventLog_)
+        obs::EventLog::instance().close();
 }
 
 void
@@ -257,7 +324,21 @@ Server::handleConnection(net::Connection conn)
 
         requests_.fetch_add(1);
         obs::count("serve.requests");
-        std::string reply = handleRequest(*request);
+
+        // Adopt the client's request id, or mint a server-side one so
+        // every request is greppable in the event log either way.
+        if (request->rid.empty())
+            request->rid = "s" + std::to_string(ridCounter_.fetch_add(1) + 1);
+        obs::RequestScope scope(request->rid, request->traceId,
+                                request->spanId);
+        obs::logEvent(obs::LogLevel::Info, "serve.request",
+                      {{"kind", requestKindName(request->kind)},
+                       {"id", request->id}});
+        std::string outcome = "ok";
+        std::string reply = handleRequest(*request, outcome);
+        obs::logEvent(obs::LogLevel::Info, "serve.reply",
+                      {{"kind", requestKindName(request->kind)},
+                       {"outcome", outcome}});
         if (conn.sendFrame(reply) != net::IoStatus::Ok)
             return;
         if (request->kind == RequestKind::Shutdown)
@@ -266,7 +347,7 @@ Server::handleConnection(net::Connection conn)
 }
 
 std::string
-Server::handleRequest(const Request &request)
+Server::handleRequest(const Request &request, std::string &outcome)
 {
     switch (request.kind) {
     case RequestKind::Ping: {
@@ -274,6 +355,7 @@ Server::handleRequest(const Request &request)
         obj.set("type", "pong");
         if (!request.id.empty())
             obj.set("id", request.id);
+        obj.set("rid", request.rid);
         return obj.emit();
     }
     case RequestKind::Health: {
@@ -281,6 +363,7 @@ Server::handleRequest(const Request &request)
         obj.set("type", "health");
         if (!request.id.empty())
             obj.set("id", request.id);
+        obj.set("rid", request.rid);
         obj.set("status", draining_.load() ? "draining" : "ok");
         obj.set("inFlight", uint64_t(inFlight_.load()));
         obj.set("admissionMax", uint64_t(options_.admissionMax));
@@ -292,6 +375,7 @@ Server::handleRequest(const Request &request)
         obj.set("type", "stats");
         if (!request.id.empty())
             obj.set("id", request.id);
+        obj.set("rid", request.rid);
         auto metrics = json::parse(obs::Registry::instance().toJson());
         obj.set("metrics", metrics ? std::move(*metrics)
                                    : json::Value::object());
@@ -301,6 +385,47 @@ Server::handleRequest(const Request &request)
         mc.set("misses", memCache_.misses());
         obj.set("memCache", std::move(mc));
         obj.set("inFlight", uint64_t(inFlight_.load()));
+        obj.set("queueDepth", uint64_t(pool_ ? pool_->queuedCount() : 0));
+        obj.set("admissionMax", uint64_t(options_.admissionMax));
+        obj.set("draining", draining_.load());
+        // Lifetime tallies, mirrored live (ServeStats only materializes
+        // at shutdown; --top needs them while serving).
+        json::Value server = json::Value::object();
+        server.set("connections", connections2_.load());
+        server.set("requests", requests_.load());
+        server.set("compiles", compiles_.load());
+        server.set("memHits", memCache_.hits());
+        server.set("diskHits", diskHits_.load());
+        server.set("shed", shed_.load());
+        server.set("deadlineMisses", deadlineMisses_.load());
+        server.set("drainRejects", drainRejects_.load());
+        server.set("protocolErrors", protocolErrors_.load());
+        server.set("idleTimeouts", idleTimeouts_.load());
+        server.set("injectedFaults", injectedFaults_.load());
+        obj.set("server", std::move(server));
+        return obj.emit();
+    }
+    case RequestKind::Metrics: {
+        json::Value obj = json::Value::object();
+        obj.set("type", "metrics");
+        if (!request.id.empty())
+            obj.set("id", request.id);
+        obj.set("rid", request.rid);
+        obj.set("text", obs::Registry::instance().toPrometheus());
+        return obj.emit();
+    }
+    case RequestKind::Dump: {
+        obs::flightrec::note("dump", "on-demand dump request");
+        std::string path = obs::flightrec::writePostmortem("dump");
+        json::Value obj = json::Value::object();
+        obj.set("type", "dump");
+        if (!request.id.empty())
+            obj.set("id", request.id);
+        obj.set("rid", request.rid);
+        if (!path.empty())
+            obj.set("path", path);
+        obj.set("text",
+                obs::flightrec::renderEvents(obs::flightrec::snapshot()));
         return obj.emit();
     }
     case RequestKind::Shutdown: {
@@ -309,24 +434,61 @@ Server::handleRequest(const Request &request)
         obj.set("type", "ok");
         if (!request.id.empty())
             obj.set("id", request.id);
+        obj.set("rid", request.rid);
         obj.set("message", "draining");
         return obj.emit();
     }
     case RequestKind::Compile:
-        return handleCompile(request);
+        return handleCompile(request, outcome);
     }
     return emitErrorReply(codeProtocol, "unreachable", request.id);
 }
 
 std::string
-Server::handleCompile(const Request &request)
+Server::handleCompile(const Request &request, std::string &outcome)
+{
+    // The request span covers the full server-side handling; when the
+    // client sent a trace context, its ids ride along as args so the
+    // merged Chrome trace shows this span under the client's span.
+    obs::TraceSpan span("request");
+    span.arg("kind", "compile");
+    if (!request.id.empty())
+        span.arg("id", request.id);
+    if (!request.traceId.empty()) {
+        span.arg("trace", request.traceId);
+        span.arg("parent", request.spanId);
+    }
+    auto start = Clock::now();
+    std::string tier;
+    std::string reply = compileReply(request, outcome, tier);
+    double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    // Latency split by cache tier for served summaries and by outcome
+    // for everything else -- the exposition --top reads p50/p95/p99
+    // from.
+    obs::observe("serve.request_ms", ms);
+    std::string split = outcome == "ok" ? tier : outcome;
+    if (!split.empty())
+        obs::observe(("serve.request_ms." + split).c_str(), ms);
+    obs::count(("serve.outcome." + outcome).c_str());
+    span.arg("outcome", outcome);
+    if (!tier.empty())
+        span.arg("tier", tier);
+    return reply;
+}
+
+std::string
+Server::compileReply(const Request &request, std::string &outcome,
+                     std::string &tier)
 {
     if (draining_.load()) {
         drainRejects_.fetch_add(1);
         obs::count("serve.drain_rejects");
+        outcome = "drain";
         return emitErrorReply(codeDraining,
                               "server draining; no new work accepted",
-                              request.id);
+                              request.id, -1, request.rid);
     }
 
     // Per-request fault isolation: the injected serve fault produces a
@@ -335,24 +497,35 @@ Server::handleCompile(const Request &request)
     if (failpoint::fire("serve") != failpoint::Mode::Off) {
         injectedFaults_.fetch_add(1);
         obs::count("serve.injected_faults");
+        outcome = "fault";
         return emitErrorReply(codeInjected,
                               "injected fault at failpoint 'serve'",
-                              request.id);
+                              request.id, -1, request.rid);
     }
 
     // Admission control: bounded concurrency, shed beyond it.
-    unsigned admitted = inFlight_.fetch_add(1) + 1;
+    unsigned admitted;
+    {
+        obs::TraceSpan admission_span("admission");
+        admitted = inFlight_.fetch_add(1) + 1;
+        admission_span.arg(
+            "admitted", admitted <= options_.admissionMax ? "yes" : "no");
+    }
     if (admitted > options_.admissionMax) {
         inFlight_.fetch_sub(1);
         shed_.fetch_add(1);
         obs::count("serve.shed");
+        obs::flightrec::note("shed", "admission over " +
+                                         std::to_string(
+                                             options_.admissionMax));
+        outcome = "shed";
         return emitErrorReply(
             codeOverloaded,
             "server overloaded (" +
                 std::to_string(options_.admissionMax) +
                 " requests in flight); retry after " +
                 std::to_string(options_.retryAfterMs) + " ms",
-            request.id, options_.retryAfterMs);
+            request.id, options_.retryAfterMs, request.rid);
     }
     struct AdmissionGuard
     {
@@ -387,23 +560,34 @@ Server::handleCompile(const Request &request)
     // Tiered lookup: memory, disk, fresh compile.
     std::string key =
         driver::cacheKey(request.source, request.target, request.options);
-    if (auto hit = memCache_.lookup(key)) {
-        obs::count("serve.mem_hits");
-        return emitResultReply(*hit, request.id, "mem");
-    }
-    if (!options_.cacheDir.empty()) {
-        driver::CompileSummary cached;
-        if (driver::cacheLoad(options_.cacheDir, key, cached) ==
-            driver::CacheLookup::Hit) {
-            diskHits_.fetch_add(1);
-            obs::count("serve.disk_hits");
-            auto shared =
-                std::make_shared<driver::CompileSummary>(std::move(cached));
-            memCache_.insert(key, shared);
-            return emitResultReply(*shared, request.id, "disk");
+    {
+        obs::TraceSpan cache_span("cache.lookup");
+        if (auto hit = memCache_.lookup(key)) {
+            obs::count("serve.mem_hits");
+            cache_span.arg("tier", "mem");
+            outcome = "ok";
+            tier = "mem";
+            return emitResultReply(*hit, request.id, "mem", request.rid);
         }
-        // Corrupt/injected lookups fall through to a fresh compile
-        // (fail-soft, same as batch mode).
+        if (!options_.cacheDir.empty()) {
+            driver::CompileSummary cached;
+            if (driver::cacheLoad(options_.cacheDir, key, cached) ==
+                driver::CacheLookup::Hit) {
+                diskHits_.fetch_add(1);
+                obs::count("serve.disk_hits");
+                cache_span.arg("tier", "disk");
+                auto shared = std::make_shared<driver::CompileSummary>(
+                    std::move(cached));
+                memCache_.insert(key, shared);
+                outcome = "ok";
+                tier = "disk";
+                return emitResultReply(*shared, request.id, "disk",
+                                       request.rid);
+            }
+            // Corrupt/injected lookups fall through to a fresh compile
+            // (fail-soft, same as batch mode).
+        }
+        cache_span.arg("tier", "miss");
     }
 
     driver::CompileOptions opts = request.options;
@@ -428,7 +612,28 @@ Server::handleCompile(const Request &request)
         bool done = false;
     };
     auto done = std::make_shared<DoneState>();
-    bool accepted = pool_->submit([&, summary, done] {
+    auto submitted_at = Clock::now();
+    // The worker runs on a pool thread with no request context of its
+    // own; re-enter the handler's scope there so phase spans, log
+    // records and flight-recorder notes from the compile carry this
+    // request's rid.
+    obs::RequestContext ctx = obs::currentRequest();
+    bool accepted = pool_->submit([&, summary, done, submitted_at, ctx] {
+        obs::RequestScope scope(ctx.rid, ctx.traceId, ctx.parentSpan);
+        if (obs::enabled()) {
+            // Synthetic span covering the time the request sat in the
+            // pool queue: submit time to pickup time, recorded on the
+            // worker's track.
+            obs::TraceEvent wait;
+            wait.name = "queue.wait";
+            wait.startUs = obs::traceTimeUs(submitted_at);
+            wait.durUs = obs::traceNowUs() - wait.startUs;
+            wait.tid = obs::traceThreadId();
+            if (!ctx.rid.empty())
+                wait.args.emplace_back("rid", ctx.rid);
+            obs::observe("serve.queue_wait_ms", wait.durUs / 1000.0);
+            obs::Tracer::instance().record(std::move(wait));
+        }
         auto compiled =
             driver::compileWithRetry(request.source, request.target, opts);
         *summary = driver::summarize(compiled);
@@ -441,9 +646,10 @@ Server::handleCompile(const Request &request)
     if (!accepted) {
         drainRejects_.fetch_add(1);
         obs::count("serve.drain_rejects");
+        outcome = "drain";
         return emitErrorReply(codeDraining,
                               "server draining; no new work accepted",
-                              request.id);
+                              request.id, -1, request.rid);
     }
     {
         std::unique_lock<std::mutex> lock(done->mutex);
@@ -457,7 +663,10 @@ Server::handleCompile(const Request &request)
             driver::cacheStore(options_.cacheDir, key, *summary,
                                options_.cacheMaxEntries);
         memCache_.insert(key, summary);
-        return emitResultReply(*summary, request.id, "fresh");
+        outcome = "ok";
+        tier = "fresh";
+        return emitResultReply(*summary, request.id, "fresh",
+                               request.rid);
     }
 
     // A compile that failed BECAUSE its token stopped it is a
@@ -468,22 +677,30 @@ Server::handleCompile(const Request &request)
     if (token.deadlineExpired()) {
         deadlineMisses_.fetch_add(1);
         obs::count("serve.deadline_misses");
+        obs::flightrec::note("deadline",
+                             "LN3111 after " +
+                                 std::to_string(deadline_ms) + " ms");
+        obs::flightrec::writePostmortem("deadline");
+        outcome = "deadline";
         return emitErrorReply(
             codeDeadline,
             "deadline of " + std::to_string(deadline_ms) +
                 " ms exceeded; compile cancelled at a phase boundary",
-            request.id);
+            request.id, -1, request.rid);
     }
     if (token.stopRequested()) {
         drainRejects_.fetch_add(1);
         obs::count("serve.drain_rejects");
+        outcome = "drain";
         return emitErrorReply(codeDraining,
                               "compile cancelled: server draining",
-                              request.id);
+                              request.id, -1, request.rid);
     }
     // Ordinary compile failure: a full structured result with
     // diagnostics, exactly what the one-shot CLI would report.
-    return emitResultReply(*summary, request.id, "fresh");
+    outcome = "compile-error";
+    tier = "fresh";
+    return emitResultReply(*summary, request.id, "fresh", request.rid);
 }
 
 } // namespace serve

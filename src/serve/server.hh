@@ -76,6 +76,16 @@ struct ServeOptions
     /** On-disk artifact cache; empty disables the disk tier. */
     std::string cacheDir;
     size_t cacheMaxEntries = 0;
+    /** Structured JSONL event log ("-" = stderr, "" = off). The server
+     * owns the EventLog lifetime: opened in run(), closed after
+     * drain. */
+    std::string logPath;
+    /** Chrome trace written at shutdown ("" = off). */
+    std::string tracePath;
+    /** Prometheus exposition written at shutdown ("" = off). */
+    std::string metricsPath;
+    /** Flight-recorder postmortem directory ("" = postmortems off). */
+    std::string postmortemDir;
     /**
      * External stop request (the CLI passes signals::token() so
      * SIGINT/SIGTERM initiate drain); polled by the accept loop.
@@ -132,8 +142,18 @@ class Server
     };
 
     void handleConnection(net::Connection conn);
-    std::string handleRequest(const Request &request);
-    std::string handleCompile(const Request &request);
+    /** Dispatch one request. @p outcome (for the reply log record and
+     * the serve.outcome.* counters): "ok", "shed", "deadline",
+     * "drain", "fault" or "compile-error". */
+    std::string handleRequest(const Request &request,
+                              std::string &outcome);
+    std::string handleCompile(const Request &request,
+                              std::string &outcome);
+    /** handleCompile's body; split out so the wrapper can time it and
+     * attribute the latency to outcome and cache tier. @p tier is set
+     * for summary-producing outcomes ("mem", "disk", "fresh"). */
+    std::string compileReply(const Request &request,
+                             std::string &outcome, std::string &tier);
     void shutdownPhase(ServeStats &stats);
     void reapConnections(bool join_all);
 
@@ -169,6 +189,11 @@ class Server
     std::atomic<uint64_t> protocolErrors_{0};
     std::atomic<uint64_t> idleTimeouts_{0};
     std::atomic<uint64_t> injectedFaults_{0};
+
+    /** Mints "s<n>" request ids for requests that arrive without one. */
+    std::atomic<uint64_t> ridCounter_{0};
+    /** True when run() opened the EventLog (and must close it). */
+    bool ownsEventLog_ = false;
 };
 
 } // namespace serve

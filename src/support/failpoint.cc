@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 
+#include "obs/flightrec.hh"
 #include "obs/metrics.hh"
 #include "support/strings.hh"
 
@@ -129,6 +130,8 @@ fire(const char *name)
         return Mode::Off;
       case Mode::Fail:
         obs::count("failpoint.trips");
+        obs::flightrec::note("failpoint", name);
+        obs::flightrec::writePostmortem("failpoint");
         return Mode::Fail;
       case Mode::Transient:
         if (site.transientCount == 0)
@@ -136,6 +139,8 @@ fire(const char *name)
         --site.transientCount;
         r.transientFired = true;
         obs::count("failpoint.trips");
+        obs::flightrec::note("failpoint", name);
+        obs::flightrec::writePostmortem("failpoint");
         return Mode::Transient;
     }
     return Mode::Off;

@@ -92,6 +92,16 @@ bool ThreadPool::draining() const
     return draining_.load(std::memory_order_relaxed);
 }
 
+size_t ThreadPool::queuedCount() const
+{
+    size_t total = 0;
+    for (const auto &queue : queues_) {
+        std::lock_guard<std::mutex> lock(queue->mutex);
+        total += queue->tasks.size();
+    }
+    return total;
+}
+
 bool ThreadPool::tryRunOne(size_t self)
 {
     std::function<void()> task;

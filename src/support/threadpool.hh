@@ -75,10 +75,14 @@ class ThreadPool
 
     size_t threadCount() const { return workers_.size(); }
 
+    /** Tasks accepted but not yet picked up by a worker (a snapshot;
+     * the compile server reports it as queue depth). */
+    size_t queuedCount() const;
+
   private:
     struct WorkerQueue
     {
-        std::mutex mutex;
+        mutable std::mutex mutex; // mutable: queuedCount() is const
         std::deque<std::function<void()>> tasks;
     };
 

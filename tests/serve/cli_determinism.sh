@@ -7,8 +7,12 @@ set -e
 LN=$1
 cd "$2"
 
-rm -rf serve_det_out solo_det_out serve_det.sock serve_det.log
-"$LN" --serve --socket serve_det.sock > serve_det.log 2>&1 &
+rm -rf serve_det_out solo_det_out serve_det.sock serve_det.log \
+       serve_det.jsonl serve_det_client.jsonl solo_det.jsonl
+# The structured event log rides along on both sides: artifacts must
+# stay byte-identical with logging enabled (docs/observability.md).
+"$LN" --serve --socket serve_det.sock --log serve_det.jsonl \
+    > serve_det.log 2>&1 &
 srv=$!
 trap 'kill "$srv" 2>/dev/null || true' EXIT
 
@@ -30,9 +34,10 @@ for f in isax_export/zol.core_desc isax_export/bitmanip.core_desc \
     n=$(basename "$f" .core_desc)
     for core in VexRiscv ORCA PicoRV32 Piccolo; do
         mkdir -p "serve_det_out/$n-$core" "solo_det_out/$n-$core"
-        "$LN" --connect serve_det.sock --core "$core" \
-            -o "serve_det_out/$n-$core" "$f" 2>/dev/null
-        "$LN" --quiet --core "$core" -o "solo_det_out/$n-$core" "$f"
+        "$LN" --connect serve_det.sock --log serve_det_client.jsonl \
+            --core "$core" -o "serve_det_out/$n-$core" "$f" 2>/dev/null
+        "$LN" --quiet --log solo_det.jsonl --core "$core" \
+            -o "solo_det_out/$n-$core" "$f"
     done
 done
 
@@ -52,4 +57,8 @@ done
 wait "$srv" # a shutdown-request drain must exit 0
 
 diff -r serve_det_out solo_det_out
+# The logging really was on for every leg of the comparison.
+grep -q '"ev":"serve.request"' serve_det.jsonl
+grep -q '"ev":"client.request"' serve_det_client.jsonl
+grep -q '"ev":' solo_det.jsonl
 echo "serve determinism: daemon artifacts byte-identical to one-shot CLI"

@@ -14,11 +14,18 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <thread>
 
 #include "driver/isax_catalog.hh"
+#include "obs/flightrec.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
 #include "serve/server.hh"
 #include "support/failpoint.hh"
+#include "support/json.hh"
 
 using namespace longnail;
 namespace fs = std::filesystem;
@@ -514,4 +521,290 @@ TEST(ServeSoak, ConcurrentClientsWithFaultInjection)
                   std::string::npos)
             << entry.path();
     EXPECT_FALSE(fs::exists(ts.options.socketPath));
+}
+
+namespace {
+
+/** Map one reply onto the server's outcome vocabulary. */
+std::string
+outcomeOf(const serve::Reply &reply)
+{
+    if (reply.type == "result")
+        return reply.summary.ok ? "ok" : "compile-error";
+    if (reply.code == serve::codeOverloaded)
+        return "shed";
+    if (reply.code == serve::codeDeadline)
+        return "deadline";
+    if (reply.code == serve::codeDraining)
+        return "drain";
+    if (reply.code == serve::codeInjected)
+        return "fault";
+    return "error:" + reply.code;
+}
+
+} // namespace
+
+/**
+ * The observability soak (ISSUE acceptance): >= 8 concurrent clients
+ * with client-minted request ids and trace contexts drive a live
+ * server carrying a `sched` failpoint and an expired deadline. After
+ * the drain, the JSONL event log must name every request id with the
+ * outcome the client saw, the trace must nest each client span over
+ * its server-side request span (and the request span over its phases),
+ * the deadline must have produced a flight-recorder postmortem naming
+ * its rid, and the Prometheus exposition must report non-zero shed and
+ * deadline counters -- all from files the server wrote itself.
+ */
+TEST(ServeObsSoak, LogTraceMetricsAndPostmortemEndToEnd)
+{
+    std::string dir = ::testing::TempDir() + "/ln_obs_soak";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    std::string log_path = dir + "/serve.jsonl";
+    std::string trace_path = dir + "/serve_trace.json";
+    std::string metrics_path = dir + "/serve.prom";
+
+    obs::Tracer::instance().clear();
+    obs::Registry::instance().clear();
+    obs::flightrec::resetForTests();
+
+    TestServer ts("obssoak");
+    ts.options.admissionMax = 1; // one blocker saturates the server
+    ts.options.retryAfterMs = 5;
+    ts.options.logPath = log_path;
+    ts.options.tracePath = trace_path;
+    ts.options.metricsPath = metrics_path;
+    ts.options.postmortemDir = dir;
+    ts.start();
+
+    // The acceptance's sched failpoint: two transient scheduler faults
+    // that the server's retry path absorbs mid-soak.
+    failpoint::Scoped sched_fault("sched", failpoint::Mode::Transient,
+                                  2);
+
+    struct ClientOutcome
+    {
+        std::string rid;
+        std::string traceId;
+        std::string spanId;
+        std::string outcome;
+    };
+    // Slot 0: blocker. Slots 1..7: concurrent shed wave. Slot 8: the
+    // expired deadline. Each slot is written only by its own thread.
+    std::vector<ClientOutcome> seen(9);
+
+    auto run_client = [&](int slot, serve::Request request) {
+        ClientOutcome &out = seen[slot];
+        out.rid = "t" + std::to_string(slot) + "-1";
+        out.traceId = "trace" + std::to_string(slot);
+        out.spanId = out.rid + "-s1";
+        request.rid = out.rid;
+        request.traceId = out.traceId;
+        request.spanId = out.spanId;
+        obs::RequestScope scope(out.rid, out.traceId, out.spanId);
+        std::optional<serve::Reply> reply;
+        {
+            obs::TraceSpan span("client.request");
+            span.arg("trace", out.traceId);
+            span.arg("span", out.spanId);
+            net::Connection conn = connectTo(ts);
+            reply = roundTrip(conn, request);
+        }
+        ASSERT_TRUE(reply) << "client " << slot << " got no reply";
+        EXPECT_EQ(reply->rid, out.rid)
+            << "server must echo the client-minted rid";
+        out.outcome = outcomeOf(*reply);
+    };
+
+    // Wave 1: a heavy blocker (-O1 + validate => a wide window)
+    // occupies the single admission slot...
+    serve::Request blocker = compileRequest("zol", "Piccolo");
+    blocker.options.optLevel = 1;
+    blocker.options.validate = true;
+    std::thread blocker_thread(
+        [&] { run_client(0, std::move(blocker)); });
+
+    // ...the main thread polls `stats` until it is in flight...
+    {
+        net::Connection poll = connectTo(ts);
+        bool busy = false;
+        for (int i = 0; i < 5000 && !busy; ++i) {
+            auto stats = roundTrip(
+                poll, simpleRequest(serve::RequestKind::Stats));
+            ASSERT_TRUE(stats);
+            busy = stats->raw.getNumber("inFlight", 0.0) >= 1.0;
+            if (!busy)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+        }
+        ASSERT_TRUE(busy) << "blocker never entered the server";
+    }
+
+    // ...and 7 concurrent clients pile on: admission (max 1) sheds.
+    std::vector<std::thread> wave;
+    for (int c = 1; c <= 7; ++c)
+        wave.emplace_back(
+            [&, c] { run_client(c, compileRequest("autoinc")); });
+    for (auto &t : wave)
+        t.join();
+    blocker_thread.join();
+
+    // Wave 2 (sequential, slot free again): an already-expired
+    // deadline on a core no other request touched -- deterministic
+    // LN3111 and a deadline postmortem naming this rid.
+    run_client(8, compileRequest("autoinc", "ORCA", 0));
+
+    EXPECT_EQ(seen[0].outcome, "ok");
+    EXPECT_EQ(seen[8].outcome, "deadline");
+    int shed = 0;
+    for (int c = 1; c <= 7; ++c) {
+        EXPECT_TRUE(seen[c].outcome == "shed" ||
+                    seen[c].outcome == "ok")
+            << seen[c].outcome;
+        if (seen[c].outcome == "shed")
+            ++shed;
+    }
+    // The blocker held the only slot while all 7 were sent.
+    EXPECT_GE(shed, 1);
+
+    // Drain: the server writes its trace and metrics files on the way
+    // out and closes the event log.
+    ts.server->requestStop();
+    ts.thread.join();
+    EXPECT_TRUE(ts.runOk) << ts.runError;
+    obs::flightrec::setPostmortemDir("");
+
+    // --- Event log: every client rid appears with the outcome the
+    // client saw (grep rid=... reconstructs the request).
+    std::map<std::string, std::string> logged; // rid -> last outcome
+    {
+        std::ifstream in(log_path);
+        ASSERT_TRUE(in.good()) << log_path;
+        std::string line;
+        while (std::getline(in, line)) {
+            std::string error;
+            auto doc = json::parse(line, &error);
+            ASSERT_TRUE(doc) << error << "\n" << line;
+            if (doc->getString("ev") == "serve.reply" &&
+                doc->getString("kind") == "compile")
+                logged[doc->getString("rid")] =
+                    doc->getString("outcome");
+        }
+    }
+    for (const auto &client : seen) {
+        auto it = logged.find(client.rid);
+        ASSERT_NE(it, logged.end())
+            << "rid " << client.rid << " missing from the event log";
+        EXPECT_EQ(it->second, client.outcome) << client.rid;
+    }
+
+    // --- Trace: the server's request span carries the propagated
+    // trace context and sits inside the client's span; the fresh
+    // compile's phase spans carry the rid and sit inside the request
+    // span.
+    auto events = obs::Tracer::instance().events();
+    auto arg_of = [](const obs::TraceEvent &e, const char *key) {
+        for (const auto &[k, v] : e.args)
+            if (k == key)
+                return v;
+        return std::string();
+    };
+    for (const auto &client : seen) {
+        const obs::TraceEvent *client_span = nullptr;
+        const obs::TraceEvent *request_span = nullptr;
+        for (const auto &e : events) {
+            if (e.name == "client.request" &&
+                arg_of(e, "trace") == client.traceId)
+                client_span = &e;
+            if (e.name == "request" &&
+                arg_of(e, "trace") == client.traceId) {
+                EXPECT_EQ(arg_of(e, "parent"), client.spanId);
+                request_span = &e;
+            }
+        }
+        ASSERT_NE(client_span, nullptr) << client.rid;
+        ASSERT_NE(request_span, nullptr) << client.rid;
+        // Same process => same trace epoch: the client span must
+        // enclose the server-side handling it waited on.
+        EXPECT_LE(client_span->startUs, request_span->startUs);
+        EXPECT_GE(client_span->startUs + client_span->durUs,
+                  request_span->startUs + request_span->durUs);
+        EXPECT_EQ(arg_of(*request_span, "outcome"), client.outcome);
+    }
+    // Phase spans of the blocker's fresh compile carry its rid.
+    size_t blocker_phases = 0;
+    const obs::TraceEvent *blocker_request = nullptr;
+    for (const auto &e : events)
+        if (e.name == "request" && arg_of(e, "trace") == seen[0].traceId)
+            blocker_request = &e;
+    ASSERT_NE(blocker_request, nullptr);
+    for (const auto &e : events) {
+        if (arg_of(e, "rid") != seen[0].rid || e.name == "request" ||
+            e.name == "client.request")
+            continue;
+        ++blocker_phases;
+        EXPECT_GE(e.startUs, blocker_request->startUs) << e.name;
+        EXPECT_LE(e.startUs + e.durUs,
+                  blocker_request->startUs + blocker_request->durUs)
+            << e.name;
+    }
+    EXPECT_GE(blocker_phases, 5u) << "expected per-phase spans";
+    // The queue-wait span the worker synthesized is among them.
+    bool queue_wait_seen = false;
+    for (const auto &e : events)
+        if (e.name == "queue.wait" && arg_of(e, "rid") == seen[0].rid)
+            queue_wait_seen = true;
+    EXPECT_TRUE(queue_wait_seen);
+
+    // The server also wrote the trace as a file at drain.
+    {
+        std::ifstream in(trace_path);
+        ASSERT_TRUE(in.good()) << trace_path;
+        std::stringstream ss;
+        ss << in.rdbuf();
+        std::string error;
+        auto doc = json::parse(ss.str(), &error);
+        ASSERT_TRUE(doc) << error;
+        EXPECT_NE(doc->find("traceEvents"), nullptr);
+    }
+
+    // --- Flight recorder: the deadline produced a postmortem naming
+    // the deadline request's rid.
+    bool postmortem_found = false;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        std::string name = entry.path().filename().string();
+        if (name.find("longnail-postmortem-deadline-") != 0)
+            continue;
+        std::ifstream in(entry.path());
+        std::stringstream ss;
+        ss << in.rdbuf();
+        if (ss.str().find(seen[8].rid) != std::string::npos)
+            postmortem_found = true;
+    }
+    EXPECT_TRUE(postmortem_found)
+        << "no deadline postmortem names rid " << seen[8].rid;
+
+    // --- Prometheus exposition: non-zero shed and deadline counters.
+    {
+        std::ifstream in(metrics_path);
+        ASSERT_TRUE(in.good()) << metrics_path;
+        std::stringstream ss;
+        ss << in.rdbuf();
+        std::string text = ss.str();
+        EXPECT_NE(
+            text.find("# TYPE longnail_serve_outcome_shed_total "
+                      "counter"),
+            std::string::npos)
+            << text;
+        EXPECT_NE(text.find("longnail_serve_outcome_deadline_total 1"),
+                  std::string::npos);
+        EXPECT_NE(text.find("# TYPE longnail_serve_request_ms summary"),
+                  std::string::npos);
+        EXPECT_NE(
+            text.find("longnail_serve_request_ms{quantile=\"0.5\"}"),
+            std::string::npos);
+        // Latency split by the shed outcome is present and non-empty.
+        EXPECT_NE(text.find("longnail_serve_request_ms_shed_count"),
+                  std::string::npos);
+    }
 }

@@ -36,6 +36,16 @@
  *                        see docs/observability.md)
  *     --stats=FILE       dump the metrics registry as YAML; FILE '-'
  *                        prints a human-readable table to stdout
+ *     --log=FILE         structured JSONL event log; FILE '-' writes
+ *                        to stderr. Every record carries the request
+ *                        id (rid), so `grep rid=...` reconstructs one
+ *                        request end to end
+ *     --metrics-out=FILE write the metrics registry as Prometheus
+ *                        text exposition
+ *     --postmortem-dir=DIR
+ *                        enable flight-recorder postmortem dumps
+ *                        (crash, deadline, failpoint trip, TV
+ *                        refutation) into DIR
  *     --quiet            suppress advisory warn/inform output
  *
  * Batch compilation (docs/batch-compilation.md) -- active when more
@@ -59,7 +69,12 @@
  *     --connect PATH     client mode: send one request to a daemon and
  *                        render the reply exactly like a local compile
  *     --request TYPE     client request type: compile (default),
- *                        health, stats, ping, shutdown
+ *                        health, stats, metrics, dump, ping, shutdown
+ *     --top PATH         live service introspection: render inflight,
+ *                        queue depth, shed rate, cache tiers and
+ *                        latency quantiles from a daemon's stats
+ *                        reply; --interval-ms N refreshes every N ms
+ *                        until interrupted
  *     --deadline-ms N    per-request compile deadline (client), or the
  *                        default deadline applied to requests without
  *                        one (server)
@@ -90,17 +105,23 @@
  * failures are reported and mapped onto the codes above.
  */
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "asic/flow.hh"
 #include "driver/batch.hh"
 #include "driver/longnail.hh"
+#include "obs/flightrec.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "serve/server.hh"
@@ -168,11 +189,14 @@ printUsage()
                  "[--Werror[=CODE]] [--no-warn=CODE]\n"
                  "                [--trace-json=FILE] [--stats=FILE|-] "
                  "[--quiet]\n"
+                 "                [--log=FILE|-] [--metrics-out=FILE] "
+                 "[--postmortem-dir=DIR]\n"
                  "                [--jobs=N|-jN] [--cores A,B,...] "
                  "[--cache-dir DIR]\n"
                  "                [--cache-limit N]\n"
                  "                [--serve --socket PATH | --connect "
-                 "PATH [--request TYPE]]\n"
+                 "PATH [--request TYPE]\n"
+                 "                 | --top PATH [--interval-ms N]]\n"
                  "                [--deadline-ms N] [--admission-max N] "
                  "[--idle-timeout-ms N]\n"
                  "                [--drain-grace-ms N] [--mem-cache N]\n"
@@ -353,7 +377,10 @@ int
 runServe(const std::string &socket_path, unsigned jobs,
          bool jobs_given, long admission_max, long idle_timeout_ms,
          long deadline_ms, long drain_grace_ms, long mem_cache,
-         const std::string &cache_dir, size_t cache_limit)
+         const std::string &cache_dir, size_t cache_limit,
+         const std::string &log_path, const std::string &trace_path,
+         const std::string &metrics_path,
+         const std::string &postmortem_dir)
 {
     if (socket_path.empty())
         throw CliError{exitUsage, "--serve requires --socket PATH"};
@@ -364,7 +391,8 @@ runServe(const std::string &socket_path, unsigned jobs,
     // Unlike one-shot batch (default -j1), a daemon defaults to one
     // worker per hardware thread.
     so.jobs = jobs_given ? jobs : 0;
-    if (admission_max > 0)
+    // 0 is a valid (shed-everything) setting used by shed tests.
+    if (admission_max >= 0)
         so.admissionMax = unsigned(admission_max);
     if (idle_timeout_ms != 0)
         so.idleTimeoutMs = idle_timeout_ms;
@@ -376,6 +404,13 @@ runServe(const std::string &socket_path, unsigned jobs,
         so.memCacheEntries = size_t(mem_cache);
     so.cacheDir = cache_dir;
     so.cacheMaxEntries = cache_limit;
+    // The server owns the observability sinks in serve mode: the log
+    // opens when serving starts and the trace/exposition files are
+    // written after the drain completes.
+    so.logPath = log_path;
+    so.tracePath = trace_path;
+    so.metricsPath = metrics_path;
+    so.postmortemDir = postmortem_dir;
     so.stopToken = &signals::token();
 
     serve::Server server(std::move(so));
@@ -406,7 +441,8 @@ runClient(const std::string &connect_path,
           const std::vector<std::string> &inputs,
           const std::string &target,
           const driver::CompileOptions &options, long deadline_ms,
-          const std::string &out_dir, bool to_stdout)
+          const std::string &out_dir, bool to_stdout,
+          const std::string &trace_path)
 {
     serve::Request request;
     if (request_type == "compile") {
@@ -424,6 +460,10 @@ runClient(const std::string &connect_path,
         request.kind = serve::RequestKind::Health;
     } else if (request_type == "stats") {
         request.kind = serve::RequestKind::Stats;
+    } else if (request_type == "metrics") {
+        request.kind = serve::RequestKind::Metrics;
+    } else if (request_type == "dump") {
+        request.kind = serve::RequestKind::Dump;
     } else if (request_type == "ping") {
         request.kind = serve::RequestKind::Ping;
     } else if (request_type == "shutdown") {
@@ -433,25 +473,50 @@ runClient(const std::string &connect_path,
                        "unknown --request '" + request_type + "'"};
     }
 
+    // Client-minted request/trace identity: "c<pid>-1" travels in the
+    // request, tags the server's log records and spans for this
+    // request, and comes back in the reply -- so one grep over the
+    // server log finds what the server did with this exact call.
+    std::string pid = std::to_string(long(getpid()));
+    request.rid = "c" + pid + "-1";
+    request.traceId = "t" + pid;
+    request.spanId = request.rid + "-s1";
+    obs::RequestScope rid_scope(request.rid, request.traceId,
+                                request.spanId);
+    obs::logEvent(obs::LogLevel::Info, "client.request",
+                  {{"kind", request_type}, {"socket", connect_path}});
+
     std::string error;
-    net::Connection conn = net::connectUnix(connect_path, error);
-    if (!conn.valid())
-        throw CliError{exitServer, "cannot connect to '" + connect_path +
-                                       "': " + error};
-    if (conn.sendFrame(serve::emitRequest(request)) !=
-        net::IoStatus::Ok)
-        throw CliError{exitServer, "cannot send request to '" +
-                                       connect_path + "'"};
     std::string payload;
-    net::IoStatus st =
-        conn.recvFrame(payload, -1, serve::maxReplyFrame);
-    if (st != net::IoStatus::Ok)
-        throw CliError{exitServer,
-                       std::string("server connection failed (") +
-                           net::ioStatusName(st) + ")"};
+    {
+        // The client-side span covers connect, send and the wait for
+        // the reply; its ids are the parent the server span points at.
+        obs::TraceSpan span("client.request");
+        span.arg("kind", request_type);
+        span.arg("trace", request.traceId);
+        span.arg("span", request.spanId);
+        net::Connection conn = net::connectUnix(connect_path, error);
+        if (!conn.valid())
+            throw CliError{exitServer, "cannot connect to '" +
+                                           connect_path + "': " + error};
+        if (conn.sendFrame(serve::emitRequest(request)) !=
+            net::IoStatus::Ok)
+            throw CliError{exitServer, "cannot send request to '" +
+                                           connect_path + "'"};
+        net::IoStatus st =
+            conn.recvFrame(payload, -1, serve::maxReplyFrame);
+        if (st != net::IoStatus::Ok)
+            throw CliError{exitServer,
+                           std::string("server connection failed (") +
+                               net::ioStatusName(st) + ")"};
+    }
+    if (!trace_path.empty())
+        writeFile(trace_path, obs::Tracer::instance().toChromeJson());
     auto reply = serve::parseReply(payload, error);
     if (!reply)
         throw CliError{exitServer, "bad server reply: " + error};
+    obs::logEvent(obs::LogLevel::Info, "client.reply",
+                  {{"type", reply->type}, {"code", reply->code}});
 
     if (reply->type == "error") {
         std::string hint =
@@ -461,6 +526,12 @@ runClient(const std::string &connect_path,
                 : "";
         throw CliError{exitServer, "server error " + reply->code +
                                        ": " + reply->message + hint};
+    }
+    if (reply->type == "metrics" || reply->type == "dump") {
+        // Text-bodied service replies: print the exposition/postmortem
+        // body itself, not the JSON envelope.
+        std::printf("%s", reply->raw.getString("text").c_str());
+        return exitOk;
     }
     if (reply->type != "result") {
         // Service replies (health/stats/pong/ok): raw JSON to stdout.
@@ -503,12 +574,97 @@ runClient(const std::string &connect_path,
     return exitOk;
 }
 
+/**
+ * `--top`: live service introspection. Fetches one stats reply from a
+ * running daemon and renders a compact table (inflight, queue depth,
+ * shed/error counts, cache tiers, latency quantiles). With
+ * --interval-ms N the fetch repeats until SIGINT/SIGTERM.
+ */
+int
+runTop(const std::string &socket_path, long interval_ms)
+{
+    signals::install();
+    bool first = true;
+    do {
+        if (!first)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms));
+        first = false;
+        if (signals::terminationRequested())
+            break;
+
+        serve::Request request;
+        request.kind = serve::RequestKind::Stats;
+        std::string error;
+        net::Connection conn = net::connectUnix(socket_path, error);
+        if (!conn.valid())
+            throw CliError{exitServer, "cannot connect to '" +
+                                           socket_path + "': " + error};
+        if (conn.sendFrame(serve::emitRequest(request)) !=
+            net::IoStatus::Ok)
+            throw CliError{exitServer, "cannot send request to '" +
+                                           socket_path + "'"};
+        std::string payload;
+        net::IoStatus st =
+            conn.recvFrame(payload, -1, serve::maxReplyFrame);
+        if (st != net::IoStatus::Ok)
+            throw CliError{exitServer,
+                           std::string("server connection failed (") +
+                               net::ioStatusName(st) + ")"};
+        auto reply = serve::parseReply(payload, error);
+        if (!reply || reply->type != "stats")
+            throw CliError{exitServer, "bad stats reply: " + error};
+
+        const json::Value &raw = reply->raw;
+        const json::Value *server = raw.find("server");
+        const json::Value *metrics = raw.find("metrics");
+        auto serverCount = [&](const char *name) -> double {
+            return server ? server->getNumber(name, 0.0) : 0.0;
+        };
+        double requests = serverCount("requests");
+        double shed = serverCount("shed");
+        std::printf("longnail --top %s\n", socket_path.c_str());
+        std::printf("  inflight %.0f/%.0f  queue %.0f  draining %s\n",
+                    raw.getNumber("inFlight", 0.0),
+                    raw.getNumber("admissionMax", 0.0),
+                    raw.getNumber("queueDepth", 0.0),
+                    raw.getBool("draining", false) ? "yes" : "no");
+        std::printf("  requests %.0f  compiles %.0f  shed %.0f "
+                    "(%.1f%%)  deadline %.0f  faults %.0f  proto-errs "
+                    "%.0f\n",
+                    requests, serverCount("compiles"), shed,
+                    requests > 0 ? 100.0 * shed / requests : 0.0,
+                    serverCount("deadlineMisses"),
+                    serverCount("injectedFaults"),
+                    serverCount("protocolErrors"));
+        std::printf("  cache: mem %.0f  disk %.0f\n",
+                    serverCount("memHits"), serverCount("diskHits"));
+        if (metrics) {
+            if (const json::Value *hists = metrics->find("histograms")) {
+                if (const json::Value *lat =
+                        hists->find("serve.request_ms")) {
+                    std::printf("  latency ms: p50 %.2f  p95 %.2f  "
+                                "p99 %.2f  max %.2f  (n=%.0f)\n",
+                                lat->getNumber("p50", 0.0),
+                                lat->getNumber("p95", 0.0),
+                                lat->getNumber("p99", 0.0),
+                                lat->getNumber("max", 0.0),
+                                lat->getNumber("count", 0.0));
+                }
+            }
+        }
+        std::fflush(stdout);
+    } while (interval_ms > 0 && !signals::terminationRequested());
+    return exitOk;
+}
+
 int
 run(int argc, char **argv)
 {
     driver::CompileOptions options;
     std::string input, target, out_dir = ".", datasheet_path;
     std::string trace_path, stats_path;
+    std::string log_path, metrics_path, postmortem_dir;
     std::vector<std::string> inputs;
     std::string cores_arg, cache_dir;
     unsigned long jobs = 1, cache_limit = 0;
@@ -516,8 +672,9 @@ run(int argc, char **argv)
     bool to_stdout = false, report = false;
     bool serve_mode = false;
     std::string socket_path, connect_path, request_type = "compile";
+    std::string top_path;
     long deadline_ms = -1, admission_max = -1, idle_timeout_ms = 0;
-    long drain_grace_ms = -1, mem_cache = -1;
+    long drain_grace_ms = -1, mem_cache = -1, interval_ms = 0;
 
     auto parseCount = [](const std::string &text) -> unsigned long {
         try {
@@ -603,6 +760,18 @@ run(int argc, char **argv)
             stats_path = arg.substr(std::strlen("--stats="));
         } else if (arg == "--stats") {
             stats_path = next();
+        } else if (arg.rfind("--log=", 0) == 0) {
+            log_path = arg.substr(std::strlen("--log="));
+        } else if (arg == "--log") {
+            log_path = next();
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            metrics_path = arg.substr(std::strlen("--metrics-out="));
+        } else if (arg == "--metrics-out") {
+            metrics_path = next();
+        } else if (arg.rfind("--postmortem-dir=", 0) == 0) {
+            postmortem_dir = arg.substr(std::strlen("--postmortem-dir="));
+        } else if (arg == "--postmortem-dir") {
+            postmortem_dir = next();
         } else if (arg == "--quiet") {
             setQuiet(true);
         } else if (arg == "--jobs") {
@@ -666,6 +835,15 @@ run(int argc, char **argv)
         } else if (arg.rfind("--mem-cache=", 0) == 0) {
             mem_cache = long(
                 parseCount(arg.substr(std::strlen("--mem-cache="))));
+        } else if (arg == "--top") {
+            top_path = next();
+        } else if (arg.rfind("--top=", 0) == 0) {
+            top_path = arg.substr(std::strlen("--top="));
+        } else if (arg == "--interval-ms") {
+            interval_ms = long(parseCount(next()));
+        } else if (arg.rfind("--interval-ms=", 0) == 0) {
+            interval_ms = long(
+                parseCount(arg.substr(std::strlen("--interval-ms="))));
         } else if (arg == "--help" || arg == "-h") {
             usage();
         } else if (!arg.empty() && arg[0] == '-') {
@@ -686,7 +864,27 @@ run(int argc, char **argv)
         return runServe(socket_path, unsigned(jobs), jobs_given,
                         admission_max, idle_timeout_ms, deadline_ms,
                         drain_grace_ms, mem_cache, cache_dir,
-                        size_t(cache_limit));
+                        size_t(cache_limit), log_path, trace_path,
+                        metrics_path, postmortem_dir);
+    }
+
+    // Non-serve modes own their observability sinks directly (in serve
+    // mode the Server opens/closes them around its lifetime instead).
+    if (!log_path.empty()) {
+        std::string log_error;
+        if (!obs::EventLog::instance().open(log_path, log_error))
+            throw CliError{exitIo, log_error};
+    }
+    if (!postmortem_dir.empty()) {
+        obs::flightrec::setPostmortemDir(postmortem_dir);
+        obs::flightrec::installCrashHandler();
+    }
+
+    if (!top_path.empty()) {
+        if (!connect_path.empty())
+            throw CliError{exitUsage,
+                           "--top and --connect are exclusive"};
+        return runTop(top_path, interval_ms);
     }
     if (!connect_path.empty()) {
         if (!datasheet_path.empty())
@@ -703,8 +901,15 @@ run(int argc, char **argv)
                            "batch flags cannot be combined with "
                            "--connect (the server owns its own pool "
                            "and cache)"};
+        // A client-side trace needs the tracer on before the request
+        // span opens.
+        if (!trace_path.empty()) {
+            obs::setEnabled(true);
+            obs::Tracer::instance().clear();
+        }
         return runClient(connect_path, request_type, inputs, target,
-                         options, deadline_ms, out_dir, to_stdout);
+                         options, deadline_ms, out_dir, to_stdout,
+                         trace_path);
     }
 
     if (inputs.empty())
@@ -749,10 +954,11 @@ run(int argc, char **argv)
         options.datasheet = &custom_sheet;
     }
 
-    // Observability (docs/observability.md): either flag switches the
-    // process-wide instrumentation on; with both off every span and
-    // counter in the pipeline stays a near-no-op.
-    bool observing = !trace_path.empty() || !stats_path.empty();
+    // Observability (docs/observability.md): any of these flags
+    // switches the process-wide instrumentation on; with all off every
+    // span and counter in the pipeline stays a near-no-op.
+    bool observing = !trace_path.empty() || !stats_path.empty() ||
+                     !metrics_path.empty();
     if (observing) {
         obs::setEnabled(true);
         obs::Tracer::instance().clear();
@@ -774,6 +980,9 @@ run(int argc, char **argv)
                 writeFile(stats_path,
                           obs::Registry::instance().toYaml());
         }
+        if (!metrics_path.empty())
+            writeFile(metrics_path,
+                      obs::Registry::instance().toPrometheus());
         if (signals::terminationRequested()) {
             // Interrupted runs must leave the cache directory exactly
             // as a completed one would: sweep temp files an aborted
@@ -793,8 +1002,15 @@ run(int argc, char **argv)
         return code;
     }
 
+    // One-shot compiles are request "r1": trivially deterministic, and
+    // it makes local logs grep the same way serve logs do.
+    obs::RequestScope rid_scope("r1");
+    obs::logEvent(obs::LogLevel::Info, "compile.start",
+                  {{"input", input}});
     driver::CompiledIsax compiled =
         driver::compile(readFile(input), target, options);
+    obs::logEvent(obs::LogLevel::Info, "compile.done",
+                  {{"outcome", compiled.ok() ? "ok" : "compile-error"}});
 
     // Dump trace/stats before exiting: observability must also cover
     // failed compiles (that is when you need it most).
@@ -808,6 +1024,9 @@ run(int argc, char **argv)
             writeFile(stats_path,
                       obs::Registry::instance().toYaml());
     }
+    if (!metrics_path.empty())
+        writeFile(metrics_path,
+                  obs::Registry::instance().toPrometheus());
 
     if (signals::terminationRequested()) {
         std::fprintf(stderr, "interrupted by signal %d\n",
@@ -921,14 +1140,19 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: %s\n", arm_error.c_str());
         return exitUsage;
     }
+    int code;
     try {
-        return run(argc, argv);
+        code = run(argc, argv);
     } catch (const CliError &e) {
         if (!e.message.empty())
             std::fprintf(stderr, "error: %s\n", e.message.c_str());
-        return e.code;
+        code = e.code;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return exitIo;
+        code = exitIo;
     }
+    // Flush pending rate-limit summaries of a --log opened by run()
+    // (no-op when none is open; the serve path already closed its own).
+    obs::EventLog::instance().close();
+    return code;
 }
