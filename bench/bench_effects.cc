@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Effect-summary bench (docs/static-analysis.md §4): lowers the whole
+ * ISAX catalog to LIL once, then measures the throughput of
+ * summarizeGraph + the interference join — the analysis the LN48xx
+ * lints and the isolation-gated spawn optimization both run on every
+ * compile. Also reports the catalog's spawn census: how many graphs
+ * carry a decoupled partition and how many of those prove isolated.
+ * The bench turns red if the analysis stops proving the catalog's
+ * spawn graph isolated (the -O1 lift would silently regress to a
+ * skip) or if a summary pass over the catalog stops finishing in
+ * interactive time.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "analysis/effects.hh"
+#include "bench/report.hh"
+#include "driver/isax_catalog.hh"
+#include "driver/longnail.hh"
+
+using namespace longnail;
+
+int
+main()
+{
+    std::printf("=== effect-summary analysis across the ISAX catalog "
+                "===\n\n");
+
+    driver::CompileOptions options;
+    options.lintOnly = true;
+
+    std::vector<driver::CompiledIsax> compiled;
+    for (const auto &entry : catalog::allIsaxes()) {
+        compiled.push_back(
+            driver::compile(entry.source, entry.target, options));
+        if (!compiled.back().ok() || !compiled.back().lilModule) {
+            std::fprintf(stderr, "%s: %s\n", entry.name.c_str(),
+                         compiled.back().errors.c_str());
+            return 1;
+        }
+    }
+
+    // Throughput: repeated full-catalog summary + isolation sweeps.
+    constexpr int kRounds = 50;
+    size_t graphs = 0, spawn_graphs = 0, isolated = 0, hazards = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (int round = 0; round < kRounds; ++round) {
+        graphs = spawn_graphs = isolated = hazards = 0;
+        for (const auto &c : compiled) {
+            for (const auto &graph : c.lilModule->graphs) {
+                ++graphs;
+                analysis::GraphEffects fx =
+                    analysis::summarizeGraph(graph->graph);
+                if (!fx.hasSpawn)
+                    continue;
+                ++spawn_graphs;
+                if (analysis::spawnIsolated(fx))
+                    ++isolated;
+                else
+                    hazards +=
+                        analysis::interference(fx.spawn, fx.main)
+                            .size();
+            }
+        }
+    }
+    auto elapsed = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    double us_per_graph = elapsed / double(kRounds * graphs);
+
+    std::printf("%-24s %zu\n", "catalog graphs", graphs);
+    std::printf("%-24s %zu\n", "spawn graphs", spawn_graphs);
+    std::printf("%-24s %zu\n", "isolation proved", isolated);
+    std::printf("%-24s %zu\n", "intra-graph hazards", hazards);
+    std::printf("%-24s %.2f us\n", "summary+join per graph",
+                us_per_graph);
+
+    bench::ReportWriter report("effects");
+    report.add("catalog", "graphs", double(graphs), "graphs");
+    report.add("catalog", "spawn_graphs", double(spawn_graphs),
+               "graphs");
+    report.add("catalog", "spawn_isolated", double(isolated), "graphs");
+    report.add("catalog", "summary_us_per_graph", us_per_graph, "us");
+
+    int failures = 0;
+    if (spawn_graphs == 0 || isolated == 0) {
+        std::fprintf(stderr,
+                     "catalog has no isolation-proved spawn graph; "
+                     "the -O1 spawn lift is dead\n");
+        ++failures;
+    }
+    // The analysis runs on every compile of every unit; keep it well
+    // inside interactive budgets (it is linear in graph size).
+    if (us_per_graph > 10000.0) {
+        std::fprintf(stderr,
+                     "effect summaries became slow: %.2f us/graph\n",
+                     us_per_graph);
+        ++failures;
+    }
+    return failures ? 1 : 0;
+}

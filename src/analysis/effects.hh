@@ -1,0 +1,183 @@
+/**
+ * @file
+ * MAY/MUST effect summaries and the cross-graph interference checker
+ * (docs/static-analysis.md §4).
+ *
+ * A behavior graph touches architectural state through its interface
+ * operations: custom-register reads/writes, memory reads/writes, and
+ * the core ports (rs1/rs2/pc/instr reads, rd/pc writes). This module
+ * abstracts each graph into a per-*partition* summary of those
+ * effects:
+ *
+ *   - the **main** partition: interface ops executed in-order with the
+ *     parent instruction (or the whole graph for always-blocks);
+ *   - the **spawn** partition: interface ops carrying the `"spawn"`
+ *     provenance attribute, i.e. lowered from a decoupled spawn block
+ *     (they retire at an unpredictable later time).
+ *
+ * Every effect is classified MAY (its predicate is not provably
+ * false) and MUST (it has no predicate, or the predicate is provably
+ * true). Memory effects additionally carry an address interval from
+ * the range lattice (`RangeLattice`), so provably disjoint accesses
+ * do not alias. Commit/stall points are modeled through two proxies:
+ * the graph's implicit end-of-graph retire (`lil.sink`) is the commit
+ * point, and a PC write is the flush boundary (`redirectsPc()`) —
+ * effects launched before it may be re-issued on a mispredicted or
+ * redirected path.
+ *
+ * `interference()` joins two summaries and reports the hazards
+ * between them; `spawnIsolated()` is the MUST-not-interfere verdict
+ * the pass manager uses to run the -O1 pipeline on spawn graphs
+ * (docs/pass-pipeline.md §1). The verdict is conservative at
+ * register-name granularity: absence of any MAY-level hazard proves
+ * the partitions touch disjoint state.
+ */
+
+#ifndef LONGNAIL_ANALYSIS_EFFECTS_HH
+#define LONGNAIL_ANALYSIS_EFFECTS_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hh"
+#include "support/diagnostics.hh"
+
+namespace longnail {
+namespace analysis {
+
+/** One abstract state effect. MUST implies MAY. */
+struct Effect
+{
+    /** The effect can happen (predicate not provably false). */
+    bool may = false;
+    /** The effect happens on every execution (no predicate, or the
+     * predicate is provably true). */
+    bool must = false;
+    /** Source location of the first operation contributing it. */
+    SourceLoc loc;
+};
+
+/** One abstract memory access with its address interval. */
+struct MemEffect
+{
+    /** Inclusive byte-address bounds from the range lattice (the
+     * 4-byte access footprint is folded into `hi`). */
+    uint64_t lo = 0;
+    uint64_t hi = UINT64_MAX;
+    bool may = false;
+    bool must = false;
+    /** The address or stored value transitively depends on a memory
+     * read — re-executing the access is not idempotent. */
+    bool dependsOnMemRead = false;
+    SourceLoc loc;
+
+    bool overlaps(const MemEffect &other) const
+    {
+        return lo <= other.hi && other.lo <= hi;
+    }
+};
+
+/** MAY/MUST effect summary of one partition of a behavior graph. */
+struct EffectSummary
+{
+    /** Custom-register accesses, keyed by register name (array
+     * registers are summarized whole — index-insensitive, which is
+     * the conservative direction for interference). */
+    std::map<std::string, Effect> regsRead;
+    std::map<std::string, Effect> regsWritten;
+    /** Registers whose written value transitively depends on a read
+     * of the same register (read-modify-write; not idempotent). */
+    std::set<std::string> regsRmw;
+
+    /** Memory accesses with address intervals, in operation order. */
+    std::vector<MemEffect> memReads;
+    std::vector<MemEffect> memWrites;
+
+    /** Core-port usage: reads keyed "rs1"/"rs2"/"pc"/"instr"/"mem",
+     * writes keyed "rd"/"pc"/"mem". */
+    std::map<std::string, Effect> ifaceReads;
+    std::map<std::string, Effect> ifaceWrites;
+
+    /** The partition may redirect the PC — the flush-boundary proxy:
+     * any effect issued alongside it sits before a stall/flush point. */
+    bool redirectsPc() const;
+
+    /** No observable state update MAY execute in this partition. */
+    bool observableEmpty() const;
+};
+
+/** Partitioned summary of one graph. */
+struct GraphEffects
+{
+    /** In-order (architectural) partition; the whole graph for
+     * always-blocks and spawn-free instructions. */
+    EffectSummary main;
+    /** Decoupled partition: interface ops marked `"spawn"`. */
+    EffectSummary spawn;
+    bool hasSpawn = false;
+    /** Location of the first spawn-marked operation. */
+    SourceLoc spawnLoc;
+};
+
+/**
+ * Summarize @p graph (spawn subgraphs included) into its per-partition
+ * MAY/MUST effect sets. Runs the range lattice once for the address
+ * intervals and the MUST classification of predicates.
+ */
+GraphEffects summarizeGraph(const ir::Graph &graph);
+
+/** Kind of a cross-partition hazard. */
+enum class HazardKind
+{
+    /** A write in one partition races a read in the other. */
+    RegRace,
+    /** Both partitions write the same register (lost update / WAW). */
+    RegWaw,
+    /** A memory write may alias a memory access in the other
+     * partition (the address intervals overlap). */
+    MemAlias,
+    /** Both partitions drive the same core write port. */
+    PortConflict,
+};
+
+const char *hazardKindName(HazardKind kind);
+
+/** One hazard between two effect summaries. */
+struct Hazard
+{
+    HazardKind kind;
+    /** Register name, core port, or "memory". */
+    std::string target;
+    /** Both sides of the hazard MUST execute. */
+    bool must = false;
+    /** Location of the offending write in the first summary. */
+    SourceLoc loc;
+};
+
+/**
+ * Hazards caused by @p a's writes against @p b's accesses (reads and
+ * writes). Symmetric coverage needs both `interference(a, b)` and
+ * `interference(b, a)`. Deterministic order: registers sorted by
+ * name, then ports, then memory effects in operation order.
+ */
+std::vector<Hazard> interference(const EffectSummary &a,
+                                 const EffectSummary &b);
+
+/**
+ * The MUST-not-interfere verdict: true when the graph has a spawn
+ * partition and no MAY-level hazard exists between it and the main
+ * partition in either direction. For such graphs the untimed
+ * last-enabled-wins semantics of `lil::interpret()` is a faithful
+ * model of the decoupled execution, so the -O1 passes (which the
+ * signature check re-proves against exactly that model) are sound to
+ * run (docs/pass-pipeline.md §1).
+ */
+bool spawnIsolated(const GraphEffects &fx);
+
+} // namespace analysis
+} // namespace longnail
+
+#endif // LONGNAIL_ANALYSIS_EFFECTS_HH

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "analysis/dataflow.hh"
+#include "analysis/effects.hh"
 #include "analysis/verifier.hh"
 #include "cores/rv32i.hh"
 #include "scaiev/interface.hh"
@@ -128,6 +129,24 @@ checkHirGraph(const Graph &graph, const std::string &unit,
                           "condition is always false: the true "
                           "branch in '" +
                               unit + "' is never selected");
+
+        // LN4805 (structural variant): a spawn block with no state
+        // update at all. Checked here, pre-canonicalization, because
+        // DCE erases the dead body before the LIL-level effect
+        // summary could see it.
+        if (op.kind() == OpKind::CoredslSpawn && op.subgraph()) {
+            bool has_update = false;
+            forEachOp(*op.subgraph(), [&](const Operation &inner) {
+                if (inner.kind() == OpKind::CoredslSet ||
+                    inner.kind() == OpKind::CoredslSetMem)
+                    has_update = true;
+            });
+            if (!has_update)
+                diags.warning(op.loc(), "LN4805",
+                              "dead spawn block in '" + unit +
+                                  "': it contains no state update, so "
+                                  "its effects are never observable");
+        }
     });
 }
 
@@ -216,6 +235,192 @@ checkLilGraph(const lil::LilGraph &graph,
                 (arith ? " always yields just copies of the sign bit"
                        : " always yields 0"));
     });
+}
+
+// --------------------------------------------------------------------
+// Spawn/always effect-interference checks (LN4801..LN4805)
+// --------------------------------------------------------------------
+
+/**
+ * Joins the MAY/MUST effect summaries (analysis/effects.hh) across
+ * every graph of the module and reports the decoupled-execution
+ * hazards. The architectural side of each comparison is a graph's
+ * non-spawn (main) partition — always-blocks are all main.
+ */
+void
+checkEffects(const lil::LilModule &mod, DiagnosticEngine &diags)
+{
+    struct Unit
+    {
+        const lil::LilGraph *graph;
+        GraphEffects fx;
+    };
+    std::vector<Unit> units;
+    units.reserve(mod.graphs.size());
+    for (const auto &graph : mod.graphs)
+        units.push_back({graph.get(), summarizeGraph(graph->graph)});
+
+    auto describe = [](const Unit &u) {
+        return std::string(u.graph->isAlways ? "always-block '"
+                                             : "'") +
+               u.graph->name + "'";
+    };
+
+    for (size_t i = 0; i < units.size(); ++i) {
+        const Unit &u = units[i];
+        if (!u.fx.hasSpawn)
+            continue;
+        const EffectSummary &sp = u.fx.spawn;
+
+        // LN4801: a decoupled custom-register write racing an
+        // architectural (in-order) read in *another* graph. The same
+        // graph's own in-order reads always precede the spawn
+        // (operands are retrieved with the fetched instruction), so
+        // they are not a race.
+        for (const auto &[reg, w] : sp.regsWritten) {
+            if (!w.may)
+                continue;
+            for (size_t j = 0; j < units.size(); ++j) {
+                if (j == i)
+                    continue;
+                auto it = units[j].fx.main.regsRead.find(reg);
+                if (it == units[j].fx.main.regsRead.end() ||
+                    !it->second.may)
+                    continue;
+                diags.warning(
+                    w.loc, "LN4801",
+                    "decoupled write to custom register '" + reg +
+                        "' in " + describe(u) +
+                        " races the architectural read in " +
+                        describe(units[j]) +
+                        ": the read may observe the value before or "
+                        "after the spawn retires");
+                diags.note(it->second.loc,
+                           "the racing read of '" + reg + "' is here");
+            }
+        }
+
+        // LN4802: lost update — the decoupled write and another
+        // write (an in-order write anywhere, or another graph's
+        // spawn) target the same register with no ordering between
+        // them.
+        for (const auto &[reg, w] : sp.regsWritten) {
+            if (!w.may)
+                continue;
+            for (size_t j = 0; j < units.size(); ++j) {
+                const EffectSummary &other_main = units[j].fx.main;
+                auto it = other_main.regsWritten.find(reg);
+                if (it != other_main.regsWritten.end() &&
+                    it->second.may) {
+                    diags.warning(
+                        w.loc, "LN4802",
+                        "lost update: the decoupled write to custom "
+                        "register '" +
+                            reg + "' in " + describe(u) +
+                            " and the in-order write in " +
+                            describe(units[j]) +
+                            " are unordered; one update can be "
+                            "silently overwritten");
+                    diags.note(it->second.loc,
+                               "the conflicting write to '" + reg +
+                                   "' is here");
+                }
+                if (j <= i)
+                    continue; // each spawn/spawn pair reported once
+                auto sp_it = units[j].fx.spawn.regsWritten.find(reg);
+                if (sp_it != units[j].fx.spawn.regsWritten.end() &&
+                    sp_it->second.may) {
+                    diags.warning(
+                        w.loc, "LN4802",
+                        "lost update: decoupled writes to custom "
+                        "register '" +
+                            reg + "' in " + describe(u) + " and " +
+                            describe(units[j]) +
+                            " retire in an unpredictable order");
+                    diags.note(sp_it->second.loc,
+                               "the conflicting write to '" + reg +
+                                   "' is here");
+                }
+            }
+        }
+
+        // LN4803: a decoupled memory write whose address interval
+        // overlaps a core-visible (in-order) memory access — the
+        // core's ordering guarantees do not extend to the spawn.
+        for (const auto &mw : sp.memWrites) {
+            if (!mw.may)
+                continue;
+            bool reported = false;
+            for (size_t j = 0; j < units.size() && !reported; ++j) {
+                const EffectSummary &other_main = units[j].fx.main;
+                auto checkAlias = [&](const MemEffect &acc,
+                                      const char *what) {
+                    if (reported || !acc.may || !mw.overlaps(acc))
+                        return;
+                    reported = true;
+                    diags.warning(
+                        mw.loc, "LN4803",
+                        "memory ordering hazard: the decoupled store "
+                        "in " +
+                            describe(u) + " may alias the in-order " +
+                            what + " in " + describe(units[j]) +
+                            " (address ranges overlap)");
+                    diags.note(acc.loc,
+                               std::string("the aliasing ") + what +
+                                   " is here");
+                };
+                for (const auto &mr : other_main.memReads)
+                    checkAlias(mr, "load");
+                for (const auto &ow : other_main.memWrites)
+                    checkAlias(ow, "store");
+            }
+        }
+
+        // LN4804: a non-idempotent decoupled effect (read-modify-write
+        // of a register, or a store derived from a load) in a graph
+        // whose in-order part may redirect the PC. The redirect is a
+        // flush boundary: a squashed-and-reissued instruction would
+        // launch the spawn twice.
+        if (u.fx.main.redirectsPc()) {
+            for (const auto &reg : sp.regsRmw) {
+                auto it = sp.regsWritten.find(reg);
+                if (it == sp.regsWritten.end() || !it->second.may)
+                    continue;
+                diags.warning(
+                    it->second.loc, "LN4804",
+                    "non-idempotent decoupled effect in " +
+                        describe(u) +
+                        ": the read-modify-write of custom register "
+                        "'" +
+                        reg +
+                        "' is launched before the PC redirect (a "
+                        "flush boundary); a re-issued instruction "
+                        "applies it twice");
+            }
+            for (const auto &mw : sp.memWrites) {
+                if (!mw.may || !mw.dependsOnMemRead)
+                    continue;
+                diags.warning(
+                    mw.loc, "LN4804",
+                    "non-idempotent decoupled effect in " +
+                        describe(u) +
+                        ": the store depends on a load and is "
+                        "launched before the PC redirect (a flush "
+                        "boundary); a re-issued instruction applies "
+                        "it twice");
+            }
+        }
+
+        // LN4805 (effect variant): spawn ops exist but no observable
+        // update MAY execute — e.g. every decoupled write is
+        // predicated provably false.
+        if (sp.observableEmpty())
+            diags.warning(u.fx.spawnLoc, "LN4805",
+                          "dead spawn block in " + describe(u) +
+                              ": no decoupled state update can ever "
+                              "execute, so its effects are never "
+                              "observable");
+    }
 }
 
 // --------------------------------------------------------------------
@@ -457,9 +662,36 @@ checkLilModule(const lil::LilModule &mod, const scaiev::Datasheet &sheet,
     for (const auto &graph : mod.graphs)
         checkLilGraph(*graph, written, diags);
 
+    checkEffects(mod, diags);
+
     if (mod.isa)
         checkEncodings(*mod.isa, diags);
     checkDatasheet(mod, sheet, diags);
+}
+
+// --------------------------------------------------------------------
+// LN-code registry
+// --------------------------------------------------------------------
+
+const LnCodeInfo *
+findLnCode(const std::string &code)
+{
+    for (const LnCodeInfo &info : lnCodeRegistry)
+        if (code == info.code)
+            return &info;
+    return nullptr;
+}
+
+std::string
+renderLnCodeTable()
+{
+    std::ostringstream os;
+    os << "| code | severity | phase | finding |\n";
+    os << "|------|----------|-------|---------|\n";
+    for (const LnCodeInfo &info : lnCodeRegistry)
+        os << "| " << info.code << " | " << info.severity << " | "
+           << info.phase << " | " << info.summary << " |\n";
+    return os.str();
 }
 
 } // namespace analysis

@@ -17,10 +17,21 @@
  *   LN4301  sub-interface not offered by the target core
  *   LN4302  operation cannot meet its earliest/latest window
  *   LN4303  write-port arbitration conflict between always-blocks
+ *   LN4801..LN4805  spawn/always effect-interference findings
+ *                   (analysis/effects.hh)
+ *
+ * The file also hosts the single-source LN-code registry: every
+ * stable diagnostic code the compiler can emit, with its default
+ * severity, pipeline phase and one-line summary. The docs table in
+ * docs/static-analysis.md §3 is rendered from it (`longnail
+ * --ln-codes`), and a ctest pins the two against each other.
  */
 
 #ifndef LONGNAIL_ANALYSIS_LINT_HH
 #define LONGNAIL_ANALYSIS_LINT_HH
+
+#include <cstddef>
+#include <string>
 
 #include "hir/hir.hh"
 #include "lil/lil.hh"
@@ -29,6 +40,144 @@
 
 namespace longnail {
 namespace analysis {
+
+// --------------------------------------------------------------------
+// LN-code registry
+// --------------------------------------------------------------------
+
+/** One row of the diagnostic-code registry. */
+struct LnCodeInfo
+{
+    const char *code;     ///< stable code, e.g. "LN4101"
+    const char *severity; ///< default severity: "error" or "warning"
+    const char *phase;    ///< pipeline phase that emits it
+    const char *summary;  ///< one-line description
+};
+
+/**
+ * Every stable LN code, in ascending order. New diagnostics MUST add
+ * a row here; the registry ctest rejects duplicates and codes missing
+ * from docs/static-analysis.md.
+ */
+inline constexpr LnCodeInfo lnCodeRegistry[] = {
+    {"LN1001", "error", "parse", "syntax error in the CoreDSL source"},
+    {"LN1002", "error", "sema", "semantic error during ISA elaboration"},
+    {"LN1003", "error", "astlower",
+     "unsupported construct during AST lowering"},
+    {"LN1004", "error", "lil",
+     "illegal state or interface use during LIL lowering"},
+    {"LN1901", "error", "parse", "injected fault at the 'parse' failpoint"},
+    {"LN1902", "error", "sema", "injected fault at the 'sema' failpoint"},
+    {"LN1903", "error", "astlower",
+     "injected fault at the 'astlower' failpoint"},
+    {"LN1904", "error", "lil", "injected fault at the 'lil' failpoint"},
+    {"LN2001", "warning", "sched",
+     "optimal scheduler abandoned; fallback schedule in use"},
+    {"LN2002", "error", "sched", "no feasible schedule for the target core"},
+    {"LN2901", "error", "sched", "injected fault at the 'sched' failpoint"},
+    {"LN3001", "error", "hwgen", "hardware generation failed"},
+    {"LN3002", "error", "scaiev-config",
+     "SCAIE-V configuration emission failed"},
+    {"LN3003", "error", "driver", "malformed datasheet YAML"},
+    {"LN3004", "error", "scaiev-config", "malformed SCAIE-V config"},
+    {"LN3005", "error", "driver", "unknown target core"},
+    {"LN3006", "error", "driver", "unknown catalog ISAX"},
+    {"LN3009", "error", "driver",
+     "internal error caught at the fail-soft boundary"},
+    {"LN3010", "warning", "driver",
+     "corrupted cache entry; unit recompiled"},
+    {"LN3011", "error", "driver",
+     "compile cancelled or deadline exceeded at a phase boundary"},
+    {"LN3012", "error", "driver", "cannot write an output file"},
+    {"LN3101", "error", "serve", "malformed protocol frame"},
+    {"LN3102", "error", "serve", "oversized request rejected"},
+    {"LN3103", "error", "serve", "idle connection timed out"},
+    {"LN3110", "error", "serve", "server overloaded (admission control)"},
+    {"LN3111", "error", "serve", "request deadline exceeded"},
+    {"LN3112", "error", "serve", "server draining; request rejected"},
+    {"LN3901", "error", "hwgen", "injected fault at the 'hwgen' failpoint"},
+    {"LN3902", "error", "scaiev-config",
+     "injected fault at the 'scaiev-config' failpoint"},
+    {"LN3903", "warning", "driver",
+     "injected cache fault; lookup treated as a miss"},
+    {"LN3904", "error", "serve", "injected fault at the 'serve' failpoint"},
+    {"LN4001", "error", "analysis",
+     "IR verifier: def-before-use or null-operand violation"},
+    {"LN4002", "error", "analysis",
+     "IR verifier: operand/result arity violation"},
+    {"LN4003", "error", "analysis",
+     "IR verifier: type or width inconsistency"},
+    {"LN4005", "error", "analysis",
+     "IR verifier: missing or malformed attribute"},
+    {"LN4006", "error", "analysis",
+     "IR verifier: dialect purity or terminator violation"},
+    {"LN4101", "warning", "analysis", "guaranteed bitwidth truncation"},
+    {"LN4102", "warning", "analysis", "always-false condition"},
+    {"LN4103", "warning", "analysis",
+     "read of a never-written custom register"},
+    {"LN4104", "warning", "analysis",
+     "dead LIL node (predicate always false)"},
+    {"LN4105", "warning", "analysis",
+     "shift amount always >= the operand width"},
+    {"LN4201", "warning", "analysis",
+     "overlapping/ambiguous ISAX instruction encodings"},
+    {"LN4202", "warning", "analysis",
+     "ISAX encoding overlaps an RV32I base instruction"},
+    {"LN4301", "warning", "analysis",
+     "sub-interface not offered by the target core"},
+    {"LN4302", "warning", "analysis",
+     "operation cannot meet its earliest/latest interface window"},
+    {"LN4303", "warning", "analysis",
+     "write-port arbitration conflict between always-blocks"},
+    {"LN4401", "error", "validate",
+     "schedule re-check: operation has no start time"},
+    {"LN4402", "error", "validate",
+     "schedule re-check: def-use latency violated"},
+    {"LN4403", "error", "validate",
+     "schedule re-check: interface op outside its datasheet window"},
+    {"LN4404", "warning", "validate",
+     "schedule re-check: combinational chain not broken"},
+    {"LN4405", "error", "validate",
+     "schedule re-check: sub-interface used more than once"},
+    {"LN4501", "error", "validate",
+     "a pass or the netlist changed observable behavior (refuted)"},
+    {"LN4502", "warning", "validate",
+     "equivalence not symbolically proved; co-simulation agreed"},
+    {"LN4601", "error", "validate", "netlist lint: combinational cycle"},
+    {"LN4602", "error", "validate", "netlist lint: width mismatch"},
+    {"LN4603", "error", "validate",
+     "netlist lint: undriven or multiply-driven net"},
+    {"LN4604", "warning", "validate",
+     "netlist lint: dead logic drives no output"},
+    {"LN4801", "warning", "analysis",
+     "decoupled (spawn) write races an architectural read"},
+    {"LN4802", "warning", "analysis",
+     "lost update: spawn and main (or two spawns) write one register"},
+    {"LN4803", "warning", "analysis",
+     "spawn memory write may alias a core-visible memory access"},
+    {"LN4804", "warning", "analysis",
+     "non-idempotent spawn effect before a stall/flush boundary"},
+    {"LN4805", "warning", "analysis",
+     "dead spawn block: its effects are never observable"},
+    {"LN4901", "error", "analysis",
+     "injected fault at the 'analysis' failpoint"},
+    {"LN4902", "error", "validate",
+     "injected fault at the 'validate' failpoint"},
+};
+
+inline constexpr size_t lnCodeRegistrySize =
+    sizeof(lnCodeRegistry) / sizeof(lnCodeRegistry[0]);
+
+/** Registry row for @p code, or nullptr if unknown. */
+const LnCodeInfo *findLnCode(const std::string &code);
+
+/**
+ * Render the registry as the markdown table embedded in
+ * docs/static-analysis.md §3 (CLI: `longnail --ln-codes`). The docs
+ * file must contain this output verbatim; the registry ctest diffs
+ * the two.
+ */
+std::string renderLnCodeTable();
 
 /**
  * Run the structural verifier (analysis/verifier.hh) over every
@@ -39,17 +188,21 @@ bool verifyHirModule(const hir::HirModule &mod, DiagnosticEngine &diags);
 bool verifyLilModule(const lil::LilModule &mod, DiagnosticEngine &diags);
 
 /**
- * HIR-level dataflow lints (LN4101, LN4102). Runs on the
- * pre-canonicalization HIR, where the evidence (e.g. a truncating
- * cast of a provably large value) has not been folded away yet.
+ * HIR-level dataflow lints (LN4101, LN4102) plus the structural
+ * dead-spawn check (LN4805: a spawn block containing no state update
+ * at all). Runs on the pre-canonicalization HIR, where the evidence
+ * (e.g. a truncating cast of a provably large value, or a spawn whose
+ * dead body DCE would erase) has not been folded away yet.
  */
 void checkHirModule(const hir::HirModule &mod, DiagnosticEngine &diags);
 
 /**
  * LIL-level dataflow lints (LN4103, LN4104) plus the cross-instruction
  * checks: encoding overlaps within the ISAX and against the RV32I base
- * (LN4201, LN4202) and pre-schedule datasheet violations (LN4301,
- * LN4302, LN4303).
+ * (LN4201, LN4202), pre-schedule datasheet violations (LN4301,
+ * LN4302, LN4303), and the spawn/always effect-interference family
+ * (LN4801..LN4805) powered by the MAY/MUST summaries of
+ * analysis/effects.hh.
  */
 void checkLilModule(const lil::LilModule &mod,
                     const scaiev::Datasheet &sheet,

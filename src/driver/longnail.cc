@@ -357,9 +357,11 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
         return;
 
     // Optimization pipeline (docs/pass-pipeline.md): -O1 runs the
-    // verified passes over every non-spawn LIL graph before any
-    // scheduling; each application is re-proved under --validate
-    // (refutations surface as LN4501 errors and abort the compile).
+    // verified passes over every LIL graph before any scheduling —
+    // spawn graphs included when the effect summaries prove isolation
+    // (analysis/effects.hh); each application is re-proved under
+    // --validate (refutations surface as LN4501 errors and abort the
+    // compile).
     if (options.optLevel >= 1) {
         PhaseTimer timer(result.report, "passes");
         DiagnosticEngine::ContextScope scope(diags, Phase::Validate,
@@ -371,6 +373,9 @@ compileInto(CompiledIsax &result, DiagnosticEngine &diags,
         result.report.passRewrites = pres.totalRewrites;
         result.report.passProved = pres.proved;
         result.report.passCosimAgreed = pres.cosimAgreed;
+        result.report.spawnGraphsOptimized = pres.spawnOptimized;
+        result.report.spawnGraphsSkipped = pres.spawnSkipped;
+        result.report.spawnRewritesByUnit = pres.spawnGraphRewrites;
         obs::count("passes.rewrites", pres.totalRewrites);
         if (pres.refuted || diags.hasErrors())
             return;

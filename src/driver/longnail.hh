@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "coredsl/sema.hh"
@@ -59,7 +60,10 @@ struct CompileOptions
      * Optimization level (CLI: -O0/-O1). 0 compiles the LIL exactly as
      * lowered; 1 runs the verified pass pipeline (simplify, CSE,
      * bitwidth narrowing, DCE — docs/pass-pipeline.md) over every
-     * non-spawn graph before scheduling. Part of the cache key.
+     * graph before scheduling. Spawn graphs participate only when
+     * the effect summaries (analysis/effects.hh) prove the decoupled
+     * partition cannot interfere with the in-order partition;
+     * otherwise they compile as lowered. Part of the cache key.
      */
     unsigned optLevel = 0;
     /**
@@ -157,6 +161,14 @@ struct PhaseReport
     unsigned passProved = 0;
     /** Pass applications accepted by co-simulation agreement only. */
     unsigned passCosimAgreed = 0;
+    /** Spawn graphs the pipeline optimized under the proved
+     * MUST-not-interfere verdict (analysis/effects.hh). */
+    unsigned spawnGraphsOptimized = 0;
+    /** Spawn graphs skipped because isolation could not be proved. */
+    unsigned spawnGraphsSkipped = 0;
+    /** Per-graph rewrite counts of the optimized spawn graphs, in
+     * module order (CLI: --report). */
+    std::vector<std::pair<std::string, uint64_t>> spawnRewritesByUnit;
     /** Top-level LIL op count after the pass pipeline (equals lilOps
      * at -O0 or when no pass fired). */
     size_t lilOpsOptimized = 0;

@@ -1,9 +1,11 @@
 /**
  * @file
  * --dump-analysis=FILE: a YAML dump of the per-value static-analysis
- * states (range lattice + demanded-bits lattice) of every LIL graph.
+ * states (range lattice + demanded-bits lattice) and the per-graph
+ * effect summaries (analysis/effects.hh) of every LIL graph.
  * Ordering is stable — graphs in module order, values by ascending
- * id — so dumps diff cleanly across runs and cores.
+ * id, effect rows by key order — so dumps diff cleanly across runs
+ * and cores.
  */
 
 #include <map>
@@ -11,6 +13,7 @@
 #include <vector>
 
 #include "analysis/dataflow.hh"
+#include "analysis/effects.hh"
 #include "passes/passes.hh"
 
 namespace longnail {
@@ -59,6 +62,71 @@ dumpGraph(const lil::LilGraph &graph, std::ostream &os)
     }
 }
 
+const char *
+boolStr(bool b)
+{
+    return b ? "true" : "false";
+}
+
+void
+dumpEffectMap(const std::map<std::string, analysis::Effect> &m,
+              const char *key, const char *field, std::ostream &os)
+{
+    if (m.empty())
+        return;
+    os << "        " << key << ":\n";
+    for (const auto &[name, fx] : m)
+        os << "          - {" << field << ": \"" << name
+           << "\", may: " << boolStr(fx.may)
+           << ", must: " << boolStr(fx.must) << "}\n";
+}
+
+void
+dumpMemEffects(const std::vector<analysis::MemEffect> &v,
+               const char *key, std::ostream &os)
+{
+    if (v.empty())
+        return;
+    os << "        " << key << ":\n";
+    for (const auto &m : v)
+        os << "          - {lo: " << m.lo << ", hi: " << m.hi
+           << ", may: " << boolStr(m.may)
+           << ", must: " << boolStr(m.must) << "}\n";
+}
+
+void
+dumpSummary(const analysis::EffectSummary &s, const char *partition,
+            std::ostream &os)
+{
+    os << "      " << partition << ":\n";
+    if (s.regsRead.empty() && s.regsWritten.empty() &&
+        s.memReads.empty() && s.memWrites.empty() &&
+        s.ifaceReads.empty() && s.ifaceWrites.empty()) {
+        os << "        {}\n";
+        return;
+    }
+    dumpEffectMap(s.regsRead, "regs_read", "reg", os);
+    dumpEffectMap(s.regsWritten, "regs_written", "reg", os);
+    dumpMemEffects(s.memReads, "mem_reads", os);
+    dumpMemEffects(s.memWrites, "mem_writes", os);
+    dumpEffectMap(s.ifaceReads, "iface_reads", "port", os);
+    dumpEffectMap(s.ifaceWrites, "iface_writes", "port", os);
+}
+
+void
+dumpEffects(const lil::LilGraph &graph, std::ostream &os)
+{
+    analysis::GraphEffects fx = analysis::summarizeGraph(graph.graph);
+    os << "    effects:\n";
+    os << "      has_spawn: " << boolStr(fx.hasSpawn) << "\n";
+    if (fx.hasSpawn)
+        os << "      spawn_isolated: "
+           << boolStr(analysis::spawnIsolated(fx)) << "\n";
+    dumpSummary(fx.main, "main", os);
+    if (fx.hasSpawn)
+        dumpSummary(fx.spawn, "spawn", os);
+}
+
 } // namespace
 
 void
@@ -69,8 +137,10 @@ writeAnalysisDump(const lil::LilModule &mod, std::ostream &os)
     os << "analysis:\n";
     if (mod.graphs.empty())
         os << "  []\n";
-    for (const auto &graph : mod.graphs)
+    for (const auto &graph : mod.graphs) {
         dumpGraph(*graph, os);
+        dumpEffects(*graph, os);
+    }
 }
 
 } // namespace passes

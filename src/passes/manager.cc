@@ -1,8 +1,11 @@
 /**
  * @file
  * The pass manager: runs simplify -> cse -> narrow -> dce over every
- * non-spawn LIL graph until a full sweep applies no rewrite (bounded
- * by PipelineOptions::maxIterations). Each pass application gets a
+ * LIL graph until a full sweep applies no rewrite (bounded by
+ * PipelineOptions::maxIterations). Spawn graphs participate only when
+ * the effect summaries (analysis/effects.hh) prove the decoupled
+ * partition cannot interfere with the in-order partition; otherwise
+ * they compile as lowered. Each pass application gets a
  * trace span, a passes.<name>.rewrites counter, a LONGNAIL_VERIFY_IR
  * re-verification, and — under --validate — a signature check that
  * re-proves the transform (docs/pass-pipeline.md).
@@ -10,6 +13,7 @@
 
 #include <memory>
 
+#include "analysis/effects.hh"
 #include "analysis/verifier.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
@@ -48,13 +52,26 @@ runPipeline(lil::LilModule &mod, const PipelineOptions &options,
 
     for (auto &graph_ptr : mod.graphs) {
         lil::LilGraph &graph = *graph_ptr;
-        if (graph.hasSpawnOps()) {
-            // Spawn semantics decouple from the parent instruction;
-            // the interpreter-backed signature does not model that
-            // timing split, so these graphs compile as lowered.
-            obs::count("passes.skipped_spawn");
-            continue;
+        bool spawn_graph = graph.hasSpawnOps();
+        if (spawn_graph) {
+            // Spawn semantics decouple from the parent instruction —
+            // a timing split the interpreter-backed signature does
+            // not model. When the effect summaries prove the
+            // decoupled partition cannot interfere with the in-order
+            // partition (MUST-not-interfere, analysis/effects.hh),
+            // the untimed signature is faithful again and the passes
+            // may run; otherwise the graph compiles as lowered.
+            analysis::GraphEffects fx =
+                analysis::summarizeGraph(graph.graph);
+            if (!analysis::spawnIsolated(fx)) {
+                obs::count("passes.skipped_spawn");
+                ++res.spawnSkipped;
+                continue;
+            }
+            obs::count("passes.spawn_optimized");
+            ++res.spawnOptimized;
         }
+        uint64_t graph_rewrites = 0;
 
         for (unsigned iter = 0; iter < options.maxIterations; ++iter) {
             unsigned sweep_rewrites = 0;
@@ -102,9 +119,13 @@ runPipeline(lil::LilModule &mod, const PipelineOptions &options,
                 }
             }
             res.totalRewrites += sweep_rewrites;
+            graph_rewrites += sweep_rewrites;
             if (!sweep_rewrites)
                 break;
         }
+        if (spawn_graph)
+            res.spawnGraphRewrites.emplace_back(graph.name,
+                                                graph_rewrites);
     }
     return res;
 }

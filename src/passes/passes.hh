@@ -30,6 +30,8 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "lil/lil.hh"
 #include "support/diagnostics.hh"
@@ -58,13 +60,24 @@ struct PipelineResult
     unsigned cosimAgreed = 0;
     /** A pass application changed observable behavior (LN4501). */
     bool refuted = false;
+    /** Spawn graphs optimized under the MUST-not-interfere verdict
+     * (analysis/effects.hh: spawnIsolated()). */
+    unsigned spawnOptimized = 0;
+    /** Spawn graphs skipped because isolation could not be proved. */
+    unsigned spawnSkipped = 0;
+    /** Per-graph rewrite counts of the optimized spawn graphs, in
+     * module order (PhaseReport/--report surface these). */
+    std::vector<std::pair<std::string, uint64_t>> spawnGraphRewrites;
 };
 
 /**
- * Run the -O1 pipeline over every non-spawn graph of @p mod.
- * Diagnostics (the LN4501 refutation) go to @p diags; on refutation
- * the pipeline stops immediately, leaving the module in its
- * last-verified state only up to the offending pass.
+ * Run the -O1 pipeline over every LIL graph of @p mod. Spawn graphs
+ * participate only when their effect summaries prove the decoupled
+ * partition cannot interfere with the in-order partition
+ * (analysis/effects.hh); otherwise they compile as lowered. Diagnostics
+ * (the LN4501 refutation) go to @p diags; on refutation the pipeline
+ * stops immediately, leaving the module in its last-verified state
+ * only up to the offending pass.
  */
 PipelineResult runPipeline(lil::LilModule &mod,
                            const PipelineOptions &options,

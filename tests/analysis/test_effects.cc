@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Tests for the effect-summary analysis (analysis/effects.hh) and the
+ * LN48xx spawn-interference lints it powers: MAY/MUST partition
+ * summaries, the interference join, the golden-diagnostic fixtures
+ * per code, the isolation-gated spawn optimization at -O1, the
+ * stable effects section of --dump-analysis, and the LN-code
+ * registry (docs/static-analysis.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/effects.hh"
+#include "analysis/lint.hh"
+#include "driver/isax_catalog.hh"
+#include "driver/longnail.hh"
+#include "passes/passes.hh"
+#include "scaiev/datasheet.hh"
+
+using namespace longnail;
+using namespace longnail::driver;
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::string
+readFixture(const std::string &name)
+{
+    return readFile(std::string(LN_ANALYSIS_FIXTURE_DIR) + "/" + name);
+}
+
+std::vector<Diagnostic>
+findingsWithCode(const CompiledIsax &compiled, const std::string &code)
+{
+    std::vector<Diagnostic> out;
+    for (const auto &diag : compiled.diags.all())
+        if (diag.code == code)
+            out.push_back(diag);
+    return out;
+}
+
+CompileOptions
+lintOptions()
+{
+    CompileOptions options;
+    options.lintOnly = true;
+    return options;
+}
+
+const lil::LilGraph *
+findGraph(const CompiledIsax &compiled, const std::string &name)
+{
+    if (!compiled.lilModule)
+        return nullptr;
+    for (const auto &graph : compiled.lilModule->graphs)
+        if (graph->name == name)
+            return graph.get();
+    return nullptr;
+}
+
+/** Compiles a fixture lint-only and asserts exactly the @p expect
+ * LN48xx family fires (the others stay silent). */
+CompiledIsax
+compileGolden(const std::string &fixture, const std::string &expect)
+{
+    CompiledIsax compiled = compile(readFixture(fixture),
+                                    fixture.substr(0, fixture.find('.')),
+                                    lintOptions());
+    EXPECT_TRUE(compiled.ok()) << fixture << ": " << compiled.errors;
+    for (const char *code :
+         {"LN4801", "LN4802", "LN4803", "LN4804", "LN4805"}) {
+        auto found = findingsWithCode(compiled, code);
+        if (code == expect) {
+            EXPECT_FALSE(found.empty())
+                << fixture << " must fire " << expect << ":\n"
+                << compiled.diags.str();
+            for (const auto &diag : found)
+                EXPECT_EQ(diag.severity, Severity::Warning) << code;
+        } else {
+            EXPECT_TRUE(found.empty())
+                << fixture << " must only fire " << expect
+                << " but also fired " << code << ":\n"
+                << compiled.diags.str();
+        }
+    }
+    return compiled;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Effect summaries
+// ---------------------------------------------------------------------------
+
+TEST(Summary, SpawnWritesArePartitionedAwayFromMain)
+{
+    CompiledIsax compiled =
+        compile(readFixture("spawn_ln4801.core_desc"), "spawn_ln4801",
+                lintOptions());
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+
+    const lil::LilGraph *start = findGraph(compiled, "acc_start");
+    ASSERT_NE(start, nullptr);
+    analysis::GraphEffects fx = analysis::summarizeGraph(start->graph);
+    EXPECT_TRUE(fx.hasSpawn);
+
+    // The decoupled ACC write lands in the spawn partition, MAY and
+    // MUST (it is unpredicated).
+    ASSERT_EQ(fx.spawn.regsWritten.count("ACC"), 1u);
+    EXPECT_TRUE(fx.spawn.regsWritten.at("ACC").may);
+    EXPECT_TRUE(fx.spawn.regsWritten.at("ACC").must);
+    EXPECT_TRUE(fx.main.regsWritten.empty());
+
+    // The rs1 operand is retrieved in-order, so it is a main effect.
+    EXPECT_EQ(fx.main.ifaceReads.count("rs1"), 1u);
+    EXPECT_EQ(fx.spawn.ifaceReads.count("rs1"), 0u);
+
+    const lil::LilGraph *read = findGraph(compiled, "acc_read");
+    ASSERT_NE(read, nullptr);
+    analysis::GraphEffects rfx = analysis::summarizeGraph(read->graph);
+    EXPECT_FALSE(rfx.hasSpawn);
+    EXPECT_EQ(rfx.main.regsRead.count("ACC"), 1u);
+}
+
+TEST(Summary, PredicatedWriteIsMayButNotMust)
+{
+    const char *source = R"(
+import "RV32I.core_desc"
+
+InstructionSet may_must extends RV32I {
+    architectural_state {
+        register unsigned<32> ACC;
+    }
+    instructions {
+        condwrite {
+            encoding: 12'd0 :: rs1[4:0] :: 3'b000 :: rd[4:0]
+                      :: 7'b0001011;
+            behavior: {
+                if (X[rs1] > 32'd5) {
+                    ACC = X[rs1];
+                }
+            }
+        }
+    }
+}
+)";
+    CompiledIsax compiled = compile(source, "may_must", lintOptions());
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+    const lil::LilGraph *graph = findGraph(compiled, "condwrite");
+    ASSERT_NE(graph, nullptr);
+    analysis::GraphEffects fx = analysis::summarizeGraph(graph->graph);
+    ASSERT_EQ(fx.main.regsWritten.count("ACC"), 1u);
+    EXPECT_TRUE(fx.main.regsWritten.at("ACC").may);
+    EXPECT_FALSE(fx.main.regsWritten.at("ACC").must);
+}
+
+TEST(Summary, MemoryEffectsCarryWordFootprints)
+{
+    CompiledIsax compiled =
+        compile(readFixture("spawn_ln4803.core_desc"), "spawn_ln4803",
+                lintOptions());
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+    const lil::LilGraph *graph = findGraph(compiled, "mem_bump");
+    ASSERT_NE(graph, nullptr);
+    analysis::GraphEffects fx = analysis::summarizeGraph(graph->graph);
+
+    // In-order load in main, decoupled store in spawn; the address is
+    // unconstrained, so both intervals span the address space and the
+    // store's value chain depends on the load.
+    ASSERT_EQ(fx.main.memReads.size(), 1u);
+    ASSERT_EQ(fx.spawn.memWrites.size(), 1u);
+    EXPECT_EQ(fx.main.memReads[0].lo, 0u);
+    EXPECT_TRUE(fx.spawn.memWrites[0].overlaps(fx.main.memReads[0]));
+    EXPECT_TRUE(fx.spawn.memWrites[0].dependsOnMemRead);
+}
+
+// ---------------------------------------------------------------------------
+// Interference join + isolation verdict
+// ---------------------------------------------------------------------------
+
+TEST(Interference, SpawnWriteVsArchitecturalReadIsARegRace)
+{
+    CompiledIsax compiled =
+        compile(readFixture("spawn_ln4801.core_desc"), "spawn_ln4801",
+                lintOptions());
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+    analysis::GraphEffects writer =
+        analysis::summarizeGraph(findGraph(compiled, "acc_start")->graph);
+    analysis::GraphEffects reader =
+        analysis::summarizeGraph(findGraph(compiled, "acc_read")->graph);
+
+    auto hazards = analysis::interference(writer.spawn, reader.main);
+    ASSERT_EQ(hazards.size(), 1u);
+    EXPECT_EQ(hazards[0].kind, analysis::HazardKind::RegRace);
+    EXPECT_EQ(hazards[0].target, "ACC");
+    EXPECT_TRUE(hazards[0].must);
+    EXPECT_STREQ(analysis::hazardKindName(hazards[0].kind),
+                 "reg-race");
+}
+
+TEST(Interference, OverlappingSpawnStoreIsNotIsolated)
+{
+    CompiledIsax compiled =
+        compile(readFixture("spawn_ln4803.core_desc"), "spawn_ln4803",
+                lintOptions());
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+    analysis::GraphEffects fx =
+        analysis::summarizeGraph(findGraph(compiled, "mem_bump")->graph);
+    auto hazards = analysis::interference(fx.spawn, fx.main);
+    ASSERT_FALSE(hazards.empty());
+    EXPECT_EQ(hazards[0].kind, analysis::HazardKind::MemAlias);
+    EXPECT_FALSE(analysis::spawnIsolated(fx));
+}
+
+TEST(Interference, SqrtDecoupledSpawnIsProvablyIsolated)
+{
+    const catalog::IsaxEntry *entry = catalog::findIsax("sqrt_decoupled");
+    ASSERT_NE(entry, nullptr);
+    CompiledIsax compiled =
+        compile(entry->source, entry->target, lintOptions());
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+    bool saw_spawn = false;
+    for (const auto &graph : compiled.lilModule->graphs) {
+        if (!graph->hasSpawnOps())
+            continue;
+        saw_spawn = true;
+        analysis::GraphEffects fx =
+            analysis::summarizeGraph(graph->graph);
+        EXPECT_TRUE(fx.hasSpawn);
+        EXPECT_TRUE(analysis::spawnIsolated(fx)) << graph->name;
+    }
+    EXPECT_TRUE(saw_spawn);
+}
+
+// ---------------------------------------------------------------------------
+// Golden diagnostics: one fixture per LN48xx code
+// ---------------------------------------------------------------------------
+
+TEST(Golden, Ln4801DecoupledWriteRacesArchitecturalRead)
+{
+    compileGolden("spawn_ln4801.core_desc", "LN4801");
+}
+
+TEST(Golden, Ln4802LostUpdateBetweenSpawnAndInOrderWrite)
+{
+    compileGolden("spawn_ln4802.core_desc", "LN4802");
+}
+
+TEST(Golden, Ln4803SpawnStoreMayAliasCoreVisibleAccess)
+{
+    compileGolden("spawn_ln4803.core_desc", "LN4803");
+}
+
+TEST(Golden, Ln4804NonIdempotentEffectBeforeFlushBoundary)
+{
+    compileGolden("spawn_ln4804.core_desc", "LN4804");
+}
+
+TEST(Golden, Ln4805DeadSpawnBlock)
+{
+    compileGolden("spawn_ln4805.core_desc", "LN4805");
+}
+
+TEST(Golden, Ln4805AlsoFiresWhenEveryDecoupledWriteIsPredicatedFalse)
+{
+    // The spawn body contains a state update, so the structural HIR
+    // check stays silent; the LIL effect variant proves the write's
+    // predicate is constant false and the spawn is still dead.
+    const char *source = R"(
+import "RV32I.core_desc"
+
+InstructionSet dead_pred extends RV32I {
+    architectural_state {
+        register unsigned<32> ACC;
+    }
+    instructions {
+        never_write {
+            encoding: 7'd0 :: uimm[4:0] :: 5'b00000 :: 3'b000
+                      :: rd[4:0] :: 7'b0001011;
+            behavior: {
+                unsigned<32> sel = (unsigned<32>)uimm;
+                spawn {
+                    if (sel > 32'd40) {
+                        ACC = sel;
+                    }
+                }
+            }
+        }
+    }
+}
+)";
+    CompiledIsax compiled = compile(source, "dead_pred", lintOptions());
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+    EXPECT_FALSE(findingsWithCode(compiled, "LN4805").empty())
+        << compiled.diags.str();
+}
+
+TEST(Golden, WholeCatalogHasNoLn48xxFindings)
+{
+    for (const auto &entry : catalog::allIsaxes()) {
+        CompiledIsax compiled =
+            compile(entry.source, entry.target, lintOptions());
+        ASSERT_TRUE(compiled.ok()) << entry.name;
+        for (const auto &diag : compiled.diags.all())
+            EXPECT_NE(diag.code.rfind("LN48", 0), 0u)
+                << entry.name << ": " << diag.str();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Isolation-gated spawn optimization at -O1
+// ---------------------------------------------------------------------------
+
+TEST(SpawnOpt, IsolatedSpawnGraphIsOptimizedAndReproved)
+{
+    const catalog::IsaxEntry *entry = catalog::findIsax("sqrt_decoupled");
+    ASSERT_NE(entry, nullptr);
+    for (const std::string &core : scaiev::Datasheet::knownCores()) {
+        CompileOptions options;
+        options.coreName = core;
+        options.optLevel = 1;
+        options.validate = true;
+        options.warningsAsErrors = true;
+        CompiledIsax compiled =
+            compile(entry->source, entry->target, options);
+        ASSERT_TRUE(compiled.ok())
+            << core << ": " << compiled.errors;
+        EXPECT_EQ(compiled.report.spawnGraphsOptimized, 1u) << core;
+        EXPECT_EQ(compiled.report.spawnGraphsSkipped, 0u) << core;
+        ASSERT_EQ(compiled.report.spawnRewritesByUnit.size(), 1u);
+        EXPECT_EQ(compiled.report.spawnRewritesByUnit[0].first, "sqrt");
+        // The CORDIC spawn body actually shrinks, and every rewrite
+        // was re-proved (Werror would have failed on LN4502 or any
+        // refutation).
+        EXPECT_GT(compiled.report.spawnRewritesByUnit[0].second, 0u)
+            << core;
+        EXPECT_LT(compiled.report.lilOpsOptimized,
+                  compiled.report.lilOps)
+            << core;
+    }
+}
+
+TEST(SpawnOpt, InterferingSpawnGraphIsStillSkipped)
+{
+    CompileOptions options;
+    options.optLevel = 1;
+    options.validate = true;
+    CompiledIsax compiled =
+        compile(readFixture("spawn_ln4803.core_desc"), "spawn_ln4803",
+                options);
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+    EXPECT_EQ(compiled.report.spawnGraphsOptimized, 0u);
+    EXPECT_EQ(compiled.report.spawnGraphsSkipped, 1u);
+    EXPECT_TRUE(compiled.report.spawnRewritesByUnit.empty());
+}
+
+// ---------------------------------------------------------------------------
+// --dump-analysis effects section
+// ---------------------------------------------------------------------------
+
+TEST(Dump, EffectsSectionIsStableAndDescribesTheSpawn)
+{
+    const catalog::IsaxEntry *entry = catalog::findIsax("sqrt_decoupled");
+    ASSERT_NE(entry, nullptr);
+    CompiledIsax compiled =
+        compile(entry->source, entry->target, lintOptions());
+    ASSERT_TRUE(compiled.ok()) << compiled.errors;
+    ASSERT_NE(compiled.lilModule, nullptr);
+
+    std::ostringstream first, second;
+    passes::writeAnalysisDump(*compiled.lilModule, first);
+    passes::writeAnalysisDump(*compiled.lilModule, second);
+    EXPECT_EQ(first.str(), second.str());
+
+    EXPECT_NE(first.str().find("effects:"), std::string::npos);
+    EXPECT_NE(first.str().find("has_spawn: true"), std::string::npos);
+    EXPECT_NE(first.str().find("spawn_isolated: true"),
+              std::string::npos);
+    EXPECT_NE(first.str().find("iface_writes:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// LN-code registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, CodesAreUniqueAndAscending)
+{
+    for (size_t i = 1; i < analysis::lnCodeRegistrySize; ++i)
+        EXPECT_LT(std::strcmp(analysis::lnCodeRegistry[i - 1].code,
+                              analysis::lnCodeRegistry[i].code),
+                  0)
+            << analysis::lnCodeRegistry[i].code
+            << " is out of order or duplicated";
+}
+
+TEST(Registry, SeveritiesAndPhasesAreWellFormed)
+{
+    for (size_t i = 0; i < analysis::lnCodeRegistrySize; ++i) {
+        const auto &row = analysis::lnCodeRegistry[i];
+        EXPECT_TRUE(std::strcmp(row.severity, "error") == 0 ||
+                    std::strcmp(row.severity, "warning") == 0)
+            << row.code;
+        EXPECT_GT(std::strlen(row.phase), 0u) << row.code;
+        EXPECT_GT(std::strlen(row.summary), 0u) << row.code;
+    }
+}
+
+TEST(Registry, LookupFindsKnownCodesOnly)
+{
+    const analysis::LnCodeInfo *info = analysis::findLnCode("LN4801");
+    ASSERT_NE(info, nullptr);
+    EXPECT_STREQ(info->severity, "warning");
+    EXPECT_EQ(analysis::findLnCode("LN9999"), nullptr);
+}
+
+TEST(Registry, NewSpawnCodesAreRegistered)
+{
+    for (const char *code :
+         {"LN4801", "LN4802", "LN4803", "LN4804", "LN4805"}) {
+        const analysis::LnCodeInfo *info = analysis::findLnCode(code);
+        ASSERT_NE(info, nullptr) << code;
+        EXPECT_STREQ(info->severity, "warning") << code;
+        EXPECT_STREQ(info->phase, "analysis") << code;
+    }
+}
+
+TEST(Registry, DocsTableMatchesTheRenderedRegistry)
+{
+    std::string docs =
+        readFile(std::string(LN_DOCS_DIR) + "/static-analysis.md");
+    std::string table = analysis::renderLnCodeTable();
+    EXPECT_NE(docs.find(table), std::string::npos)
+        << "docs/static-analysis.md is out of date; paste the output "
+           "of `longnail --ln-codes` into its registry section";
+}

@@ -23,6 +23,8 @@
  *                        write a YAML dump of the per-value range and
  *                        demanded-bits analysis states
  *     --lint             stop after static analysis; print findings
+ *     --ln-codes         print the diagnostic-code registry as a
+ *                        markdown table and exit
  *     --validate         translation validation: re-check every
  *                        schedule and prove each netlist equivalent
  *                        to its LIL graph (LN44xx/45xx/46xx; see
@@ -117,6 +119,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/lint.hh"
 #include "asic/flow.hh"
 #include "driver/batch.hh"
 #include "driver/longnail.hh"
@@ -740,6 +743,9 @@ run(int argc, char **argv)
                 usage();
         } else if (arg == "--lint") {
             options.lintOnly = true;
+        } else if (arg == "--ln-codes") {
+            std::fputs(analysis::renderLnCodeTable().c_str(), stdout);
+            return exitOk;
         } else if (arg == "--validate") {
             options.validate = true;
         } else if (arg == "--verify-ir") {
@@ -1079,6 +1085,28 @@ run(int argc, char **argv)
                         compiled.report.lpWorkUnits),
                     compiled.report.fallbackEvents,
                     compiled.report.fallbackEvents == 1 ? "" : "s");
+        if (options.optLevel >= 1) {
+            std::printf("  optimizer: %llu rewrite%s, %u proved, "
+                        "%u cosim-agreed, %u spawn graph%s optimized, "
+                        "%u skipped\n",
+                        static_cast<unsigned long long>(
+                            compiled.report.passRewrites),
+                        compiled.report.passRewrites == 1 ? "" : "s",
+                        compiled.report.passProved,
+                        compiled.report.passCosimAgreed,
+                        compiled.report.spawnGraphsOptimized,
+                        compiled.report.spawnGraphsOptimized == 1
+                            ? ""
+                            : "s",
+                        compiled.report.spawnGraphsSkipped);
+            for (const auto &[unit, rewrites] :
+                 compiled.report.spawnRewritesByUnit)
+                std::printf("    spawn %-16s %llu rewrite%s "
+                            "(isolation proved)\n",
+                            unit.c_str(),
+                            static_cast<unsigned long long>(rewrites),
+                            rewrites == 1 ? "" : "s");
+        }
         if (options.validate)
             std::printf("  validation: %u unit%s checked, %u proved, "
                         "%u refuted, %llu cex cycles\n",
