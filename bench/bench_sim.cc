@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Simulation-engine throughput (docs/simulation.md): simulated
+ * cycles/sec of the interpreter vs. the compiled bytecode engine over
+ * every benchmark ISAX's generated modules, under changing stimulus.
+ *
+ * The compiled engine is the default for co-simulation and the core
+ * models, so its speedup is a first-class deliverable: the bench
+ * red-flags (exit 1) when the overall speedup drops below 5x.
+ */
+
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/report.hh"
+#include "driver/isax_catalog.hh"
+#include "driver/longnail.hh"
+#include "rtl/sim.hh"
+
+using namespace longnail;
+using namespace longnail::driver;
+
+namespace {
+
+/** Cycles/sec of @p engine over all of @p units, alternating two
+ * random stimulus vectors per input so the datapath actually
+ * toggles. */
+double
+measure(const std::vector<const rtl::Module *> &units,
+        rtl::SimEngine engine)
+{
+    using clock = std::chrono::steady_clock;
+    std::mt19937_64 rng(0xBE7C);
+    double total_cycles = 0.0;
+    double total_seconds = 0.0;
+    for (const rtl::Module *module : units) {
+        rtl::Simulator sim(*module, engine);
+        std::vector<std::pair<rtl::NetId, std::array<ApInt, 2>>> stim;
+        for (const auto &[name, net] : module->inputs()) {
+            unsigned w = module->widthOf(net);
+            stim.push_back({net,
+                            {ApInt(w, rng()), ApInt(w, rng())}});
+        }
+        // Warm up (and JIT-compile) outside the timed region.
+        sim.tick();
+        uint64_t cycles = 0;
+        auto start = clock::now();
+        double elapsed = 0.0;
+        while (elapsed < 0.2) {
+            for (unsigned i = 0; i < 2048; ++i) {
+                for (auto &[net, values] : stim)
+                    sim.setInput(net, values[i & 1]);
+                sim.tick();
+            }
+            cycles += 2048;
+            elapsed = std::chrono::duration<double>(clock::now() -
+                                                    start)
+                          .count();
+        }
+        total_cycles += double(cycles);
+        total_seconds += elapsed;
+    }
+    return total_seconds > 0.0 ? total_cycles / total_seconds : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Simulation engines: interpreter vs. compiled "
+                "bytecode (docs/simulation.md)\n\n");
+    std::printf("%-16s | %14s | %14s | %8s\n", "ISAX",
+                "interp cyc/s", "compiled cyc/s", "speedup");
+
+    bench::ReportWriter report("sim");
+    double sum_log_speedup = 0.0;
+    unsigned measured = 0;
+    bool red_flag = false;
+    for (const auto &entry : catalog::allIsaxes()) {
+        CompileOptions options;
+        CompiledIsax isax = compileCatalogIsax(entry.name, options);
+        if (!isax.ok()) {
+            std::printf("%-16s | (compile failed)\n",
+                        entry.name.c_str());
+            continue;
+        }
+        std::vector<const rtl::Module *> units;
+        for (const auto &unit : isax.units)
+            units.push_back(&unit.module.module);
+        double interp = measure(units, rtl::SimEngine::Interp);
+        double compiled = measure(units, rtl::SimEngine::Compiled);
+        double speedup = interp > 0.0 ? compiled / interp : 0.0;
+        report.add(entry.name, "interp_cycles_per_sec", interp,
+                   "cycles/s");
+        report.add(entry.name, "compiled_cycles_per_sec", compiled,
+                   "cycles/s");
+        report.add(entry.name, "speedup", speedup, "x");
+        bool slow = speedup < 5.0;
+        red_flag |= slow;
+        std::printf("%-16s | %14.0f | %14.0f | %6.1fx%s\n",
+                    entry.name.c_str(), interp, compiled, speedup,
+                    slow ? "  << RED FLAG (< 5x)" : "");
+        if (speedup > 0.0) {
+            sum_log_speedup += std::log(speedup);
+            ++measured;
+        }
+    }
+    double geomean =
+        measured ? std::exp(sum_log_speedup / measured) : 0.0;
+    report.add("overall", "speedup_geomean", geomean, "x");
+    std::printf("\nGeomean speedup: %.1fx (target: >= 10x, red flag "
+                "below 5x)\n",
+                geomean);
+    if (red_flag || geomean < 5.0) {
+        std::printf("RED FLAG: compiled engine speedup below 5x\n");
+        return 1;
+    }
+    return 0;
+}

@@ -24,6 +24,19 @@ Core::Core(const scaiev::Datasheet &sheet, CoreTiming timing)
     slots_.resize(numStages_);
 }
 
+std::unique_ptr<rtl::Simulator>
+Core::makeSim(const GeneratedModule &mod)
+{
+    if (rtl::defaultSimEngine() == rtl::SimEngine::Compiled) {
+        auto &program = programs_[&mod];
+        if (!program)
+            program = rtl::simjit::Program::compile(mod.module);
+        return std::make_unique<rtl::Simulator>(mod.module, program);
+    }
+    return std::make_unique<rtl::Simulator>(mod.module,
+                                            rtl::SimEngine::Interp);
+}
+
 void
 Core::attachIsax(std::shared_ptr<IsaxBundle> bundle)
 {
@@ -34,10 +47,33 @@ Core::attachIsax(std::shared_ptr<IsaxBundle> bundle)
     for (const auto &always : bundle->alwaysBlocks) {
         AlwaysUnit unit;
         unit.module = &always;
-        unit.sim = std::make_unique<rtl::Simulator>(always.module);
+        unit.sim = makeSim(always);
         unit.sim->reset();
         alwaysUnits_.push_back(std::move(unit));
     }
+    // Attach-time precomputation for the per-cycle hot paths: the
+    // custom registers each instruction touches, and (on the compiled
+    // engine) one shared bytecode program per module.
+    for (auto &unit : bundle->instructions) {
+        auto &regs = unitCustomRegs_[&unit];
+        regs.clear();
+        for (const auto &port : unit.module.ports) {
+            if ((port.iface == SubInterface::RdCustReg ||
+                 port.iface == SubInterface::WrCustRegData) &&
+                std::find(regs.begin(), regs.end(), port.reg) ==
+                    regs.end())
+                regs.push_back(port.reg);
+        }
+        if (rtl::defaultSimEngine() == rtl::SimEngine::Compiled) {
+            auto &program = programs_[&unit.module];
+            if (!program)
+                program =
+                    rtl::simjit::Program::compile(unit.module.module);
+        }
+    }
+    // New instructions can change what a fetched word decodes to.
+    for (auto &entry : decodeCache_)
+        entry.valid = false;
     bundles_.push_back(std::move(bundle));
 }
 
@@ -358,19 +394,14 @@ Core::processDecode()
     slot.operandsRead = true;
 }
 
-std::vector<std::string>
+const std::vector<std::string> &
 Core::customRegsReadOrWritten(const Slot &slot) const
 {
-    std::vector<std::string> regs;
+    static const std::vector<std::string> empty;
     if (!slot.isax)
-        return regs;
-    for (const auto &port : slot.isax->unit->module.ports) {
-        if ((port.iface == SubInterface::RdCustReg ||
-             port.iface == SubInterface::WrCustRegData) &&
-            std::find(regs.begin(), regs.end(), port.reg) == regs.end())
-            regs.push_back(port.reg);
-    }
-    return regs;
+        return empty;
+    auto it = unitCustomRegs_.find(slot.isax->unit);
+    return it != unitCustomRegs_.end() ? it->second : empty;
 }
 
 bool
@@ -415,20 +446,28 @@ Core::processFetch()
                 return;
     }
     uint32_t word = memory_.readWord(fetchPc_);
+    DecodeCacheEntry &cached = decodeCache_[(word >> 2) & 0xff];
+    if (!cached.valid || cached.word != word) {
+        cached.word = word;
+        cached.d = decode(word);
+        cached.isax = cached.d.opcode == Opcode::Custom
+                          ? matchIsax(word)
+                          : nullptr;
+        cached.valid = true;
+    }
     Slot slot;
     slot.valid = true;
     slot.seq = nextSeq_++;
     slot.pc = fetchPc_;
     slot.instr = word;
-    slot.d = decode(word);
+    slot.d = cached.d;
     slot.isHalt = slot.d.opcode == Opcode::System;
     if (slot.d.opcode == Opcode::Custom) {
-        IsaxInstrUnit *unit = matchIsax(word);
+        IsaxInstrUnit *unit = cached.isax;
         if (unit) {
             auto exec = std::make_shared<IsaxExec>();
             exec->unit = unit;
-            exec->sim =
-                std::make_unique<rtl::Simulator>(unit->module.module);
+            exec->sim = makeSim(unit->module);
             exec->sim->reset();
             exec->stage = 0;
             exec->seq = slot.seq;
@@ -483,7 +522,7 @@ Core::stepOneExec(const std::shared_ptr<IsaxExec> &exec_ptr, Slot *slot,
     // Drive stall inputs uniformly (one instruction per module).
     for (const std::string &name : mod.stallInputs)
         if (!name.empty())
-            sim.setInput(name, ApInt(1, hold ? 1 : 0));
+            sim.setInput(name, uint64_t(hold ? 1 : 0));
 
     // Drive data inputs for ports in the current module stage.
     for (const auto &port : mod.ports) {
@@ -492,19 +531,19 @@ Core::stepOneExec(const std::shared_ptr<IsaxExec> &exec_ptr, Slot *slot,
         switch (port.iface) {
           case SubInterface::RdInstr:
             sim.setInput(port.dataPort,
-                         ApInt(32, slot ? slot->instr : 0));
+                         uint64_t(slot ? slot->instr : 0));
             break;
           case SubInterface::RdRS1:
             sim.setInput(port.dataPort,
-                         ApInt(32, slot ? slot->rs1v : 0));
+                         uint64_t(slot ? slot->rs1v : 0));
             break;
           case SubInterface::RdRS2:
             sim.setInput(port.dataPort,
-                         ApInt(32, slot ? slot->rs2v : 0));
+                         uint64_t(slot ? slot->rs2v : 0));
             break;
           case SubInterface::RdPC:
             sim.setInput(port.dataPort,
-                         ApInt(32, slot ? slot->pc : 0));
+                         uint64_t(slot ? slot->pc : 0));
             break;
           default:
             break;
@@ -519,7 +558,7 @@ Core::stepOneExec(const std::shared_ptr<IsaxExec> &exec_ptr, Slot *slot,
         auto &storage = customRegs_.at(port.reg);
         uint64_t index = 0;
         if (!port.addrPort.empty())
-            index = sim.output(port.addrPort).toUint64();
+            index = sim.outputU64(port.addrPort);
         sim.setInput(port.dataPort, index < storage.size()
                                         ? storage[index]
                                         : ApInt(32, 0));
@@ -555,40 +594,37 @@ Core::sampleIsaxOutputs(Slot *slot, IsaxExec &exec)
 {
     const GeneratedModule &mod = exec.unit->module;
     rtl::Simulator &sim = *exec.sim;
-    std::map<std::string, uint64_t> pending_index;
+    pendingIdxScratch_.clear();
 
     for (const auto &port : mod.ports) {
         if (port.stage != exec.stage)
             continue;
         switch (port.iface) {
           case SubInterface::RdMem: {
-            if (sim.output(port.validPort).isZero())
+            if (sim.outputU64(port.validPort) == 0)
                 break;
-            uint32_t addr =
-                uint32_t(sim.output(port.addrPort).toUint64());
+            uint32_t addr = uint32_t(sim.outputU64(port.addrPort));
             uint32_t word = memory_.readWord(addr);
-            sim.setInput(port.dataPort, ApInt(32, word));
+            sim.setInput(port.dataPort, uint64_t(word));
             if (timing_.bus.loadWaitStates > 0)
                 exec.memWait = timing_.bus.loadWaitStates;
             break;
           }
           case SubInterface::WrMem: {
-            if (sim.output(port.validPort).isZero())
+            if (sim.outputU64(port.validPort) == 0)
                 break;
-            uint32_t addr =
-                uint32_t(sim.output(port.addrPort).toUint64());
-            uint32_t value =
-                uint32_t(sim.output(port.dataPort).toUint64());
+            uint32_t addr = uint32_t(sim.outputU64(port.addrPort));
+            uint32_t value = uint32_t(sim.outputU64(port.dataPort));
             memory_.writeWord(addr, value);
             if (timing_.bus.storeWaitStates > 0)
                 exec.memWait = timing_.bus.storeWaitStates;
             break;
           }
           case SubInterface::WrRD: {
-            bool enabled = !sim.output(port.validPort).isZero();
+            bool enabled = sim.outputU64(port.validPort) != 0;
             if (enabled) {
                 uint32_t value =
-                    uint32_t(sim.output(port.dataPort).toUint64());
+                    uint32_t(sim.outputU64(port.dataPort));
                 if (slot) {
                     // In-pipeline: forwardable immediately, committed
                     // to the register file in program order at WB.
@@ -612,27 +648,26 @@ Core::sampleIsaxOutputs(Slot *slot, IsaxExec &exec)
             break;
           }
           case SubInterface::WrPC: {
-            if (sim.output(port.validPort).isZero())
+            if (sim.outputU64(port.validPort) == 0)
                 break;
-            uint32_t target =
-                uint32_t(sim.output(port.dataPort).toUint64());
+            uint32_t target = uint32_t(sim.outputU64(port.dataPort));
             applyRedirect(target, exec.seq);
             break;
           }
           case SubInterface::WrCustRegAddr:
-            pending_index[port.reg] =
-                port.addrPort.empty()
-                    ? 0
-                    : sim.output(port.addrPort).toUint64();
+            pendingIdxScratch_.emplace_back(
+                &port.reg, port.addrPort.empty()
+                               ? 0
+                               : sim.outputU64(port.addrPort));
             break;
           case SubInterface::WrCustRegData: {
-            if (sim.output(port.validPort).isZero())
+            if (sim.outputU64(port.validPort) == 0)
                 break;
             auto &storage = customRegs_.at(port.reg);
             uint64_t index = 0;
-            auto idx = pending_index.find(port.reg);
-            if (idx != pending_index.end())
-                index = idx->second;
+            for (const auto &[reg, idx] : pendingIdxScratch_)
+                if (*reg == port.reg)
+                    index = idx;
             if (index < storage.size())
                 storage[index] = sim.output(port.dataPort)
                                      .zextOrTrunc(
@@ -657,7 +692,7 @@ Core::runAlwaysUnits()
                 // fetched PC exactly once (cf. RdIValid in Table 1).
                 uint32_t pc_value = fetchedThisCycle_ ? fetchedPc_
                                                       : 0xffffffffu;
-                sim.setInput(port.dataPort, ApInt(32, pc_value));
+                sim.setInput(port.dataPort, uint64_t(pc_value));
             }
         }
         sim.evalComb();
@@ -667,39 +702,38 @@ Core::runAlwaysUnits()
             auto &storage = customRegs_.at(port.reg);
             uint64_t index = 0;
             if (!port.addrPort.empty())
-                index = sim.output(port.addrPort).toUint64();
+                index = sim.outputU64(port.addrPort);
             sim.setInput(port.dataPort, index < storage.size()
                                             ? storage[index]
                                             : ApInt(32, 0));
         }
         sim.evalComb();
 
-        std::map<std::string, uint64_t> pending_index;
+        pendingIdxScratch_.clear();
         for (const auto &port : unit.module->ports) {
             switch (port.iface) {
               case SubInterface::WrPC:
-                if (!sim.output(port.validPort).isZero()) {
+                if (sim.outputU64(port.validPort) != 0) {
                     // Redirect the next fetch; the already fetched
                     // instruction proceeds (ZOL semantics).
-                    fetchPc_ = uint32_t(
-                        sim.output(port.dataPort).toUint64());
+                    fetchPc_ = uint32_t(sim.outputU64(port.dataPort));
                     fetchWait_ = 0;
                 }
                 break;
               case SubInterface::WrCustRegAddr:
-                pending_index[port.reg] =
-                    port.addrPort.empty()
-                        ? 0
-                        : sim.output(port.addrPort).toUint64();
+                pendingIdxScratch_.emplace_back(
+                    &port.reg, port.addrPort.empty()
+                                   ? 0
+                                   : sim.outputU64(port.addrPort));
                 break;
               case SubInterface::WrCustRegData: {
-                if (sim.output(port.validPort).isZero())
+                if (sim.outputU64(port.validPort) == 0)
                     break;
                 auto &storage = customRegs_.at(port.reg);
                 uint64_t index = 0;
-                auto idx = pending_index.find(port.reg);
-                if (idx != pending_index.end())
-                    index = idx->second;
+                for (const auto &[reg, idx] : pendingIdxScratch_)
+                    if (*reg == port.reg)
+                        index = idx;
                 if (index < storage.size())
                     storage[index] =
                         sim.output(port.dataPort)

@@ -19,6 +19,7 @@
 #ifndef LONGNAIL_CORES_CORE_HH
 #define LONGNAIL_CORES_CORE_HH
 
+#include <array>
 #include <deque>
 #include <map>
 #include <memory>
@@ -184,10 +185,15 @@ class Core
 
     unsigned stageOf(const Slot *slot) const;
     bool slotWillAdvance(unsigned stage) const;
-    std::vector<std::string> customRegsReadOrWritten(const Slot &slot)
-        const;
+    const std::vector<std::string> &customRegsReadOrWritten(
+        const Slot &slot) const;
     bool customRegHasPendingWrite(const std::string &reg,
                                   uint64_t reader_seq) const;
+    /** Simulator for a generated module, honoring the process-wide
+     * engine default. The compiled engine shares one bytecode program
+     * per module across all dynamic executions. */
+    std::unique_ptr<rtl::Simulator> makeSim(
+        const hwgen::GeneratedModule &mod);
 
     // ------------------------------------------------------------------
     const scaiev::Datasheet &sheet_;
@@ -222,6 +228,29 @@ class Core
     std::vector<std::shared_ptr<IsaxBundle>> bundles_;
     std::vector<AlwaysUnit> alwaysUnits_;
     std::map<std::string, std::vector<ApInt>> customRegs_;
+
+    /** Compiled simulation programs, one per generated module. */
+    std::map<const hwgen::GeneratedModule *,
+             std::shared_ptr<const rtl::simjit::Program>>
+        programs_;
+    /** Custom registers touched per ISAX instruction (attach-time). */
+    std::map<const IsaxInstrUnit *, std::vector<std::string>>
+        unitCustomRegs_;
+    /** Direct-mapped fetch decode cache: decode() + matchIsax() are
+     * pure functions of the instruction word and the attached
+     * bundles, so memoize them (invalidated by attachIsax). */
+    struct DecodeCacheEntry
+    {
+        uint32_t word = 0;
+        bool valid = false;
+        DecodedInstr d;
+        IsaxInstrUnit *isax = nullptr;
+    };
+    std::array<DecodeCacheEntry, 256> decodeCache_{};
+    /** Reusable scratch for WrCustRegAddr/WrCustRegData pairing,
+     * avoiding a per-cycle map allocation. */
+    std::vector<std::pair<const std::string *, uint64_t>>
+        pendingIdxScratch_;
 
     // Per-cycle stall flags computed during stage processing.
     bool stallFetch_ = false;

@@ -18,6 +18,7 @@
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "passes/passes.hh"
+#include "rtl/sim.hh"
 #include "rtl/verilog.hh"
 #include "support/failpoint.hh"
 #include "support/hash.hh"
@@ -595,6 +596,9 @@ compile(const std::string &source, const std::string &target,
     // otherwise). Thread-confined, so concurrent compiles in a batch
     // cannot pollute each other's report the way a global registry
     // before/after snapshot would.
+    // Simulation stats are thread-local, so a before/after snapshot
+    // isolates this compile's share even in a concurrent batch.
+    rtl::simjit::SimStats sim_before = rtl::simjit::tlsSimStats();
     {
         obs::ScopedCounterDelta delta_scope;
         {
@@ -619,6 +623,14 @@ compile(const std::string &source, const std::string &target,
             result.report.counters = delta_scope.deltas();
         }
     }
+    const rtl::simjit::SimStats &sim_after = rtl::simjit::tlsSimStats();
+    result.report.simEngine = rtl::simEngineName(rtl::defaultSimEngine());
+    result.report.simCompiles = sim_after.compiles - sim_before.compiles;
+    result.report.simProgramOps =
+        sim_after.programOps - sim_before.programOps;
+    result.report.simCompileMs =
+        sim_after.compileMs - sim_before.compileMs;
+    result.report.simCycles = sim_after.cycles - sim_before.cycles;
     if (diags.hasErrors())
         result.errors = diags.str();
     result.diags = std::move(diags);

@@ -184,6 +184,17 @@ struct PhaseReport
     /** Simulated cycles spent on co-simulation counterexample search. */
     uint64_t tvCexCycles = 0;
 
+    /** Simulation tallies over this compile (docs/simulation.md):
+     * the active engine, bytecode programs compiled, ops emitted,
+     * compile wall time, and clock edges simulated on this thread
+     * (TV co-simulation and pass-cosim checks). Always populated,
+     * independent of obs::enabled(). */
+    std::string simEngine;
+    uint64_t simCompiles = 0;
+    uint64_t simProgramOps = 0;
+    double simCompileMs = 0.0;
+    uint64_t simCycles = 0;
+
     /** Delta of the global obs counter registry over this compile;
      * empty unless obs::enabled() was set. */
     std::map<std::string, uint64_t> counters;

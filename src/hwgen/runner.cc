@@ -50,13 +50,13 @@ runIsolated(const GeneratedModule &module, const InterpInput &input,
         while (stall && stall(wall_clock)) {
             for (const auto &name : module.stallInputs)
                 if (!name.empty())
-                    sim.setInput(name, ApInt(1, 1));
+                    sim.setInput(name, uint64_t(1));
             sim.tick();
             ++wall_clock;
         }
         for (const auto &name : module.stallInputs)
             if (!name.empty())
-                sim.setInput(name, ApInt(1, 0));
+                sim.setInput(name, uint64_t(0));
         ++wall_clock;
         // Register-file-style reads resolve combinationally: evaluate,
         // look at the address outputs, provide the data, re-evaluate.
@@ -70,7 +70,7 @@ runIsolated(const GeneratedModule &module, const InterpInput &input,
                 LN_PANIC("no contents for custom register ", port.reg);
             uint64_t index = 0;
             if (!port.addrPort.empty())
-                index = sim.output(port.addrPort).toUint64();
+                index = sim.outputU64(port.addrPort);
             ApInt value = index < it->second.size()
                               ? it->second[index]
                               : ApInt(32, 0);
@@ -84,7 +84,7 @@ runIsolated(const GeneratedModule &module, const InterpInput &input,
                 continue;
             switch (port.iface) {
               case SubInterface::RdMem: {
-                if (sim.output(port.validPort).isZero())
+                if (sim.outputU64(port.validPort) == 0)
                     break;
                 result.memReadUsed = true;
                 result.memReadAddr = sim.output(port.addrPort);
@@ -98,19 +98,19 @@ runIsolated(const GeneratedModule &module, const InterpInput &input,
                 break;
               }
               case SubInterface::WrRD:
-                if (!sim.output(port.validPort).isZero()) {
+                if (sim.outputU64(port.validPort) != 0) {
                     result.rd.enabled = true;
                     result.rd.value = sim.output(port.dataPort);
                 }
                 break;
               case SubInterface::WrPC:
-                if (!sim.output(port.validPort).isZero()) {
+                if (sim.outputU64(port.validPort) != 0) {
                     result.pcWrite.enabled = true;
                     result.pcWrite.value = sim.output(port.dataPort);
                 }
                 break;
               case SubInterface::WrMem:
-                if (!sim.output(port.validPort).isZero()) {
+                if (sim.outputU64(port.validPort) != 0) {
                     result.mem.enabled = true;
                     result.mem.addr = sim.output(port.addrPort);
                     result.mem.value = sim.output(port.dataPort);
@@ -123,7 +123,7 @@ runIsolated(const GeneratedModule &module, const InterpInput &input,
                         : sim.output(port.addrPort);
                 break;
               case SubInterface::WrCustRegData:
-                if (!sim.output(port.validPort).isZero()) {
+                if (sim.outputU64(port.validPort) != 0) {
                     lil::InterpCustWrite write;
                     write.enabled = true;
                     auto idx = pending_cust_index.find(port.reg);

@@ -51,6 +51,34 @@ class ApInt
     bool getBit(unsigned pos) const;
     void setBit(unsigned pos, bool value);
 
+    /**
+     * Overwrite the value in place with @p value zero-extended or
+     * truncated to the existing width. Keeps the word storage, so
+     * repeated assignment into a preallocated ApInt never allocates.
+     */
+    void setValue(uint64_t value)
+    {
+        words_.assign(words_.size(), 0);
+        words_[0] = value;
+        clearUnusedBits();
+    }
+
+    /** Like setValue(), for two-word values (bits [64, 128) in @p hi). */
+    void setValue(uint64_t lo, uint64_t hi)
+    {
+        words_.assign(words_.size(), 0);
+        words_[0] = lo;
+        if (words_.size() > 1)
+            words_[1] = hi;
+        clearUnusedBits();
+    }
+
+    /** Storage word @p i (zero beyond the storage; value is masked). */
+    uint64_t word(size_t i) const
+    {
+        return i < words_.size() ? words_[i] : 0;
+    }
+
     bool isZero() const;
     bool isAllOnes() const;
     /** Most significant bit, i.e. the two's complement sign. */

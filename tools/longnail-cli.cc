@@ -127,6 +127,7 @@
 #include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
+#include "rtl/sim.hh"
 #include "serve/server.hh"
 #include "support/failpoint.hh"
 #include "support/signals.hh"
@@ -190,6 +191,7 @@ printUsage()
                  "                [-O0|-O1] [--dump-analysis=FILE]\n"
                  "                [--lint] [--validate] [--verify-ir] "
                  "[--Werror[=CODE]] [--no-warn=CODE]\n"
+                 "                [--sim-engine=interp|compiled]\n"
                  "                [--trace-json=FILE] [--stats=FILE|-] "
                  "[--quiet]\n"
                  "                [--log=FILE|-] [--metrics-out=FILE] "
@@ -748,6 +750,17 @@ run(int argc, char **argv)
             return exitOk;
         } else if (arg == "--validate") {
             options.validate = true;
+        } else if (arg.rfind("--sim-engine=", 0) == 0) {
+            auto engine = rtl::parseSimEngine(
+                arg.substr(std::strlen("--sim-engine=")));
+            if (!engine)
+                usage();
+            rtl::setDefaultSimEngine(*engine);
+        } else if (arg == "--sim-engine") {
+            auto engine = rtl::parseSimEngine(next());
+            if (!engine)
+                usage();
+            rtl::setDefaultSimEngine(*engine);
         } else if (arg == "--verify-ir") {
             options.verifyIr = true;
         } else if (arg == "--Werror") {
@@ -1116,6 +1129,20 @@ run(int argc, char **argv)
                         compiled.report.tvRefuted,
                         static_cast<unsigned long long>(
                             compiled.report.tvCexCycles));
+        if (compiled.report.simCycles > 0 ||
+            compiled.report.simCompiles > 0)
+            std::printf("  simulation: %s engine, %llu program%s "
+                        "compiled (%llu ops, %.2f ms), %llu cycles "
+                        "simulated\n",
+                        compiled.report.simEngine.c_str(),
+                        static_cast<unsigned long long>(
+                            compiled.report.simCompiles),
+                        compiled.report.simCompiles == 1 ? "" : "s",
+                        static_cast<unsigned long long>(
+                            compiled.report.simProgramOps),
+                        compiled.report.simCompileMs,
+                        static_cast<unsigned long long>(
+                            compiled.report.simCycles));
         std::printf("  phases (%.2f ms):", compiled.report.totalWallMs());
         for (const auto &entry : compiled.report.phases)
             std::printf(" %s=%.2fms", entry.name.c_str(),
